@@ -1,0 +1,250 @@
+(* sppctl — command-line driver for the SPP reproduction.
+
+   Subcommands:
+     info      show an SPP pointer-encoding configuration
+     decode    decode a (simulated) tagged pointer value
+     attack    run the RIPE attack matrix for one variant or all
+     index     drive a persistent index and report timing + space
+     check     run an index workload under the pmemcheck trace checker
+     explore   pmreorder-style crash-state exploration of an index op *)
+
+open Cmdliner
+
+let tag_bits_arg =
+  let doc = "Tag width in bits (paper default: 26; Phoenix runs use 31)." in
+  Arg.(value & opt int 26 & info [ "tag-bits" ] ~docv:"BITS" ~doc)
+
+let variant_conv =
+  let parse s =
+    match s with
+    | "pmdk" -> Ok Spp_access.Pmdk
+    | "spp" -> Ok Spp_access.Spp
+    | "safepm" -> Ok Spp_access.Safepm
+    | "memcheck" -> Ok Spp_access.Memcheck
+    | _ -> Error (`Msg "expected pmdk | spp | safepm | memcheck")
+  in
+  Arg.conv (parse, fun ppf v ->
+    Format.pp_print_string ppf (Spp_access.variant_name v))
+
+let variant_arg =
+  let doc = "Benchmarking variant (pmdk, spp, safepm, memcheck)." in
+  Arg.(value & opt variant_conv Spp_access.Spp
+       & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+(* info *)
+
+let info_cmd =
+  let run tag_bits =
+    let cfg = Spp_core.Config.make ~tag_bits in
+    Format.printf "%a@." Spp_core.Config.pp cfg
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show an SPP pointer-encoding configuration")
+    Term.(const run $ tag_bits_arg)
+
+(* decode *)
+
+let decode_cmd =
+  let ptr_arg =
+    let doc = "Pointer value (accepts 0x-prefixed hex)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PTR" ~doc)
+  in
+  let run tag_bits ptr_str =
+    let cfg = Spp_core.Config.make ~tag_bits in
+    let ptr = int_of_string ptr_str in
+    Format.printf "%a@." (Spp_core.Encoding.pp cfg) ptr;
+    if Spp_core.Encoding.is_pm cfg ptr then
+      Format.printf "remaining bytes before upper bound: %d@."
+        (Spp_core.Encoding.remaining cfg ptr)
+  in
+  Cmd.v (Cmd.info "decode" ~doc:"Decode a simulated tagged pointer")
+    Term.(const run $ tag_bits_arg $ ptr_arg)
+
+(* attack *)
+
+let attack_cmd =
+  let all_arg =
+    let doc = "Run all five Table IV rows instead of a single variant." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print the outcome of every individual attack." in
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  in
+  let print_row verbose r =
+    Printf.printf "%-14s successful=%2d prevented=%2d failed=%2d\n"
+      r.Spp_ripe.Ripe.row_name r.Spp_ripe.Ripe.successful
+      r.Spp_ripe.Ripe.prevented r.Spp_ripe.Ripe.failed;
+    if verbose then
+      List.iter
+        (fun (at, o) ->
+          Printf.printf "    %-28s %s\n"
+            (Spp_ripe.Ripe.attack_name at)
+            (Spp_ripe.Ripe.outcome_name o))
+        r.Spp_ripe.Ripe.details
+  in
+  let run all verbose variant =
+    if all then List.iter (print_row verbose) (Spp_ripe.Ripe.run_all ())
+    else print_row verbose (Spp_ripe.Ripe.run_row variant)
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run the RIPE buffer-overflow attack matrix")
+    Term.(const run $ all_arg $ verbose_arg $ variant_arg)
+
+(* index *)
+
+let index_name_arg =
+  let doc = "Index: ctree, rbtree, rtree, hashmap_tx or btree." in
+  Arg.(value & opt string "ctree" & info [ "name" ] ~docv:"INDEX" ~doc)
+
+let ops_arg =
+  let doc = "Number of operations." in
+  Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc)
+
+let index_cmd =
+  let run variant index_name ops =
+    let pool_size = if index_name = "rtree" then 1 lsl 27 else 1 lsl 26 in
+    let a = Spp_access.create ~pool_size ~name:index_name variant in
+    let ix = Spp_indices.Indices.create index_name a in
+    let ks = Spp_benchlib.Bench_util.keys ~seed:1 ~universe:(4 * ops) ops in
+    let t_ins, () =
+      Spp_benchlib.Bench_util.time (fun () ->
+        Array.iter (fun k -> ix.Spp_indices.Indices.insert ~key:k ~value:k) ks)
+    in
+    let t_get, () =
+      Spp_benchlib.Bench_util.time (fun () ->
+        Array.iter (fun k -> ignore (ix.Spp_indices.Indices.get k)) ks)
+    in
+    let st = Spp_pmdk.Pool.heap_stats a.Spp_access.pool in
+    Printf.printf
+      "%s on %s: %d inserts in %.3f s (%.0f op/s), %d gets in %.3f s (%.0f \
+       op/s)\n"
+      index_name (Spp_access.variant_name variant) ops t_ins
+      (float_of_int ops /. t_ins)
+      ops t_get
+      (float_of_int ops /. t_get);
+    Printf.printf "heap: %d live blocks, %s allocated (%s requested)\n"
+      st.Spp_pmdk.Heap.allocated_blocks
+      (Spp_benchlib.Bench_util.fmt_mb st.Spp_pmdk.Heap.allocated_bytes)
+      (Spp_benchlib.Bench_util.fmt_mb st.Spp_pmdk.Heap.requested_bytes)
+  in
+  Cmd.v (Cmd.info "index" ~doc:"Drive a persistent index")
+    Term.(const run $ variant_arg $ index_name_arg $ ops_arg)
+
+(* check *)
+
+let check_cmd =
+  let run variant index_name ops =
+    let pool_size = if index_name = "rtree" then 1 lsl 27 else 1 lsl 26 in
+    let a = Spp_access.create ~pool_size ~name:index_name variant in
+    let ix = Spp_indices.Indices.create index_name a in
+    let (), report =
+      Spp_pmemcheck.Pmemcheck.check_run a.Spp_access.pool (fun () ->
+        for k = 1 to ops do
+          ix.Spp_indices.Indices.insert ~key:k ~value:k
+        done)
+    in
+    Format.printf "pmemcheck %s/%s: %a [%s]@." index_name
+      (Spp_access.variant_name variant)
+      Spp_pmemcheck.Pmemcheck.pp_report report
+      (if Spp_pmemcheck.Pmemcheck.is_clean report then "CLEAN"
+       else "VIOLATIONS")
+  in
+  let small_ops =
+    Arg.(value & opt int 500 & info [ "ops" ] ~docv:"N" ~doc:"Operations.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run an index workload under the pmemcheck trace checker")
+    Term.(const run $ variant_arg $ index_name_arg $ small_ops)
+
+(* pool: pmempool-style info / check / save / open *)
+
+let pool_demo_cmd =
+  let save_arg =
+    let doc = "Save the pool's durable image to this file." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run variant index_name ops save =
+    let pool_size = if index_name = "rtree" then 1 lsl 27 else 1 lsl 24 in
+    let a = Spp_access.create ~pool_size ~name:index_name variant in
+    let ix = Spp_indices.Indices.create index_name a in
+    for k = 1 to ops do
+      ix.Spp_indices.Indices.insert ~key:k ~value:(k * 3)
+    done;
+    for k = 1 to ops / 2 do
+      ignore (ix.Spp_indices.Indices.remove k)
+    done;
+    Format.printf "%a@." Spp_pmdk.Inspect.pp_info
+      (Spp_pmdk.Inspect.info a.Spp_access.pool);
+    (match Spp_pmdk.Inspect.check a.Spp_access.pool with
+     | [] -> print_endline "integrity check: OK"
+     | issues ->
+       List.iter
+         (fun i -> print_endline ("ISSUE: " ^ Spp_pmdk.Inspect.issue_to_string i))
+         issues);
+    match save with
+    | None -> ()
+    | Some path ->
+      Spp_sim.Memdev.save_durable (Spp_pmdk.Pool.dev a.Spp_access.pool) path;
+      Printf.printf "saved durable image to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "pool-demo"
+       ~doc:"Populate a pool with an index workload, then inspect and check it")
+    Term.(const run $ variant_arg $ index_name_arg $ ops_arg $ save_arg)
+
+let pool_open_cmd =
+  let file_arg =
+    let doc = "Pool image file (from pool-demo --save)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path =
+    let dev = Spp_sim.Memdev.load_durable ~name:(Filename.basename path) path in
+    let space = Spp_sim.Space.create () in
+    let pool = Spp_pmdk.Pool.of_dev space ~base:4096 dev in
+    Format.printf "%a@." Spp_pmdk.Inspect.pp_info (Spp_pmdk.Inspect.info pool);
+    match Spp_pmdk.Inspect.check pool with
+    | [] -> print_endline "integrity check: OK"
+    | issues ->
+      List.iter
+        (fun i -> print_endline ("ISSUE: " ^ Spp_pmdk.Inspect.issue_to_string i))
+        issues;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "pool-open"
+       ~doc:"Open a saved pool image, run recovery, inspect and check it")
+    Term.(const run $ file_arg)
+
+(* explore *)
+
+let explore_cmd =
+  let run variant =
+    let a = Spp_access.create ~pool_size:(1 lsl 20) ~name:"explore" variant in
+    let t = Spp_indices.Hashmap_tx.create a in
+    Spp_indices.Hashmap_tx.insert t ~key:1 ~value:10;
+    let map_off = (Spp_indices.Hashmap_tx.map_oid_of t).Spp_pmdk.Oid.off in
+    let consistent pool' =
+      let count = Spp_pmdk.Pool.load_word pool' ~off:map_off in
+      count = 1 || count = 2
+    in
+    let result =
+      Spp_pmemcheck.Pmreorder.explore ~pool:a.Spp_access.pool
+        ~workload:(fun () -> Spp_indices.Hashmap_tx.insert t ~key:2 ~value:20)
+        ~consistent ()
+    in
+    Format.printf "pmreorder hashmap_tx/%s: %a@."
+      (Spp_access.variant_name variant)
+      Spp_pmemcheck.Pmreorder.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Explore crash states of a transactional index insert")
+    Term.(const run $ variant_arg)
+
+let () =
+  let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc)
+          [ info_cmd; decode_cmd; attack_cmd; index_cmd; check_cmd;
+            explore_cmd; pool_demo_cmd; pool_open_cmd ]))

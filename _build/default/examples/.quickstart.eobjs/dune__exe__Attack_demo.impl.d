@@ -1,0 +1,1 @@
+examples/attack_demo.ml: List Printf Ripe Spp_access Spp_ripe

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Format Mode Oid Pool Printf Spp_access Spp_core Spp_pmdk Spp_pmemcheck Spp_sim

@@ -1,0 +1,1 @@
+examples/kvstore_demo.ml: List Option Pool Printf Spp_access Spp_pmdk Spp_pmemkv Spp_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Printf Spp_access Spp_core Spp_pmdk

@@ -1,0 +1,1 @@
+examples/typed_store.ml: Printf Spp_access Spp_pmemlog Spp_pptr

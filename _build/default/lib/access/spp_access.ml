@@ -1,0 +1,449 @@
+(* The access layer: one "compiled binary" per benchmarking variant
+   (paper Table I).
+
+   A workload written against this record is the analogue of an
+   application compiled once per variant: selecting the variant decides
+   which pointer representation pmemobj_direct returns, what pointer
+   arithmetic does, and what happens on every load, store, and memory
+   intrinsic —
+
+     Pmdk      native PMDK, raw pointers, unchecked accesses;
+     Spp       tagged pointers + SPP runtime hooks (checked implicitly);
+     Safepm    raw pointers + shadow-memory lookup on every access;
+     Memcheck  raw pointers + side-table interval lookup on every access.
+
+   PM management always goes through the (mode-matched) mini-PMDK pool
+   underneath, so crash consistency is identical across variants. *)
+
+open Spp_sim
+open Spp_core
+open Spp_pmdk
+
+type variant =
+  | Pmdk
+  | Spp
+  | Safepm
+  | Memcheck
+  | Spp_all
+    (* SPP generalized to volatile pointers too (paper §VII): volatile
+       allocations are mapped into the taggable low address span and
+       carry delta tags, at the cost of instrumenting all memory *)
+
+let variant_name = function
+  | Pmdk -> "pmdk"
+  | Spp -> "spp"
+  | Safepm -> "safepm"
+  | Memcheck -> "memcheck"
+  | Spp_all -> "spp-all"
+
+let all_variants = [ Pmdk; Safepm; Spp; Memcheck ]
+(* Spp_all is the §VII extension, not part of the paper's Table I *)
+
+type t = {
+  name : string;
+  variant : variant;
+  space : Space.t;
+  pool : Pool.t;
+  (* pointer life cycle *)
+  direct : Oid.t -> int;
+  gep : int -> int -> int;
+  ptr_to_int : int -> int;
+  for_external : int -> int;
+  (* accesses *)
+  load_word : int -> int;
+  store_word : int -> int -> unit;
+  load_u8 : int -> int;
+  store_u8 : int -> int -> unit;
+  read_bytes : int -> int -> Bytes.t;
+  write_bytes : int -> Bytes.t -> unit;
+  write_string : int -> string -> unit;
+  (* interposed intrinsics *)
+  memcpy : dst:int -> src:int -> len:int -> unit;
+  memmove : dst:int -> src:int -> len:int -> unit;
+  memset : int -> char -> int -> unit;
+  strcpy : dst:int -> src:int -> unit;
+  strlen : int -> int;
+  strcmp : int -> int -> int;
+  (* PM object management *)
+  palloc : ?zero:bool -> ?dest:int -> int -> Oid.t;
+  pfree : ?dest:int -> Oid.t -> unit;
+  prealloc : Oid.t -> int -> Oid.t;
+  tx_palloc : ?zero:bool -> int -> Oid.t;
+  tx_pfree : Oid.t -> unit;
+  root : int -> Oid.t;
+  (* volatile heap (libc malloc analogue) *)
+  valloc : int -> int;
+  vfree : int -> unit;
+  (* PMEMoid slots accessed through application pointers *)
+  load_oid_at : int -> Oid.t;
+  store_oid_at : int -> Oid.t -> unit;
+  oid_size : int;
+}
+
+(* --- Native PMDK ------------------------------------------------------- *)
+
+let make_pmdk ~space ~pool ~vheap ~name =
+  {
+    name;
+    variant = Pmdk;
+    space;
+    pool;
+    valloc = (fun size -> Vheap.malloc vheap size);
+    vfree = (fun ptr -> Vheap.free vheap ptr);
+    direct = Pool.direct pool;
+    gep = ( + );
+    ptr_to_int = Fun.id;
+    for_external = Fun.id;
+    load_word = Space.load_word space;
+    store_word = Space.store_word space;
+    load_u8 = Space.load_u8 space;
+    store_u8 = Space.store_u8 space;
+    read_bytes = Space.read_bytes space;
+    write_bytes = Space.write_bytes space;
+    write_string = Space.write_string space;
+    memcpy = (fun ~dst ~src ~len -> Space.blit space ~src ~dst ~len);
+    memmove = (fun ~dst ~src ~len -> Space.blit space ~src ~dst ~len);
+    memset = (fun p c len -> Space.fill space p len c);
+    strcpy =
+      (fun ~dst ~src ->
+        let n = Space.strlen space src + 1 in
+        Space.blit space ~src ~dst ~len:n);
+    strlen = Space.strlen space;
+    strcmp =
+      (fun a b ->
+        let rec go i =
+          let ca = Space.load_u8 space (a + i)
+          and cb = Space.load_u8 space (b + i) in
+          if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+        in
+        go 0);
+    palloc = (fun ?zero ?dest size -> Pool.alloc ?zero ?dest pool ~size);
+    pfree = (fun ?dest oid -> Pool.free_ ?dest pool oid);
+    prealloc = (fun oid size -> Pool.realloc pool oid ~size);
+    tx_palloc = (fun ?zero size -> Pool.tx_alloc ?zero pool ~size);
+    tx_pfree = (fun oid -> Pool.tx_free pool oid);
+    root = (fun size -> Pool.root pool ~size);
+    load_oid_at = (fun ptr -> Pool.load_oid pool ~off:(Pool.off_of_addr pool ptr));
+    store_oid_at =
+      (fun ptr oid -> Pool.store_oid pool ~off:(Pool.off_of_addr pool ptr) oid);
+    oid_size = Pool.oid_stored_size pool;
+  }
+
+(* --- SPP ---------------------------------------------------------------- *)
+
+let make_spp ?(variant = Spp) ?tag_volatile ~space ~pool ~cfg ~name () =
+  let addr_mask = cfg.Config.addr_mask in
+  let gep p o =
+    if Runtime.spp_is_pm_ptr cfg p then begin
+      let p' = Runtime.spp_updatetag_direct cfg p o in
+      (p' land lnot addr_mask) lor ((p' + o) land addr_mask)
+    end
+    else p + o
+  in
+  let checked_ptr p width = Runtime.spp_checkbound cfg p width in
+  let block_ptr p len = Runtime.spp_memintr_check cfg p len in
+  {
+    name;
+    variant;
+    space;
+    pool;
+    valloc =
+      (fun size ->
+        match tag_volatile with
+        | Some vheap ->
+          (* the §VII generalization: volatile allocations are tagged *)
+          Spp_core.Encoding.mk_tagged cfg ~addr:(Vheap.malloc vheap size) ~size
+        | None -> invalid_arg "Spp_access.valloc: no volatile heap attached");
+    vfree =
+      (fun ptr ->
+        match tag_volatile with
+        | Some vheap -> Vheap.free vheap (Spp_core.Encoding.clean_tag_external cfg ptr)
+        | None -> invalid_arg "Spp_access.vfree: no volatile heap attached");
+    direct = Pool.direct pool;   (* SPP-mode pool: returns tagged pointers *)
+    gep;
+    ptr_to_int = (fun p -> Runtime.spp_cleantag cfg p);
+    for_external = (fun p -> Runtime.spp_cleantag_external cfg p);
+    load_word = (fun p -> Space.load_word space (checked_ptr p 8));
+    store_word = (fun p v -> Space.store_word space (checked_ptr p 8) v);
+    load_u8 = (fun p -> Space.load_u8 space (checked_ptr p 1));
+    store_u8 = (fun p v -> Space.store_u8 space (checked_ptr p 1) v);
+    read_bytes = (fun p len -> Space.read_bytes space (block_ptr p len) len);
+    write_bytes =
+      (fun p b -> Space.write_bytes space (block_ptr p (Bytes.length b)) b);
+    write_string =
+      (fun p s -> Space.write_string space (block_ptr p (String.length s)) s);
+    memcpy = (fun ~dst ~src ~len -> Wrappers.wrap_memcpy cfg space ~dst ~src ~len);
+    memmove =
+      (fun ~dst ~src ~len -> Wrappers.wrap_memmove cfg space ~dst ~src ~len);
+    memset = (fun p c len -> Wrappers.wrap_memset cfg space ~dst:p ~c ~len);
+    strcpy = (fun ~dst ~src -> Wrappers.wrap_strcpy cfg space ~dst ~src);
+    strlen = (fun p -> Wrappers.wrap_strlen cfg space p);
+    strcmp = (fun a b -> Wrappers.wrap_strcmp cfg space a b);
+    palloc = (fun ?zero ?dest size -> Pool.alloc ?zero ?dest pool ~size);
+    pfree = (fun ?dest oid -> Pool.free_ ?dest pool oid);
+    prealloc = (fun oid size -> Pool.realloc pool oid ~size);
+    tx_palloc = (fun ?zero size -> Pool.tx_alloc ?zero pool ~size);
+    tx_pfree = (fun oid -> Pool.tx_free pool oid);
+    root = (fun size -> Pool.root pool ~size);
+    load_oid_at =
+      (fun ptr ->
+        let addr = checked_ptr ptr (Mode.oid_stored_size (Pool.mode pool)) in
+        Pool.load_oid pool ~off:(Pool.off_of_addr pool addr));
+    store_oid_at =
+      (fun ptr oid ->
+        let addr = checked_ptr ptr (Mode.oid_stored_size (Pool.mode pool)) in
+        Pool.store_oid pool ~off:(Pool.off_of_addr pool addr) oid);
+    oid_size = Pool.oid_stored_size pool;
+  }
+
+(* --- SafePM ------------------------------------------------------------- *)
+
+let make_safepm ~space ~pool ~shadow ~vheap ~name =
+  let ck p len f = Spp_safepm.check shadow p len; f () in
+  {
+    name;
+    variant = Safepm;
+    space;
+    pool;
+    valloc = (fun size -> Vheap.malloc vheap size);
+    vfree = (fun ptr -> Vheap.free vheap ptr);
+    direct = Pool.direct pool;
+    gep = ( + );
+    ptr_to_int = Fun.id;
+    for_external = Fun.id;
+    load_word = (fun p -> ck p 8 (fun () -> Space.load_word space p));
+    store_word = (fun p v -> ck p 8 (fun () -> Space.store_word space p v));
+    load_u8 = (fun p -> ck p 1 (fun () -> Space.load_u8 space p));
+    store_u8 = (fun p v -> ck p 1 (fun () -> Space.store_u8 space p v));
+    read_bytes = (fun p len -> ck p len (fun () -> Space.read_bytes space p len));
+    write_bytes =
+      (fun p b ->
+        ck p (Bytes.length b) (fun () -> Space.write_bytes space p b));
+    write_string =
+      (fun p s ->
+        ck p (String.length s) (fun () -> Space.write_string space p s));
+    memcpy =
+      (fun ~dst ~src ~len ->
+        Spp_safepm.check shadow src len;
+        Spp_safepm.check shadow dst len;
+        Space.blit space ~src ~dst ~len);
+    memmove =
+      (fun ~dst ~src ~len ->
+        Spp_safepm.check shadow src len;
+        Spp_safepm.check shadow dst len;
+        Space.blit space ~src ~dst ~len);
+    memset =
+      (fun p c len -> ck p len (fun () -> Space.fill space p len c));
+    strcpy =
+      (fun ~dst ~src ->
+        let n = Space.strlen space src + 1 in
+        Spp_safepm.check shadow src n;
+        Spp_safepm.check shadow dst n;
+        Space.blit space ~src ~dst ~len:n);
+    strlen = Space.strlen space;
+    strcmp =
+      (fun a b ->
+        let rec go i =
+          let ca = ck (a + i) 1 (fun () -> Space.load_u8 space (a + i))
+          and cb = ck (b + i) 1 (fun () -> Space.load_u8 space (b + i)) in
+          if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+        in
+        go 0);
+    palloc =
+      (fun ?zero ?dest size ->
+        let oid = Spp_safepm.alloc ?zero shadow ~size in
+        (match dest with
+         | None -> ()
+         | Some off -> Pool.store_oid pool ~off oid);
+        oid);
+    pfree =
+      (fun ?dest oid ->
+        Spp_safepm.free shadow oid;
+        match dest with
+        | None -> ()
+        | Some off -> Pool.store_oid pool ~off Oid.null);
+    prealloc = (fun oid size -> Spp_safepm.realloc shadow oid ~size);
+    tx_palloc = (fun ?zero size -> Spp_safepm.tx_alloc ?zero shadow ~size);
+    tx_pfree = (fun oid -> Spp_safepm.tx_free shadow oid);
+    root =
+      (fun size ->
+        let r = Pool.root pool ~size in
+        (* the root is not redzoned; just make it addressable *)
+        Spp_safepm.unpoison shadow ~off:r.Oid.off ~len:size;
+        r);
+    load_oid_at =
+      (fun ptr ->
+        Spp_safepm.check shadow ptr (Pool.oid_stored_size pool);
+        Pool.load_oid pool ~off:(Pool.off_of_addr pool ptr));
+    store_oid_at =
+      (fun ptr oid ->
+        Spp_safepm.check shadow ptr (Pool.oid_stored_size pool);
+        Pool.store_oid pool ~off:(Pool.off_of_addr pool ptr) oid);
+    oid_size = Pool.oid_stored_size pool;
+  }
+
+(* --- memcheck ------------------------------------------------------------ *)
+
+let make_memcheck ~space ~pool ~table ~vheap ~name =
+  let track_oid (oid : Oid.t) =
+    (* memcheck learns the usable (class-rounded) capacity, as PMDK's
+       Valgrind annotations report — overflow into the slack is missed. *)
+    Spp_memcheck.track table
+      ~addr:(Pool.addr_of_off pool oid.Oid.off)
+      ~len:(Pool.usable_size pool oid)
+  in
+  let ck p len f = Spp_memcheck.check table p len; f () in
+  {
+    name;
+    variant = Memcheck;
+    space;
+    pool;
+    valloc = (fun size -> Vheap.malloc vheap size);
+    vfree = (fun ptr -> Vheap.free vheap ptr);
+    direct = Pool.direct pool;
+    gep = ( + );
+    ptr_to_int = Fun.id;
+    for_external = Fun.id;
+    load_word = (fun p -> ck p 8 (fun () -> Space.load_word space p));
+    store_word = (fun p v -> ck p 8 (fun () -> Space.store_word space p v));
+    load_u8 = (fun p -> ck p 1 (fun () -> Space.load_u8 space p));
+    store_u8 = (fun p v -> ck p 1 (fun () -> Space.store_u8 space p v));
+    read_bytes = (fun p len -> ck p len (fun () -> Space.read_bytes space p len));
+    write_bytes =
+      (fun p b ->
+        ck p (Bytes.length b) (fun () -> Space.write_bytes space p b));
+    write_string =
+      (fun p s ->
+        ck p (String.length s) (fun () -> Space.write_string space p s));
+    memcpy =
+      (fun ~dst ~src ~len ->
+        Spp_memcheck.check table src len;
+        Spp_memcheck.check table dst len;
+        Space.blit space ~src ~dst ~len);
+    memmove =
+      (fun ~dst ~src ~len ->
+        Spp_memcheck.check table src len;
+        Spp_memcheck.check table dst len;
+        Space.blit space ~src ~dst ~len);
+    memset = (fun p c len -> ck p len (fun () -> Space.fill space p len c));
+    strcpy =
+      (fun ~dst ~src ->
+        let n = Space.strlen space src + 1 in
+        Spp_memcheck.check table src n;
+        Spp_memcheck.check table dst n;
+        Space.blit space ~src ~dst ~len:n);
+    strlen = Space.strlen space;
+    strcmp =
+      (fun a b ->
+        let rec go i =
+          let ca = ck (a + i) 1 (fun () -> Space.load_u8 space (a + i))
+          and cb = ck (b + i) 1 (fun () -> Space.load_u8 space (b + i)) in
+          if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+        in
+        go 0);
+    palloc =
+      (fun ?zero ?dest size ->
+        let oid = Pool.alloc ?zero ?dest pool ~size in
+        track_oid oid;
+        oid);
+    pfree =
+      (fun ?dest oid ->
+        Spp_memcheck.untrack table ~addr:(Pool.addr_of_off pool oid.Oid.off);
+        Pool.free_ ?dest pool oid);
+    prealloc =
+      (fun oid size ->
+        if not (Oid.is_null oid) then
+          Spp_memcheck.untrack table ~addr:(Pool.addr_of_off pool oid.Oid.off);
+        let oid' = Pool.realloc pool oid ~size in
+        track_oid oid';
+        oid');
+    tx_palloc =
+      (fun ?zero size ->
+        let oid = Pool.tx_alloc ?zero pool ~size in
+        track_oid oid;
+        oid);
+    tx_pfree =
+      (fun oid ->
+        if not (Oid.is_null oid) then
+          Spp_memcheck.untrack table ~addr:(Pool.addr_of_off pool oid.Oid.off);
+        Pool.tx_free pool oid);
+    root =
+      (fun size ->
+        let r = Pool.root pool ~size in
+        if not (Spp_memcheck.is_valid table (Pool.addr_of_off pool r.Oid.off) 1)
+        then track_oid r;
+        r);
+    load_oid_at =
+      (fun ptr ->
+        Spp_memcheck.check table ptr (Pool.oid_stored_size pool);
+        Pool.load_oid pool ~off:(Pool.off_of_addr pool ptr));
+    store_oid_at =
+      (fun ptr oid ->
+        Spp_memcheck.check table ptr (Pool.oid_stored_size pool);
+        Pool.store_oid pool ~off:(Pool.off_of_addr pool ptr) oid);
+    oid_size = Pool.oid_stored_size pool;
+  }
+
+(* --- Construction -------------------------------------------------------- *)
+
+let default_pool_base = 4096
+
+let create ?(tag_bits = 26) ?(pool_base = default_pool_base)
+    ?(vheap_size = 1 lsl 20) ~pool_size ~name variant =
+  let space = Space.create () in
+  match variant with
+  | Pmdk ->
+    let pool =
+      Pool.create space ~base:pool_base ~size:pool_size ~mode:Mode.Native ~name
+    in
+    let vheap = Vheap.create space vheap_size in
+    make_pmdk ~space ~pool ~vheap ~name
+  | Spp ->
+    let cfg = Config.make ~tag_bits in
+    let pool =
+      Pool.create space ~base:pool_base ~size:pool_size ~mode:(Mode.Spp cfg)
+        ~name
+    in
+    make_spp ~space ~pool ~cfg ~name ()
+  | Spp_all ->
+    let cfg = Config.make ~tag_bits in
+    let pool =
+      Pool.create space ~base:pool_base ~size:pool_size ~mode:(Mode.Spp cfg)
+        ~name
+    in
+    (* the volatile heap must live inside the taggable address span *)
+    let vbase = pool_base + pool_size + 4096 in
+    if vbase + vheap_size > Config.max_pool_span cfg then
+      invalid_arg "Spp_access.create: volatile heap exceeds the tag span";
+    let vheap = Vheap.create ~base:vbase space vheap_size in
+    make_spp ~variant:Spp_all ~tag_volatile:vheap ~space ~pool ~cfg ~name ()
+  | Safepm ->
+    let pool =
+      Pool.create space ~base:pool_base ~size:pool_size ~mode:Mode.Native ~name
+    in
+    let shadow = Spp_safepm.attach_fresh pool in
+    let vheap = Vheap.create space vheap_size in
+    make_safepm ~space ~pool ~shadow ~vheap ~name
+  | Memcheck ->
+    let pool =
+      Pool.create space ~base:pool_base ~size:pool_size ~mode:Mode.Native ~name
+    in
+    let table = Spp_memcheck.create () in
+    let vheap = Vheap.create space vheap_size in
+    make_memcheck ~space ~pool ~table ~vheap ~name
+
+(* --- Violation handling --------------------------------------------------- *)
+
+type outcome =
+  | Ok_completed
+  | Prevented of string
+
+let run_guarded (f : unit -> unit) =
+  match f () with
+  | () -> Ok_completed
+  | exception Fault.Fault (k, addr) ->
+    Prevented (Printf.sprintf "%s at 0x%x" (Fault.kind_to_string k) addr)
+  | exception Spp_safepm.Violation { addr; len; kind } ->
+    Prevented (Printf.sprintf "SafePM %s (%d bytes at 0x%x)" kind len addr)
+  | exception Spp_memcheck.Violation { addr; len } ->
+    Prevented (Printf.sprintf "memcheck invalid access (%d bytes at 0x%x)" len addr)

@@ -1,0 +1,93 @@
+(** The access layer: one "compiled binary" per benchmarking variant
+    (paper Table I).
+
+    A workload written against {!t} is the analogue of an application
+    compiled once per variant: the variant decides which pointer
+    representation {!field-direct} returns, what pointer arithmetic does,
+    and what happens on every load, store and memory intrinsic.
+
+    - {!Pmdk} — native PMDK: raw pointers, unchecked accesses;
+    - {!Spp} — tagged pointers plus the SPP runtime hooks (implicit
+      bounds checks through address invalidation);
+    - {!Safepm} — raw pointers plus a persistent-shadow lookup per access;
+    - {!Memcheck} — raw pointers plus a side-table interval lookup.
+
+    PM management always goes through the mode-matched mini-PMDK pool, so
+    crash consistency is identical across variants. *)
+
+open Spp_sim
+open Spp_pmdk
+
+type variant =
+  | Pmdk
+  | Spp
+  | Safepm
+  | Memcheck
+  | Spp_all
+    (** SPP generalized to volatile pointers too (paper §VII): volatile
+        allocations are mapped into the taggable low address span and
+        carry delta tags. Not part of the paper's Table I variants. *)
+
+val variant_name : variant -> string
+
+val all_variants : variant list
+(** The paper's variants: [Pmdk; Safepm; Spp; Memcheck]. *)
+
+type t = {
+  name : string;
+  variant : variant;
+  space : Space.t;
+  pool : Pool.t;
+  (* pointer life cycle *)
+  direct : Oid.t -> int;          (** pmemobj_direct *)
+  gep : int -> int -> int;        (** pointer arithmetic *)
+  ptr_to_int : int -> int;        (** pointer-to-integer conversion *)
+  for_external : int -> int;      (** mask for an uninstrumented callee *)
+  (* accesses *)
+  load_word : int -> int;
+  store_word : int -> int -> unit;
+  load_u8 : int -> int;
+  store_u8 : int -> int -> unit;
+  read_bytes : int -> int -> Bytes.t;
+  write_bytes : int -> Bytes.t -> unit;
+  write_string : int -> string -> unit;
+  (* interposed intrinsics *)
+  memcpy : dst:int -> src:int -> len:int -> unit;
+  memmove : dst:int -> src:int -> len:int -> unit;
+  memset : int -> char -> int -> unit;
+  strcpy : dst:int -> src:int -> unit;
+  strlen : int -> int;
+  strcmp : int -> int -> int;
+  (* PM object management *)
+  palloc : ?zero:bool -> ?dest:int -> int -> Oid.t;
+  pfree : ?dest:int -> Oid.t -> unit;
+  prealloc : Oid.t -> int -> Oid.t;
+  tx_palloc : ?zero:bool -> int -> Oid.t;
+  tx_pfree : Oid.t -> unit;
+  root : int -> Oid.t;
+  (* volatile heap (libc malloc analogue); tagged under {!Spp_all} *)
+  valloc : int -> int;
+  vfree : int -> unit;
+  (* PMEMoid slots accessed through application pointers *)
+  load_oid_at : int -> Oid.t;
+  store_oid_at : int -> Oid.t -> unit;
+  oid_size : int;   (** stored PMEMoid footprint: 16 native, 24 SPP *)
+}
+
+val default_pool_base : int
+
+val create :
+  ?tag_bits:int -> ?pool_base:int -> ?vheap_size:int -> pool_size:int ->
+  name:string -> variant -> t
+(** Build a fresh machine (address space + pool + checker state) for the
+    variant. [tag_bits] only affects {!Spp} (default 26). *)
+
+(** {1 Violation handling} *)
+
+type outcome =
+  | Ok_completed
+  | Prevented of string
+
+val run_guarded : (unit -> unit) -> outcome
+(** Run a workload, mapping simulated faults and checker violations to
+    {!Prevented}. *)

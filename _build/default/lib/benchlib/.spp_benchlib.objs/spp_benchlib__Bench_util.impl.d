@@ -1,0 +1,1 @@
+lib/benchlib/bench_util.ml: Array List Printf Random Unix

@@ -1,0 +1,42 @@
+(* Timing, normalization and table formatting for the benchmark harness. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+(* Best-of-n timing: the minimum is the least noisy estimator for
+   throughput-style measurements on a shared machine. *)
+let best_of ?(n = 3) f =
+  let rec go best i =
+    if i = 0 then best
+    else begin
+      let t, _ = time f in
+      go (min best t) (i - 1)
+    end
+  in
+  go infinity n
+
+let slowdown ~baseline t = t /. baseline
+
+(* Headed, aligned text tables. *)
+
+let print_title title =
+  Printf.printf "\n=== %s ===\n" title
+
+let print_subtitle s = Printf.printf "--- %s ---\n" s
+
+let print_row ~w cells =
+  List.iter (fun c -> Printf.printf "%-*s" w c) cells;
+  print_newline ()
+
+let fmt_slowdown x = Printf.sprintf "%.2fx" x
+let fmt_ms x = Printf.sprintf "%.2f ms" (x *. 1000.)
+let fmt_ops x = Printf.sprintf "%.0f op/s" x
+let fmt_mb bytes = Printf.sprintf "%.1f MB" (float_of_int bytes /. 1048576.)
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)
+
+(* Deterministic uniform key stream. *)
+let keys ~seed ~universe n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ -> Random.State.int st universe)

@@ -1,0 +1,1 @@
+lib/core/wrappers.ml: Runtime Space Spp_sim

@@ -1,0 +1,1 @@
+lib/core/wrappers.mli: Config Space Spp_sim

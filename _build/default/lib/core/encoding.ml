@@ -1,0 +1,105 @@
+(* SPP tagged-pointer encoding (paper §IV-A).
+
+   The delta field is the tag plus the overflow bit, treated as one
+   (tag_bits + 1)-wide two's-complement counter holding the pointer's
+   current distance from the object's upper bound, initialised to the
+   negated object size with the overflow bit cleared — exactly the
+   paper's
+
+     tag = (~oid.size + 1) << ADDRESS_BITS
+     ptr = pm_ptr | tag & OVERFLOW_BIT | PM_PTR_BIT
+
+   Pointer arithmetic adds the same offset to the delta field and to the
+   address field; crossing the upper bound carries into the overflow bit,
+   implicitly invalidating the address. *)
+
+exception Object_too_large of { size : int; max : int }
+
+let () =
+  Printexc.register_printer (function
+    | Object_too_large { size; max } ->
+      Some (Printf.sprintf
+              "SPP: object of %d bytes exceeds the %d-byte tag limit" size max)
+    | _ -> None)
+
+open Config
+
+let is_pm (cfg : Config.t) ptr = ptr land cfg.pm_bit <> 0
+
+let is_overflowed (cfg : Config.t) ptr =
+  ptr land cfg.pm_bit <> 0 && ptr land cfg.ovf_bit <> 0
+
+let extract_delta (cfg : Config.t) ptr =
+  (ptr lsr cfg.addr_bits) land cfg.delta_mask
+
+let mk_tagged (cfg : Config.t) ~addr ~size =
+  if size <= 0 then invalid_arg "Encoding.mk_tagged: non-positive size";
+  if size > cfg.max_object_size then
+    raise (Object_too_large { size; max = cfg.max_object_size });
+  if addr land cfg.addr_mask <> addr then
+    invalid_arg
+      (Printf.sprintf
+         "Encoding.mk_tagged: address 0x%x does not fit in %d address bits"
+         addr cfg.addr_bits);
+  let delta0 = (cfg.max_object_size - size) land cfg.delta_mask in
+  cfg.pm_bit lor (delta0 lsl cfg.addr_bits) lor addr
+
+let update_tag_direct (cfg : Config.t) ptr off =
+  let d = (extract_delta cfg ptr + off) land cfg.delta_mask in
+  (ptr land (cfg.pm_bit lor cfg.addr_mask)) lor (d lsl cfg.addr_bits)
+
+let update_tag cfg ptr off =
+  if is_pm cfg ptr then update_tag_direct cfg ptr off else ptr
+
+let gep (cfg : Config.t) ptr off =
+  (* Pointer arithmetic: the address field and the delta field move by the
+     same offset (paper Fig. 3). Volatile pointers are plain integers. *)
+  if is_pm cfg ptr then begin
+    let p = update_tag_direct cfg ptr off in
+    (p land lnot cfg.addr_mask) lor ((p + off) land cfg.addr_mask)
+  end else ptr + off
+
+let clean_tag_direct (cfg : Config.t) ptr =
+  ptr land (cfg.ovf_bit lor cfg.addr_mask)
+
+let clean_tag cfg ptr =
+  if is_pm cfg ptr then clean_tag_direct cfg ptr else ptr
+
+let clean_tag_external (cfg : Config.t) ptr =
+  (* For uninstrumented external code: strip tag, overflow and PM bits so
+     the callee sees a plain address. SPP gives no guarantee beyond this
+     point (paper §IV-G). *)
+  if is_pm cfg ptr then ptr land cfg.addr_mask else ptr
+
+let check_bound cfg ptr deref_size =
+  clean_tag cfg (update_tag cfg ptr (deref_size - 1))
+
+let check_bound_direct cfg ptr deref_size =
+  clean_tag_direct cfg (update_tag_direct cfg ptr (deref_size - 1))
+
+let address (cfg : Config.t) ptr = ptr land cfg.addr_mask
+
+let remaining (cfg : Config.t) ptr =
+  (* Bytes left before the upper bound, when not overflown. *)
+  if is_overflowed cfg ptr then 0
+  else cfg.max_object_size - (extract_delta cfg ptr land (cfg.max_object_size - 1))
+
+type decoded = {
+  d_pm : bool;
+  d_overflow : bool;
+  d_tag : int;
+  d_addr : int;
+}
+
+let decode (cfg : Config.t) ptr =
+  {
+    d_pm = ptr land cfg.pm_bit <> 0;
+    d_overflow = ptr land cfg.ovf_bit <> 0;
+    d_tag = (ptr lsr cfg.addr_bits) land (cfg.max_object_size - 1);
+    d_addr = ptr land cfg.addr_mask;
+  }
+
+let pp cfg ppf ptr =
+  let d = decode cfg ptr in
+  Format.fprintf ppf "[pm=%b ovf=%b tag=0x%x addr=0x%x]"
+    d.d_pm d.d_overflow d.d_tag d.d_addr

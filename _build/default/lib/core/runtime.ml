@@ -1,0 +1,80 @@
+(* SPP runtime library (paper §IV-D, §V-B).
+
+   These are the hook functions the compiler passes inject. They carry the
+   same names as the C runtime (modulo the [__] prefix) and keep global
+   call counters so instrumentation overhead and optimization effect
+   (pointer tracking skipping PM-bit checks, bound-check preemption
+   removing calls) can be measured. *)
+
+type counters = {
+  mutable updatetag : int;
+  mutable cleantag : int;
+  mutable checkbound : int;
+  mutable cleantag_external : int;
+  mutable memintr_check : int;
+  mutable pm_bit_tests : int;    (* runtime pointer-kind checks performed *)
+  mutable direct_calls : int;    (* hook calls that skipped the kind check *)
+}
+
+let counters = {
+  updatetag = 0; cleantag = 0; checkbound = 0;
+  cleantag_external = 0; memintr_check = 0;
+  pm_bit_tests = 0; direct_calls = 0;
+}
+
+let reset_counters () =
+  counters.updatetag <- 0;
+  counters.cleantag <- 0;
+  counters.checkbound <- 0;
+  counters.cleantag_external <- 0;
+  counters.memintr_check <- 0;
+  counters.pm_bit_tests <- 0;
+  counters.direct_calls <- 0
+
+let spp_updatetag cfg ptr off =
+  counters.updatetag <- counters.updatetag + 1;
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  Encoding.update_tag cfg ptr off
+
+let spp_updatetag_direct cfg ptr off =
+  counters.updatetag <- counters.updatetag + 1;
+  counters.direct_calls <- counters.direct_calls + 1;
+  Encoding.update_tag_direct cfg ptr off
+
+let spp_cleantag cfg ptr =
+  counters.cleantag <- counters.cleantag + 1;
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  Encoding.clean_tag cfg ptr
+
+let spp_cleantag_direct cfg ptr =
+  counters.cleantag <- counters.cleantag + 1;
+  counters.direct_calls <- counters.direct_calls + 1;
+  Encoding.clean_tag_direct cfg ptr
+
+let spp_checkbound cfg ptr deref_size =
+  counters.checkbound <- counters.checkbound + 1;
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  Encoding.check_bound cfg ptr deref_size
+
+let spp_checkbound_direct cfg ptr deref_size =
+  counters.checkbound <- counters.checkbound + 1;
+  counters.direct_calls <- counters.direct_calls + 1;
+  Encoding.check_bound_direct cfg ptr deref_size
+
+let spp_cleantag_external cfg ptr =
+  counters.cleantag_external <- counters.cleantag_external + 1;
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  Encoding.clean_tag_external cfg ptr
+
+let spp_memintr_check cfg ptr n =
+  (* Account for the furthest byte a memory intrinsic will touch, then
+     mask. An overflown result is an unmapped address, so the intrinsic
+     itself faults (paper §V-B). *)
+  counters.memintr_check <- counters.memintr_check + 1;
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  if n <= 0 then Encoding.clean_tag cfg ptr
+  else Encoding.clean_tag cfg (Encoding.update_tag cfg ptr (n - 1))
+
+let spp_is_pm_ptr cfg ptr =
+  counters.pm_bit_tests <- counters.pm_bit_tests + 1;
+  Encoding.is_pm cfg ptr

@@ -1,0 +1,30 @@
+(** SPP runtime library (paper §IV-D, §V-B).
+
+    The hook functions injected by the compiler passes, with global call
+    counters so instrumentation cost and the effect of the optimizations
+    (pointer tracking ⇒ [_direct] variants; bound-check preemption ⇒ fewer
+    calls) are measurable. The [_direct] variants skip the runtime PM-bit
+    test and are used on pointers statically classified as persistent. *)
+
+type counters = {
+  mutable updatetag : int;
+  mutable cleantag : int;
+  mutable checkbound : int;
+  mutable cleantag_external : int;
+  mutable memintr_check : int;
+  mutable pm_bit_tests : int;
+  mutable direct_calls : int;
+}
+
+val counters : counters
+val reset_counters : unit -> unit
+
+val spp_updatetag : Config.t -> int -> int -> int
+val spp_updatetag_direct : Config.t -> int -> int -> int
+val spp_cleantag : Config.t -> int -> int
+val spp_cleantag_direct : Config.t -> int -> int
+val spp_checkbound : Config.t -> int -> int -> int
+val spp_checkbound_direct : Config.t -> int -> int -> int
+val spp_cleantag_external : Config.t -> int -> int
+val spp_memintr_check : Config.t -> int -> int -> int
+val spp_is_pm_ptr : Config.t -> int -> bool

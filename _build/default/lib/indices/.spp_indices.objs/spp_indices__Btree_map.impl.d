@@ -1,0 +1,1 @@
+lib/indices/btree_map.ml: Map_intf Oid Option Spp_access Spp_pmdk

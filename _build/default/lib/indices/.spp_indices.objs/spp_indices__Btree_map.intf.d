@@ -1,0 +1,1 @@
+lib/indices/btree_map.mli: Spp_access

@@ -1,0 +1,1 @@
+lib/indices/ctree.ml: Map_intf Oid Spp_access Spp_pmdk

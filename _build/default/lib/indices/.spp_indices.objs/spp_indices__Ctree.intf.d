@@ -1,0 +1,1 @@
+lib/indices/ctree.mli: Spp_access

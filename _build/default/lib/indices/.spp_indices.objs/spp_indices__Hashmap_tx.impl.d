@@ -1,0 +1,1 @@
+lib/indices/hashmap_tx.ml: Map_intf Oid Spp_access Spp_pmdk

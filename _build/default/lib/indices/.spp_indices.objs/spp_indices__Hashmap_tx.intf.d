@@ -1,0 +1,1 @@
+lib/indices/hashmap_tx.mli: Oid Spp_access Spp_pmdk

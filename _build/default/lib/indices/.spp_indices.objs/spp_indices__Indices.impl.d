@@ -1,0 +1,1 @@
+lib/indices/indices.ml: Btree_map Ctree Hashmap_tx Rbtree Rtree

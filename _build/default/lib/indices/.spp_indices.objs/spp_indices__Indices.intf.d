@@ -1,0 +1,1 @@
+lib/indices/indices.mli: Btree_map Ctree Hashmap_tx Rbtree Rtree Spp_access

@@ -1,0 +1,1 @@
+lib/indices/map_intf.ml: Oid Pool Spp_access Spp_pmdk

@@ -1,0 +1,1 @@
+lib/indices/rbtree.ml: Map_intf Oid Spp_access Spp_pmdk

@@ -1,0 +1,1 @@
+lib/indices/rbtree.mli: Oid Spp_access Spp_pmdk

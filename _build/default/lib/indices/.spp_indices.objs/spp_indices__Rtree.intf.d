@@ -1,0 +1,1 @@
+lib/indices/rtree.mli: Spp_access

@@ -1,0 +1,22 @@
+(** btree — order-8 B-tree (PMDK's [btree_map] example), including a
+    faithful reproduction of the upstream overflow the paper detects
+    with SPP (§VI-D, pmdk issue #5333).
+
+    With [~buggy:true], the remove path's item shift moves one element
+    too many through the interposed [memmove], reading past the node
+    object when the node is full — detected by SPP's wrapper, silent on
+    native PMDK. *)
+
+type t
+
+val name : string
+
+val create : ?buggy:bool -> Spp_access.t -> t
+(** [buggy] defaults to [false] (the fixed code). *)
+
+val insert : t -> key:int -> value:int -> unit
+val get : t -> int -> int option
+val remove : t -> int -> int option
+
+val order : int
+(** Maximum children per node (8). *)

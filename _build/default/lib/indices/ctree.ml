@@ -1,0 +1,163 @@
+(* ctree — crit-bit tree over 63-bit keys (PMDK's ctree_map).
+
+   Leaf:     [ tag=0 | key | value ]                       (24 B)
+   Internal: [ tag=1 | diff bit | child0 oid | child1 oid ] (16 B + 2 oids)
+   Map root: a single oid slot.
+
+   An internal node's [diff] is the highest bit position in which the keys
+   of its two subtrees differ; diffs strictly decrease on the way down. *)
+
+open Spp_pmdk
+open Map_intf
+
+type t = {
+  a : Spp_access.t;
+  map_oid : Oid.t;   (* object holding the root oid slot *)
+}
+
+let name = "ctree"
+
+let tag_leaf = 0
+let tag_internal = 1
+
+let f_tag = 0
+let f_diff = 8       (* internal *)
+let f_key = 8        (* leaf *)
+let f_value = 16     (* leaf *)
+let f_child = 16     (* internal: child0 at 16, child1 at 16 + oid_size *)
+
+let leaf_size = 24
+let internal_size (a : Spp_access.t) = 16 + (2 * a.Spp_access.oid_size)
+
+let create a =
+  let map_oid =
+    with_tx a (fun () -> a.Spp_access.tx_palloc ~zero:true (a.Spp_access.oid_size))
+  in
+  { a; map_oid }
+
+let root_slot_ptr t = t.a.Spp_access.direct t.map_oid
+
+let child_slot_ptr t nptr dir =
+  t.a.Spp_access.gep nptr (f_child + (dir * t.a.Spp_access.oid_size))
+
+let node_tag t nptr = t.a.Spp_access.load_word (t.a.Spp_access.gep nptr f_tag)
+
+let mk_leaf t ~key ~value =
+  let oid = t.a.Spp_access.tx_palloc leaf_size in
+  let p = t.a.Spp_access.direct oid in
+  t.a.Spp_access.store_word (t.a.Spp_access.gep p f_tag) tag_leaf;
+  t.a.Spp_access.store_word (t.a.Spp_access.gep p f_key) key;
+  t.a.Spp_access.store_word (t.a.Spp_access.gep p f_value) value;
+  oid
+
+(* Descend to the leaf a key would reach. *)
+let rec find_leaf t cur key =
+  let p = t.a.Spp_access.direct cur in
+  if node_tag t p = tag_leaf then cur
+  else begin
+    let bit = t.a.Spp_access.load_word (t.a.Spp_access.gep p f_diff) in
+    let dir = (key lsr bit) land 1 in
+    find_leaf t (t.a.Spp_access.load_oid_at (child_slot_ptr t p dir)) key
+  end
+
+let get t key =
+  let root = t.a.Spp_access.load_oid_at (root_slot_ptr t) in
+  if Oid.is_null root then None
+  else begin
+    let leaf = find_leaf t root key in
+    let p = t.a.Spp_access.direct leaf in
+    if t.a.Spp_access.load_word (t.a.Spp_access.gep p f_key) = key then
+      Some (t.a.Spp_access.load_word (t.a.Spp_access.gep p f_value))
+    else None
+  end
+
+let insert t ~key ~value =
+  let a = t.a in
+  let root_ptr = root_slot_ptr t in
+  let root = a.Spp_access.load_oid_at root_ptr in
+  if Oid.is_null root then
+    with_tx a (fun () ->
+      let leaf = mk_leaf t ~key ~value in
+      tx_add a root_ptr a.Spp_access.oid_size;
+      a.Spp_access.store_oid_at root_ptr leaf)
+  else begin
+    let closest = find_leaf t root key in
+    let cp = a.Spp_access.direct closest in
+    let ckey = a.Spp_access.load_word (a.Spp_access.gep cp f_key) in
+    if ckey = key then
+      with_tx a (fun () ->
+        tx_add a (a.Spp_access.gep cp f_value) 8;
+        a.Spp_access.store_word (a.Spp_access.gep cp f_value) value)
+    else begin
+      let diff = highest_bit (ckey lxor key) in
+      (* find the slot where the new internal node must be spliced in:
+         the first node (from the root) whose diff is below [diff]. *)
+      let rec find_slot slot_ptr =
+        let cur = a.Spp_access.load_oid_at slot_ptr in
+        let p = a.Spp_access.direct cur in
+        if node_tag t p = tag_leaf then slot_ptr
+        else begin
+          let bit = a.Spp_access.load_word (a.Spp_access.gep p f_diff) in
+          if bit < diff then slot_ptr
+          else
+            let dir = (key lsr bit) land 1 in
+            find_slot (child_slot_ptr t p dir)
+        end
+      in
+      let slot_ptr = find_slot root_ptr in
+      with_tx a (fun () ->
+        let existing = a.Spp_access.load_oid_at slot_ptr in
+        let leaf = mk_leaf t ~key ~value in
+        let inode = a.Spp_access.tx_palloc (internal_size a) in
+        let ip = a.Spp_access.direct inode in
+        a.Spp_access.store_word (a.Spp_access.gep ip f_tag) tag_internal;
+        a.Spp_access.store_word (a.Spp_access.gep ip f_diff) diff;
+        let dir = (key lsr diff) land 1 in
+        a.Spp_access.store_oid_at (child_slot_ptr t ip dir) leaf;
+        a.Spp_access.store_oid_at (child_slot_ptr t ip (1 - dir)) existing;
+        tx_add a slot_ptr a.Spp_access.oid_size;
+        a.Spp_access.store_oid_at slot_ptr inode)
+    end
+  end
+
+let remove t key =
+  let a = t.a in
+  let root_ptr = root_slot_ptr t in
+  let root = a.Spp_access.load_oid_at root_ptr in
+  if Oid.is_null root then None
+  else begin
+    (* track the slot referencing the current node, and the parent
+       internal node's "other child" slot for splicing. *)
+    let rec descend slot_ptr parent cur =
+      let p = a.Spp_access.direct cur in
+      if node_tag t p = tag_leaf then begin
+        if a.Spp_access.load_word (a.Spp_access.gep p f_key) <> key then None
+        else begin
+          let value = a.Spp_access.load_word (a.Spp_access.gep p f_value) in
+          with_tx a (fun () ->
+            (match parent with
+             | None ->
+               (* leaf was the root *)
+               tx_add a root_ptr a.Spp_access.oid_size;
+               a.Spp_access.store_oid_at root_ptr Oid.null
+             | Some (pnode, pslot_ptr, dir) ->
+               let pp = a.Spp_access.direct pnode in
+               let sibling =
+                 a.Spp_access.load_oid_at (child_slot_ptr t pp (1 - dir))
+               in
+               tx_add a pslot_ptr a.Spp_access.oid_size;
+               a.Spp_access.store_oid_at pslot_ptr sibling;
+               a.Spp_access.tx_pfree pnode);
+            a.Spp_access.tx_pfree cur);
+          Some value
+        end
+      end
+      else begin
+        let bit = a.Spp_access.load_word (a.Spp_access.gep p f_diff) in
+        let dir = (key lsr bit) land 1 in
+        let next = a.Spp_access.load_oid_at (child_slot_ptr t p dir) in
+        descend (child_slot_ptr t p dir) (Some (cur, slot_ptr, dir)) next
+      end
+    in
+    descend root_ptr None root
+  end

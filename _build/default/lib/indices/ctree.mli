@@ -1,0 +1,14 @@
+(** ctree — crit-bit tree over 63-bit keys (PMDK's [ctree_map]).
+
+    Leaves hold [(key, value)]; internal nodes hold the highest bit
+    position at which their two subtrees' keys differ, strictly
+    decreasing on the way down. Mutations run inside transactions with
+    explicit snapshots, so every operation is crash atomic. *)
+
+type t
+
+val name : string
+val create : Spp_access.t -> t
+val insert : t -> key:int -> value:int -> unit
+val get : t -> int -> int option
+val remove : t -> int -> int option

@@ -1,0 +1,173 @@
+(* hashmap_tx — chained hash map with transactional rehashing (PMDK's
+   hashmap_tx example).
+
+   Map object:    [ count | nbuckets | buckets oid ]   (16 B + 1 oid)
+   Buckets array: [ nbuckets oid slots ]
+   Entry:         [ key | value | next oid ]           (16 B + 1 oid)
+
+   Insertions prepend to the bucket chain; the table grows (rehashes,
+   inside the same transaction) when the load factor exceeds 4. *)
+
+open Spp_pmdk
+open Map_intf
+
+type t = {
+  a : Spp_access.t;
+  map_oid : Oid.t;
+}
+
+let name = "hashmap_tx"
+
+let init_buckets = 64
+let max_load = 4
+
+let f_count = 0
+let f_nbuckets = 8
+let f_buckets = 16
+
+let f_key = 0
+let f_value = 8
+let f_next = 16
+
+let entry_size (a : Spp_access.t) = 16 + a.Spp_access.oid_size
+
+let hash key nbuckets =
+  (* Fibonacci hashing on the 63-bit key *)
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land (nbuckets - 1)
+
+let create a =
+  with_tx a (fun () ->
+    let map_oid =
+      a.Spp_access.tx_palloc ~zero:true (16 + a.Spp_access.oid_size)
+    in
+    let buckets =
+      a.Spp_access.tx_palloc ~zero:true (init_buckets * a.Spp_access.oid_size)
+    in
+    let mp = a.Spp_access.direct map_oid in
+    a.Spp_access.store_word (a.Spp_access.gep mp f_nbuckets) init_buckets;
+    a.Spp_access.store_oid_at (a.Spp_access.gep mp f_buckets) buckets;
+    { a; map_oid })
+
+let map_ptr t = t.a.Spp_access.direct t.map_oid
+
+let nbuckets t =
+  t.a.Spp_access.load_word (t.a.Spp_access.gep (map_ptr t) f_nbuckets)
+
+let count t = t.a.Spp_access.load_word (t.a.Spp_access.gep (map_ptr t) f_count)
+
+let buckets_oid t =
+  t.a.Spp_access.load_oid_at (t.a.Spp_access.gep (map_ptr t) f_buckets)
+
+let bucket_slot_ptr t bptr i =
+  t.a.Spp_access.gep bptr (i * t.a.Spp_access.oid_size)
+
+let find_in_chain t head key =
+  let a = t.a in
+  let rec go oid =
+    if Oid.is_null oid then None
+    else begin
+      let p = a.Spp_access.direct oid in
+      if a.Spp_access.load_word (a.Spp_access.gep p f_key) = key then Some (oid, p)
+      else go (a.Spp_access.load_oid_at (a.Spp_access.gep p f_next))
+    end
+  in
+  go head
+
+let get t key =
+  let a = t.a in
+  let bptr = a.Spp_access.direct (buckets_oid t) in
+  let slot = bucket_slot_ptr t bptr (hash key (nbuckets t)) in
+  match find_in_chain t (a.Spp_access.load_oid_at slot) key with
+  | None -> None
+  | Some (_, p) -> Some (a.Spp_access.load_word (a.Spp_access.gep p f_value))
+
+(* Rehash into a table twice the size; runs inside the caller's tx. *)
+let rehash t =
+  let a = t.a in
+  let old_n = nbuckets t in
+  let new_n = old_n * 2 in
+  let old_buckets = buckets_oid t in
+  let obptr = a.Spp_access.direct old_buckets in
+  let fresh =
+    a.Spp_access.tx_palloc ~zero:true (new_n * a.Spp_access.oid_size)
+  in
+  let nbptr = a.Spp_access.direct fresh in
+  for i = 0 to old_n - 1 do
+    let rec move oid =
+      if not (Oid.is_null oid) then begin
+        let p = a.Spp_access.direct oid in
+        let next = a.Spp_access.load_oid_at (a.Spp_access.gep p f_next) in
+        let key = a.Spp_access.load_word (a.Spp_access.gep p f_key) in
+        let slot = bucket_slot_ptr t nbptr (hash key new_n) in
+        tx_add a p (entry_size a);
+        a.Spp_access.store_oid_at (a.Spp_access.gep p f_next)
+          (a.Spp_access.load_oid_at slot);
+        a.Spp_access.store_oid_at slot oid;
+        move next
+      end
+    in
+    move (a.Spp_access.load_oid_at (bucket_slot_ptr t obptr i))
+  done;
+  let mp = map_ptr t in
+  tx_add a mp (16 + a.Spp_access.oid_size);
+  a.Spp_access.store_word (a.Spp_access.gep mp f_nbuckets) new_n;
+  a.Spp_access.store_oid_at (a.Spp_access.gep mp f_buckets) fresh;
+  a.Spp_access.tx_pfree old_buckets
+
+let insert t ~key ~value =
+  let a = t.a in
+  let bptr = a.Spp_access.direct (buckets_oid t) in
+  let slot = bucket_slot_ptr t bptr (hash key (nbuckets t)) in
+  match find_in_chain t (a.Spp_access.load_oid_at slot) key with
+  | Some (_, p) ->
+    with_tx a (fun () ->
+      tx_add a (a.Spp_access.gep p f_value) 8;
+      a.Spp_access.store_word (a.Spp_access.gep p f_value) value)
+  | None ->
+    with_tx a (fun () ->
+      let entry = a.Spp_access.tx_palloc (entry_size a) in
+      let ep = a.Spp_access.direct entry in
+      a.Spp_access.store_word (a.Spp_access.gep ep f_key) key;
+      a.Spp_access.store_word (a.Spp_access.gep ep f_value) value;
+      a.Spp_access.store_oid_at (a.Spp_access.gep ep f_next)
+        (a.Spp_access.load_oid_at slot);
+      tx_add a slot a.Spp_access.oid_size;
+      a.Spp_access.store_oid_at slot entry;
+      let mp = map_ptr t in
+      tx_add a (a.Spp_access.gep mp f_count) 8;
+      let n = count t + 1 in
+      a.Spp_access.store_word (a.Spp_access.gep mp f_count) n;
+      if n > max_load * nbuckets t then rehash t)
+
+let remove t key =
+  let a = t.a in
+  let bptr = a.Spp_access.direct (buckets_oid t) in
+  let slot = bucket_slot_ptr t bptr (hash key (nbuckets t)) in
+  (* find the slot (bucket head or an entry's next field) pointing at the
+     entry to unlink *)
+  let rec find slot_ptr =
+    let oid = a.Spp_access.load_oid_at slot_ptr in
+    if Oid.is_null oid then None
+    else begin
+      let p = a.Spp_access.direct oid in
+      if a.Spp_access.load_word (a.Spp_access.gep p f_key) = key then
+        Some (slot_ptr, oid, p)
+      else find (a.Spp_access.gep p f_next)
+    end
+  in
+  match find slot with
+  | None -> None
+  | Some (slot_ptr, oid, p) ->
+    let value = a.Spp_access.load_word (a.Spp_access.gep p f_value) in
+    with_tx a (fun () ->
+      tx_add a slot_ptr a.Spp_access.oid_size;
+      a.Spp_access.store_oid_at slot_ptr
+        (a.Spp_access.load_oid_at (a.Spp_access.gep p f_next));
+      let mp = map_ptr t in
+      tx_add a (a.Spp_access.gep mp f_count) 8;
+      a.Spp_access.store_word (a.Spp_access.gep mp f_count) (count t - 1);
+      a.Spp_access.tx_pfree oid);
+    Some value
+
+let map_oid_of t = t.map_oid

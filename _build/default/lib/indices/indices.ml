@@ -1,0 +1,50 @@
+(* Uniform dispatcher over the persistent indices, used by the benchmark
+   harness and the examples. *)
+
+type instance = {
+  ix_name : string;
+  insert : key:int -> value:int -> unit;
+  get : int -> int option;
+  remove : int -> int option;
+}
+
+let of_ctree t =
+  { ix_name = Ctree.name;
+    insert = Ctree.insert t;
+    get = Ctree.get t;
+    remove = Ctree.remove t }
+
+let of_rbtree t =
+  { ix_name = Rbtree.name;
+    insert = Rbtree.insert t;
+    get = Rbtree.get t;
+    remove = Rbtree.remove t }
+
+let of_rtree t =
+  { ix_name = Rtree.name;
+    insert = Rtree.insert t;
+    get = Rtree.get t;
+    remove = Rtree.remove t }
+
+let of_hashmap t =
+  { ix_name = Hashmap_tx.name;
+    insert = Hashmap_tx.insert t;
+    get = Hashmap_tx.get t;
+    remove = Hashmap_tx.remove t }
+
+let of_btree t =
+  { ix_name = Btree_map.name;
+    insert = Btree_map.insert t;
+    get = Btree_map.get t;
+    remove = Btree_map.remove t }
+
+let names = [ "ctree"; "rbtree"; "rtree"; "hashmap_tx"; "btree" ]
+
+let create name a =
+  match name with
+  | "ctree" -> of_ctree (Ctree.create a)
+  | "rbtree" -> of_rbtree (Rbtree.create a)
+  | "rtree" -> of_rtree (Rtree.create a)
+  | "hashmap_tx" | "hashmap" -> of_hashmap (Hashmap_tx.create a)
+  | "btree" -> of_btree (Btree_map.create a)
+  | other -> invalid_arg ("Indices.create: unknown index " ^ other)

@@ -1,0 +1,22 @@
+(** Uniform dispatcher over the persistent indices, used by the benchmark
+    harness, the CLI and the examples. *)
+
+type instance = {
+  ix_name : string;
+  insert : key:int -> value:int -> unit;
+  get : int -> int option;
+  remove : int -> int option;
+}
+
+val names : string list
+(** ["ctree"; "rbtree"; "rtree"; "hashmap_tx"; "btree"] *)
+
+val create : string -> Spp_access.t -> instance
+(** Raises [Invalid_argument] on an unknown index name. The btree is
+    created with the fixed (non-buggy) remove path. *)
+
+val of_ctree : Ctree.t -> instance
+val of_rbtree : Rbtree.t -> instance
+val of_rtree : Rtree.t -> instance
+val of_hashmap : Hashmap_tx.t -> instance
+val of_btree : Btree_map.t -> instance

@@ -1,0 +1,38 @@
+(* Common interface of the persistent indices (pmembench's map ABI) and
+   shared helpers for C-style node manipulation over the access layer.
+
+   Keys and values are 63-bit machine words, as in the paper's index
+   benchmarks (8-byte keys). Each index is written the way the PMDK
+   examples write it: nodes are PM objects, child links are PMEMoids
+   stored at fixed field offsets, and every mutation happens inside a
+   transaction with explicit snapshots. *)
+
+open Spp_pmdk
+
+module type MAP = sig
+  type t
+
+  val name : string
+  val create : Spp_access.t -> t
+  val insert : t -> key:int -> value:int -> unit
+  val get : t -> int -> int option
+  val remove : t -> int -> int option
+end
+
+(* Snapshot [len] bytes behind an application pointer. *)
+let tx_add (a : Spp_access.t) ptr len =
+  let raw = a.Spp_access.ptr_to_int ptr in
+  Pool.tx_add_range a.Spp_access.pool
+    ~off:(Pool.off_of_addr a.Spp_access.pool raw) ~len
+
+(* Snapshot a whole object. *)
+let tx_add_oid (a : Spp_access.t) (oid : Oid.t) =
+  Pool.tx_add_range_oid a.Spp_access.pool oid
+
+let with_tx (a : Spp_access.t) f = Pool.with_tx a.Spp_access.pool f
+
+(* Position of the highest set bit (63-bit words). *)
+let highest_bit x =
+  if x <= 0 then invalid_arg "highest_bit";
+  let rec go x acc = if x = 1 then acc else go (x lsr 1) (acc + 1) in
+  go x 0

@@ -1,0 +1,1 @@
+lib/instr/interp.ml: Array Hashtbl Ir List Mode Oid Pool Printf Space Spp_core Spp_pmdk Spp_sim Vheap

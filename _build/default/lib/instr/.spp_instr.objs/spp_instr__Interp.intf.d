@@ -1,0 +1,1 @@
+lib/instr/interp.mli: Hashtbl Ir Oid Pool Space Spp_core Spp_pmdk Spp_sim Vheap

@@ -1,0 +1,1 @@
+lib/instr/ir.mli:

@@ -1,0 +1,1 @@
+lib/instr/passes.ml: Array Hashtbl Ir List

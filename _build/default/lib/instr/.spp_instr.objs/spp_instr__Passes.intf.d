@@ -1,0 +1,1 @@
+lib/instr/passes.mli: Ir

@@ -1,0 +1,385 @@
+(* The SPP compiler passes over the miniature IR (paper §IV-C, §IV-E, §V).
+
+   - pointer-origin tracking: classify every register as Volatile,
+     Persistent, or Unknown from the way it is produced, propagating
+     through GEPs; with tracking enabled, hooks are pruned for volatile
+     pointers and persistent pointers use the _direct hook variants;
+   - transformation: insert Hook_update after pointer arithmetic,
+     Hook_check before loads/stores, Hook_clean before pointer-to-integer
+     conversions;
+   - LTO: mask pointer arguments of external calls
+     (Hook_clean_external) and classify function parameters from their
+     call sites, re-deriving callee instrumentation;
+   - bound-check preemption: hoist the per-iteration tag update and bound
+     check of a monotonic constant-stride loop into a single pre-header
+     update plus a dummy load. *)
+
+open Ir
+
+type origin =
+  | Volatile
+  | Persistent
+  | Unknown
+
+let merge a b = if a = b then a else Unknown
+
+type stats = {
+  mutable inserted : int;          (* hook instructions inserted *)
+  mutable direct : int;            (* hooks using the _direct variant *)
+  mutable pruned_volatile : int;   (* hook sites skipped: volatile pointer *)
+  mutable preempted : int;         (* hooks removed by preemption *)
+}
+
+let fresh_stats () =
+  { inserted = 0; direct = 0; pruned_volatile = 0; preempted = 0 }
+
+(* --- Pointer-origin tracking -------------------------------------------- *)
+
+(* [param_origin fn i] gives the LTO-derived origin of parameter [i]. *)
+let classify ~tracking ?(param_origin = fun _ _ -> Unknown) (f : func) =
+  let origins = Array.make (max f.nregs 1) Unknown in
+  if not tracking then origins
+  else begin
+    List.iteri (fun i r -> origins.(r) <- param_origin f.fname i) f.params;
+    let changed = ref true in
+    let note r o = if origins.(r) <> o then begin origins.(r) <- o; changed := true end in
+    let rec scan body =
+      List.iter
+        (fun i ->
+          match i with
+          | Const { dst; _ } -> note dst Volatile
+          | Vheap_alloc { dst; _ } -> note dst Volatile
+          | Pm_direct { dst; _ } -> note dst Persistent
+          | Gep { dst; src; _ } -> note dst (merge origins.(dst) origins.(src))
+          | Load { dst; _ } -> note dst Unknown
+          | Add { dst; _ } -> note dst Unknown
+          | Ptr_to_int { dst; _ } -> note dst Volatile
+          | Int_to_ptr { dst; _ } -> note dst Unknown
+          | Loop { body; _ } -> scan body
+          | Pm_alloc _ | Store _ | Call _ | Call_external _ | Hook_update _
+          | Hook_check _ | Hook_clean _ | Hook_clean_external _
+          | Dummy_load _ -> ())
+        body
+    in
+    (* First pass establishes origins; repeat until stable so that a GEP
+       reading a register defined later in a loop body converges. *)
+    changed := true;
+    let rounds = ref 0 in
+    while !changed && !rounds < 4 do
+      changed := false;
+      incr rounds;
+      scan f.body
+    done;
+    origins
+  end
+
+(* --- Transformation pass ------------------------------------------------- *)
+
+let transform ~tracking ~stats ?param_origin (f : func) =
+  let origins = classify ~tracking ?param_origin f in
+  let next = ref f.nregs in
+  let fresh () = let r = !next in incr next; r in
+  let origin r = if r < Array.length origins then origins.(r) else Unknown in
+  let hook o =
+    (* returns [Some direct] when the site needs a hook *)
+    match o with
+    | Volatile when tracking -> None
+    | Persistent when tracking -> Some true
+    | Volatile | Persistent | Unknown -> Some false
+  in
+  let rec tr body =
+    List.concat_map
+      (fun i ->
+        match i with
+        | Gep { dst; src; off } ->
+          (match hook (merge (origin dst) (origin src)) with
+           | None -> stats.pruned_volatile <- stats.pruned_volatile + 1; [ i ]
+           | Some direct ->
+             stats.inserted <- stats.inserted + 1;
+             if direct then stats.direct <- stats.direct + 1;
+             [ i; Hook_update { ptr = dst; off; direct } ])
+        | Load { dst; ptr; width } ->
+          (match hook (origin ptr) with
+           | None -> stats.pruned_volatile <- stats.pruned_volatile + 1; [ i ]
+           | Some direct ->
+             stats.inserted <- stats.inserted + 1;
+             if direct then stats.direct <- stats.direct + 1;
+             let t = fresh () in
+             [ Hook_check { dst = t; ptr; width; direct };
+               Load { dst; ptr = t; width } ])
+        | Store { ptr; value; width } ->
+          (match hook (origin ptr) with
+           | None -> stats.pruned_volatile <- stats.pruned_volatile + 1; [ i ]
+           | Some direct ->
+             stats.inserted <- stats.inserted + 1;
+             if direct then stats.direct <- stats.direct + 1;
+             let t = fresh () in
+             [ Hook_check { dst = t; ptr; width; direct };
+               Store { ptr = t; value; width } ])
+        | Ptr_to_int { dst; src } ->
+          (match hook (origin src) with
+           | None -> stats.pruned_volatile <- stats.pruned_volatile + 1; [ i ]
+           | Some direct ->
+             stats.inserted <- stats.inserted + 1;
+             if direct then stats.direct <- stats.direct + 1;
+             let t = fresh () in
+             [ Hook_clean { dst = t; ptr = src; direct };
+               Ptr_to_int { dst; src = t } ])
+        | Loop { count; body } -> [ Loop { count; body = tr body } ]
+        | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Add _
+        | Int_to_ptr _ | Call _ | Call_external _ | Hook_update _
+        | Hook_check _ | Hook_clean _ | Hook_clean_external _ | Dummy_load _
+          -> [ i ])
+      body
+  in
+  ({ f with body = tr f.body; nregs = !next }, origins)
+
+(* --- LTO pass ------------------------------------------------------------ *)
+
+(* Derive parameter origins from every call site; a parameter receiving a
+   single origin across all callers inherits it. *)
+let param_origins_of_program ~tracking (p : program) =
+  let table : (string * int, origin) Hashtbl.t = Hashtbl.create 16 in
+  if tracking then
+    List.iter
+      (fun f ->
+        let origins = classify ~tracking f in
+        let rec scan body =
+          List.iter
+            (fun i ->
+              match i with
+              | Call { fn; args } ->
+                List.iteri
+                  (fun idx arg ->
+                    let o =
+                      if arg < Array.length origins then origins.(arg)
+                      else Unknown
+                    in
+                    let key = (fn, idx) in
+                    match Hashtbl.find_opt table key with
+                    | None -> Hashtbl.replace table key o
+                    | Some prev -> Hashtbl.replace table key (merge prev o))
+                  args
+              | Loop { body; _ } -> scan body
+              | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _
+              | Load _ | Store _ | Add _ | Ptr_to_int _ | Int_to_ptr _
+              | Call_external _ | Hook_update _ | Hook_check _ | Hook_clean _
+              | Hook_clean_external _ | Dummy_load _ -> ())
+            body
+        in
+        scan f.body)
+      p.funcs;
+  fun fn idx ->
+    match Hashtbl.find_opt table (fn, idx) with
+    | Some o -> o
+    | None -> Unknown
+
+(* Mask pointer arguments of external calls. Origins are consulted so
+   volatile arguments skip the masking (they carry no tag). *)
+let mask_externals ~tracking ~stats (f : func) origins =
+  let origin r = if r < Array.length origins then origins.(r) else Unknown in
+  let rec go body =
+    List.concat_map
+      (fun i ->
+        match i with
+        | Call_external { args } ->
+          let masks =
+            List.filter_map
+              (fun arg ->
+                match origin arg with
+                | Volatile when tracking -> None
+                | Volatile | Persistent | Unknown ->
+                  stats.inserted <- stats.inserted + 1;
+                  Some (Hook_clean_external { ptr = arg }))
+              args
+          in
+          masks @ [ i ]
+        | Loop { count; body } -> [ Loop { count; body = go body } ]
+        | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _ | Load _
+        | Store _ | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _
+        | Hook_update _ | Hook_check _ | Hook_clean _ | Hook_clean_external _
+        | Dummy_load _ -> [ i ])
+      body
+  in
+  { f with body = go f.body }
+
+(* --- Bound-check preemption (loop hoisting) ------------------------------ *)
+
+(* Recognize the canonical instrumented monotonic loop
+
+     Loop { count; body = [ Gep p p off; Hook_update p off;
+                            Hook_check t p w; (Load|Store) via t ] }
+
+   and rewrite it into a pre-header bound check on a scout pointer plus a
+   hook-free loop over the masked pointer (paper §V-C). *)
+let preempt_loops ~stats (f : func) =
+  let next = ref f.nregs in
+  let fresh () = let r = !next in incr next; r in
+  let rec go body =
+    List.concat_map
+      (fun i ->
+        match i with
+        | Loop
+            { count;
+              body =
+                [ Gep { dst = p1; src = p2; off };
+                  Hook_update { ptr = p3; off = o2; direct };
+                  Hook_check { dst = t; ptr = p4; width; direct = d2 };
+                  access ] }
+          when p1 = p2 && p2 = p3 && p3 = p4 && off = o2 && off > 0
+               && (match access with
+                   | Load { ptr; _ } | Store { ptr; _ } -> ptr = t
+                   | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _
+                   | Gep _ | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _
+                   | Call_external _ | Loop _ | Hook_update _ | Hook_check _
+                   | Hook_clean _ | Hook_clean_external _ | Dummy_load _
+                     -> false) ->
+          (* per-iteration hooks (2 × count) collapse into 3 pre-header
+             instructions *)
+          stats.preempted <- stats.preempted + (2 * count) - 3;
+          let scout = fresh () and scout_masked = fresh ()
+          and masked = fresh () in
+          let rewritten_access =
+            match access with
+            | Load { dst; width; _ } -> Load { dst; ptr = masked; width }
+            | Store { value; width; _ } -> Store { ptr = masked; value; width }
+            | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _
+            | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _ | Call_external _
+            | Loop _ | Hook_update _ | Hook_check _ | Hook_clean _
+            | Hook_clean_external _ | Dummy_load _ -> assert false
+          in
+          [ (* pre-header: scout to the furthest byte, dummy load checks *)
+            Gep { dst = scout; src = p1; off = 0 };
+            Hook_update { ptr = scout; off = count * off; direct };
+            Hook_check { dst = scout_masked; ptr = scout; width; direct = d2 };
+            Dummy_load { ptr = scout_masked };
+            (* masked base pointer; the loop runs hook-free *)
+            Hook_clean { dst = masked; ptr = p1; direct };
+            Loop
+              { count;
+                body = [ Gep { dst = masked; src = masked; off };
+                         rewritten_access ] };
+            (* keep the original pointer's tag in sync after the loop *)
+            Gep { dst = p1; src = p1; off = count * off };
+            Hook_update { ptr = p1; off = count * off; direct } ]
+        | Loop { count; body } -> [ Loop { count; body = go body } ]
+        | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _ | Load _
+        | Store _ | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _
+        | Call_external _ | Hook_update _ | Hook_check _ | Hook_clean _
+        | Hook_clean_external _ | Dummy_load _ -> [ i ])
+      body
+  in
+  { f with body = go f.body; nregs = !next }
+
+(* --- Bound-check preemption (straight-line blocks) ----------------------- *)
+
+(* The paper's §IV-E basic-block case: a run of
+
+     Gep p p c_i; Hook_update p c_i; Hook_check t_i p w_i; access via t_i
+
+   groups on the same pointer with positive constant offsets collapses
+   into one scout check for the total offset plus a hook-free run over
+   the masked pointer. *)
+
+type block_group = {
+  g_off : int;
+  g_width : int;
+  g_access : Ir.inst;   (* Load/Store with ptr = the check temp *)
+}
+
+let match_group body =
+  match body with
+  | Gep { dst = p1; src = p2; off }
+    :: Hook_update { ptr = p3; off = o2; direct }
+    :: Hook_check { dst = t; ptr = p4; width; direct = _ }
+    :: access :: rest
+    when p1 = p2 && p2 = p3 && p3 = p4 && off = o2 && off > 0 ->
+    (match access with
+     | Load { ptr; _ } | Store { ptr; _ } when ptr = t ->
+       Some (p1, { g_off = off; g_width = width; g_access = access }, direct, rest)
+     | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _ | Load _
+     | Store _ | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _
+     | Call_external _ | Loop _ | Hook_update _ | Hook_check _ | Hook_clean _
+     | Hook_clean_external _ | Dummy_load _ -> None)
+  | _ -> None
+
+let preempt_blocks ~stats (f : func) =
+  let next = ref f.nregs in
+  let fresh () = let r = !next in incr next; r in
+  let rec collect p acc body =
+    match match_group body with
+    | Some (p', g, _, rest) when p' = p -> collect p (g :: acc) rest
+    | Some _ | None -> (List.rev acc, body)
+  in
+  let rewrite p direct groups =
+    let total = List.fold_left (fun a g -> a + g.g_off) 0 groups in
+    let max_w = List.fold_left (fun a g -> max a g.g_width) 1 groups in
+    let scout = fresh () and scout_m = fresh () and masked = fresh () in
+    stats.preempted <- stats.preempted + (2 * List.length groups) - 3;
+    [ Gep { dst = scout; src = p; off = 0 };
+      Hook_update { ptr = scout; off = total; direct };
+      Hook_check { dst = scout_m; ptr = scout; width = max_w; direct };
+      Dummy_load { ptr = scout_m };
+      Hook_clean { dst = masked; ptr = p; direct } ]
+    @ List.concat_map
+        (fun g ->
+          let access =
+            match g.g_access with
+            | Load { dst; width; _ } -> Load { dst; ptr = masked; width }
+            | Store { value; width; _ } -> Store { ptr = masked; value; width }
+            | Const _ | Vheap_alloc _ | Pm_alloc _ | Pm_direct _ | Gep _
+            | Add _ | Ptr_to_int _ | Int_to_ptr _ | Call _ | Call_external _
+            | Loop _ | Hook_update _ | Hook_check _ | Hook_clean _
+            | Hook_clean_external _ | Dummy_load _ -> assert false
+          in
+          [ Gep { dst = masked; src = masked; off = g.g_off }; access ])
+        groups
+    @ [ Gep { dst = p; src = p; off = total };
+        Hook_update { ptr = p; off = total; direct } ]
+  in
+  let rec go body =
+    match body with
+    | [] -> []
+    | Loop { count; body = lb } :: rest ->
+      Loop { count; body = go lb } :: go rest
+    | i :: _ -> (
+      match match_group body with
+      | Some (p, g, direct, rest) ->
+        let more, rest = collect p [] rest in
+        let groups = g :: more in
+        if List.length groups >= 2 then rewrite p direct groups @ go rest
+        else
+          (* single group: keep as is; take the matched prefix verbatim *)
+          (match body with
+           | a :: b :: c :: d :: rest' -> a :: b :: c :: d :: go rest'
+           | _ -> body)
+      | None -> i :: go (List.tl body))
+  in
+  { f with body = go f.body; nregs = !next }
+
+(* --- Pipeline ------------------------------------------------------------ *)
+
+type options = {
+  tracking : bool;     (* pointer-origin tracking (paper §V-C) *)
+  preemption : bool;   (* bound-check preemption / loop hoisting *)
+}
+
+let default_options = { tracking = true; preemption = true }
+
+let compile ?(options = default_options) (p : program) =
+  let stats = fresh_stats () in
+  let param_origin = param_origins_of_program ~tracking:options.tracking p in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', origins =
+          transform ~tracking:options.tracking ~stats
+            ~param_origin:(fun fn i -> param_origin fn i) f
+        in
+        let f' = mask_externals ~tracking:options.tracking ~stats f' origins in
+        if options.preemption then
+          preempt_blocks ~stats (preempt_loops ~stats f')
+        else f')
+      p.funcs
+  in
+  ({ p with funcs }, stats)

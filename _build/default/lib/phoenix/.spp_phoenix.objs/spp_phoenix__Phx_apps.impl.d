@@ -1,0 +1,1 @@
+lib/phoenix/phx_apps.ml: Char List Phx_util Random Spp_access String

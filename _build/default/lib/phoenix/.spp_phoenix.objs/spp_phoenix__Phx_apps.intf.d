@@ -1,0 +1,1 @@
+lib/phoenix/phx_apps.mli: Spp_access

@@ -1,0 +1,1 @@
+lib/phoenix/phx_util.ml: Buffer Bytes Char Random Spp_access

@@ -1,0 +1,302 @@
+(* The seven Phoenix 2.0 applications, ported to PM objects (paper §VI-B,
+   Fig. 6). Every data access goes through the access layer, so each
+   variant pays its own instrumentation cost. [scale] controls input
+   size; results are checksums so the compiler cannot elide work and the
+   tests can compare variants for equality. *)
+
+open Spp_access
+
+(* --- histogram: byte frequencies of an RGB image ----------------------- *)
+
+let histogram (a : t) ~scale =
+  let len = scale * 3 in
+  let _, img = Phx_util.alloc_input_bytes a ~seed:11 ~len in
+  let _, bins = Phx_util.alloc_words a ~len:(3 * 256) (fun _ -> 0) in
+  for i = 0 to scale - 1 do
+    for ch = 0 to 2 do
+      let v = a.load_u8 (a.gep img ((3 * i) + ch)) in
+      let idx = (ch * 256) + v in
+      Phx_util.store_elt a bins idx (Phx_util.load_elt a bins idx + 1)
+    done
+  done;
+  let acc = ref 0 in
+  for i = 0 to (3 * 256) - 1 do
+    acc := !acc + (i * Phx_util.load_elt a bins i)
+  done;
+  !acc
+
+(* --- kmeans: iterative clustering (the paper's overhead outlier) ------- *)
+
+let kmeans (a : t) ~scale =
+  let dims = 4 and k = 8 and iters = 10 in
+  let n = scale in
+  let st = Random.State.make [| 22 |] in
+  let _, pts =
+    Phx_util.alloc_words a ~len:(n * dims) (fun _ -> Random.State.int st 1000)
+  in
+  let _, centroids =
+    Phx_util.alloc_words a ~len:(k * dims) (fun _ -> Random.State.int st 1000)
+  in
+  let _, assign = Phx_util.alloc_words a ~len:n (fun _ -> 0) in
+  let _, sums = Phx_util.alloc_words a ~len:(k * dims) (fun _ -> 0) in
+  let _, counts = Phx_util.alloc_words a ~len:k (fun _ -> 0) in
+  for _ = 1 to iters do
+    (* assignment: repeatedly sweeps the whole working set *)
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_d = ref max_int in
+      for c = 0 to k - 1 do
+        let d = ref 0 in
+        for j = 0 to dims - 1 do
+          let diff =
+            Phx_util.load_elt a pts ((i * dims) + j)
+            - Phx_util.load_elt a centroids ((c * dims) + j)
+          in
+          d := !d + (diff * diff)
+        done;
+        if !d < !best_d then begin best_d := !d; best := c end
+      done;
+      Phx_util.store_elt a assign i !best
+    done;
+    (* update *)
+    for c = 0 to k - 1 do
+      Phx_util.store_elt a counts c 0;
+      for j = 0 to dims - 1 do
+        Phx_util.store_elt a sums ((c * dims) + j) 0
+      done
+    done;
+    for i = 0 to n - 1 do
+      let c = Phx_util.load_elt a assign i in
+      Phx_util.store_elt a counts c (Phx_util.load_elt a counts c + 1);
+      for j = 0 to dims - 1 do
+        let s = (c * dims) + j in
+        Phx_util.store_elt a sums s
+          (Phx_util.load_elt a sums s + Phx_util.load_elt a pts ((i * dims) + j))
+      done
+    done;
+    for c = 0 to k - 1 do
+      let cnt = Phx_util.load_elt a counts c in
+      if cnt > 0 then
+        for j = 0 to dims - 1 do
+          Phx_util.store_elt a centroids ((c * dims) + j)
+            (Phx_util.load_elt a sums ((c * dims) + j) / cnt)
+        done
+    done
+  done;
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + Phx_util.load_elt a assign i
+  done;
+  !acc
+
+(* --- linear_regression: single-pass sums over (x, y) points ------------ *)
+
+let linear_regression (a : t) ~scale =
+  let st = Random.State.make [| 33 |] in
+  let n = scale in
+  let _, pts =
+    Phx_util.alloc_words a ~len:(2 * n) (fun _ -> Random.State.int st 4096)
+  in
+  let sx = ref 0 and sy = ref 0 and sxx = ref 0 and syy = ref 0
+  and sxy = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Phx_util.load_elt a pts (2 * i) in
+    let y = Phx_util.load_elt a pts ((2 * i) + 1) in
+    sx := !sx + x;
+    sy := !sy + y;
+    sxx := !sxx + (x * x);
+    syy := !syy + (y * y);
+    sxy := !sxy + (x * y)
+  done;
+  !sx + !sy + (!sxx mod 1000) + (!syy mod 1000) + (!sxy mod 1000)
+
+(* --- matrix_multiply ---------------------------------------------------- *)
+
+let matrix_multiply (a : t) ~scale =
+  let n = scale in
+  let st = Random.State.make [| 44 |] in
+  let _, ma = Phx_util.alloc_words a ~len:(n * n) (fun _ -> Random.State.int st 100) in
+  let _, mb = Phx_util.alloc_words a ~len:(n * n) (fun _ -> Random.State.int st 100) in
+  let _, mc = Phx_util.alloc_words a ~len:(n * n) (fun _ -> 0) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0 in
+      for k = 0 to n - 1 do
+        s := !s
+             + (Phx_util.load_elt a ma ((i * n) + k)
+                * Phx_util.load_elt a mb ((k * n) + j))
+      done;
+      Phx_util.store_elt a mc ((i * n) + j) !s
+    done
+  done;
+  let acc = ref 0 in
+  for i = 0 to (n * n) - 1 do
+    acc := (!acc + Phx_util.load_elt a mc i) land max_int
+  done;
+  !acc
+
+(* --- pca: column means and covariance ---------------------------------- *)
+
+let pca (a : t) ~scale =
+  let rows = scale and cols = 8 in
+  let st = Random.State.make [| 55 |] in
+  let _, m =
+    Phx_util.alloc_words a ~len:(rows * cols) (fun _ -> Random.State.int st 256)
+  in
+  let _, means = Phx_util.alloc_words a ~len:cols (fun _ -> 0) in
+  let _, cov = Phx_util.alloc_words a ~len:(cols * cols) (fun _ -> 0) in
+  for j = 0 to cols - 1 do
+    let s = ref 0 in
+    for i = 0 to rows - 1 do
+      s := !s + Phx_util.load_elt a m ((i * cols) + j)
+    done;
+    Phx_util.store_elt a means j (!s / rows)
+  done;
+  for j1 = 0 to cols - 1 do
+    for j2 = j1 to cols - 1 do
+      let s = ref 0 in
+      let m1 = Phx_util.load_elt a means j1
+      and m2 = Phx_util.load_elt a means j2 in
+      for i = 0 to rows - 1 do
+        s := !s
+             + ((Phx_util.load_elt a m ((i * cols) + j1) - m1)
+                * (Phx_util.load_elt a m ((i * cols) + j2) - m2))
+      done;
+      Phx_util.store_elt a cov ((j1 * cols) + j2) (!s / rows)
+    done
+  done;
+  let acc = ref 0 in
+  for i = 0 to (cols * cols) - 1 do
+    acc := (!acc + Phx_util.load_elt a cov i) land max_int
+  done;
+  !acc
+
+(* --- string_match: search keys in a text buffer ------------------------ *)
+
+(* With [buggy:true], the scan reads the byte at [len] when the last word
+   abuts the end of the buffer — the Phoenix off-by-one the paper found
+   with SPP (§VI-D, kozyraki/phoenix#9). *)
+let string_match ?(buggy = false) (a : t) ~scale =
+  let len = scale in
+  let _, buf, text = Phx_util.alloc_text a ~seed:66 ~len in
+  (* pick keys that exist in the text, plus one that does not *)
+  let words = String.split_on_char '\n' text in
+  let keys =
+    (match words with
+     | w1 :: w2 :: w3 :: _ -> [ w1; w2; w3 ]
+     | _ -> [ "xyz" ])
+    @ [ "notintext" ]
+  in
+  let matches = ref 0 in
+  let process_word ws we =
+    let wlen = we - ws in
+    let matches_key key =
+      String.length key = wlen
+      && (let ok = ref true in
+          for j = 0 to wlen - 1 do
+            if a.load_u8 (a.gep buf (ws + j)) <> Char.code key.[j] then
+              ok := false
+          done;
+          !ok)
+    in
+    List.iter (fun k -> if matches_key k then incr matches) keys
+  in
+  let word_start = ref 0 in
+  if buggy then
+    (* the Phoenix off-by-one: the separator test reads buf[i] before the
+       boundary test, so the iteration at i = len reads one byte past the
+       input buffer *)
+    for i = 0 to len do
+      let ch = a.load_u8 (a.gep buf i) in
+      if ch = 10 || i = len then begin
+        process_word !word_start i;
+        word_start := i + 1
+      end
+    done
+  else begin
+    for i = 0 to len - 1 do
+      let ch = a.load_u8 (a.gep buf i) in
+      if ch = 10 then begin
+        process_word !word_start i;
+        word_start := i + 1
+      end
+    done;
+    if !word_start < len then process_word !word_start len
+  end;
+  !matches
+
+(* --- word_count: open-addressed counting table in PM ------------------- *)
+
+let word_count (a : t) ~scale =
+  let len = scale in
+  let _, buf, _text = Phx_util.alloc_text a ~seed:77 ~len in
+  (* random words are nearly all unique, so size the open-addressed table
+     for roughly one word per 7 input bytes with ample headroom *)
+  let table_size =
+    let rec pow2 v = if v >= scale / 2 then v else pow2 (2 * v) in
+    max 4096 (pow2 4096)
+  in
+  let _, table = Phx_util.alloc_words a ~len:(2 * table_size) (fun _ -> 0) in
+  let bump_word ~hash =
+    let rec probe i =
+      let slot = (hash + i) mod table_size in
+      let h = Phx_util.load_elt a table (2 * slot) in
+      if h = hash then
+        Phx_util.store_elt a table ((2 * slot) + 1)
+          (Phx_util.load_elt a table ((2 * slot) + 1) + 1)
+      else if h = 0 then begin
+        Phx_util.store_elt a table (2 * slot) hash;
+        Phx_util.store_elt a table ((2 * slot) + 1) 1
+      end
+      else probe (i + 1)
+    in
+    probe 0
+  in
+  let h = ref 5381 in
+  let have_word = ref false in
+  for i = 0 to len - 1 do
+    let ch = a.load_u8 (a.gep buf i) in
+    if ch = 10 then begin
+      if !have_word then bump_word ~hash:(1 + (!h land 0xFFFFFF));
+      h := 5381;
+      have_word := false
+    end
+    else begin
+      h := ((!h lsl 5) + !h) + ch;
+      have_word := true
+    end
+  done;
+  if !have_word then bump_word ~hash:(1 + (!h land 0xFFFFFF));
+  let uniq = ref 0 and total = ref 0 in
+  for s = 0 to table_size - 1 do
+    if Phx_util.load_elt a table (2 * s) <> 0 then begin
+      incr uniq;
+      total := !total + Phx_util.load_elt a table ((2 * s) + 1)
+    end
+  done;
+  (!uniq * 100000) + !total
+
+(* --- registry ----------------------------------------------------------- *)
+
+type app = {
+  app_name : string;
+  default_scale : int;
+  run : Spp_access.t -> scale:int -> int;
+}
+
+let apps =
+  [
+    { app_name = "histogram"; default_scale = 60000;
+      run = (fun a ~scale -> histogram a ~scale) };
+    { app_name = "kmeans"; default_scale = 2000;
+      run = (fun a ~scale -> kmeans a ~scale) };
+    { app_name = "linear_regression"; default_scale = 120000;
+      run = (fun a ~scale -> linear_regression a ~scale) };
+    { app_name = "matrix_multiply"; default_scale = 48;
+      run = (fun a ~scale -> matrix_multiply a ~scale) };
+    { app_name = "pca"; default_scale = 8000;
+      run = (fun a ~scale -> pca a ~scale) };
+    { app_name = "string_match"; default_scale = 100000;
+      run = (fun a ~scale -> string_match a ~scale) };
+    { app_name = "word_count"; default_scale = 100000;
+      run = (fun a ~scale -> word_count a ~scale) };
+  ]

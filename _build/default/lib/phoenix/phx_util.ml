@@ -1,0 +1,53 @@
+(* Shared helpers for the Phoenix 2.0 PM port (paper §VI-B): deterministic
+   input generation into PM objects, accessed exclusively through the
+   variant's access layer — the analogue of the instrumented binary
+   touching its mmap'ed input. *)
+
+
+(* Allocate a PM object and fill it with deterministic pseudo-random
+   bytes. Returns (oid, pointer). *)
+let alloc_input_bytes (a : Spp_access.t) ~seed ~len =
+  let oid = a.Spp_access.palloc len in
+  let p = a.Spp_access.direct oid in
+  let st = Random.State.make [| seed |] in
+  let b = Bytes.init len (fun _ -> Char.chr (Random.State.int st 256)) in
+  a.Spp_access.write_bytes p b;
+  (oid, p)
+
+(* Allocate a PM word array and fill it from [f]. *)
+let alloc_words (a : Spp_access.t) ~len f =
+  let oid = a.Spp_access.palloc (len * 8) in
+  let p = a.Spp_access.direct oid in
+  for i = 0 to len - 1 do
+    a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) (f i)
+  done;
+  (oid, p)
+
+let load_elt (a : Spp_access.t) p i =
+  a.Spp_access.load_word (a.Spp_access.gep p (8 * i))
+
+let store_elt (a : Spp_access.t) p i v =
+  a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) v
+
+(* Text input: words of [a-z] letters separated by newlines, ending
+   exactly at the buffer boundary with no trailing separator — the layout
+   under which the Phoenix string_match off-by-one manifests. *)
+let alloc_text (a : Spp_access.t) ~seed ~len =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create len in
+  while Buffer.length buf < len - 8 do
+    let wl = 2 + Random.State.int st 8 in
+    for _ = 1 to wl do
+      Buffer.add_char buf (Char.chr (97 + Random.State.int st 26))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  (* final word flush against the boundary *)
+  while Buffer.length buf < len do
+    Buffer.add_char buf (Char.chr (97 + Random.State.int st 26))
+  done;
+  let s = Buffer.contents buf in
+  let oid = a.Spp_access.palloc len in
+  let p = a.Spp_access.direct oid in
+  a.Spp_access.write_string p s;
+  (oid, p, s)

@@ -1,0 +1,1 @@
+lib/pmdk/heap.ml: Mode Oid Redo Rep Spp_core Spp_sim

@@ -1,0 +1,1 @@
+lib/pmdk/inspect.ml: Format Hashtbl Heap List Mode Oid Pool Printf Rep

@@ -1,0 +1,1 @@
+lib/pmdk/inspect.mli: Format Heap Oid Pool

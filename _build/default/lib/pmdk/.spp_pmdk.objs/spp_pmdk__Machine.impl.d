@@ -1,0 +1,1 @@
+lib/pmdk/machine.ml: List Memdev Oid Pool Space Spp_sim Vheap

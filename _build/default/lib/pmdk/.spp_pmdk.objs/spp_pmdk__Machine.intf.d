@@ -1,0 +1,1 @@
+lib/pmdk/machine.mli: Memdev Mode Oid Pool Space Spp_sim Vheap

@@ -1,0 +1,1 @@
+lib/pmdk/mode.ml: Printf Spp_core

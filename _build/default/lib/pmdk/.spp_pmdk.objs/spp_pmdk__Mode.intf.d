@@ -1,0 +1,1 @@
+lib/pmdk/mode.mli: Spp_core

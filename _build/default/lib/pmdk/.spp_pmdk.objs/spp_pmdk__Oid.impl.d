@@ -1,0 +1,1 @@
+lib/pmdk/oid.ml: Format

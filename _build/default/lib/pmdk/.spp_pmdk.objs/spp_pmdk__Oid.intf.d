@@ -1,0 +1,1 @@
+lib/pmdk/oid.mli: Format

@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Fun Heap Memdev Mode Mutex Oid Printf Redo Rep Space Spp_core Spp_sim Tx

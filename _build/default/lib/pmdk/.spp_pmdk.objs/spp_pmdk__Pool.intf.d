@@ -1,0 +1,1 @@
+lib/pmdk/pool.mli: Heap Memdev Mode Oid Space Spp_sim

@@ -1,0 +1,1 @@
+lib/pmdk/redo.ml: List Rep

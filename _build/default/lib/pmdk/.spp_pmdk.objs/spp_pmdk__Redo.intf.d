@@ -1,0 +1,1 @@
+lib/pmdk/redo.mli: Rep

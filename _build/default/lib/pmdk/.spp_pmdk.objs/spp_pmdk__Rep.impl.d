@@ -1,0 +1,1 @@
+lib/pmdk/rep.ml: Array List Memdev Mode Mutex Oid Printf Space Spp_sim

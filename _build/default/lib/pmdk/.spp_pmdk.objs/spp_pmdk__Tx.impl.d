@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Bytes Heap List Oid Printf Rep Space Spp_sim

@@ -1,0 +1,1 @@
+lib/pmdk/tx.mli: Bytes Oid Rep

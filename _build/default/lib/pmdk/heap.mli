@@ -1,0 +1,46 @@
+(** Crash-consistent size-class heap allocator (internal to the pool
+    facade; use {!Pool} from application code).
+
+    All state transitions that must be atomic — freelist pop/push, bump
+    advance, header rewrite, destination oid publication — travel in a
+    single redo batch, so a crash either keeps the old heap state or
+    lands on the new one. The destination oid's size entry precedes its
+    offset entry (paper §IV-F). *)
+
+exception Out_of_pm
+
+type dest =
+  | No_dest
+  | Pm_slot of int   (** pool offset of a PM oid slot, published atomically *)
+
+type prepared = {
+  p_data_off : int;
+  p_ci : int;
+  p_entries : (int * int) list;
+}
+
+val stage_alloc : Rep.t -> size:int -> prepared
+(** Pick a block (freelist or bump) without publishing; {!Tx.alloc}
+    interposes its undo record between staging and publication. *)
+
+val publish_alloc :
+  Rep.t -> prepared -> size:int -> dest:dest -> Oid.t
+
+val alloc : Rep.t -> ?zero:bool -> size:int -> dest:dest -> unit -> Oid.t
+val free : Rep.t -> data_off:int -> extra_entries:(int * int) list -> unit
+val free_idempotent : Rep.t -> data_off:int -> unit
+(** No-op on a block that is not allocated+published — what recovery
+    needs when re-running a finished free. *)
+
+val realloc : Rep.t -> Oid.t -> new_size:int -> dest:dest -> Oid.t
+
+type stats = {
+  allocated_blocks : int;
+  allocated_bytes : int;   (** header + class capacity of live blocks *)
+  requested_bytes : int;
+  free_blocks : int;
+  heap_used : int;
+}
+
+val stats : Rep.t -> stats
+(** Walk of all carved blocks — the measurement behind Table III. *)

@@ -1,0 +1,141 @@
+(* Pool inspection and integrity checking — the pmempool info / pmempool
+   check analogue.
+
+   [info] summarizes the header, logs and heap; [check] walks every heap
+   structure and validates the invariants the crash-consistency protocol
+   is supposed to maintain:
+
+     - the bump pointer stays within the pool and on a block boundary;
+     - every carved block has a sane class and state word;
+     - freelists are acyclic, stay within the carved area, and only link
+       blocks whose headers say free;
+     - no block is simultaneously free-listed and allocated;
+     - the root oid (when set) points at a live block of this pool;
+     - redo log and transaction lane are quiescent (after recovery). *)
+
+type issue =
+  | Bad_magic
+  | Bump_out_of_range of int
+  | Bad_block_header of { data_off : int; state : int }
+  | Freelist_cycle of { class_index : int }
+  | Freelist_bad_link of { class_index : int; link : int }
+  | Freelist_wrong_state of { class_index : int; data_off : int }
+  | Root_invalid of Oid.t
+  | Redo_log_active
+  | Tx_lane_active
+
+let issue_to_string = function
+  | Bad_magic -> "bad pool magic"
+  | Bump_out_of_range b -> Printf.sprintf "heap bump 0x%x out of range" b
+  | Bad_block_header { data_off; state } ->
+    Printf.sprintf "bad block header at 0x%x (state 0x%x)" data_off state
+  | Freelist_cycle { class_index } ->
+    Printf.sprintf "freelist cycle in class %d" class_index
+  | Freelist_bad_link { class_index; link } ->
+    Printf.sprintf "freelist of class %d links outside the heap (0x%x)"
+      class_index link
+  | Freelist_wrong_state { class_index; data_off } ->
+    Printf.sprintf "freelist of class %d holds a non-free block at 0x%x"
+      class_index data_off
+  | Root_invalid oid ->
+    Format.asprintf "root oid %a does not name a live block" Oid.pp oid
+  | Redo_log_active -> "redo log valid flag still set"
+  | Tx_lane_active -> "transaction lane not idle"
+
+type info = {
+  i_uuid : int;
+  i_mode : string;
+  i_pool_size : int;
+  i_heap_base : int;
+  i_heap_used : int;
+  i_stats : Heap.stats;
+  i_tx_state : int;
+  i_redo_valid : bool;
+}
+
+let info (t : Pool.t) =
+  {
+    i_uuid = Pool.uuid t;
+    i_mode = Mode.to_string (Pool.mode t);
+    i_pool_size = Pool.size t;
+    i_heap_base = Pool.heap_base t;
+    i_heap_used = (Pool.heap_stats t).Heap.heap_used;
+    i_stats = Pool.heap_stats t;
+    i_tx_state = Pool.load_word t ~off:Rep.off_tx_state;
+    i_redo_valid = Pool.load_word t ~off:Rep.off_redo_valid <> 0;
+  }
+
+let pp_info ppf i =
+  Format.fprintf ppf
+    "pool uuid=%d mode=%s size=%d B@ heap: base=0x%x used=%d B, %d live / %d \
+     free blocks (%d B allocated, %d B requested)@ tx lane: %s, redo: %s"
+    i.i_uuid i.i_mode i.i_pool_size i.i_heap_base i.i_heap_used
+    i.i_stats.Heap.allocated_blocks i.i_stats.Heap.free_blocks
+    i.i_stats.Heap.allocated_bytes i.i_stats.Heap.requested_bytes
+    (if i.i_tx_state = 0 then "idle" else "ACTIVE")
+    (if i.i_redo_valid then "VALID (unreplayed)" else "clear")
+
+(* Walk all carved blocks, building data_off -> state. *)
+let walk_blocks (t : Pool.t) =
+  let bump = Pool.load_word t ~off:Rep.off_heap_bump in
+  let blocks = Hashtbl.create 256 in
+  let issues = ref [] in
+  let rec go off =
+    if off < bump then begin
+      let data_off = off + Rep.block_header_size in
+      let state = Pool.load_word t ~off:(off + 8) in
+      let ci = Rep.state_class state in
+      if ci < 0 || ci >= Rep.n_classes then
+        issues := Bad_block_header { data_off; state } :: !issues
+      else begin
+        Hashtbl.replace blocks data_off state;
+        go (off + Rep.block_header_size + Rep.class_size ci)
+      end
+    end
+  in
+  go (Pool.heap_base t);
+  (blocks, bump, !issues)
+
+let check (t : Pool.t) =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  if Pool.load_word t ~off:Rep.off_magic <> Rep.magic then add Bad_magic;
+  let blocks, bump, block_issues = walk_blocks t in
+  issues := block_issues @ !issues;
+  if bump < Pool.heap_base t || bump > Pool.size t then
+    add (Bump_out_of_range bump);
+  (* freelists *)
+  for ci = 0 to Rep.n_classes - 1 do
+    let seen = Hashtbl.create 16 in
+    let rec follow link =
+      if link <> 0 then begin
+        if Hashtbl.mem seen link then add (Freelist_cycle { class_index = ci })
+        else begin
+          Hashtbl.replace seen link ();
+          match Hashtbl.find_opt blocks link with
+          | None -> add (Freelist_bad_link { class_index = ci; link })
+          | Some state ->
+            if Rep.state_is_allocated state then
+              add (Freelist_wrong_state { class_index = ci; data_off = link })
+            else
+              follow (Pool.load_word t ~off:(link - Rep.block_header_size))
+        end
+      end
+    in
+    follow (Pool.load_word t ~off:(Rep.freelist_off ci))
+  done;
+  (* root *)
+  let root = Pool.root_oid t in
+  if not (Oid.is_null root) then begin
+    match Hashtbl.find_opt blocks root.Oid.off with
+    | Some state
+      when Rep.state_is_allocated state && root.Oid.uuid = Pool.uuid t -> ()
+    | Some _ | None -> add (Root_invalid root)
+  end;
+  (* logs must be quiescent after recovery *)
+  if Pool.load_word t ~off:Rep.off_redo_valid <> 0 then add Redo_log_active;
+  if Pool.load_word t ~off:Rep.off_tx_state <> Rep.tx_idle then
+    add Tx_lane_active;
+  List.rev !issues
+
+let is_consistent t = check t = []

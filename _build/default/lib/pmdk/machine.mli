@@ -1,0 +1,31 @@
+(** A "machine": one simulated address space with a volatile heap and any
+    number of PM pools, with uuid-based pool resolution — the reason
+    PMEMoids carry a pool id at all (paper §II-B).
+
+    Pools are mapped one after another in the lower address space
+    (matching the paper's [PMEM_MMAP_HINT=0] layout); the volatile heap
+    lives high. *)
+
+open Spp_sim
+
+type t
+
+val create : ?vheap_size:int -> unit -> t
+val space : t -> Space.t
+val vheap : t -> Vheap.t
+val pools : t -> Pool.t list
+
+val create_pool : t -> size:int -> mode:Mode.t -> name:string -> Pool.t
+val open_pool : t -> Memdev.t -> Pool.t
+(** Map an existing pool device at the next free base and run recovery. *)
+
+val pool_of_uuid : t -> int -> Pool.t option
+val pool_of_oid : t -> Oid.t -> Pool.t option
+
+val direct : t -> Oid.t -> int
+(** [pmemobj_direct] across all mapped pools: dispatches on the oid's
+    uuid; raises {!Pool.Wrong_pool} for an unknown pool. *)
+
+val close_pool : t -> Pool.t -> unit
+
+val first_pool_base : int

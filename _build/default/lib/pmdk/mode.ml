@@ -1,0 +1,15 @@
+(* Pool operating mode: native PMDK or the SPP-adapted PMDK. *)
+
+type t =
+  | Native
+  | Spp of Spp_core.Config.t
+
+let is_spp = function Native -> false | Spp _ -> true
+
+let oid_stored_size = function
+  | Native -> 16   (* uuid + off *)
+  | Spp _ -> 24    (* uuid + off + size: SPP's only PM space overhead *)
+
+let to_string = function
+  | Native -> "pmdk"
+  | Spp cfg -> Printf.sprintf "spp(tag=%d)" (Spp_core.Config.tag_bits cfg)

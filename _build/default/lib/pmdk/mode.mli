@@ -1,0 +1,13 @@
+(** Pool operating mode: native PMDK or the SPP-adapted PMDK. *)
+
+type t =
+  | Native
+  | Spp of Spp_core.Config.t
+
+val is_spp : t -> bool
+
+val oid_stored_size : t -> int
+(** Bytes a PMEMoid occupies in PM: 16 native, 24 SPP — the size field is
+    SPP's only PM space overhead (paper §IV-B). *)
+
+val to_string : t -> string

@@ -1,0 +1,248 @@
+(* Pool facade — the libpmemobj-equivalent public API.
+
+   Functions mirror PMDK: [alloc]/[free_]/[realloc] are the atomic API,
+   [with_tx]/[tx_add_range]/[tx_alloc]/[tx_free] the transactional one,
+   [direct] is pmemobj_direct, [root] is pmemobj_root. A single pool lock
+   serializes heap and transaction operations (PMDK's runtime does the
+   same for allocator metadata); plain data loads/stores are issued by the
+   application through the access layer and are not serialized here. *)
+
+open Spp_sim
+
+type t = Rep.t
+
+exception Wrong_pool of Oid.t
+
+let uuid_counter = ref 0x1000
+
+let next_uuid () =
+  incr uuid_counter;
+  !uuid_counter
+
+let check_span ~base ~size mode =
+  match mode with
+  | Mode.Native -> ()
+  | Mode.Spp cfg ->
+    if base + size > Spp_core.Config.max_pool_span cfg then
+      invalid_arg
+        (Printf.sprintf
+           "Pool: pool [0x%x, 0x%x) exceeds the %d-bit address span of the \
+            SPP tag configuration"
+           base (base + size) (Spp_core.Config.addr_bits cfg))
+
+let make_rep space dev ~base ~size ~mode ~uuid =
+  let ulog_cap = Rep.ulog_cap_for_pool_size size in
+  { Rep.space; dev; base; psize = size; mode; uuid; ulog_cap;
+    heap_base = Rep.heap_base_for ~ulog_cap;
+    lock = Mutex.create ();
+    tx_lock = Mutex.create ();
+    tx_ranges = []; tx_deferred_free = []; tx_depth = 0 }
+
+let create space ~base ~size ~mode ~name =
+  check_span ~base ~size mode;
+  let dev = Memdev.create_persistent ~name size in
+  Space.map space ~base ~size ~kind:Space.Persistent ~name dev;
+  let uuid = next_uuid () in
+  let t = make_rep space dev ~base ~size ~mode ~uuid in
+  Rep.store t Rep.off_magic Rep.magic;
+  Rep.store t Rep.off_uuid uuid;
+  Rep.store t Rep.off_pool_size size;
+  Rep.store t Rep.off_mode (if Mode.is_spp mode then 1 else 0);
+  Rep.store t Rep.off_tag_bits
+    (match mode with
+     | Mode.Native -> 0
+     | Mode.Spp cfg -> Spp_core.Config.tag_bits cfg);
+  Rep.store t Rep.off_heap_bump t.Rep.heap_base;
+  Rep.store_oid t Rep.off_root Oid.null;
+  for ci = 0 to Rep.n_classes - 1 do
+    Rep.store t (Rep.freelist_off ci) 0
+  done;
+  Rep.store t Rep.off_redo_valid 0;
+  Rep.store t Rep.off_tx_state Rep.tx_idle;
+  Rep.store t Rep.off_ulog_used 0;
+  Rep.persist t 0 t.Rep.heap_base;
+  t
+
+type recovery_report = {
+  redo_replayed : bool;
+  tx_outcome : [ `Clean | `Rolled_back | `Completed_commit ];
+}
+
+let recover (t : Rep.t) =
+  t.Rep.tx_depth <- 0;
+  t.Rep.tx_ranges <- [];
+  t.Rep.tx_deferred_free <- [];
+  let redo_replayed = Redo.recover t in
+  let tx_outcome = Tx.recover t in
+  { redo_replayed; tx_outcome }
+
+let of_dev space ~base dev =
+  let size = Memdev.size dev in
+  let probe = make_rep space dev ~base ~size ~mode:Mode.Native ~uuid:0 in
+  (* The header must be readable before we know mode/uuid; map first. *)
+  Space.map space ~base ~size ~kind:Space.Persistent
+    ~name:(Memdev.name dev) dev;
+  if Rep.load probe Rep.off_magic <> Rep.magic then
+    invalid_arg "Pool.of_dev: bad magic (not a pool)";
+  let mode =
+    if Rep.load probe Rep.off_mode = 0 then Mode.Native
+    else Mode.Spp (Spp_core.Config.make
+                     ~tag_bits:(Rep.load probe Rep.off_tag_bits))
+  in
+  let uuid = Rep.load probe Rep.off_uuid in
+  check_span ~base ~size mode;
+  let t = make_rep space dev ~base ~size ~mode ~uuid in
+  let (_ : recovery_report) = recover t in
+  t
+
+let crash_and_recover (t : Rep.t) =
+  (* Simulated power failure and restart of the same pool: the view
+     reverts to the durable image, then normal open-time recovery runs. *)
+  Memdev.crash t.Rep.dev;
+  recover t
+
+let close (t : Rep.t) =
+  Space.unmap t.Rep.space ~base:t.Rep.base
+
+(* Accessors. *)
+
+let space (t : Rep.t) = t.Rep.space
+let dev (t : Rep.t) = t.Rep.dev
+let base (t : Rep.t) = t.Rep.base
+let size (t : Rep.t) = t.Rep.psize
+let mode (t : Rep.t) = t.Rep.mode
+let uuid (t : Rep.t) = t.Rep.uuid
+let oid_stored_size (t : Rep.t) = Rep.oid_stored_size t
+let heap_base (t : Rep.t) = t.Rep.heap_base
+
+let with_lock (t : Rep.t) f =
+  Mutex.lock t.Rep.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.Rep.lock) f
+
+(* Atomic object management (pmemobj_alloc / _zalloc / _free / _realloc). *)
+
+let alloc ?(zero = false) ?dest (t : Rep.t) ~size =
+  with_lock t (fun () ->
+    let dest = match dest with
+      | None -> Heap.No_dest
+      | Some off -> Heap.Pm_slot off
+    in
+    Heap.alloc t ~zero ~size ~dest ())
+
+let check_owner (t : Rep.t) (oid : Oid.t) =
+  if oid.Oid.uuid <> t.Rep.uuid then raise (Wrong_pool oid)
+
+let free_ ?dest (t : Rep.t) (oid : Oid.t) =
+  check_owner t oid;
+  with_lock t (fun () ->
+    let extra_entries = match dest with
+      | None -> []
+      | Some doff ->
+        (* Clear the oid slot in the same atomic batch. *)
+        (match t.Rep.mode with
+         | Mode.Native -> [ (doff, 0); (doff + 8, 0) ]
+         | Mode.Spp _ -> [ (doff, 0); (doff + 8, 0); (doff + 16, 0) ])
+    in
+    Heap.free t ~data_off:oid.Oid.off ~extra_entries)
+
+let realloc ?dest (t : Rep.t) (oid : Oid.t) ~size =
+  if not (Oid.is_null oid) then check_owner t oid;
+  with_lock t (fun () ->
+    let dest = match dest with
+      | None -> Heap.No_dest
+      | Some off -> Heap.Pm_slot off
+    in
+    Heap.realloc t oid ~new_size:size ~dest)
+
+let alloc_size (t : Rep.t) (oid : Oid.t) =
+  check_owner t oid;
+  Rep.block_req_size t ~data_off:oid.Oid.off
+
+let usable_size (t : Rep.t) (oid : Oid.t) =
+  (* Class-rounded block capacity — pmemobj_alloc_usable_size. *)
+  check_owner t oid;
+  Rep.class_size (Rep.state_class (Rep.block_state t ~data_off:oid.Oid.off))
+
+(* pmemobj_direct: oid -> native (possibly tagged) pointer (paper §IV-B). *)
+
+let direct (t : Rep.t) (oid : Oid.t) =
+  if Oid.is_null oid then 0
+  else begin
+    check_owner t oid;
+    let addr = t.Rep.base + oid.Oid.off in
+    match t.Rep.mode with
+    | Mode.Native -> addr
+    | Mode.Spp cfg -> Spp_core.Encoding.mk_tagged cfg ~addr ~size:oid.Oid.size
+  end
+
+(* pmemobj_root: allocate once into the header's root slot, atomically. *)
+
+let root (t : Rep.t) ~size =
+  with_lock t (fun () ->
+    let existing = Rep.load_oid t Rep.off_root in
+    if Oid.is_null existing then
+      Heap.alloc t ~zero:true ~size ~dest:(Heap.Pm_slot Rep.off_root) ()
+    else existing)
+
+let root_oid (t : Rep.t) = Rep.load_oid t Rep.off_root
+
+(* Transactions. *)
+
+(* The pool has a single undo lane, so the outermost tx_begin holds the
+   tx lock until commit or abort — concurrent transactions serialize,
+   like contending for a PMDK lane. *)
+
+let tx_begin (t : Rep.t) =
+  if t.Rep.tx_depth = 0 then Mutex.lock t.Rep.tx_lock;
+  with_lock t (fun () -> Tx.tx_begin t)
+
+let tx_commit (t : Rep.t) =
+  let outer = t.Rep.tx_depth = 1 in
+  with_lock t (fun () -> Tx.tx_commit t);
+  if outer then Mutex.unlock t.Rep.tx_lock
+
+let tx_abort (t : Rep.t) =
+  with_lock t (fun () -> Tx.tx_abort t);
+  Mutex.unlock t.Rep.tx_lock
+
+let tx_add_range (t : Rep.t) ~off ~len =
+  with_lock t (fun () -> Tx.add_range t ~off ~len)
+
+let tx_add_range_oid (t : Rep.t) oid =
+  check_owner t oid;
+  with_lock t (fun () -> Tx.add_range_oid t oid)
+
+let tx_alloc ?(zero = false) (t : Rep.t) ~size =
+  with_lock t (fun () -> Tx.alloc t ~zero ~size ())
+
+let tx_realloc (t : Rep.t) oid ~size =
+  if not (Oid.is_null oid) then check_owner t oid;
+  with_lock t (fun () -> Tx.realloc t oid ~size)
+
+let tx_free (t : Rep.t) oid =
+  if not (Oid.is_null oid) then check_owner t oid;
+  with_lock t (fun () -> Tx.free t oid)
+
+let with_tx (t : Rep.t) f =
+  tx_begin t;
+  match f () with
+  | v -> tx_commit t; v
+  | exception e -> tx_abort t; raise e
+
+let in_tx (t : Rep.t) = Tx.in_tx t
+
+(* Oid slots in PM (pool offsets). *)
+
+let load_oid (t : Rep.t) ~off = Rep.load_oid t off
+let store_oid (t : Rep.t) ~off oid = Rep.store_oid t off oid
+
+(* Raw word access by pool offset — convenience for data-structure code. *)
+
+let load_word (t : Rep.t) ~off = Rep.load t off
+let store_word (t : Rep.t) ~off v = Rep.store t off v
+let persist (t : Rep.t) ~off ~len = Rep.persist t off len
+
+let addr_of_off (t : Rep.t) off = t.Rep.base + off
+let off_of_addr (t : Rep.t) addr = addr - t.Rep.base
+
+let heap_stats (t : Rep.t) = Heap.stats t

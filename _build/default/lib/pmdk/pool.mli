@@ -1,0 +1,118 @@
+(** Pool facade — the libpmemobj-equivalent public API.
+
+    Mirrors PMDK: {!alloc}/{!free_}/{!realloc} are the atomic object API,
+    {!with_tx}/{!tx_add_range}/{!tx_alloc}/{!tx_free} the transactional
+    one, {!direct} is [pmemobj_direct], {!root} is [pmemobj_root]. In
+    [Mode.Spp] pools, {!direct} returns a tagged pointer and every stored
+    PMEMoid carries the extra durable size field, maintained crash
+    consistently (paper §IV-B, §IV-F). *)
+
+open Spp_sim
+
+type t
+
+exception Wrong_pool of Oid.t
+(** An oid whose [uuid] does not belong to this pool. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  Space.t -> base:int -> size:int -> mode:Mode.t -> name:string -> t
+(** Create and format a pool mapped at [base]. In SPP mode the pool must
+    fit below the tag configuration's address span ([Invalid_argument]
+    otherwise — the paper maps pools to the lower address space). *)
+
+val of_dev : Space.t -> base:int -> Memdev.t -> t
+(** Open an existing pool device: map, validate the header, and run
+    recovery (redo replay, then transaction rollback/completion). *)
+
+type recovery_report = {
+  redo_replayed : bool;
+  tx_outcome : [ `Clean | `Rolled_back | `Completed_commit ];
+}
+
+val recover : t -> recovery_report
+val crash_and_recover : t -> recovery_report
+(** Simulated power failure (unfenced stores lost) followed by open-time
+    recovery of the same pool. *)
+
+val close : t -> unit
+
+(** {1 Accessors} *)
+
+val space : t -> Space.t
+val dev : t -> Memdev.t
+val base : t -> int
+val size : t -> int
+val mode : t -> Mode.t
+val uuid : t -> int
+val oid_stored_size : t -> int
+(** Bytes a PMEMoid occupies in PM: 16 native, 24 SPP. *)
+
+val heap_base : t -> int
+
+(** {1 Atomic object management} *)
+
+val alloc : ?zero:bool -> ?dest:int -> t -> size:int -> Oid.t
+(** [pmemobj_alloc]/[_zalloc]. [dest] is the pool offset of a PM oid slot
+    published atomically with the allocation; the oid's size entry is
+    ordered before its offset entry (paper §IV-F). Raises
+    [Heap.Out_of_pm] when the pool is full and
+    [Spp_core.Encoding.Object_too_large] when the object exceeds the tag
+    limit in SPP mode. *)
+
+val free_ : ?dest:int -> t -> Oid.t -> unit
+(** [pmemobj_free]; [dest] additionally clears the oid slot atomically. *)
+
+val realloc : ?dest:int -> t -> Oid.t -> size:int -> Oid.t
+val alloc_size : t -> Oid.t -> int
+
+val usable_size : t -> Oid.t -> int
+(** Class-rounded block capacity ([pmemobj_alloc_usable_size]). *)
+
+val direct : t -> Oid.t -> int
+(** [pmemobj_direct]: 0 for the null oid; otherwise the object's
+    simulated address — tagged in SPP mode. *)
+
+(** {1 Root object} *)
+
+val root : t -> size:int -> Oid.t
+(** [pmemobj_root]: allocated (zeroed) once, atomically, into the header's
+    root slot. *)
+
+val root_oid : t -> Oid.t
+
+(** {1 Transactions} *)
+
+val tx_begin : t -> unit
+val tx_commit : t -> unit
+val tx_abort : t -> unit
+val tx_add_range : t -> off:int -> len:int -> unit
+val tx_add_range_oid : t -> Oid.t -> unit
+val tx_alloc : ?zero:bool -> t -> size:int -> Oid.t
+val tx_realloc : t -> Oid.t -> size:int -> Oid.t
+val tx_free : t -> Oid.t -> unit
+val with_tx : t -> (unit -> 'a) -> 'a
+(** Run [f] inside a transaction; any exception aborts (undo) and is
+    re-raised — including simulated faults from SPP overflow detection. *)
+
+val in_tx : t -> bool
+
+(** {1 PMEMoid slots and raw words (pool offsets)} *)
+
+val load_oid : t -> off:int -> Oid.t
+val store_oid : t -> off:int -> Oid.t -> unit
+(** Mode-aware oid slot IO; in SPP mode the size field is written before
+    the offset field. Inside a transaction the caller must have
+    snapshotted the slot (as in PMDK). *)
+
+val load_word : t -> off:int -> int
+val store_word : t -> off:int -> int -> unit
+val persist : t -> off:int -> len:int -> unit
+
+val addr_of_off : t -> int -> int
+val off_of_addr : t -> int -> int
+
+(** {1 Accounting} *)
+
+val heap_stats : t -> Heap.stats

@@ -1,0 +1,41 @@
+(* Redo log: atomic application of a batch of word writes (paper §IV-F).
+
+   Protocol: write the entries and their count, persist; set the valid
+   flag, persist; apply the entries in order, persist; clear the valid
+   flag. A crash before the valid flag is durable loses the whole batch;
+   a crash after it is recovered by re-applying the (idempotent) entries
+   on open. Entry order is significant: SPP relies on the oid [size]
+   entry preceding the [off] entry. *)
+
+exception Redo_full
+
+let run (t : Rep.t) entries =
+  let n = List.length entries in
+  if n > Rep.redo_capacity then raise Redo_full;
+  List.iteri
+    (fun i (off, v) ->
+      Rep.store t (Rep.off_redo_entries + (16 * i)) off;
+      Rep.store t (Rep.off_redo_entries + (16 * i) + 8) v)
+    entries;
+  Rep.store t Rep.off_redo_n n;
+  Rep.persist t Rep.off_redo_n (8 + (16 * n));
+  Rep.store_p t Rep.off_redo_valid 1;
+  List.iter
+    (fun (off, v) ->
+      Rep.store t off v;
+      Rep.persist t off 8)
+    entries;
+  Rep.store_p t Rep.off_redo_valid 0
+
+let recover (t : Rep.t) =
+  if Rep.load t Rep.off_redo_valid = 1 then begin
+    let n = Rep.load t Rep.off_redo_n in
+    for i = 0 to n - 1 do
+      let off = Rep.load t (Rep.off_redo_entries + (16 * i)) in
+      let v = Rep.load t (Rep.off_redo_entries + (16 * i) + 8) in
+      Rep.store t off v;
+      Rep.persist t off 8
+    done;
+    Rep.store_p t Rep.off_redo_valid 0;
+    true
+  end else false

@@ -1,0 +1,15 @@
+(** Redo log: atomic application of a batch of word writes (paper §IV-F).
+
+    Write entries + count, persist; set the valid flag, persist; apply in
+    order; clear the flag. A crash before the flag is durable loses the
+    whole batch; after it, {!recover} re-applies the idempotent entries.
+    Entry order is significant: SPP relies on the oid size entry
+    preceding the offset entry. *)
+
+exception Redo_full
+
+val run : Rep.t -> (int * int) list -> unit
+(** [(pool offset, value)] pairs, applied atomically. *)
+
+val recover : Rep.t -> bool
+(** Returns [true] when a valid log was replayed. *)

@@ -1,0 +1,163 @@
+(* Internal pool representation and on-media layout.
+
+   Pool layout (all offsets pool-relative):
+
+     0x000  magic
+     0x008  uuid
+     0x010  pool size
+     0x018  mode (0 = native, 1 = SPP)
+     0x020  tag bits (SPP mode)
+     0x028  heap bump pointer (next never-carved offset)
+     0x030  root oid slot (24 B reserved)
+     0x080  freelist heads, one word per size class
+     0x200  redo log   : valid, nentries, entries (off/val pairs)
+     0x800  tx lane    : tx_state, ulog_used, ulog data area
+     heap_base (4 KiB aligned): object blocks
+
+   Every object block is [header 16 B][data class_size B]; an oid's [off]
+   points at the data. The header holds the requested size and a state
+   word (allocated flag, published flag, size-class index). *)
+
+open Spp_sim
+
+let magic = 0x53_50_50_5F_50_4D       (* "SPP_PM" *)
+
+(* Header field offsets. *)
+let off_magic = 0x000
+let off_uuid = 0x008
+let off_pool_size = 0x010
+let off_mode = 0x018
+let off_tag_bits = 0x020
+let off_heap_bump = 0x028
+let off_root = 0x030
+let off_freelists = 0x080             (* room for 96 classes until 0x380 *)
+
+(* Redo log. *)
+let off_redo_valid = 0x380
+let off_redo_n = 0x388
+let off_redo_entries = 0x390
+let redo_capacity = 62                (* entries of 16 B; area ends < 0x780 *)
+
+(* Transaction lane. *)
+let off_tx_state = 0x780
+let off_ulog_used = 0x788
+let off_ulog_data = 0x790
+
+let tx_idle = 0
+let tx_active = 1
+let tx_committing = 2
+
+(* Size classes modeled on PMDK's run units: the smallest class is 128 B
+   and classes grow by ~1.25×, rounded to 64 B. This granularity is what
+   shapes the paper's Table III — the +8 B per stored PMEMoid vanishes
+   into class rounding for ordinary nodes (ctree/rbtree/hashmap ≈ 0%
+   overhead) but compounds for rtree's 256-oid nodes. *)
+let class_sizes =
+  let round64 v = (v + 63) / 64 * 64 in
+  let rec build acc size =
+    if size >= 1 lsl 30 then List.rev (size :: acc)
+    else build (size :: acc) (round64 (size * 5 / 4))
+  in
+  Array.of_list (build [] 128)
+
+let n_classes = Array.length class_sizes
+let class_size ci = class_sizes.(ci)
+let block_header_size = 16
+
+let () = assert (off_freelists + (8 * n_classes) <= 0x380)
+
+let class_of_size size =
+  if size > class_sizes.(n_classes - 1) then
+    invalid_arg (Printf.sprintf "Pmdk: allocation of %d bytes too large" size);
+  let lo = ref 0 and hi = ref (n_classes - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if class_sizes.(mid) >= size then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Block header state word. *)
+let st_allocated = 1
+let st_published = 2
+let st_class_shift = 8
+
+type t = {
+  space : Space.t;
+  dev : Memdev.t;
+  base : int;          (* simulated address where the pool is mapped *)
+  psize : int;
+  mode : Mode.t;
+  uuid : int;
+  ulog_cap : int;
+  heap_base : int;
+  lock : Mutex.t;
+  tx_lock : Mutex.t;   (* held from outer tx_begin to commit/abort: one lane *)
+  mutable tx_ranges : (int * int) list;  (* volatile mirror: ranges to flush at commit *)
+  mutable tx_deferred_free : Oid.t list; (* volatile mirror of deferred frees *)
+  mutable tx_depth : int;
+}
+
+let min_pool_size = 1 lsl 16
+
+let ulog_cap_for_pool_size psize =
+  if psize < min_pool_size then
+    invalid_arg
+      (Printf.sprintf "Pmdk: pool size %d below minimum %d" psize min_pool_size);
+  max 16384 (psize / 4)
+
+let heap_base_for ~ulog_cap =
+  (off_ulog_data + ulog_cap + 4095) / 4096 * 4096
+
+(* Address helpers: [a t off] converts a pool offset into a simulated
+   address. *)
+let a t off = t.base + off
+
+let load t off = Space.load_word t.space (a t off)
+let store t off v = Space.store_word t.space (a t off) v
+
+let persist t off len = Space.persist t.space (a t off) len
+
+let store_p t off v =
+  store t off v;
+  persist t off 8
+
+(* Oid slots in PM. Field order within a slot: size (SPP only), uuid, off.
+   The size field precedes the off field in media order so that recovery
+   never observes a valid offset with a stale size (paper §IV-F). *)
+
+let oid_stored_size t = Mode.oid_stored_size t.mode
+
+let store_oid t off (oid : Oid.t) =
+  match t.mode with
+  | Mode.Native ->
+    store t off oid.Oid.uuid;
+    store t (off + 8) oid.Oid.off
+  | Mode.Spp _ ->
+    store t off oid.Oid.size;
+    store t (off + 8) oid.Oid.uuid;
+    store t (off + 16) oid.Oid.off
+
+let load_oid t off : Oid.t =
+  match t.mode with
+  | Mode.Native ->
+    { Oid.uuid = load t off; off = load t (off + 8); size = 0 }
+  | Mode.Spp _ ->
+    { Oid.size = load t off; uuid = load t (off + 8); off = load t (off + 16) }
+
+(* Block headers. [data_off] is the oid offset (start of data). *)
+
+let header_off ~data_off = data_off - block_header_size
+
+let block_req_size t ~data_off = load t (header_off ~data_off)
+let block_state t ~data_off = load t (header_off ~data_off + 8)
+
+let set_block_header t ~data_off ~req_size ~state =
+  store t (header_off ~data_off) req_size;
+  store t (header_off ~data_off + 8) state;
+  persist t (header_off ~data_off) block_header_size
+
+let state_class st = st lsr st_class_shift
+let state_is_allocated st = st land st_allocated <> 0
+let state_is_published st = st land st_published <> 0
+
+let freelist_off ci = off_freelists + (8 * ci)

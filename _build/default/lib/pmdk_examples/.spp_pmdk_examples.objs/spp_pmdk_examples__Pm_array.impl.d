@@ -1,0 +1,1 @@
+lib/pmdk_examples/pm_array.ml: Heap List Oid Spp_access Spp_core Spp_pmdk

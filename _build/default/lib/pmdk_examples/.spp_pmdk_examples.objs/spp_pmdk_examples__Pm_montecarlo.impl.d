@@ -1,0 +1,1 @@
+lib/pmdk_examples/pm_montecarlo.ml: Float Oid Pool Spp_access Spp_pmdk

@@ -1,0 +1,1 @@
+lib/pmdk_examples/pm_queue.ml: Oid Pool Spp_access Spp_pmdk

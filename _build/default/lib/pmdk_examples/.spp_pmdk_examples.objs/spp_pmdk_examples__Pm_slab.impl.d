@@ -1,0 +1,1 @@
+lib/pmdk_examples/pm_slab.ml: Oid Pool Spp_access Spp_pmdk

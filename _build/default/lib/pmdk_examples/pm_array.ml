@@ -1,0 +1,78 @@
+(* The libpmemobj "array" example: a named, growable PM array of 63-bit
+   integers (paper §VI-D applies SPP to exactly this example and finds
+   three overflows caused by an unchecked realloc — array.c lines
+   215/235/257).
+
+   Layout: a descriptor object [ length | data oid ] whose oid is kept by
+   the caller; element i lives at data + 8*i. *)
+
+open Spp_pmdk
+
+type t = {
+  a : Spp_access.t;
+  desc : Oid.t;
+  check_realloc : bool;   (* false reproduces the upstream bug *)
+}
+
+let f_len = 0
+let f_data = 8
+
+let create ?(check_realloc = true) (a : Spp_access.t) ~size =
+  let desc = a.Spp_access.palloc (8 + a.Spp_access.oid_size) in
+  let data = a.Spp_access.palloc ~zero:true (size * 8) in
+  let dp = a.Spp_access.direct desc in
+  a.Spp_access.store_word dp size;
+  a.Spp_access.store_oid_at (a.Spp_access.gep dp f_data) data;
+  { a; desc; check_realloc }
+
+let length t =
+  t.a.Spp_access.load_word (t.a.Spp_access.direct t.desc)
+
+let data_ptr t =
+  t.a.Spp_access.direct
+    (t.a.Spp_access.load_oid_at
+       (t.a.Spp_access.gep (t.a.Spp_access.direct t.desc) f_data))
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Pm_array.get";
+  t.a.Spp_access.load_word (t.a.Spp_access.gep (data_ptr t) (8 * i))
+
+let set t i v =
+  if i < 0 || i >= length t then invalid_arg "Pm_array.set";
+  t.a.Spp_access.store_word (t.a.Spp_access.gep (data_ptr t) (8 * i)) v
+
+(* Grow the array. The buggy variant ignores a failed reallocation and
+   fills the "grown" range anyway — overflowing the original data object,
+   which SPP detects at the first out-of-bounds store. *)
+let resize t new_size =
+  let a = t.a in
+  let dp = a.Spp_access.direct t.desc in
+  let data_oid = a.Spp_access.load_oid_at (a.Spp_access.gep dp f_data) in
+  let realloc_result =
+    match a.Spp_access.prealloc data_oid (new_size * 8) with
+    | oid -> Some oid
+    | exception Heap.Out_of_pm -> None
+    | exception Spp_core.Encoding.Object_too_large _ -> None
+  in
+  match realloc_result with
+  | Some fresh ->
+    a.Spp_access.store_oid_at (a.Spp_access.gep dp f_data) fresh;
+    let p = a.Spp_access.direct fresh in
+    let old_len = length t in
+    for i = old_len to new_size - 1 do
+      a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) 0
+    done;
+    a.Spp_access.store_word dp new_size
+  | None ->
+    if t.check_realloc then raise Heap.Out_of_pm
+    else begin
+      (* upstream bug: the return value is not checked *)
+      let p = a.Spp_access.direct data_oid in
+      let old_len = length t in
+      for i = old_len to new_size - 1 do
+        a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) 0
+      done;
+      a.Spp_access.store_word dp new_size
+    end
+
+let to_list t = List.init (length t) (get t)

@@ -1,0 +1,70 @@
+(* The libpmemobj "fifo" (linked list) example: an unbounded FIFO of
+   63-bit values as a singly linked list of PM nodes with head/tail oids,
+   updated transactionally.
+
+   Descriptor: [ head oid | tail oid | length ]
+   Node:       [ value | next oid ] *)
+
+open Spp_pmdk
+
+type t = {
+  a : Spp_access.t;
+  desc : Oid.t;
+}
+
+exception Empty
+
+let f_head = 0
+let f_tail (a : Spp_access.t) = a.Spp_access.oid_size
+let f_len (a : Spp_access.t) = 2 * a.Spp_access.oid_size
+
+let n_value = 0
+let n_next = 8
+
+let node_size (a : Spp_access.t) = 8 + a.Spp_access.oid_size
+
+let create (a : Spp_access.t) =
+  let desc = a.Spp_access.palloc ~zero:true ((2 * a.Spp_access.oid_size) + 8) in
+  { a; desc }
+
+let desc_ptr t = t.a.Spp_access.direct t.desc
+
+let length t = t.a.Spp_access.load_word (t.a.Spp_access.gep (desc_ptr t) (f_len t.a))
+
+let is_empty t = length t = 0
+
+let push t v =
+  let a = t.a in
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    let node = a.Spp_access.tx_palloc ~zero:true (node_size a) in
+    let np = a.Spp_access.direct node in
+    a.Spp_access.store_word (a.Spp_access.gep np n_value) v;
+    let dp = desc_ptr t in
+    Pool.tx_add_range_oid a.Spp_access.pool t.desc;
+    let tail = a.Spp_access.load_oid_at (a.Spp_access.gep dp (f_tail a)) in
+    if Oid.is_null tail then
+      a.Spp_access.store_oid_at (a.Spp_access.gep dp f_head) node
+    else begin
+      let tp = a.Spp_access.direct tail in
+      Pool.tx_add_range_oid a.Spp_access.pool tail;
+      a.Spp_access.store_oid_at (a.Spp_access.gep tp n_next) node
+    end;
+    a.Spp_access.store_oid_at (a.Spp_access.gep dp (f_tail a)) node;
+    a.Spp_access.store_word (a.Spp_access.gep dp (f_len a)) (length t + 1))
+
+let pop t =
+  let a = t.a in
+  if is_empty t then raise Empty;
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    let dp = desc_ptr t in
+    let head = a.Spp_access.load_oid_at (a.Spp_access.gep dp f_head) in
+    let hp = a.Spp_access.direct head in
+    let v = a.Spp_access.load_word (a.Spp_access.gep hp n_value) in
+    let next = a.Spp_access.load_oid_at (a.Spp_access.gep hp n_next) in
+    Pool.tx_add_range_oid a.Spp_access.pool t.desc;
+    a.Spp_access.store_oid_at (a.Spp_access.gep dp f_head) next;
+    if Oid.is_null next then
+      a.Spp_access.store_oid_at (a.Spp_access.gep dp (f_tail a)) Oid.null;
+    a.Spp_access.store_word (a.Spp_access.gep dp (f_len a)) (length t - 1);
+    a.Spp_access.tx_pfree head;
+    v)

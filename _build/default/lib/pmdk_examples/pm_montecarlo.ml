@@ -1,0 +1,77 @@
+(* The libpmemobj "Buffon's needle" and "π calculation" examples: Monte
+   Carlo estimators whose progress (trial counters) lives in PM, so an
+   interrupted computation resumes where it stopped. Randomness is a
+   deterministic LCG seeded in the PM state, as the C examples do with a
+   stored seed.
+
+   State: [ seed | trials | hits ]  (fixed-point results ×10^6) *)
+
+open Spp_pmdk
+
+type t = {
+  a : Spp_access.t;
+  state : Oid.t;
+}
+
+let f_seed = 0
+let f_trials = 8
+let f_hits = 16
+
+let create (a : Spp_access.t) ~seed =
+  let state = a.Spp_access.palloc ~zero:true 24 in
+  let p = a.Spp_access.direct state in
+  a.Spp_access.store_word (a.Spp_access.gep p f_seed) seed;
+  { a; state }
+
+let attach (a : Spp_access.t) state = { a; state }
+
+let field t f =
+  t.a.Spp_access.load_word (t.a.Spp_access.gep (t.a.Spp_access.direct t.state) f)
+
+let trials t = field t f_trials
+let hits t = field t f_hits
+
+(* 63-bit LCG (Knuth's multiplier folded into the word width). *)
+let lcg_next s = ((s * 0x27BB2EE687B0B0FD) + 0x14057B7EF767814F) land max_int
+
+(* uniform in [0, 1) with 30 bits of precision *)
+let uniform s =
+  let s = lcg_next s in
+  (s, float_of_int ((s lsr 20) land 0x3FFFFFFF) /. 1073741824.)
+
+let run_batch t ~trials:n ~hit =
+  (* one transaction per batch, like the examples' checkpointing *)
+  let a = t.a in
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    Pool.tx_add_range_oid a.Spp_access.pool t.state;
+    let p = a.Spp_access.direct t.state in
+    let seed = ref (field t f_seed) and batch_hits = ref 0 in
+    for _ = 1 to n do
+      let s, ok = hit !seed in
+      seed := s;
+      if ok then incr batch_hits
+    done;
+    a.Spp_access.store_word (a.Spp_access.gep p f_seed) !seed;
+    a.Spp_access.store_word (a.Spp_access.gep p f_trials) (trials t + n);
+    a.Spp_access.store_word (a.Spp_access.gep p f_hits) (hits t + !batch_hits))
+
+(* π via the unit-circle quadrant: hit iff x² + y² < 1. *)
+let pi_hit seed =
+  let s, x = uniform seed in
+  let s, y = uniform s in
+  (s, (x *. x) +. (y *. y) < 1.)
+
+let pi_estimate t =
+  if trials t = 0 then 0.
+  else 4. *. float_of_int (hits t) /. float_of_int (trials t)
+
+(* Buffon's needle with length = line spacing: crossing probability is
+   2/π; the needle crosses iff (d/2) < (l/2)·sin θ with d uniform. *)
+let buffon_hit seed =
+  let s, d = uniform seed in
+  let s, theta = uniform s in
+  (s, d < sin (theta *. Float.pi))
+
+let buffon_pi_estimate t =
+  if hits t = 0 then 0.
+  else 2. *. float_of_int (trials t) /. float_of_int (hits t)

@@ -1,0 +1,61 @@
+(* The libpmemobj "queue" example: a bounded circular buffer of 63-bit
+   values in one PM object, updated transactionally.
+
+   Layout: [ capacity | head | count | slots... ] *)
+
+open Spp_pmdk
+
+type t = {
+  a : Spp_access.t;
+  obj : Oid.t;
+}
+
+let f_capacity = 0
+let f_head = 8
+let f_count = 16
+let f_slots = 24
+
+exception Full
+exception Empty
+
+let create (a : Spp_access.t) ~capacity =
+  if capacity <= 0 then invalid_arg "Pm_queue.create";
+  let obj = a.Spp_access.palloc ~zero:true (f_slots + (8 * capacity)) in
+  let p = a.Spp_access.direct obj in
+  a.Spp_access.store_word (a.Spp_access.gep p f_capacity) capacity;
+  { a; obj }
+
+let hdr t field =
+  t.a.Spp_access.load_word (t.a.Spp_access.gep (t.a.Spp_access.direct t.obj) field)
+
+let capacity t = hdr t f_capacity
+let count t = hdr t f_count
+let is_empty t = count t = 0
+let is_full t = count t = capacity t
+
+let slot_ptr t i =
+  t.a.Spp_access.gep (t.a.Spp_access.direct t.obj) (f_slots + (8 * i))
+
+let enqueue t v =
+  if is_full t then raise Full;
+  let a = t.a in
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    let cap = capacity t and head = hdr t f_head and n = hdr t f_count in
+    let tail = (head + n) mod cap in
+    Pool.tx_add_range a.Spp_access.pool ~off:t.obj.Oid.off
+      ~len:(f_slots + (8 * cap));
+    a.Spp_access.store_word (slot_ptr t tail) v;
+    a.Spp_access.store_word
+      (a.Spp_access.gep (a.Spp_access.direct t.obj) f_count) (n + 1))
+
+let dequeue t =
+  if is_empty t then raise Empty;
+  let a = t.a in
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    let cap = capacity t and head = hdr t f_head and n = hdr t f_count in
+    let v = a.Spp_access.load_word (slot_ptr t head) in
+    Pool.tx_add_range a.Spp_access.pool ~off:t.obj.Oid.off ~len:f_slots;
+    let p = a.Spp_access.direct t.obj in
+    a.Spp_access.store_word (a.Spp_access.gep p f_head) ((head + 1) mod cap);
+    a.Spp_access.store_word (a.Spp_access.gep p f_count) (n - 1);
+    v)

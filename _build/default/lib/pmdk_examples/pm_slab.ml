@@ -1,0 +1,97 @@
+(* The "slab allocator" example: a fixed-object-size sub-allocator carved
+   out of one large PM object, with a persistent free bitmap — the kind
+   of custom allocation layer PM applications build on top of pmemobj.
+
+   Layout: [ slot_size | nslots | bitmap words... | slots... ] *)
+
+open Spp_pmdk
+
+type t = {
+  a : Spp_access.t;
+  obj : Oid.t;
+  slot_size : int;
+  nslots : int;
+}
+
+exception Slab_full
+
+let f_slot_size = 0
+let f_nslots = 8
+let f_bitmap = 16
+
+(* 62 usable bits per word: bit 62 of an OCaml int is the sign bit *)
+let bits_per_word = 62
+
+let bitmap_words nslots = (nslots + bits_per_word - 1) / bits_per_word
+
+let slots_off nslots = f_bitmap + (8 * bitmap_words nslots)
+
+let create (a : Spp_access.t) ~slot_size ~nslots =
+  if slot_size <= 0 || nslots <= 0 then invalid_arg "Pm_slab.create";
+  let size = slots_off nslots + (slot_size * nslots) in
+  let obj = a.Spp_access.palloc ~zero:true size in
+  let p = a.Spp_access.direct obj in
+  a.Spp_access.store_word (a.Spp_access.gep p f_slot_size) slot_size;
+  a.Spp_access.store_word (a.Spp_access.gep p f_nslots) nslots;
+  { a; obj; slot_size; nslots }
+
+let bitmap_word t i =
+  t.a.Spp_access.load_word
+    (t.a.Spp_access.gep (t.a.Spp_access.direct t.obj) (f_bitmap + (8 * i)))
+
+let set_bitmap_word t i v =
+  let a = t.a in
+  let ptr = a.Spp_access.gep (a.Spp_access.direct t.obj) (f_bitmap + (8 * i)) in
+  Pool.with_tx a.Spp_access.pool (fun () ->
+    Pool.tx_add_range a.Spp_access.pool
+      ~off:(Pool.off_of_addr a.Spp_access.pool (a.Spp_access.ptr_to_int ptr))
+      ~len:8;
+    a.Spp_access.store_word ptr v)
+
+let slot_ptr t i =
+  t.a.Spp_access.gep (t.a.Spp_access.direct t.obj)
+    (slots_off t.nslots + (i * t.slot_size))
+
+(* Returns the slot index; the slot's contents are whatever was there. *)
+let alloc_slot t =
+  let rec scan w =
+    if w >= bitmap_words t.nslots then raise Slab_full
+    else begin
+      let bits = bitmap_word t w in
+      if bits = (1 lsl bits_per_word) - 1 then scan (w + 1)
+      else begin
+        let rec bit i =
+          if i = bits_per_word then scan (w + 1)
+          else if bits land (1 lsl i) = 0 then begin
+            let slot = (w * bits_per_word) + i in
+            if slot >= t.nslots then raise Slab_full
+            else begin
+              set_bitmap_word t w (bits lor (1 lsl i));
+              slot
+            end
+          end
+          else bit (i + 1)
+        in
+        bit 0
+      end
+    end
+  in
+  scan 0
+
+let free_slot t slot =
+  if slot < 0 || slot >= t.nslots then invalid_arg "Pm_slab.free_slot";
+  let w = slot / bits_per_word and i = slot mod bits_per_word in
+  let bits = bitmap_word t w in
+  if bits land (1 lsl i) = 0 then invalid_arg "Pm_slab.free_slot: not allocated";
+  set_bitmap_word t w (bits land lnot (1 lsl i))
+
+let live_slots t =
+  let n = ref 0 in
+  for w = 0 to bitmap_words t.nslots - 1 do
+    let bits = ref (bitmap_word t w) in
+    while !bits <> 0 do
+      bits := !bits land (!bits - 1);
+      incr n
+    done
+  done;
+  !n

@@ -1,0 +1,1 @@
+lib/pmemcheck/pmemcheck.ml: Format List Memdev Spp_pmdk Spp_sim

@@ -1,0 +1,1 @@
+lib/pmemcheck/pmemcheck.mli: Format Spp_pmdk Spp_sim

@@ -1,0 +1,1 @@
+lib/pmemcheck/pmreorder.ml: Bytes Format List Memdev Printexc Printf Space Spp_pmdk Spp_sim

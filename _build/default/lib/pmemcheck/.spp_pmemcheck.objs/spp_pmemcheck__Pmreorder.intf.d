@@ -1,0 +1,1 @@
+lib/pmemcheck/pmreorder.mli: Format Spp_pmdk

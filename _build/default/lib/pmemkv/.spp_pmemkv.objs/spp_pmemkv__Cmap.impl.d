@@ -1,0 +1,1 @@
+lib/pmemkv/cmap.ml: Array Bytes Char Fun Mutex Oid Pool Spp_access Spp_pmdk String

@@ -1,0 +1,1 @@
+lib/pmemkv/cmap.mli: Spp_access

@@ -1,0 +1,1 @@
+lib/pmemkv/db_bench.ml: Char Cmap Gc List Printf Random String Unix

@@ -1,0 +1,1 @@
+lib/pmemkv/db_bench.mli: Cmap

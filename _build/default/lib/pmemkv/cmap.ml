@@ -1,0 +1,161 @@
+(* cmap — the concurrent persistent hashmap engine of pmemkv (the paper's
+   §VI-B KV-store benchmark uses pmemkv's non-experimental concurrent
+   engine).
+
+   Fixed bucket array in PM; each bucket is a chain of entry objects:
+
+     entry: [ next oid | key len | value len | key bytes | value bytes ]
+
+   Concurrency: striped per-bucket mutexes protect chains for readers and
+   writers; write transactions additionally serialize on the pool's
+   single undo lane (as PMDK writers contend for lanes). *)
+
+open Spp_pmdk
+open Spp_access
+
+type t = {
+  a : Spp_access.t;
+  nbuckets : int;
+  buckets : Oid.t;                 (* array object of oid slots *)
+  locks : Mutex.t array;           (* lock striping *)
+}
+
+let nstripes = 256
+
+(* Snapshot [len] bytes behind an application pointer. *)
+let tx_add (a : Spp_access.t) ptr len =
+  let raw = a.ptr_to_int ptr in
+  Pool.tx_add_range a.pool ~off:(Pool.off_of_addr a.pool raw) ~len
+
+let f_next = 0
+let f_klen (a : Spp_access.t) = a.oid_size
+let f_vlen (a : Spp_access.t) = a.oid_size + 8
+let f_key (a : Spp_access.t) = a.oid_size + 16
+let f_value (a : Spp_access.t) klen = a.oid_size + 16 + klen
+
+let entry_size (a : Spp_access.t) ~klen ~vlen = a.oid_size + 16 + klen + vlen
+
+let hash s =
+  (* FNV-1a on 63-bit words *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3)
+    s;
+  !h land max_int
+
+let create ?(nbuckets = 4096) (a : Spp_access.t) =
+  let buckets =
+    Pool.with_tx a.pool (fun () ->
+      a.tx_palloc ~zero:true (nbuckets * a.oid_size))
+  in
+  { a; nbuckets; buckets;
+    locks = Array.init nstripes (fun _ -> Mutex.create ()) }
+
+let bucket_of t key = hash key mod t.nbuckets
+
+let with_bucket t b f =
+  let m = t.locks.(b mod nstripes) in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let bucket_slot_ptr t b =
+  t.a.gep (t.a.direct t.buckets) (b * t.a.oid_size)
+
+let entry_key t p =
+  let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
+  Bytes.to_string (t.a.read_bytes (t.a.gep p (f_key t.a)) klen)
+
+let entry_value t p =
+  let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
+  let vlen = t.a.load_word (t.a.gep p (f_vlen t.a)) in
+  Bytes.to_string (t.a.read_bytes (t.a.gep p (f_value t.a klen)) vlen)
+
+let key_matches t p key =
+  let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
+  klen = String.length key && entry_key t p = key
+
+(* Find the slot pointer referencing the entry for [key] plus the entry
+   itself, starting from the bucket slot. *)
+let find_slot t slot key =
+  let rec go slot_ptr =
+    let oid = t.a.load_oid_at slot_ptr in
+    if Oid.is_null oid then None
+    else begin
+      let p = t.a.direct oid in
+      if key_matches t p key then Some (slot_ptr, oid, p)
+      else go (t.a.gep p f_next)
+    end
+  in
+  go slot
+
+let mk_entry t ~key ~value ~next =
+  let klen = String.length key and vlen = String.length value in
+  let oid = t.a.tx_palloc (entry_size t.a ~klen ~vlen) in
+  let p = t.a.direct oid in
+  t.a.store_oid_at (t.a.gep p f_next) next;
+  t.a.store_word (t.a.gep p (f_klen t.a)) klen;
+  t.a.store_word (t.a.gep p (f_vlen t.a)) vlen;
+  t.a.write_string (t.a.gep p (f_key t.a)) key;
+  t.a.write_string (t.a.gep p (f_value t.a klen)) value;
+  oid
+
+let get t key =
+  let b = bucket_of t key in
+  with_bucket t b (fun () ->
+    match find_slot t (bucket_slot_ptr t b) key with
+    | None -> None
+    | Some (_, _, p) -> Some (entry_value t p))
+
+let put t ~key ~value =
+  let b = bucket_of t key in
+  with_bucket t b (fun () ->
+    let slot = bucket_slot_ptr t b in
+    match find_slot t slot key with
+    | Some (slot_ptr, old, p) ->
+      let klen = String.length key in
+      let old_vlen = t.a.load_word (t.a.gep p (f_vlen t.a)) in
+      if old_vlen = String.length value then
+        (* overwrite in place, transactionally *)
+        Pool.with_tx t.a.pool (fun () ->
+          tx_add t.a (t.a.gep p (f_value t.a klen)) old_vlen;
+          t.a.write_string (t.a.gep p (f_value t.a klen)) value)
+      else
+        Pool.with_tx t.a.pool (fun () ->
+          let next = t.a.load_oid_at (t.a.gep p f_next) in
+          let fresh = mk_entry t ~key ~value ~next in
+          tx_add t.a slot_ptr t.a.oid_size;
+          t.a.store_oid_at slot_ptr fresh;
+          t.a.tx_pfree old)
+    | None ->
+      Pool.with_tx t.a.pool (fun () ->
+        let head = t.a.load_oid_at slot in
+        let fresh = mk_entry t ~key ~value ~next:head in
+        tx_add t.a slot t.a.oid_size;
+        t.a.store_oid_at slot fresh))
+
+let remove t key =
+  let b = bucket_of t key in
+  with_bucket t b (fun () ->
+    match find_slot t (bucket_slot_ptr t b) key with
+    | None -> false
+    | Some (slot_ptr, oid, p) ->
+      Pool.with_tx t.a.pool (fun () ->
+        tx_add t.a slot_ptr t.a.oid_size;
+        t.a.store_oid_at slot_ptr (t.a.load_oid_at (t.a.gep p f_next));
+        t.a.tx_pfree oid);
+      true)
+
+let count_all t =
+  let n = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let rec go slot_ptr =
+      let oid = t.a.load_oid_at slot_ptr in
+      if not (Oid.is_null oid) then begin
+        incr n;
+        go (t.a.gep (t.a.direct oid) f_next)
+      end
+    in
+    go (bucket_slot_ptr t b)
+  done;
+  !n

@@ -1,0 +1,24 @@
+(** cmap — the concurrent persistent hashmap engine of pmemkv (the
+    paper's §VI-B KV-store benchmark uses pmemkv's non-experimental
+    concurrent engine).
+
+    Fixed bucket array in PM with chains of variable-size entry objects
+    ([next oid | key len | value len | key | value]). Striped per-bucket
+    mutexes protect chains; write transactions additionally serialize on
+    the pool's undo lane. *)
+
+type t
+
+val create : ?nbuckets:int -> Spp_access.t -> t
+(** Default 4096 buckets. *)
+
+val put : t -> key:string -> value:string -> unit
+(** Same-size overwrites happen in place (one snapshot); size changes
+    allocate a replacement entry and free the old one, transactionally. *)
+
+val get : t -> string -> string option
+val remove : t -> string -> bool
+val count_all : t -> int
+
+val hash : string -> int
+(** FNV-1a, folded to the 63-bit word. *)

@@ -1,0 +1,90 @@
+(* libpmemlog analogue: a crash-consistent append-only log over a PM
+   object (PMDK's second core library next to libpmemobj, paper §II-B).
+
+   Layout: a descriptor [ capacity | committed ] plus a data object.
+   Appends write the payload past the committed watermark, persist it,
+   and only then advance (and persist) the watermark — so a torn append
+   is invisible after a crash, the same write-ahead discipline as the
+   real library. Under an SPP pool the data object is tagged, so an
+   append beyond capacity faults instead of trampling the neighbour. *)
+
+open Spp_pmdk
+
+exception Log_full
+
+type t = {
+  a : Spp_access.t;
+  desc : Oid.t;
+  data : Oid.t;
+}
+
+let f_committed = 8
+
+let create (a : Spp_access.t) ~capacity =
+  if capacity <= 0 then invalid_arg "Spp_pmemlog.create";
+  let desc = a.Spp_access.palloc ~zero:true 16 in
+  let data = a.Spp_access.palloc capacity in
+  let dp = a.Spp_access.direct desc in
+  a.Spp_access.store_word dp capacity;
+  Pool.persist a.Spp_access.pool ~off:desc.Oid.off ~len:16;
+  { a; desc; data }
+
+let attach (a : Spp_access.t) ~desc ~data = { a; desc; data }
+
+let descriptor t = t.desc
+let data_oid t = t.data
+
+let capacity t =
+  (* word 0 of the descriptor *)
+  t.a.Spp_access.load_word (t.a.Spp_access.direct t.desc)
+
+let committed t =
+  t.a.Spp_access.load_word
+    (t.a.Spp_access.gep (t.a.Spp_access.direct t.desc) f_committed)
+
+let remaining t = capacity t - committed t
+
+let append t payload =
+  let a = t.a in
+  let len = String.length payload in
+  if len > remaining t then raise Log_full;
+  let tail = committed t in
+  let dst = a.Spp_access.gep (a.Spp_access.direct t.data) tail in
+  (* 1. payload beyond the watermark, persisted first *)
+  a.Spp_access.write_string dst payload;
+  Pool.persist a.Spp_access.pool ~off:(t.data.Oid.off + tail) ~len;
+  (* 2. then the watermark advance *)
+  let wm = a.Spp_access.gep (a.Spp_access.direct t.desc) f_committed in
+  a.Spp_access.store_word wm (tail + len);
+  Pool.persist a.Spp_access.pool ~off:(t.desc.Oid.off + f_committed) ~len:8
+
+let read_all t =
+  let n = committed t in
+  if n = 0 then ""
+  else
+    Bytes.to_string (t.a.Spp_access.read_bytes (t.a.Spp_access.direct t.data) n)
+
+(* Walk the log in caller-defined records: [f] receives the byte offset
+   and the remaining committed suffix and returns how many bytes it
+   consumed (0 stops the walk) — pmemlog_walk's contract. *)
+let walk t f =
+  let n = committed t in
+  let rec go off =
+    if off < n then begin
+      let chunk =
+        Bytes.to_string
+          (t.a.Spp_access.read_bytes
+             (t.a.Spp_access.gep (t.a.Spp_access.direct t.data) off)
+             (n - off))
+      in
+      let consumed = f ~off chunk in
+      if consumed > 0 then go (off + consumed)
+    end
+  in
+  go 0
+
+let rewind t =
+  let a = t.a in
+  let wm = a.Spp_access.gep (a.Spp_access.direct t.desc) f_committed in
+  a.Spp_access.store_word wm 0;
+  Pool.persist a.Spp_access.pool ~off:(t.desc.Oid.off + f_committed) ~len:8

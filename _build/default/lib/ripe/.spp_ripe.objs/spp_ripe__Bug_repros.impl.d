@@ -1,0 +1,1 @@
+lib/ripe/bug_repros.ml: Heap Pool Spp_access Spp_core Spp_pmdk

@@ -1,0 +1,1 @@
+lib/ripe/ripe.ml: Bytes Char Fault Hashtbl List Printf Space Spp_access Spp_memcheck Spp_safepm Spp_sim Vheap

@@ -1,0 +1,1 @@
+lib/ripe/ripe.mli: Spp_access

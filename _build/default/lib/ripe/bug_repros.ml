@@ -1,0 +1,38 @@
+(* Reproductions of the real-world bugs the paper detects with SPP
+   (§VI-D), beyond the btree and Phoenix bugs that live with their data
+   structures.
+
+   PMDK's libpmemobj array example: when the user asks to grow the
+   array, the example calls realloc without checking for failure, then
+   fills the "grown" array — overflowing the original allocation when
+   the reallocation did not happen (array.c lines 215/235/257). *)
+
+open Spp_pmdk
+
+let array_example ?(buggy = true) (a : Spp_access.t) =
+  let elems = 16 in
+  let oid = a.Spp_access.palloc (elems * 8) in
+  let grown = 4 * elems in
+  (* the grow request fails: the pool cannot fit it *)
+  let new_oid =
+    match a.Spp_access.prealloc oid (Pool.size a.Spp_access.pool) with
+    | oid' -> Some oid'
+    | exception Heap.Out_of_pm -> None
+    | exception Spp_core.Encoding.Object_too_large _ -> None
+  in
+  match new_oid with
+  | Some oid' ->
+    (* reallocation worked; filling is legal *)
+    let p = a.Spp_access.direct oid' in
+    for i = 0 to grown - 1 do
+      a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) i
+    done
+  | None ->
+    if buggy then begin
+      (* the example's bug: ignore the failure and fill anyway *)
+      let p = a.Spp_access.direct oid in
+      for i = 0 to grown - 1 do
+        a.Spp_access.store_word (a.Spp_access.gep p (8 * i)) i
+      done
+    end
+    else failwith "array example: realloc failed (handled)"

@@ -1,0 +1,394 @@
+(* RIPE-style runtime intrusion prevention evaluator, ported to PM
+   (paper §VI-D, Table IV; RIPE64 + the SafePM PM port).
+
+   Each attack tries to corrupt a "dispatch slot" (the stand-in for a
+   code pointer) in a target PM object, or to leak a secret word, by
+   overflowing a victim buffer. Attacks are executed for real through the
+   variant's access layer; outcomes are emergent:
+
+     Successful      the dispatch slot holds the attacker's value (or the
+                     secret leaked) — simulated control-flow hijack;
+     Prevented       the machine faulted or the checker raised before the
+                     corruption landed;
+     Failed_silent   the write went through but missed the target (e.g. a
+                     layout-naive attack against a redzone-shifted
+                     SafePM layout).
+
+   Two sophistication levels mirror real exploit development:
+   layout-naive attacks compute offsets against the stock (native PMDK)
+   heap layout; layout-aware attacks (the evasion ones: int-to-pointer
+   laundering, writes via uninstrumented external code, far jumps with a
+   leaked layout) use the actual layout of the hardened binary. *)
+
+open Spp_sim
+
+type target_loc =
+  | Adjacent   (* target object allocated right after the victim *)
+  | Distant    (* two spacer objects in between *)
+
+type technique =
+  | Seq_u8            (* contiguous byte-wise overflow walk *)
+  | Seq_word          (* contiguous word-wise overflow walk *)
+  | Far_naive_u8      (* single jump to the native-layout target *)
+  | Far_naive_word
+  | Memcpy_naive      (* overflow through the memcpy intrinsic *)
+  | Strcpy_naive      (* overflow through strcpy *)
+  | Read_leak_naive   (* out-of-bounds read of the secret *)
+  | Far_aware_write   (* layout-aware direct jump *)
+  | Far_aware_read
+  | Int2ptr_aware     (* pointer laundered through an integer *)
+  | External_aware    (* write performed by uninstrumented external code *)
+  | Intra_word        (* intra-object field overflow *)
+  | Intra_memcpy
+  | Under_seq_word    (* contiguous word-wise UNDERflow walk *)
+  | Under_far_word    (* layout-aware jump below the buffer start *)
+
+type attack = { technique : technique; loc : target_loc }
+
+let technique_name = function
+  | Seq_u8 -> "seq-u8"
+  | Seq_word -> "seq-word"
+  | Far_naive_u8 -> "far-naive-u8"
+  | Far_naive_word -> "far-naive-word"
+  | Memcpy_naive -> "memcpy"
+  | Strcpy_naive -> "strcpy"
+  | Read_leak_naive -> "read-leak"
+  | Far_aware_write -> "far-aware-write"
+  | Far_aware_read -> "far-aware-read"
+  | Int2ptr_aware -> "int2ptr"
+  | External_aware -> "external-write"
+  | Intra_word -> "intra-object-word"
+  | Intra_memcpy -> "intra-object-memcpy"
+  | Under_seq_word -> "underflow-seq-word"
+  | Under_far_word -> "underflow-far-word"
+
+let loc_name = function Adjacent -> "adjacent" | Distant -> "distant"
+
+let attack_name a =
+  Printf.sprintf "%s/%s" (technique_name a.technique) (loc_name a.loc)
+
+let all_attacks =
+  let both t = [ { technique = t; loc = Adjacent }; { technique = t; loc = Distant } ] in
+  List.concat_map both
+    [ Seq_u8; Seq_word; Far_naive_u8; Far_naive_word; Memcpy_naive;
+      Strcpy_naive; Read_leak_naive; Far_aware_write; Far_aware_read;
+      Int2ptr_aware; External_aware ]
+  @ List.concat_map both [ Under_seq_word; Under_far_word ]
+  @ [ { technique = Intra_word; loc = Adjacent };
+      { technique = Intra_memcpy; loc = Adjacent } ]
+
+type outcome =
+  | Successful
+  | Prevented of string
+  | Failed_silent
+
+let outcome_name = function
+  | Successful -> "SUCCESSFUL"
+  | Prevented r -> "prevented: " ^ r
+  | Failed_silent -> "failed (silent)"
+
+(* Victim/target geometry. *)
+
+let victim_size = 120
+(* 120 B sits at the top of the native 128 B class, so SafePM's redzone
+   padding (120 + 64 B) spills into the next class and shifts the layout
+   of the hardened binary — exactly the property that makes layout-naive
+   exploits land in redzones under ASan-style hardening. *)
+let dispatch_off = 16         (* dispatch slot inside the target object *)
+let secret_off = 24
+let attacker_value = 0x4141414141414141 land max_int  (* no NUL bytes *)
+let dispatch_init = 0xD15 and secret_value = 0x5EC12E7
+
+type setup = {
+  a : Spp_access.t;
+  victim : int;           (* application pointer to the victim buffer *)
+  victim2 : int;          (* victim with an intra-object dispatch field *)
+  target_addr : int;      (* judge's raw address of the target object *)
+  target_ptr : int;       (* application pointer to the target object *)
+  pre_target_addr : int;  (* raw address of the object BELOW the victim *)
+  leak_slot : int;        (* where a read attack exfiltrates the secret *)
+}
+
+(* Allocation order fixes the layout: victim, (spacers), target, then
+   auxiliary objects that must not shift the victim→target distance. *)
+let make_setup variant loc =
+  let a = Spp_access.create ~pool_size:(1 lsl 20)
+      ~name:(Spp_access.variant_name variant) variant in
+  (* an earlier object, the target of underflow attacks *)
+  let pre_target_oid = a.Spp_access.palloc victim_size in
+  (match loc with
+   | Adjacent -> ()
+   | Distant ->
+     ignore (a.Spp_access.palloc victim_size);
+     ignore (a.Spp_access.palloc victim_size));
+  let victim_oid = a.Spp_access.palloc victim_size in
+  (match loc with
+   | Adjacent -> ()
+   | Distant ->
+     ignore (a.Spp_access.palloc victim_size);
+     ignore (a.Spp_access.palloc victim_size));
+  let target_oid = a.Spp_access.palloc victim_size in
+  let victim2_oid = a.Spp_access.palloc victim_size in
+  let leak_oid = a.Spp_access.palloc victim_size in
+  let target_ptr = a.Spp_access.direct target_oid in
+  let a_space = a.Spp_access.space in
+  let target_addr = a.Spp_access.ptr_to_int target_ptr in
+  let pre_target_addr =
+    a.Spp_access.ptr_to_int (a.Spp_access.direct pre_target_oid)
+  in
+  (* initialize dispatch + secret through the judge's raw view *)
+  Space.store_word a_space (target_addr + dispatch_off) dispatch_init;
+  Space.store_word a_space (target_addr + secret_off) secret_value;
+  Space.store_word a_space (pre_target_addr + dispatch_off) dispatch_init;
+  {
+    a;
+    victim = a.Spp_access.direct victim_oid;
+    victim2 = a.Spp_access.direct victim2_oid;
+    target_addr;
+    target_ptr;
+    pre_target_addr;
+    leak_slot = a.Spp_access.direct leak_oid;
+  }
+
+(* Native-layout deltas, measured once on the stock binary: what a
+   layout-naive exploit hardcodes. *)
+let native_deltas = Hashtbl.create 4
+
+let native_delta loc =
+  match Hashtbl.find_opt native_deltas loc with
+  | Some d -> d
+  | None ->
+    let s = make_setup Spp_access.Pmdk loc in
+    let d = s.target_addr + dispatch_off - s.victim in
+    Hashtbl.replace native_deltas loc d;
+    d
+
+(* The attack bodies. [delta] is relative to the victim buffer start. *)
+
+let write_far (a : Spp_access.t) victim delta value =
+  a.Spp_access.store_word (a.Spp_access.gep victim delta) value
+
+let run_technique s loc =
+  let a = s.a in
+  let d_naive = native_delta loc in
+  let d_real = s.target_addr + dispatch_off - a.Spp_access.ptr_to_int s.victim in
+  let d_under =
+    s.pre_target_addr + dispatch_off - a.Spp_access.ptr_to_int s.victim
+  in
+  function
+  | Under_seq_word ->
+    (* walk downwards word by word; SPP's tag only encodes the upper
+       bound (paper §IV-A), so the whole walk stays "valid" for it *)
+    let i = ref (-8) in
+    while !i > d_under do
+      a.Spp_access.store_word (a.Spp_access.gep s.victim !i) 0x4242424242;
+      i := !i - 8
+    done;
+    a.Spp_access.store_word (a.Spp_access.gep s.victim d_under) attacker_value
+  | Under_far_word ->
+    a.Spp_access.store_word (a.Spp_access.gep s.victim d_under) attacker_value
+  | Seq_u8 ->
+    for i = 0 to d_naive + 7 do
+      let byte =
+        if i >= d_naive then (attacker_value lsr (8 * (i - d_naive))) land 0xFF
+        else 0x42
+      in
+      a.Spp_access.store_u8 (a.Spp_access.gep s.victim i) byte
+    done
+  | Seq_word ->
+    let i = ref 0 in
+    while !i < d_naive do
+      a.Spp_access.store_word (a.Spp_access.gep s.victim !i) 0x4242424242;
+      i := !i + 8
+    done;
+    write_far a s.victim d_naive attacker_value
+  | Far_naive_u8 ->
+    for b = 0 to 7 do
+      a.Spp_access.store_u8
+        (a.Spp_access.gep s.victim (d_naive + b))
+        ((attacker_value lsr (8 * b)) land 0xFF)
+    done
+  | Far_naive_word -> write_far a s.victim d_naive attacker_value
+  | Memcpy_naive ->
+    let len = d_naive + 8 in
+    let src_oid = a.Spp_access.palloc len in
+    let src = a.Spp_access.direct src_oid in
+    let payload = Bytes.make len '\x42' in
+    for b = 0 to 7 do
+      Bytes.set payload (d_naive + b)
+        (Char.chr ((attacker_value lsr (8 * b)) land 0xFF))
+    done;
+    a.Spp_access.write_bytes src payload;
+    a.Spp_access.memcpy ~dst:s.victim ~src ~len
+  | Strcpy_naive ->
+    let len = d_naive + 8 in
+    let src_oid = a.Spp_access.palloc (len + 16) in
+    let src = a.Spp_access.direct src_oid in
+    let payload = Bytes.make (len + 1) '\x42' in
+    for b = 0 to 7 do
+      Bytes.set payload (d_naive + b)
+        (Char.chr ((attacker_value lsr (8 * b)) land 0xFF))
+    done;
+    Bytes.set payload len '\x00';
+    a.Spp_access.write_bytes src payload;
+    a.Spp_access.strcpy ~dst:s.victim ~src
+  | Read_leak_naive ->
+    let d_secret = d_naive - dispatch_off + secret_off in
+    let v = a.Spp_access.load_word (a.Spp_access.gep s.victim d_secret) in
+    a.Spp_access.store_word s.leak_slot v
+  | Far_aware_write -> write_far a s.victim d_real attacker_value
+  | Far_aware_read ->
+    let d_secret = d_real - dispatch_off + secret_off in
+    let v = a.Spp_access.load_word (a.Spp_access.gep s.victim d_secret) in
+    a.Spp_access.store_word s.leak_slot v
+  | Int2ptr_aware ->
+    (* launder the pointer through an integer: the tag is gone, and the
+       resulting access is a plain in-pool address *)
+    let raw = a.Spp_access.ptr_to_int s.victim + d_real in
+    a.Spp_access.store_word raw attacker_value
+  | External_aware ->
+    (* the pointer is masked for an external callee, which then writes *)
+    let ext = a.Spp_access.for_external (a.Spp_access.gep s.victim d_real) in
+    Space.store_word a.Spp_access.space ext attacker_value
+  | Intra_word ->
+    (* overflow of a 32-byte field into a sibling field of the same
+       object — inside the object bounds, invisible to all variants *)
+    a.Spp_access.store_word (a.Spp_access.gep s.victim2 48) attacker_value
+  | Intra_memcpy ->
+    let src_oid = a.Spp_access.palloc 56 in
+    let src = a.Spp_access.direct src_oid in
+    let payload = Bytes.make 56 '\x42' in
+    for b = 0 to 7 do
+      Bytes.set payload (48 + b)
+        (Char.chr ((attacker_value lsr (8 * b)) land 0xFF))
+    done;
+    a.Spp_access.write_bytes src payload;
+    a.Spp_access.memcpy ~dst:s.victim2 ~src ~len:56
+
+let judge s attack =
+  let space = s.a.Spp_access.space in
+  match attack.technique with
+  | Read_leak_naive | Far_aware_read ->
+    let leaked =
+      Space.load_word space (s.a.Spp_access.ptr_to_int s.leak_slot)
+    in
+    if leaked = secret_value then Successful else Failed_silent
+  | Under_seq_word | Under_far_word ->
+    let v = Space.load_word space (s.pre_target_addr + dispatch_off) in
+    if v = attacker_value then Successful else Failed_silent
+  | Intra_word | Intra_memcpy ->
+    let v =
+      Space.load_word space (s.a.Spp_access.ptr_to_int s.victim2 + 48)
+    in
+    if v = attacker_value then Successful else Failed_silent
+  | Seq_u8 | Seq_word | Far_naive_u8 | Far_naive_word | Memcpy_naive
+  | Strcpy_naive | Far_aware_write | Int2ptr_aware | External_aware ->
+    let v = Space.load_word space (s.target_addr + dispatch_off) in
+    if v = attacker_value then Successful else Failed_silent
+
+let run_attack variant attack =
+  let s = make_setup variant attack.loc in
+  match run_technique s attack.loc attack.technique with
+  | () -> judge s attack
+  | exception Fault.Fault (k, addr) ->
+    Prevented (Printf.sprintf "%s at 0x%x" (Fault.kind_to_string k) addr)
+  | exception Spp_safepm.Violation { kind; _ } -> Prevented ("SafePM: " ^ kind)
+  | exception Spp_memcheck.Violation _ -> Prevented "memcheck: invalid access"
+
+(* The volatile-heap row of Table IV: the same attacks against libc-style
+   volatile allocations — nothing checks anything, every attack lands. *)
+
+let run_attack_volatile attack =
+  let space = Space.create () in
+  let h = Vheap.create space (1 lsl 20) in
+  let pre_target = Vheap.malloc h victim_size in
+  (match attack.loc with
+   | Adjacent -> ()
+   | Distant ->
+     ignore (Vheap.malloc h victim_size);
+     ignore (Vheap.malloc h victim_size));
+  let victim = Vheap.malloc h victim_size in
+  (match attack.loc with
+   | Adjacent -> ()
+   | Distant ->
+     ignore (Vheap.malloc h victim_size);
+     ignore (Vheap.malloc h victim_size));
+  let target = Vheap.malloc h victim_size in
+  let victim2 = Vheap.malloc h victim_size in
+  let leak = Vheap.malloc h victim_size in
+  Space.store_word space (target + dispatch_off) dispatch_init;
+  Space.store_word space (target + secret_off) secret_value;
+  Space.store_word space (pre_target + dispatch_off) dispatch_init;
+  let delta = target + dispatch_off - victim in
+  (match attack.technique with
+   | Under_seq_word | Under_far_word ->
+     Space.store_word space (pre_target + dispatch_off) attacker_value
+   | Read_leak_naive | Far_aware_read ->
+     let v = Space.load_word space (victim + delta - dispatch_off + secret_off) in
+     Space.store_word space leak v
+   | Intra_word | Intra_memcpy ->
+     Space.store_word space (victim2 + 48) attacker_value
+   | Seq_u8 | Seq_word | Far_naive_u8 | Far_naive_word | Memcpy_naive
+   | Strcpy_naive | Far_aware_write | Int2ptr_aware | External_aware ->
+     Space.store_word space (victim + delta) attacker_value);
+  match attack.technique with
+  | Under_seq_word | Under_far_word ->
+    if Space.load_word space (pre_target + dispatch_off) = attacker_value then
+      Successful
+    else Failed_silent
+  | Read_leak_naive | Far_aware_read ->
+    if Space.load_word space leak = secret_value then Successful
+    else Failed_silent
+  | Intra_word | Intra_memcpy ->
+    if Space.load_word space (victim2 + 48) = attacker_value then Successful
+    else Failed_silent
+  | Seq_u8 | Seq_word | Far_naive_u8 | Far_naive_word | Memcpy_naive
+  | Strcpy_naive | Far_aware_write | Int2ptr_aware | External_aware ->
+    if Space.load_word space (target + dispatch_off) = attacker_value then
+      Successful
+    else Failed_silent
+
+(* Table IV rows. *)
+
+type row = {
+  row_name : string;
+  successful : int;
+  prevented : int;
+  failed : int;
+  details : (attack * outcome) list;
+}
+
+let tally row_name outcomes =
+  let successful =
+    List.length (List.filter (fun (_, o) -> o = Successful) outcomes)
+  in
+  let prevented =
+    List.length
+      (List.filter (fun (_, o) -> match o with Prevented _ -> true | _ -> false)
+         outcomes)
+  in
+  let failed =
+    List.length (List.filter (fun (_, o) -> o = Failed_silent) outcomes)
+  in
+  { row_name; successful; prevented; failed; details = outcomes }
+
+let run_row_volatile () =
+  tally "Volatile heap"
+    (List.map (fun at -> (at, run_attack_volatile at)) all_attacks)
+
+let run_row variant =
+  let name =
+    match variant with
+    | Spp_access.Pmdk -> "PM pool heap"
+    | Spp_access.Spp -> "SPP"
+    | Spp_access.Safepm -> "SafePM"
+    | Spp_access.Memcheck -> "memcheck"
+    | Spp_access.Spp_all -> "SPP (volatile too)"
+  in
+  tally name (List.map (fun at -> (at, run_attack variant at)) all_attacks)
+
+let run_all () =
+  run_row_volatile ()
+  :: List.map run_row
+       [ Spp_access.Pmdk; Spp_access.Safepm; Spp_access.Spp;
+         Spp_access.Memcheck ]

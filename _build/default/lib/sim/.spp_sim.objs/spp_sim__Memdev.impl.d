@@ -1,0 +1,1 @@
+lib/sim/memdev.ml: Bytes Char Fun Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/sim/memdev.mli: Bytes

@@ -1,0 +1,1 @@
+lib/sim/space.ml: Bytes Char Fault Int32 Int64 List Memdev Printf String

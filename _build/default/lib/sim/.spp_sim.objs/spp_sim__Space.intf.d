@@ -1,0 +1,1 @@
+lib/sim/space.mli: Bytes Memdev

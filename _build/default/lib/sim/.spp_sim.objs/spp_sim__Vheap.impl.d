@@ -1,0 +1,1 @@
+lib/sim/vheap.ml: Hashtbl List Memdev Space

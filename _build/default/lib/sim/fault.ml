@@ -1,0 +1,22 @@
+(* Hardware-fault model of the simulated machine. *)
+
+type kind =
+  | Segfault
+  | Bus_error
+
+exception Fault of kind * int
+
+let kind_to_string = function
+  | Segfault -> "SIGSEGV"
+  | Bus_error -> "SIGBUS"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let segfault addr = raise (Fault (Segfault, addr))
+let bus_error addr = raise (Fault (Bus_error, addr))
+
+let () =
+  Printexc.register_printer (function
+    | Fault (k, addr) ->
+      Some (Printf.sprintf "Sim fault: %s at address 0x%x" (kind_to_string k) addr)
+    | _ -> None)

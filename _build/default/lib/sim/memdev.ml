@@ -1,0 +1,288 @@
+(* Byte-addressable memory device with an explicit durability model.
+
+   A device has a [view] (what CPU loads and stores observe, i.e. caches
+   included) and, for persistent devices, a [durable] image (what survives a
+   crash). Three durability regimes:
+
+   - volatile device: no durable image at all;
+   - persistent, tracking off: stores are applied to both buffers at once
+     (the fast path used by benchmarks);
+   - persistent, tracking on: stores are buffered as pending records and
+     only reach the durable image once they have been flushed (CLWB) and a
+     fence (SFENCE) has drained them — the regime used by the crash
+     simulator and the pmemcheck-style trace checker. *)
+
+let cacheline = 64
+
+type store_rec = {
+  seq : int;
+  s_off : int;
+  s_len : int;
+  data : Bytes.t;          (* value at store time *)
+  mutable flushed : bool;
+  mutable fenced : bool;
+}
+
+type event =
+  | Ev_store of { off : int; len : int; data : Bytes.t }
+  | Ev_flush of { off : int; len : int }
+  | Ev_fence
+
+type t = {
+  name : string;
+  size : int;
+  view : Bytes.t;
+  durable : Bytes.t option;
+  mutable tracking : bool;
+  mutable next_seq : int;
+  mutable pending : store_rec list;   (* newest first *)
+  mutable trace : event list;         (* newest first; only when tracking *)
+  mutable n_stores : int;
+  mutable n_flushes : int;
+  mutable n_fences : int;
+}
+
+let create_volatile ~name size =
+  { name; size; view = Bytes.make size '\000'; durable = None;
+    tracking = false; next_seq = 0; pending = []; trace = [];
+    n_stores = 0; n_flushes = 0; n_fences = 0 }
+
+let create_persistent ~name size =
+  { name; size; view = Bytes.make size '\000';
+    durable = Some (Bytes.make size '\000');
+    tracking = false; next_seq = 0; pending = []; trace = [];
+    n_stores = 0; n_flushes = 0; n_fences = 0 }
+
+let name t = t.name
+let size t = t.size
+let is_persistent t = t.durable <> None
+
+let set_tracking t on =
+  if on && not (is_persistent t) then
+    invalid_arg "Memdev.set_tracking: device is volatile";
+  t.tracking <- on;
+  if not on then begin
+    (* Leaving tracking mode: make the view durable so the regimes agree. *)
+    (match t.durable with
+     | Some d -> Bytes.blit t.view 0 d 0 t.size
+     | None -> ());
+    t.pending <- [];
+    t.trace <- []
+  end
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Memdev(%s): range [%d, %d+%d) out of device bounds %d"
+         t.name off off len t.size)
+
+(* Loads always observe the view. *)
+
+let load_bytes t ~off ~len =
+  check_range t off len;
+  Bytes.sub t.view off len
+
+let load_into t ~off ~len ~dst ~dst_off =
+  check_range t off len;
+  Bytes.blit t.view off dst dst_off len
+
+let unsafe_view t = t.view
+let unsafe_durable t = t.durable
+
+(* Stores. *)
+
+let record_store t off len =
+  let data = Bytes.sub t.view off len in
+  let r = { seq = t.next_seq; s_off = off; s_len = len; data;
+            flushed = false; fenced = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.pending <- r :: t.pending;
+  t.trace <- Ev_store { off; len; data } :: t.trace
+
+let store_bytes t ~off src ~src_off ~len =
+  check_range t off len;
+  Bytes.blit src src_off t.view off len;
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off len
+    else Bytes.blit src src_off d off len
+
+let store_string t ~off s =
+  let len = String.length s in
+  check_range t off len;
+  Bytes.blit_string s 0 t.view off len;
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off len
+    else Bytes.blit_string s 0 d off len
+
+(* Allocation-free typed stores for the hot paths: the temporary-buffer
+   route through [store_bytes] would allocate on every word store, which
+   turns benchmark timings into GC noise. *)
+
+let store_u8 t ~off v =
+  check_range t off 1;
+  let c = Char.unsafe_chr (v land 0xFF) in
+  Bytes.set t.view off c;
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d -> if t.tracking then record_store t off 1 else Bytes.set d off c
+
+let store_u16 t ~off v =
+  check_range t off 2;
+  Bytes.set_uint16_le t.view off (v land 0xFFFF);
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off 2
+    else Bytes.set_uint16_le d off (v land 0xFFFF)
+
+let store_u32 t ~off v =
+  check_range t off 4;
+  Bytes.set_int32_le t.view off (Int32.of_int v);
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off 4
+    else Bytes.set_int32_le d off (Int32.of_int v)
+
+let store_word t ~off v =
+  check_range t off 8;
+  Bytes.set_int64_le t.view off (Int64.of_int v);
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off 8
+    else Bytes.set_int64_le d off (Int64.of_int v)
+
+let fill t ~off ~len c =
+  check_range t off len;
+  Bytes.fill t.view off len c;
+  t.n_stores <- t.n_stores + 1;
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.tracking then record_store t off len
+    else Bytes.fill d off len c
+
+(* Flush and fence. *)
+
+let ranges_intersect a_off a_len b_off b_len =
+  a_off < b_off + b_len && b_off < a_off + a_len
+
+let flush t ~off ~len =
+  check_range t off len;
+  t.n_flushes <- t.n_flushes + 1;
+  if t.tracking then begin
+    (* CLWB works at cacheline granularity. *)
+    let lo = off / cacheline * cacheline in
+    let hi = (off + len + cacheline - 1) / cacheline * cacheline in
+    let flen = hi - lo in
+    List.iter
+      (fun r ->
+        if (not r.flushed) && ranges_intersect lo flen r.s_off r.s_len then
+          r.flushed <- true)
+      t.pending;
+    t.trace <- Ev_flush { off; len } :: t.trace
+  end
+
+let apply_to_durable t r =
+  match t.durable with
+  | None -> ()
+  | Some d -> Bytes.blit r.data 0 d r.s_off r.s_len
+
+let fence t =
+  t.n_fences <- t.n_fences + 1;
+  if t.tracking then begin
+    (* Drain flushed stores to the durable image, in program order. *)
+    let drained, still =
+      List.partition (fun r -> r.flushed) t.pending
+    in
+    List.iter (apply_to_durable t) (List.rev drained);
+    List.iter (fun r -> r.fenced <- true) drained;
+    t.pending <- still;
+    t.trace <- Ev_fence :: t.trace
+  end
+
+let persist t ~off ~len =
+  flush t ~off ~len;
+  fence t
+
+(* Crash simulation. *)
+
+let crash t =
+  (match t.durable with
+   | None -> Bytes.fill t.view 0 t.size '\000'
+   | Some d -> Bytes.blit d 0 t.view 0 t.size);
+  t.pending <- [];
+  t.trace <- []
+
+let pending_stores t = List.rev t.pending
+
+let crash_applying t recs =
+  (* A crash where a chosen subset of the pending (not yet fenced) stores
+     happened to reach the media before power loss. Used by the
+     pmreorder-style state-space explorer. The subset is replayed in
+     program order on the durable image before discarding the rest. *)
+  (match t.durable with
+   | None -> invalid_arg "Memdev.crash_applying: volatile device"
+   | Some d ->
+     let sorted = List.sort (fun a b -> compare a.seq b.seq) recs in
+     List.iter (fun r -> Bytes.blit r.data 0 d r.s_off r.s_len) sorted);
+  crash t
+
+let trace t = List.rev t.trace
+let clear_trace t = t.trace <- []
+
+let unflushed_pending t =
+  List.rev (List.filter (fun r -> not r.flushed) t.pending)
+
+type counters = { stores : int; flushes : int; fences : int }
+
+let counters t = { stores = t.n_stores; flushes = t.n_flushes; fences = t.n_fences }
+
+let reset_counters t =
+  t.n_stores <- 0; t.n_flushes <- 0; t.n_fences <- 0
+
+(* Persistence of the durable image itself to the host filesystem, so that
+   pools behave like files under /mnt/pmem as in the paper. *)
+
+let save_durable t path =
+  match t.durable with
+  | None -> invalid_arg "Memdev.save_durable: volatile device"
+  | Some d ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc)
+      (fun () -> output_bytes oc d)
+
+let of_image ~name img =
+  let size = Bytes.length img in
+  let t = create_persistent ~name size in
+  (match t.durable with Some d -> Bytes.blit img 0 d 0 size | None -> ());
+  Bytes.blit img 0 t.view 0 size;
+  t
+
+let durable_snapshot t =
+  match t.durable with
+  | None -> invalid_arg "Memdev.durable_snapshot: volatile device"
+  | Some d -> Bytes.copy d
+
+let load_durable ~name path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let d = Bytes.create size in
+      really_input ic d 0 size;
+      let t = create_persistent ~name size in
+      (match t.durable with Some dd -> Bytes.blit d 0 dd 0 size | None -> ());
+      Bytes.blit d 0 t.view 0 size;
+      t)

@@ -1,0 +1,118 @@
+(** Byte-addressable memory device with an explicit durability model.
+
+    A device has a {e view} (what loads and stores observe — i.e. including
+    CPU caches) and, for persistent devices, a {e durable image} (what
+    survives a crash). With store tracking enabled, a store only reaches the
+    durable image after it has been flushed ([CLWB]) and drained by a fence
+    ([SFENCE]) — the regime used by crash simulation and the
+    pmemcheck-style checker. With tracking disabled (the benchmark fast
+    path) stores are considered immediately durable. *)
+
+type t
+
+val cacheline : int
+(** Cacheline size in bytes (64); flush granularity. *)
+
+(** {1 Construction} *)
+
+val create_volatile : name:string -> int -> t
+(** [create_volatile ~name size] — DRAM-like device, no durable image. *)
+
+val create_persistent : name:string -> int -> t
+(** [create_persistent ~name size] — PM-like device with a durable image. *)
+
+val name : t -> string
+val size : t -> int
+val is_persistent : t -> bool
+
+val set_tracking : t -> bool -> unit
+(** Enable/disable store tracking. Disabling synchronizes the durable image
+    with the view and clears pending stores and the trace. Raises
+    [Invalid_argument] when enabling on a volatile device. *)
+
+(** {1 Loads and stores}
+
+    All offsets are device-relative; range violations raise
+    [Invalid_argument] (address-space faults are the job of {!Space}). *)
+
+val load_bytes : t -> off:int -> len:int -> Bytes.t
+val load_into : t -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+val store_bytes : t -> off:int -> Bytes.t -> src_off:int -> len:int -> unit
+val store_string : t -> off:int -> string -> unit
+val fill : t -> off:int -> len:int -> char -> unit
+
+(** Allocation-free typed stores (hot paths). *)
+
+val store_u8 : t -> off:int -> int -> unit
+val store_u16 : t -> off:int -> int -> unit
+val store_u32 : t -> off:int -> int -> unit
+val store_word : t -> off:int -> int -> unit
+
+val unsafe_view : t -> Bytes.t
+(** Direct access to the view buffer, for fast typed accessors in {!Space}.
+    Mutations through it bypass durability tracking. *)
+
+val unsafe_durable : t -> Bytes.t option
+
+(** {1 Durability} *)
+
+val flush : t -> off:int -> len:int -> unit
+(** CLWB: mark pending stores intersecting the cacheline-expanded range as
+    flushed. Durable only after the next {!fence}. *)
+
+val fence : t -> unit
+(** SFENCE: drain flushed pending stores to the durable image, in program
+    order. *)
+
+val persist : t -> off:int -> len:int -> unit
+(** [flush] followed by [fence] — PMDK's [pmem_persist]. *)
+
+(** {1 Crash simulation} *)
+
+type store_rec
+
+val crash : t -> unit
+(** Power failure: the view is reset to the durable image; pending stores
+    are lost. A volatile device is zeroed. *)
+
+val pending_stores : t -> store_rec list
+(** Stores not yet drained to the durable image, in program order. *)
+
+val crash_applying : t -> store_rec list -> unit
+(** [crash_applying t subset] — crash where the chosen subset of pending
+    stores happened to reach the media first (pmreorder exploration). *)
+
+val unflushed_pending : t -> store_rec list
+
+(** {1 Trace and accounting} *)
+
+type event =
+  | Ev_store of { off : int; len : int; data : Bytes.t }
+  | Ev_flush of { off : int; len : int }
+  | Ev_fence
+
+val trace : t -> event list
+(** Program-order event trace (tracking mode only). *)
+
+val clear_trace : t -> unit
+
+type counters = { stores : int; flushes : int; fences : int }
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val of_image : name:string -> Bytes.t -> t
+(** Device whose durable image and view both start as a copy of the given
+    bytes — used by the pmreorder-style crash-state explorer. *)
+
+val durable_snapshot : t -> Bytes.t
+(** Copy of the current durable image. *)
+
+(** {1 Host-file persistence} *)
+
+val save_durable : t -> string -> unit
+(** Write the durable image to a host file (a pool file as under
+    [/mnt/pmem]). *)
+
+val load_durable : name:string -> string -> t
+(** Recreate a persistent device from a pool file. *)

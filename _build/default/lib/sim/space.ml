@@ -1,0 +1,218 @@
+(* Simulated virtual address space.
+
+   Regions map address ranges onto memory devices. Translation of an
+   address not covered by any region raises a fault — this is the
+   mechanism SPP's implicit bounds check relies on: an overflown tagged
+   pointer decodes to a huge address that no region covers. *)
+
+type kind =
+  | Volatile
+  | Persistent
+
+type region = {
+  base : int;
+  rsize : int;
+  dev : Memdev.t;
+  dev_off : int;
+  kind : kind;
+  rname : string;
+}
+
+type stats = {
+  mutable pm_loads : int;
+  mutable pm_stores : int;
+  mutable vol_loads : int;
+  mutable vol_stores : int;
+}
+
+type t = {
+  mutable regions : region list;   (* sorted by base, ascending *)
+  mutable cache : region option;   (* last hit *)
+  stats : stats;
+}
+
+let create () =
+  { regions = []; cache = None;
+    stats = { pm_loads = 0; pm_stores = 0; vol_loads = 0; vol_stores = 0 } }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.pm_loads <- 0; t.stats.pm_stores <- 0;
+  t.stats.vol_loads <- 0; t.stats.vol_stores <- 0
+
+let overlaps a b =
+  a.base < b.base + b.rsize && b.base < a.base + a.rsize
+
+let map t ~base ~size ?(dev_off = 0) ~kind ~name dev =
+  if base < 0 || size <= 0 then invalid_arg "Space.map: bad range";
+  if dev_off < 0 || dev_off + size > Memdev.size dev then
+    invalid_arg "Space.map: range exceeds device";
+  let r = { base; rsize = size; dev; dev_off; kind; rname = name } in
+  List.iter
+    (fun r' ->
+      if overlaps r r' then
+        invalid_arg
+          (Printf.sprintf "Space.map: region %s overlaps %s" name r'.rname))
+    t.regions;
+  t.regions <- List.sort (fun a b -> compare a.base b.base) (r :: t.regions)
+
+let unmap t ~base =
+  t.cache <- None;
+  let before = List.length t.regions in
+  t.regions <- List.filter (fun r -> r.base <> base) t.regions;
+  if List.length t.regions = before then
+    invalid_arg "Space.unmap: no region at this base"
+
+let regions t = t.regions
+
+let region_name r = r.rname
+let region_base r = r.base
+let region_size r = r.rsize
+let region_kind r = r.kind
+let region_dev r = r.dev
+
+let find_region t addr =
+  match t.cache with
+  | Some r when addr >= r.base && addr < r.base + r.rsize -> r
+  | _ ->
+    let rec go = function
+      | [] -> Fault.segfault addr
+      | r :: rest ->
+        if addr < r.base then Fault.segfault addr
+        else if addr < r.base + r.rsize then begin
+          t.cache <- Some r; r
+        end else go rest
+    in
+    go t.regions
+
+(* Translate an access of [len] bytes at [addr]; the whole access must lie
+   within one region, otherwise it faults at the first uncovered byte. *)
+let translate t addr len =
+  if addr < 0 then Fault.segfault addr;
+  let r = find_region t addr in
+  if addr + len > r.base + r.rsize then Fault.segfault (r.base + r.rsize);
+  (r, r.dev_off + (addr - r.base))
+
+let count_load t r = match r.kind with
+  | Persistent -> t.stats.pm_loads <- t.stats.pm_loads + 1
+  | Volatile -> t.stats.vol_loads <- t.stats.vol_loads + 1
+
+let count_store t r = match r.kind with
+  | Persistent -> t.stats.pm_stores <- t.stats.pm_stores + 1
+  | Volatile -> t.stats.vol_stores <- t.stats.vol_stores + 1
+
+(* Typed accessors. Words are 63-bit OCaml ints stored as 8 little-endian
+   bytes; the top bit is always zero on store and discarded on load. *)
+
+let load_u8 t addr =
+  let r, off = translate t addr 1 in
+  count_load t r;
+  Char.code (Bytes.get (Memdev.unsafe_view r.dev) off)
+
+let load_u16 t addr =
+  let r, off = translate t addr 2 in
+  count_load t r;
+  Bytes.get_uint16_le (Memdev.unsafe_view r.dev) off
+
+let load_u32 t addr =
+  let r, off = translate t addr 4 in
+  count_load t r;
+  Int32.to_int (Bytes.get_int32_le (Memdev.unsafe_view r.dev) off) land 0xFFFFFFFF
+
+let load_word t addr =
+  let r, off = translate t addr 8 in
+  count_load t r;
+  Int64.to_int (Bytes.get_int64_le (Memdev.unsafe_view r.dev) off)
+
+let store_u8 t addr v =
+  let r, off = translate t addr 1 in
+  count_store t r;
+  Memdev.store_u8 r.dev ~off v
+
+let store_u16 t addr v =
+  let r, off = translate t addr 2 in
+  count_store t r;
+  Memdev.store_u16 r.dev ~off v
+
+let store_u32 t addr v =
+  let r, off = translate t addr 4 in
+  count_store t r;
+  Memdev.store_u32 r.dev ~off v
+
+let store_word t addr v =
+  let r, off = translate t addr 8 in
+  count_store t r;
+  Memdev.store_word r.dev ~off v
+
+(* Block operations. *)
+
+let read_bytes t addr len =
+  if len = 0 then Bytes.create 0
+  else begin
+    let r, off = translate t addr len in
+    count_load t r;
+    Memdev.load_bytes r.dev ~off ~len
+  end
+
+let write_bytes t addr b =
+  let len = Bytes.length b in
+  if len > 0 then begin
+    let r, off = translate t addr len in
+    count_store t r;
+    Memdev.store_bytes r.dev ~off b ~src_off:0 ~len
+  end
+
+let write_string t addr s =
+  let len = String.length s in
+  if len > 0 then begin
+    let r, off = translate t addr len in
+    count_store t r;
+    Memdev.store_string r.dev ~off s
+  end
+
+let fill t addr len c =
+  if len > 0 then begin
+    let r, off = translate t addr len in
+    count_store t r;
+    Memdev.fill r.dev ~off ~len c
+  end
+
+let blit t ~src ~dst ~len =
+  if len > 0 then begin
+    let b = read_bytes t src len in
+    write_bytes t dst b
+  end
+
+(* C-string helpers: scan for NUL, faulting if the scan leaves the region. *)
+
+let strlen t addr =
+  let rec go i =
+    if load_u8 t (addr + i) = 0 then i else go (i + 1)
+  in
+  go 0
+
+let read_cstring t addr =
+  let len = strlen t addr in
+  Bytes.to_string (read_bytes t addr len)
+
+(* Durability pass-throughs. *)
+
+let flush t addr len =
+  if len > 0 then begin
+    let r, off = translate t addr len in
+    Memdev.flush r.dev ~off ~len
+  end
+
+let fence_at t addr =
+  let r = find_region t addr in
+  Memdev.fence r.dev
+
+let persist t addr len =
+  flush t addr len;
+  if len > 0 then fence_at t addr
+
+let is_mapped t addr =
+  match find_region t addr with
+  | (_ : region) -> true
+  | exception Fault.Fault _ -> false

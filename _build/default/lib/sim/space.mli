@@ -1,0 +1,86 @@
+(** Simulated virtual address space.
+
+    Regions map simulated address ranges onto {!Memdev} devices. Any access
+    through an address not covered by a region raises {!Fault.Fault} — the
+    analogue of a hardware fault, and the sink for SPP's implicitly
+    invalidated (overflown) pointers. *)
+
+type t
+
+type kind =
+  | Volatile
+  | Persistent
+
+type region
+
+val create : unit -> t
+
+(** {1 Mapping} *)
+
+val map :
+  t -> base:int -> size:int -> ?dev_off:int -> kind:kind -> name:string ->
+  Memdev.t -> unit
+(** Map [size] bytes of the device (from [dev_off]) at simulated address
+    [base]. Raises [Invalid_argument] on overlap or out-of-device ranges. *)
+
+val unmap : t -> base:int -> unit
+val regions : t -> region list
+val is_mapped : t -> int -> bool
+
+val region_name : region -> string
+val region_base : region -> int
+val region_size : region -> int
+val region_kind : region -> kind
+val region_dev : region -> Memdev.t
+
+val find_region : t -> int -> region
+(** Region covering the address; raises {!Fault.Fault} otherwise. *)
+
+(** {1 Typed accessors}
+
+    Words are 63-bit OCaml ints stored as 8 little-endian bytes. All
+    accessors fault ([Fault.Fault]) on unmapped or region-crossing
+    accesses. *)
+
+val load_u8 : t -> int -> int
+val load_u16 : t -> int -> int
+val load_u32 : t -> int -> int
+val load_word : t -> int -> int
+val store_u8 : t -> int -> int -> unit
+val store_u16 : t -> int -> int -> unit
+val store_u32 : t -> int -> int -> unit
+val store_word : t -> int -> int -> unit
+
+(** {1 Block operations} *)
+
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+val write_string : t -> int -> string -> unit
+val fill : t -> int -> int -> char -> unit
+val blit : t -> src:int -> dst:int -> len:int -> unit
+
+(** {1 C-string helpers} *)
+
+val strlen : t -> int -> int
+(** Distance to the first NUL byte; faults if the scan leaves the mapped
+    region (exactly like a runaway [strlen] on real hardware). *)
+
+val read_cstring : t -> int -> string
+
+(** {1 Durability} *)
+
+val flush : t -> int -> int -> unit
+val fence_at : t -> int -> unit
+val persist : t -> int -> int -> unit
+
+(** {1 Accounting} *)
+
+type stats = {
+  mutable pm_loads : int;
+  mutable pm_stores : int;
+  mutable vol_loads : int;
+  mutable vol_stores : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+test/test_access.ml: Alcotest Char Heap List Oid Pool Spp_access Spp_core Spp_pmdk Spp_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Config Encoding Fault Gen Memdev QCheck QCheck_alcotest Runtime Space Spp_core Spp_sim Wrappers

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Gen Hashtbl List Oid Pool Printf QCheck QCheck_alcotest Spp_access Spp_core Spp_indices Spp_pmdk Spp_pmemkv Spp_sim

@@ -1,0 +1,1 @@
+test/test_indices.ml: Alcotest Btree_map Gen Hashtbl Heap Indices List Pool Printf QCheck QCheck_alcotest Random Rbtree Spp_access Spp_indices Spp_pmdk Spp_sim

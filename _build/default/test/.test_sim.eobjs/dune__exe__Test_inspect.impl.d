@@ -1,0 +1,1 @@
+test/test_inspect.ml: Alcotest Format Heap Inspect List Mode Oid Pool Rep Spp_core Spp_pmdk Spp_pmemcheck Spp_sim String

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Hashtbl Interp Ir Passes Printf Spp_instr Spp_pmdk Spp_sim

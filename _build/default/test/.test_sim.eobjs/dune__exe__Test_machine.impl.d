@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Filename Machine Mode Oid Pool Spp_core Spp_pmdk Spp_sim

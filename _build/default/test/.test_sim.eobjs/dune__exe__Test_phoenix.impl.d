@@ -1,0 +1,1 @@
+test/test_phoenix.ml: Alcotest List Printf Spp_access Spp_phoenix

@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Bytes Fault Filename Fun Gen Heap List Memdev Mode Oid Pool QCheck QCheck_alcotest Space Spp_core Spp_pmdk Spp_sim Sys Tx

@@ -1,0 +1,1 @@
+test/test_pmdk_examples.ml: Alcotest Gen Heap List Pm_array Pm_fifo Pm_montecarlo Pm_queue Pm_slab Pool Printf QCheck QCheck_alcotest Spp_access Spp_pmdk Spp_pmdk_examples Spp_sim

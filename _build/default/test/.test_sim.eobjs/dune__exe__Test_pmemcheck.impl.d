@@ -1,0 +1,1 @@
+test/test_pmemcheck.ml: Alcotest Format Mode Oid Pmemcheck Pmreorder Pool Rep Space Spp_core Spp_pmdk Spp_pmemcheck Spp_sim

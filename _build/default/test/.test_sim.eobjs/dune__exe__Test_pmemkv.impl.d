@@ -1,0 +1,1 @@
+test/test_pmemkv.ml: Alcotest Hashtbl List Pool Printf Random Spp_access Spp_pmdk Spp_pmemkv Spp_sim String

@@ -1,0 +1,1 @@
+test/test_pmemlog.ml: Alcotest Bytes Format List Oid Pool Spp_access Spp_pmdk Spp_pmemcheck Spp_pmemlog Spp_sim String

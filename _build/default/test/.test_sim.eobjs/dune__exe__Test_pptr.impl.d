@@ -1,0 +1,1 @@
+test/test_pptr.ml: Alcotest Bytes List QCheck QCheck_alcotest Spp_access Spp_pptr String

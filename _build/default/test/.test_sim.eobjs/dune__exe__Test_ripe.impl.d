@@ -1,0 +1,1 @@
+test/test_ripe.ml: Alcotest Lazy List Ripe Spp_access Spp_ripe

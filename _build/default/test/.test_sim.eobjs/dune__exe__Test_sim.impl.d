@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Char Fault Filename Fun Gen List Memdev QCheck QCheck_alcotest Space Spp_sim Sys Vheap

@@ -1,0 +1,1 @@
+test/test_spp_all.ml: Alcotest List Spp_access Spp_core

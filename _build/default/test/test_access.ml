@@ -1,0 +1,191 @@
+(* Tests for the access layer and the SafePM / memcheck baselines: each
+   variant must behave identically on legal programs and differ exactly in
+   which illegal accesses it catches. *)
+
+open Spp_pmdk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk variant =
+  Spp_access.create ~pool_size:(1 lsl 20)
+    ~name:(Spp_access.variant_name variant) variant
+
+let each_variant f =
+  List.iter (fun v -> f (mk v)) Spp_access.all_variants
+
+(* Legal programs behave identically on every variant. *)
+
+let test_legal_rw_all_variants () =
+  each_variant (fun a ->
+    let oid = a.Spp_access.palloc 64 in
+    let p = a.Spp_access.direct oid in
+    a.Spp_access.store_word p 0xABCD;
+    a.Spp_access.store_word (a.Spp_access.gep p 8) 0x1234;
+    check_int (a.Spp_access.name ^ " word0") 0xABCD (a.Spp_access.load_word p);
+    check_int (a.Spp_access.name ^ " word1") 0x1234
+      (a.Spp_access.load_word (a.Spp_access.gep p 8));
+    a.Spp_access.pfree oid)
+
+let test_legal_intrinsics_all_variants () =
+  each_variant (fun a ->
+    let x = a.Spp_access.palloc 32 and y = a.Spp_access.palloc 32 in
+    let px = a.Spp_access.direct x and py = a.Spp_access.direct y in
+    a.Spp_access.write_string px "hello, world\000";
+    a.Spp_access.memcpy ~dst:py ~src:px ~len:13;
+    check_int (a.Spp_access.name ^ " strlen") 12 (a.Spp_access.strlen py);
+    check_int (a.Spp_access.name ^ " strcmp") 0 (a.Spp_access.strcmp px py);
+    a.Spp_access.memset px 'z' 32;
+    check_int (a.Spp_access.name ^ " memset") (Char.code 'z')
+      (a.Spp_access.load_u8 px))
+
+let test_legal_oid_slots_all_variants () =
+  each_variant (fun a ->
+    let parent = a.Spp_access.palloc 64 in
+    let child = a.Spp_access.palloc 48 in
+    let pp = a.Spp_access.direct parent in
+    a.Spp_access.store_oid_at pp child;
+    let back = a.Spp_access.load_oid_at pp in
+    check_bool (a.Spp_access.name ^ " oid roundtrip") true (Oid.equal child back))
+
+(* Overflow detection differs per variant. *)
+
+let test_contiguous_overflow_detection () =
+  let outcome v =
+    let a = mk v in
+    let oid = a.Spp_access.palloc 64 in
+    let p = a.Spp_access.direct oid in
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.store_word (a.Spp_access.gep p 64) 0xBAD)
+  in
+  (match outcome Spp_access.Pmdk with
+   | Spp_access.Ok_completed -> ()
+   | Prevented r -> Alcotest.failf "native pmdk should not detect: %s" r);
+  (match outcome Spp_access.Spp with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "SPP must detect one-past overflow");
+  (match outcome Spp_access.Safepm with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "SafePM must detect one-past overflow")
+
+let test_memcheck_misses_slack_overflow () =
+  (* A 33-byte request lives in a 128-byte class: a write at offset 36
+     is an overflow into the slack, which memcheck (knowing only the
+     usable size) misses, while SPP catches it. *)
+  let run v =
+    let a = mk v in
+    let oid = a.Spp_access.palloc 33 in
+    let p = a.Spp_access.direct oid in
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.store_u8 (a.Spp_access.gep p 36) 1)
+  in
+  (match run Spp_access.Memcheck with
+   | Spp_access.Ok_completed -> ()
+   | Prevented r -> Alcotest.failf "memcheck should miss slack overflow: %s" r);
+  (match run Spp_access.Spp with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "SPP must catch slack overflow")
+
+let test_safepm_redzone_and_freed () =
+  let a = mk Spp_access.Safepm in
+  let oid = a.Spp_access.palloc 64 in
+  let p = a.Spp_access.direct oid in
+  (* write into the redzone *)
+  (match Spp_access.run_guarded (fun () ->
+     a.Spp_access.store_u8 (a.Spp_access.gep p 70) 1)
+   with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "SafePM must catch redzone write");
+  (* use after free *)
+  a.Spp_access.pfree oid;
+  match Spp_access.run_guarded (fun () -> ignore (a.Spp_access.load_word p)) with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SafePM must catch use-after-free"
+
+let test_spp_memcpy_overflow_detected () =
+  let a = mk Spp_access.Spp in
+  let src = a.Spp_access.palloc 128 and dst = a.Spp_access.palloc 64 in
+  let psrc = a.Spp_access.direct src and pdst = a.Spp_access.direct dst in
+  match Spp_access.run_guarded (fun () ->
+    a.Spp_access.memcpy ~dst:pdst ~src:psrc ~len:128)
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SPP wrapper must catch memcpy overflow"
+
+let test_spp_external_call_unprotected () =
+  (* Masking for an external callee removes all protection — the paper's
+     documented limitation (§IV-G). *)
+  let a = mk Spp_access.Spp in
+  let oid = a.Spp_access.palloc 16 in
+  let p = a.Spp_access.direct oid in
+  let oob = a.Spp_access.gep p 20 in
+  let raw = a.Spp_access.for_external oob in
+  (* the "external library" writes through the raw pointer: no fault *)
+  match Spp_access.run_guarded (fun () ->
+    Spp_sim.Space.store_u8 a.Spp_access.space raw 7)
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "external write should succeed: %s" r
+
+let test_spp_ptr_to_int_roundtrip_loses_tag () =
+  let a = mk Spp_access.Spp in
+  let oid = a.Spp_access.palloc 16 in
+  let p = a.Spp_access.direct oid in
+  let i = a.Spp_access.ptr_to_int p in
+  (* int-to-pointer: the integer has no tag; accesses through it are
+     unprotected (paper §IV-G) *)
+  check_bool "integer is the plain address" true
+    (i = Spp_core.Encoding.address Spp_core.Config.default p);
+  match Spp_access.run_guarded (fun () ->
+    Spp_sim.Space.store_u8 a.Spp_access.space (i + 20) 7)
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "int2ptr write should succeed: %s" r
+
+let test_safepm_space_overhead_visible () =
+  (* SafePM burns pool space on shadow + redzones; SPP only pays the oid
+     size field. *)
+  let sp = mk Spp_access.Safepm in
+  let spp = mk Spp_access.Spp in
+  for _ = 1 to 10 do
+    ignore (sp.Spp_access.palloc 64);
+    ignore (spp.Spp_access.palloc 64)
+  done;
+  let s1 = Pool.heap_stats sp.Spp_access.pool in
+  let s2 = Pool.heap_stats spp.Spp_access.pool in
+  check_bool "safepm uses more heap" true
+    (s1.Heap.allocated_bytes > s2.Heap.allocated_bytes)
+
+let () =
+  Alcotest.run "spp_access"
+    [
+      ( "legal",
+        [
+          Alcotest.test_case "rw on all variants" `Quick
+            test_legal_rw_all_variants;
+          Alcotest.test_case "intrinsics on all variants" `Quick
+            test_legal_intrinsics_all_variants;
+          Alcotest.test_case "oid slots on all variants" `Quick
+            test_legal_oid_slots_all_variants;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "contiguous overflow" `Quick
+            test_contiguous_overflow_detection;
+          Alcotest.test_case "memcheck misses slack overflow" `Quick
+            test_memcheck_misses_slack_overflow;
+          Alcotest.test_case "safepm redzone + UAF" `Quick
+            test_safepm_redzone_and_freed;
+          Alcotest.test_case "spp memcpy overflow" `Quick
+            test_spp_memcpy_overflow_detected;
+          Alcotest.test_case "spp external call unprotected" `Quick
+            test_spp_external_call_unprotected;
+          Alcotest.test_case "spp int2ptr loses tag" `Quick
+            test_spp_ptr_to_int_roundtrip_loses_tag;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "safepm space overhead visible" `Quick
+            test_safepm_space_overhead_visible;
+        ] );
+    ]

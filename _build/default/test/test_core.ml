@@ -1,0 +1,320 @@
+(* Tests for the SPP core: tagged-pointer encoding, runtime hooks, and
+   interposed memory/string wrappers. *)
+
+open Spp_sim
+open Spp_core
+
+let cfg = Config.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let expect_fault f =
+  match f () with
+  | _ -> Alcotest.fail "expected a simulated fault"
+  | exception Fault.Fault _ -> ()
+
+(* Encoding *)
+
+let test_config_arithmetic () =
+  check_int "addr bits" (63 - 2 - 26) (Config.addr_bits cfg);
+  check_int "max object" (1 lsl 26) (Config.max_object_size cfg);
+  check_int "max pool span" (1 lsl 35) (Config.max_pool_span cfg);
+  Alcotest.check_raises "tag too wide"
+    (Invalid_argument "Spp_core.Config.make: tag_bits 60 outside [4, 48]")
+    (fun () -> ignore (Config.make ~tag_bits:60))
+
+let test_mk_tagged_decode () =
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:42 in
+  let d = Encoding.decode cfg p in
+  check_bool "pm bit" true d.Encoding.d_pm;
+  check_bool "no overflow at start" false d.Encoding.d_overflow;
+  check_int "address preserved" 0x1000 d.Encoding.d_addr;
+  check_int "remaining = size" 42 (Encoding.remaining cfg p)
+
+let test_gep_within_bounds () =
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:42 in
+  let p' = Encoding.gep cfg p 21 in
+  check_bool "still valid" false (Encoding.is_overflowed cfg p');
+  check_int "address moved" 0x1015 (Encoding.address cfg p');
+  check_int "remaining" 21 (Encoding.remaining cfg p')
+
+let test_gep_overflow_sets_bit () =
+  (* Paper Fig. 3: 42-byte object, two +21 steps overflow. *)
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:42 in
+  let p = Encoding.gep cfg p 21 in
+  let p = Encoding.gep cfg p 21 in
+  check_bool "overflow set at p = size" true (Encoding.is_overflowed cfg p)
+
+let test_gep_back_in_bounds_clears () =
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:42 in
+  let p = Encoding.gep cfg p 50 in
+  check_bool "overflown" true (Encoding.is_overflowed cfg p);
+  let p = Encoding.gep cfg p (-20) in
+  check_bool "valid again" false (Encoding.is_overflowed cfg p);
+  check_int "address back" (0x1000 + 30) (Encoding.address cfg p)
+
+let test_last_byte_valid_first_oob_not () =
+  let p = Encoding.mk_tagged cfg ~addr:0x2000 ~size:8 in
+  let last = Encoding.gep cfg p 7 in
+  check_bool "last byte valid" false (Encoding.is_overflowed cfg last);
+  let oob = Encoding.gep cfg p 8 in
+  check_bool "one past end invalid" true (Encoding.is_overflowed cfg oob)
+
+let test_clean_tag_preserves_overflow () =
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:8 in
+  let oob = Encoding.gep cfg p 9 in
+  let cleaned = Encoding.clean_tag cfg oob in
+  check_bool "cleaned address is invalid (bit 61 set)" true
+    (cleaned land (1 lsl 61) <> 0);
+  let ok = Encoding.clean_tag cfg (Encoding.gep cfg p 3) in
+  check_int "valid pointer cleans to plain address" (0x1000 + 3) ok
+
+let test_clean_tag_external_strips_everything () =
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:8 in
+  let oob = Encoding.gep cfg p 9 in
+  check_int "external clean yields raw (out-of-bounds!) address"
+    (0x1000 + 9) (Encoding.clean_tag_external cfg oob)
+
+let test_check_bound_accounts_for_width () =
+  (* Reading 8 bytes at offset 1 of an 8-byte object crosses the bound. *)
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:8 in
+  let p1 = Encoding.gep cfg p 1 in
+  let masked = Encoding.check_bound cfg p1 8 in
+  check_bool "masked address invalid" true (masked land (1 lsl 61) <> 0);
+  let ok = Encoding.check_bound cfg p1 7 in
+  check_int "7-byte read at +1 fine" (0x1000 + 1) ok
+
+let test_volatile_pointers_untouched () =
+  let v = 1 lsl 45 in
+  check_int "update_tag id" v (Encoding.update_tag cfg v 10);
+  check_int "clean_tag id" v (Encoding.clean_tag cfg v);
+  check_int "gep is plain add" (v + 10) (Encoding.gep cfg v 10)
+
+let test_object_too_large () =
+  match
+    Encoding.mk_tagged cfg ~addr:0 ~size:(Config.max_object_size cfg + 1)
+  with
+  | _ -> Alcotest.fail "expected Object_too_large"
+  | exception Encoding.Object_too_large { size; max } ->
+    check_int "size" (Config.max_object_size cfg + 1) size;
+    check_int "max" (Config.max_object_size cfg) max
+
+let test_max_size_object () =
+  let size = Config.max_object_size cfg in
+  let p = Encoding.mk_tagged cfg ~addr:0 ~size in
+  check_bool "valid at start" false (Encoding.is_overflowed cfg p);
+  let last = Encoding.gep cfg p (size - 1) in
+  check_bool "last byte valid" false (Encoding.is_overflowed cfg last);
+  let oob = Encoding.gep cfg p size in
+  check_bool "one past end overflows" true (Encoding.is_overflowed cfg oob)
+
+(* Faulting through the address space: the implicit check end-to-end. *)
+
+let mk_space () =
+  let s = Space.create () in
+  let pm = Memdev.create_persistent ~name:"pm" 65536 in
+  Space.map s ~base:4096 ~size:65536 ~kind:Space.Persistent ~name:"pm" pm;
+  s
+
+let test_overflown_access_faults () =
+  let s = mk_space () in
+  let obj = Encoding.mk_tagged cfg ~addr:8192 ~size:16 in
+  (* in-bounds store through check_bound works *)
+  Space.store_word s (Encoding.check_bound cfg obj 8) 0xFEED;
+  check_int "readback" 0xFEED (Space.load_word s (Encoding.check_bound cfg obj 8));
+  (* out-of-bounds access faults with no explicit branch *)
+  let oob = Encoding.gep cfg obj 16 in
+  expect_fault (fun () ->
+    Space.store_word s (Encoding.check_bound cfg oob 8) 1)
+
+(* Runtime hooks *)
+
+let test_runtime_counters () =
+  Runtime.reset_counters ();
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:64 in
+  let p = Runtime.spp_updatetag cfg p 8 in
+  ignore (Runtime.spp_checkbound cfg p 8);
+  ignore (Runtime.spp_cleantag cfg p);
+  ignore (Runtime.spp_cleantag_external cfg p);
+  ignore (Runtime.spp_updatetag_direct cfg p 1);
+  let c = Runtime.counters in
+  check_int "updatetag" 2 c.Runtime.updatetag;
+  check_int "checkbound" 1 c.Runtime.checkbound;
+  check_int "cleantag" 1 c.Runtime.cleantag;
+  check_int "cleantag_external" 1 c.Runtime.cleantag_external;
+  check_int "pm bit tests" 4 c.Runtime.pm_bit_tests;
+  check_int "direct calls skip the test" 1 c.Runtime.direct_calls
+
+(* Wrappers *)
+
+let test_wrap_memcpy_ok_and_overflow () =
+  let s = mk_space () in
+  let src = Encoding.mk_tagged cfg ~addr:8192 ~size:32 in
+  let dst = Encoding.mk_tagged cfg ~addr:16384 ~size:32 in
+  Space.write_string s 8192 "0123456789abcdef0123456789abcdef";
+  Wrappers.wrap_memcpy cfg s ~dst ~src ~len:32;
+  Alcotest.(check string) "copied" "0123456789abcdef"
+    (Bytes.to_string (Space.read_bytes s 16384 16));
+  (* destination too small: fault before any corruption *)
+  let small = Encoding.mk_tagged cfg ~addr:32768 ~size:16 in
+  Space.store_word s (32768 + 16) 0x5AFE;
+  expect_fault (fun () -> Wrappers.wrap_memcpy cfg s ~dst:small ~src ~len:32);
+  check_int "adjacent word untouched" 0x5AFE (Space.load_word s (32768 + 16))
+
+let test_wrap_memset_overflow () =
+  let s = mk_space () in
+  let dst = Encoding.mk_tagged cfg ~addr:8192 ~size:16 in
+  Wrappers.wrap_memset cfg s ~dst ~c:'x' ~len:16;
+  Alcotest.(check string) "filled" "xxxxxxxxxxxxxxxx"
+    (Bytes.to_string (Space.read_bytes s 8192 16));
+  expect_fault (fun () -> Wrappers.wrap_memset cfg s ~dst ~c:'y' ~len:17)
+
+let test_wrap_strcpy () =
+  let s = mk_space () in
+  let src = Encoding.mk_tagged cfg ~addr:8192 ~size:32 in
+  let dst = Encoding.mk_tagged cfg ~addr:16384 ~size:8 in
+  Space.write_string s 8192 "short\000";
+  Wrappers.wrap_strcpy cfg s ~dst ~src;
+  Alcotest.(check string) "copied" "short" (Space.read_cstring s 16384);
+  (* 8-byte buffer cannot take a 10-char string + NUL *)
+  Space.write_string s 8192 "longerdata\000";
+  expect_fault (fun () -> Wrappers.wrap_strcpy cfg s ~dst ~src)
+
+let test_wrap_strcat_and_strcmp () =
+  let s = mk_space () in
+  let a = Encoding.mk_tagged cfg ~addr:8192 ~size:32 in
+  let b = Encoding.mk_tagged cfg ~addr:16384 ~size:32 in
+  Space.write_string s 8192 "foo\000";
+  Space.write_string s 16384 "bar\000";
+  Wrappers.wrap_strcat cfg s ~dst:a ~src:b;
+  Alcotest.(check string) "concatenated" "foobar" (Space.read_cstring s 8192);
+  check_int "strcmp equal" 0
+    (Wrappers.wrap_strcmp cfg s a (Encoding.mk_tagged cfg ~addr:8192 ~size:32));
+  check_bool "strcmp differs" true (Wrappers.wrap_strcmp cfg s a b <> 0)
+
+let test_wrap_strncpy () =
+  let s = mk_space () in
+  let src = Encoding.mk_tagged cfg ~addr:8192 ~size:32 in
+  let dst = Encoding.mk_tagged cfg ~addr:16384 ~size:16 in
+  Space.write_string s 8192 "abc\000";
+  (* copies the string and zero-pads to n *)
+  Wrappers.wrap_strncpy cfg s ~dst ~src ~n:8;
+  Alcotest.(check string) "copy + pad" "abc\000\000\000\000\000"
+    (Bytes.to_string (Space.read_bytes s 16384 8));
+  (* n larger than the destination faults *)
+  expect_fault (fun () -> Wrappers.wrap_strncpy cfg s ~dst ~src ~n:17)
+
+let test_tag_wrap_limitation () =
+  (* paper §IV-G: an offset beyond the tag's representation range can
+     wrap the delta field and clear the overflow bit — a documented
+     limitation, not a defect of this implementation *)
+  let p = Encoding.mk_tagged cfg ~addr:0x1000 ~size:16 in
+  let huge = Config.max_object_size cfg + 16 in   (* wraps the delta *)
+  let wrapped = Encoding.update_tag cfg p huge in
+  check_bool "overflow bit wrapped back to clear" false
+    (Encoding.is_overflowed cfg wrapped);
+  (* a smaller out-of-range offset is still caught *)
+  check_bool "ordinary far offset caught" true
+    (Encoding.is_overflowed cfg (Encoding.update_tag cfg p (huge / 2)))
+
+let test_wrap_memmove_overlap () =
+  let s = mk_space () in
+  let buf = Encoding.mk_tagged cfg ~addr:8192 ~size:32 in
+  Space.write_string s 8192 "abcdefgh";
+  Wrappers.wrap_memmove cfg s ~dst:(Encoding.gep cfg buf 2) ~src:buf ~len:8;
+  Alcotest.(check string) "overlap handled" "ababcdefgh"
+    (Bytes.to_string (Space.read_bytes s 8192 10))
+
+(* Property tests *)
+
+let gen_size = QCheck.Gen.int_range 1 (1 lsl 16)
+
+let prop_overflow_iff_past_bound =
+  QCheck.Test.make ~name:"overflow bit iff offset in [size, size + 2^tag)"
+    ~count:2000
+    QCheck.(make
+              Gen.(pair gen_size (int_range (-100) (1 lsl 17))))
+    (fun (size, off) ->
+      let p = Encoding.mk_tagged cfg ~addr:0x100000 ~size in
+      let p' = Encoding.gep cfg p off in
+      let expected = off >= size || off < -0x100000 in
+      (* for offsets within [-addr, size) the pointer must stay valid *)
+      if off >= - 0x100000 && off < size + (1 lsl 20) then
+        Encoding.is_overflowed cfg p' = expected
+      else true)
+
+let prop_gep_roundtrip =
+  QCheck.Test.make ~name:"gep off then -off restores the pointer" ~count:2000
+    QCheck.(pair (make gen_size) (int_range (-1000) 100000))
+    (fun (size, off) ->
+      let p = Encoding.mk_tagged cfg ~addr:0x100000 ~size in
+      QCheck.assume (0x100000 + off >= 0);
+      Encoding.gep cfg (Encoding.gep cfg p off) (-off) = p)
+
+let prop_clean_tag_valid_equals_address =
+  QCheck.Test.make
+    ~name:"clean_tag of an in-bounds pointer is its plain address" ~count:2000
+    QCheck.(pair (make gen_size) (int_bound 100000))
+    (fun (size, off) ->
+      QCheck.assume (off < size);
+      let p = Encoding.gep cfg (Encoding.mk_tagged cfg ~addr:0x100000 ~size) off in
+      Encoding.clean_tag cfg p = 0x100000 + off)
+
+let prop_update_tag_additive =
+  QCheck.Test.make ~name:"update_tag composes additively" ~count:2000
+    QCheck.(triple (make gen_size) (int_range (-500) 500) (int_range (-500) 500))
+    (fun (size, o1, o2) ->
+      let p = Encoding.mk_tagged cfg ~addr:0x100000 ~size in
+      Encoding.update_tag cfg (Encoding.update_tag cfg p o1) o2
+      = Encoding.update_tag cfg p (o1 + o2))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "spp_core"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "config arithmetic" `Quick test_config_arithmetic;
+          Alcotest.test_case "mk_tagged/decode" `Quick test_mk_tagged_decode;
+          Alcotest.test_case "gep within bounds" `Quick test_gep_within_bounds;
+          Alcotest.test_case "overflow sets bit (paper Fig. 3)" `Quick
+            test_gep_overflow_sets_bit;
+          Alcotest.test_case "arithmetic back clears bit" `Quick
+            test_gep_back_in_bounds_clears;
+          Alcotest.test_case "boundary: last byte vs one past" `Quick
+            test_last_byte_valid_first_oob_not;
+          Alcotest.test_case "clean_tag keeps overflow bit" `Quick
+            test_clean_tag_preserves_overflow;
+          Alcotest.test_case "clean_tag_external strips all" `Quick
+            test_clean_tag_external_strips_everything;
+          Alcotest.test_case "check_bound uses access width" `Quick
+            test_check_bound_accounts_for_width;
+          Alcotest.test_case "volatile pointers untouched" `Quick
+            test_volatile_pointers_untouched;
+          Alcotest.test_case "object too large" `Quick test_object_too_large;
+          Alcotest.test_case "max-size object" `Quick test_max_size_object;
+          Alcotest.test_case "overflown access faults end-to-end" `Quick
+            test_overflown_access_faults;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "hook counters" `Quick test_runtime_counters ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "memcpy ok + overflow" `Quick
+            test_wrap_memcpy_ok_and_overflow;
+          Alcotest.test_case "memset overflow" `Quick test_wrap_memset_overflow;
+          Alcotest.test_case "strcpy" `Quick test_wrap_strcpy;
+          Alcotest.test_case "strcat/strcmp" `Quick test_wrap_strcat_and_strcmp;
+          Alcotest.test_case "memmove overlap" `Quick test_wrap_memmove_overlap;
+          Alcotest.test_case "strncpy" `Quick test_wrap_strncpy;
+          Alcotest.test_case "tag wrap limitation (§IV-G)" `Quick
+            test_tag_wrap_limitation;
+        ] );
+      ( "properties",
+        [
+          qt prop_overflow_iff_past_bound;
+          qt prop_gep_roundtrip;
+          qt prop_clean_tag_valid_equals_address;
+          qt prop_update_tag_additive;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the persistent indices: oracle equivalence on every variant,
+   red-black invariants, crash recovery mid-operation, and the reproduced
+   btree overflow bug. *)
+
+open Spp_pmdk
+open Spp_indices
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(pool_size = 1 lsl 24) variant =
+  Spp_access.create ~pool_size ~name:(Spp_access.variant_name variant) variant
+
+(* Oracle comparison: drive the index and a Hashtbl with the same random
+   operation stream and compare at every get. *)
+
+let oracle_run ~seed ~ops ix =
+  let st = Random.State.make [| seed |] in
+  let model = Hashtbl.create 256 in
+  for _ = 1 to ops do
+    let key = Random.State.int st 5000 in
+    match Random.State.int st 10 with
+    | 0 | 1 | 2 | 3 ->
+      let value = Random.State.int st 1_000_000 in
+      ix.Indices.insert ~key ~value;
+      Hashtbl.replace model key value
+    | 4 | 5 ->
+      let expected = Hashtbl.find_opt model key in
+      let got = ix.Indices.remove key in
+      if expected <> got then
+        Alcotest.failf "%s: remove %d: model %s, index %s" ix.Indices.ix_name
+          key
+          (match expected with None -> "None" | Some v -> string_of_int v)
+          (match got with None -> "None" | Some v -> string_of_int v);
+      Hashtbl.remove model key
+    | _ ->
+      let expected = Hashtbl.find_opt model key in
+      let got = ix.Indices.get key in
+      if expected <> got then
+        Alcotest.failf "%s: get %d: model %s, index %s" ix.Indices.ix_name key
+          (match expected with None -> "None" | Some v -> string_of_int v)
+          (match got with None -> "None" | Some v -> string_of_int v)
+  done;
+  (* final sweep *)
+  Hashtbl.iter
+    (fun k v ->
+      match ix.Indices.get k with
+      | Some v' when v' = v -> ()
+      | other ->
+        Alcotest.failf "%s: final sweep key %d: expected %d got %s"
+          ix.Indices.ix_name k v
+          (match other with None -> "None" | Some v -> string_of_int v))
+    model
+
+let test_oracle index_name variant () =
+  let pool_size = if index_name = "rtree" then 1 lsl 27 else 1 lsl 24 in
+  let a = mk ~pool_size variant in
+  let ix = Indices.create index_name a in
+  let ops = if index_name = "rtree" then 600 else 2500 in
+  oracle_run ~seed:42 ~ops ix
+
+(* Red-black invariants under random workloads. *)
+
+let prop_rbtree_invariants =
+  QCheck.Test.make ~name:"rbtree invariants hold under random ops" ~count:40
+    QCheck.(pair small_int (list_of_size (Gen.int_range 10 120)
+                              (pair (int_bound 500) bool)))
+    (fun (_, ops) ->
+      let a = mk Spp_access.Pmdk in
+      let t = Rbtree.create a in
+      List.iter
+        (fun (key, ins) ->
+          if ins then Rbtree.insert t ~key ~value:key
+          else ignore (Rbtree.remove t key))
+        ops;
+      Rbtree.check_invariants t = [])
+
+(* Index state survives crash-and-recovery between operations, and an
+   operation interrupted by a crash rolls back atomically. *)
+
+let test_index_crash_atomicity index_name () =
+  let a = mk Spp_access.Pmdk in
+  let ix = Indices.create index_name a in
+  for k = 1 to 50 do
+    ix.Indices.insert ~key:k ~value:(k * 10)
+  done;
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  (* persist current state via a no-op tx boundary: all tx ops flush *)
+  ix.Indices.insert ~key:1000 ~value:1;
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  for k = 1 to 50 do
+    check_int
+      (Printf.sprintf "%s key %d survives crash" index_name k)
+      (k * 10)
+      (match ix.Indices.get k with Some v -> v | None -> -1)
+  done
+
+(* The btree bug (pmdk#5333 analogue): removing from a full node performs
+   an out-of-bounds memmove. SPP detects it; native PMDK silently reads
+   past the object. *)
+
+let fill_full_leaf_then_remove ix =
+  (* 7 keys fill the root leaf exactly (order 8 => 7 items) *)
+  for k = 1 to 7 do
+    ix.Indices.insert ~key:k ~value:k
+  done;
+  ignore (ix.Indices.remove 1)
+
+let test_btree_bug_detected_by_spp () =
+  let a = mk Spp_access.Spp in
+  let t = Btree_map.create ~buggy:true a in
+  let ix = Indices.of_btree t in
+  match Spp_access.run_guarded (fun () -> fill_full_leaf_then_remove ix) with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SPP must detect the btree memmove overflow"
+
+let test_btree_bug_silent_on_native () =
+  let a = mk Spp_access.Pmdk in
+  let t = Btree_map.create ~buggy:true a in
+  let ix = Indices.of_btree t in
+  match Spp_access.run_guarded (fun () -> fill_full_leaf_then_remove ix) with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "native PMDK should not detect: %s" r
+
+let test_btree_fixed_variant_clean () =
+  (* the corrected code must run overflow-free under SPP *)
+  let a = mk Spp_access.Spp in
+  let t = Btree_map.create ~buggy:false a in
+  let ix = Indices.of_btree t in
+  match Spp_access.run_guarded (fun () ->
+    fill_full_leaf_then_remove ix;
+    for k = 2 to 7 do
+      check_int "still present" k
+        (match ix.Indices.get k with Some v -> v | None -> -1)
+    done)
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "fixed btree must be clean under SPP: %s" r
+
+(* Space accounting: rtree with many oid-bearing nodes must show SPP
+   overhead; ctree/rbtree barely any (Table III shape). *)
+
+let heap_bytes variant index_name keys =
+  let pool_size = if index_name = "rtree" then 1 lsl 27 else 1 lsl 24 in
+  let a = mk ~pool_size variant in
+  let ix = Indices.create index_name a in
+  for k = 1 to keys do
+    ix.Indices.insert ~key:k ~value:k
+  done;
+  (Pool.heap_stats a.Spp_access.pool).Heap.allocated_bytes
+
+let test_rtree_space_overhead_shape () =
+  let native = heap_bytes Spp_access.Pmdk "rtree" 200 in
+  let spp = heap_bytes Spp_access.Spp "rtree" 200 in
+  let overhead = float_of_int (spp - native) /. float_of_int native in
+  check_bool
+    (Printf.sprintf "rtree overhead %.1f%% is substantial" (overhead *. 100.))
+    true (overhead > 0.10);
+  let n_ct = heap_bytes Spp_access.Pmdk "ctree" 500 in
+  let s_ct = heap_bytes Spp_access.Spp "ctree" 500 in
+  let ct_overhead = float_of_int (s_ct - n_ct) /. float_of_int n_ct in
+  check_bool
+    (Printf.sprintf "ctree overhead %.1f%% stays small" (ct_overhead *. 100.))
+    true (ct_overhead < overhead)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  let oracle_cases =
+    List.concat_map
+      (fun ix ->
+        [
+          Alcotest.test_case (ix ^ " vs oracle (pmdk)") `Quick
+            (test_oracle ix Spp_access.Pmdk);
+          Alcotest.test_case (ix ^ " vs oracle (spp)") `Quick
+            (test_oracle ix Spp_access.Spp);
+          Alcotest.test_case (ix ^ " vs oracle (safepm)") `Quick
+            (test_oracle ix Spp_access.Safepm);
+        ])
+      Indices.names
+  in
+  let crash_cases =
+    List.map
+      (fun ix ->
+        Alcotest.test_case (ix ^ " crash atomicity") `Quick
+          (test_index_crash_atomicity ix))
+      [ "ctree"; "rbtree"; "hashmap_tx"; "btree" ]
+  in
+  Alcotest.run "spp_indices"
+    [
+      ("oracle", oracle_cases);
+      ("invariants", [ qt prop_rbtree_invariants ]);
+      ("crash", crash_cases);
+      ( "btree-bug",
+        [
+          Alcotest.test_case "SPP detects pmdk#5333" `Quick
+            test_btree_bug_detected_by_spp;
+          Alcotest.test_case "native PMDK silent" `Quick
+            test_btree_bug_silent_on_native;
+          Alcotest.test_case "fixed code clean under SPP" `Quick
+            test_btree_fixed_variant_clean;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "rtree vs ctree overhead shape" `Quick
+            test_rtree_space_overhead_shape;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+(* Tests for the compiler passes over the miniature IR: instrumentation
+   correctness (overflows fault, legal code runs), pointer tracking
+   (volatile pruning, direct variants), LTO external masking and
+   parameter classification, and bound-check preemption. *)
+
+open Spp_instr
+open Ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let expect_fault f =
+  match f () with
+  | _ -> Alcotest.fail "expected a simulated fault"
+  | exception Spp_sim.Fault.Fault _ -> ()
+
+let compile ?options p = Passes.compile ?options p
+
+let no_opt = { Passes.tracking = false; preemption = false }
+let trk_only = { Passes.tracking = true; preemption = false }
+
+(* A legal program: allocate a PM object, write then read back. *)
+let legal_program =
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size = 64 };
+              Pm_direct { dst = 0; obj = 0 };
+              Const { dst = 1; value = 42 };
+              Store { ptr = 0; value = 1; width = 8 };
+              Gep { dst = 0; src = 0; off = 8 };
+              Store { ptr = 0; value = 1; width = 8 };
+              Load { dst = 2; ptr = 0; width = 8 };
+            ];
+        };
+      ];
+  }
+
+(* Same program but the second store is out of bounds. *)
+let overflow_program =
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size = 64 };
+              Pm_direct { dst = 0; obj = 0 };
+              Const { dst = 1; value = 42 };
+              Gep { dst = 0; src = 0; off = 64 };
+              Store { ptr = 0; value = 1; width = 8 };
+            ];
+        };
+      ];
+  }
+
+let test_instrumented_legal_runs () =
+  let p, stats = compile legal_program in
+  let m = Interp.make_machine () in
+  Interp.run_program m p;
+  check_bool "hooks were executed" true (m.Interp.hook_execs > 0);
+  check_bool "hooks were inserted" true (stats.Passes.inserted > 0)
+
+let test_instrumented_overflow_faults () =
+  let p, _ = compile overflow_program in
+  let m = Interp.make_machine () in
+  expect_fault (fun () -> Interp.run_program m p)
+
+let test_uninstrumented_overflow_silent () =
+  (* the same overflow on a native pool, without instrumentation *)
+  let m = Interp.make_machine ~spp:false () in
+  Interp.run_program m overflow_program;
+  check_int "no hooks" 0 m.Interp.hook_execs
+
+let test_tracking_prunes_volatile () =
+  let prog =
+    {
+      main = "main";
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            nregs = 8;
+            body =
+              [
+                Vheap_alloc { dst = 0; size = 64 };
+                Const { dst = 1; value = 7 };
+                Store { ptr = 0; value = 1; width = 8 };
+                Gep { dst = 0; src = 0; off = 8 };
+                Store { ptr = 0; value = 1; width = 8 };
+                Load { dst = 2; ptr = 0; width = 8 };
+              ];
+          };
+        ];
+    }
+  in
+  let p_naive, s_naive = compile ~options:no_opt prog in
+  let p_tracked, s_tracked = compile ~options:trk_only prog in
+  check_bool "naive instruments volatile code" true (program_hooks p_naive > 0);
+  check_int "tracking prunes every volatile hook" 0 (program_hooks p_tracked);
+  check_bool "pruned sites counted" true
+    (s_tracked.Passes.pruned_volatile > s_naive.Passes.pruned_volatile);
+  (* volatile program must still run correctly *)
+  let m = Interp.make_machine () in
+  Interp.run_program m p_tracked;
+  check_int "no hooks executed" 0 m.Interp.hook_execs
+
+let test_tracking_uses_direct_variants () =
+  let _, s_naive = compile ~options:no_opt legal_program in
+  let _, s_tracked = compile ~options:trk_only legal_program in
+  check_int "naive uses no direct hooks" 0 s_naive.Passes.direct;
+  check_bool "tracking uses direct hooks for pmemobj_direct pointers" true
+    (s_tracked.Passes.direct > 0);
+  (* the tracked program still catches the overflow *)
+  let p, _ = compile ~options:trk_only overflow_program in
+  let m = Interp.make_machine () in
+  expect_fault (fun () -> Interp.run_program m p)
+
+let external_call_program =
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size = 64 };
+              Pm_direct { dst = 0; obj = 0 };
+              Call_external { args = [ 0 ] };
+            ];
+        };
+      ];
+  }
+
+let test_lto_masks_external_calls () =
+  (* without masking, the external stub dereferences a tagged pointer and
+     crashes; the LTO pass must prevent that *)
+  let p, _ = compile external_call_program in
+  let m = Interp.make_machine () in
+  Interp.run_program m p;
+  check_int "external called" 1 m.Interp.external_calls
+
+let test_unmasked_external_crashes () =
+  (* drop the masking by executing the uninstrumented program on an SPP
+     machine: the tagged pointer reaches the external stub raw *)
+  let m = Interp.make_machine () in
+  expect_fault (fun () -> Interp.run_program m external_call_program)
+
+let callee_program =
+  (* callee dereferences its parameter; all call sites pass persistent
+     pointers, so LTO can classify the parameter *)
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size = 64 };
+              Pm_direct { dst = 0; obj = 0 };
+              Call { fn = "reader"; args = [ 0 ] };
+              Call { fn = "reader"; args = [ 0 ] };
+            ];
+        };
+        {
+          fname = "reader";
+          params = [ 0 ];
+          nregs = 4;
+          body = [ Load { dst = 1; ptr = 0; width = 8 } ];
+        };
+      ];
+  }
+
+let test_lto_classifies_params () =
+  let _, s_tracked = compile ~options:trk_only callee_program in
+  (* the callee's load should use the direct variant *)
+  check_bool "callee parameter classified persistent" true
+    (s_tracked.Passes.direct >= 1);
+  let p, _ = compile ~options:trk_only callee_program in
+  let m = Interp.make_machine () in
+  Interp.run_program m p;
+  check_bool "ran" true (m.Interp.loads >= 2)
+
+let loop_program ~oob =
+  let count = 16 in
+  let size = if oob then 8 * (count - 1) else 8 * count in
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size };
+              Pm_direct { dst = 0; obj = 0 };
+              Gep { dst = 0; src = 0; off = -8 };
+              Loop
+                {
+                  count;
+                  body =
+                    [
+                      Gep { dst = 0; src = 0; off = 8 };
+                      Load { dst = 1; ptr = 0; width = 8 };
+                    ];
+                };
+            ];
+        };
+      ];
+  }
+
+let test_preemption_reduces_hook_executions () =
+  let without, _ = compile ~options:trk_only (loop_program ~oob:false) in
+  let with_, s = compile ~options:Passes.default_options (loop_program ~oob:false) in
+  let m1 = Interp.make_machine () in
+  Interp.run_program m1 without;
+  let m2 = Interp.make_machine () in
+  Interp.run_program m2 with_;
+  check_bool "preemption accounted" true (s.Passes.preempted > 0);
+  check_bool
+    (Printf.sprintf "fewer hook executions (%d -> %d)" m1.Interp.hook_execs
+       m2.Interp.hook_execs)
+    true
+    (m2.Interp.hook_execs < m1.Interp.hook_execs)
+
+let test_preemption_still_catches_overflow () =
+  (* the hoisted scout must fault in the pre-header *)
+  let p, _ = compile ~options:Passes.default_options (loop_program ~oob:true) in
+  let m = Interp.make_machine () in
+  expect_fault (fun () -> Interp.run_program m p)
+
+let test_preempted_loop_same_semantics () =
+  (* write then read back through a preempted loop *)
+  let prog =
+    {
+      main = "main";
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            nregs = 8;
+            body =
+              [
+                Pm_alloc { obj = 0; size = 128 };
+                Pm_direct { dst = 0; obj = 0 };
+                Const { dst = 1; value = 9 };
+                Gep { dst = 0; src = 0; off = -8 };
+                Loop
+                  {
+                    count = 16;
+                    body =
+                      [
+                        Gep { dst = 0; src = 0; off = 8 };
+                        Store { ptr = 0; value = 1; width = 8 };
+                      ];
+                  };
+              ];
+          };
+        ];
+    }
+  in
+  let p, _ = compile ~options:Passes.default_options prog in
+  let m = Interp.make_machine () in
+  Interp.run_program m p;
+  (* all 16 slots must hold 9 *)
+  let oid = Hashtbl.find m.Interp.objs 0 in
+  let base = Spp_pmdk.Pool.addr_of_off m.Interp.pool oid.Spp_pmdk.Oid.off in
+  for i = 0 to 15 do
+    check_int (Printf.sprintf "slot %d" i) 9
+      (Spp_sim.Space.load_word m.Interp.space (base + (8 * i)))
+  done
+
+(* straight-line block preemption (the §IV-E example): consecutive
+   constant-stride accesses collapse into one scout check *)
+let block_program ~oob =
+  let size = if oob then 24 else 64 in
+  {
+    main = "main";
+    funcs =
+      [
+        {
+          fname = "main";
+          params = [];
+          nregs = 8;
+          body =
+            [
+              Pm_alloc { obj = 0; size };
+              Pm_direct { dst = 0; obj = 0 };
+              Gep { dst = 0; src = 0; off = 8 };
+              Load { dst = 1; ptr = 0; width = 8 };
+              Gep { dst = 0; src = 0; off = 8 };
+              Load { dst = 2; ptr = 0; width = 8 };
+              Gep { dst = 0; src = 0; off = 8 };
+              Load { dst = 3; ptr = 0; width = 8 };
+            ];
+        };
+      ];
+  }
+
+let test_block_preemption_reduces_hooks () =
+  let without, _ = compile ~options:trk_only (block_program ~oob:false) in
+  let with_, s =
+    compile ~options:Passes.default_options (block_program ~oob:false)
+  in
+  let m1 = Interp.make_machine () in
+  Interp.run_program m1 without;
+  let m2 = Interp.make_machine () in
+  Interp.run_program m2 with_;
+  check_bool "block preemption accounted" true (s.Passes.preempted > 0);
+  check_bool
+    (Printf.sprintf "fewer hook executions (%d -> %d)" m1.Interp.hook_execs
+       m2.Interp.hook_execs)
+    true
+    (m2.Interp.hook_execs < m1.Interp.hook_execs)
+
+let test_block_preemption_catches_overflow () =
+  (* 24-byte object: the third access (offset 24) is out of bounds; the
+     scout's dummy load must fault before any access *)
+  let p, _ = compile ~options:Passes.default_options (block_program ~oob:true) in
+  let m = Interp.make_machine () in
+  expect_fault (fun () -> Interp.run_program m p)
+
+let test_block_preemption_semantics () =
+  (* values read through the preempted block equal the plain ones *)
+  let p, _ = compile ~options:Passes.default_options (block_program ~oob:false) in
+  let m = Interp.make_machine () in
+  let oid_setup () =
+    Interp.run_program m
+      { main = "main";
+        funcs =
+          [ { fname = "main"; params = []; nregs = 4;
+              body = [ Pm_alloc { obj = 9; size = 8 } ] } ] }
+  in
+  ignore oid_setup;
+  Interp.run_program m p
+
+let () =
+  Alcotest.run "spp_instr"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "legal program runs instrumented" `Quick
+            test_instrumented_legal_runs;
+          Alcotest.test_case "overflow faults when instrumented" `Quick
+            test_instrumented_overflow_faults;
+          Alcotest.test_case "overflow silent uninstrumented" `Quick
+            test_uninstrumented_overflow_silent;
+        ] );
+      ( "tracking",
+        [
+          Alcotest.test_case "volatile hooks pruned" `Quick
+            test_tracking_prunes_volatile;
+          Alcotest.test_case "direct variants used" `Quick
+            test_tracking_uses_direct_variants;
+        ] );
+      ( "lto",
+        [
+          Alcotest.test_case "external calls masked" `Quick
+            test_lto_masks_external_calls;
+          Alcotest.test_case "unmasked external crashes" `Quick
+            test_unmasked_external_crashes;
+          Alcotest.test_case "parameters classified from call sites" `Quick
+            test_lto_classifies_params;
+        ] );
+      ( "preemption",
+        [
+          Alcotest.test_case "fewer hook executions" `Quick
+            test_preemption_reduces_hook_executions;
+          Alcotest.test_case "overflow still caught" `Quick
+            test_preemption_still_catches_overflow;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_preempted_loop_same_semantics;
+          Alcotest.test_case "block preemption reduces hooks" `Quick
+            test_block_preemption_reduces_hooks;
+          Alcotest.test_case "block preemption catches overflow" `Quick
+            test_block_preemption_catches_overflow;
+          Alcotest.test_case "block preemption semantics" `Quick
+            test_block_preemption_semantics;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for the multi-pool machine: uuid-based pmemobj_direct dispatch,
+   pool layout in the lower address space, and cross-pool safety. *)
+
+open Spp_pmdk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spp_mode = Mode.Spp Spp_core.Config.default
+
+let test_two_pools_dispatch () =
+  let m = Machine.create () in
+  let p1 = Machine.create_pool m ~size:(1 lsl 17) ~mode:spp_mode ~name:"p1" in
+  let p2 = Machine.create_pool m ~size:(1 lsl 17) ~mode:Mode.Native ~name:"p2" in
+  let o1 = Pool.alloc p1 ~size:32 in
+  let o2 = Pool.alloc p2 ~size:32 in
+  let a1 = Machine.direct m o1 and a2 = Machine.direct m o2 in
+  check_bool "spp pool gives tagged ptr" true
+    (Spp_core.Encoding.is_pm Spp_core.Config.default a1);
+  check_bool "native pool gives raw ptr" false
+    (Spp_core.Encoding.is_pm Spp_core.Config.default a2);
+  (* both dereference correctly through the shared space *)
+  let space = Machine.space m in
+  Spp_sim.Space.store_word space
+    (Spp_core.Encoding.clean_tag Spp_core.Config.default a1) 11;
+  Spp_sim.Space.store_word space a2 22;
+  check_int "pool1 data" 11
+    (Spp_sim.Space.load_word space
+       (Spp_core.Encoding.clean_tag Spp_core.Config.default a1));
+  check_int "pool2 data" 22 (Spp_sim.Space.load_word space a2)
+
+let test_unknown_uuid_rejected () =
+  let m = Machine.create () in
+  let (_ : Pool.t) =
+    Machine.create_pool m ~size:(1 lsl 17) ~mode:Mode.Native ~name:"p"
+  in
+  let bogus = { Oid.uuid = 9999; off = 64; size = 8 } in
+  match Machine.direct m bogus with
+  | _ -> Alcotest.fail "expected Wrong_pool"
+  | exception Pool.Wrong_pool _ -> ()
+
+let test_pools_are_disjoint () =
+  let m = Machine.create () in
+  let p1 = Machine.create_pool m ~size:(1 lsl 17) ~mode:Mode.Native ~name:"a" in
+  let p2 = Machine.create_pool m ~size:(1 lsl 17) ~mode:Mode.Native ~name:"b" in
+  check_bool "ordered and disjoint" true
+    (Pool.base p2 >= Pool.base p1 + Pool.size p1);
+  (* a stray pointer in the guard gap faults *)
+  (match
+     Spp_sim.Space.load_word (Machine.space m) (Pool.base p1 + Pool.size p1)
+   with
+   | _ -> Alcotest.fail "guard gap must be unmapped"
+   | exception Spp_sim.Fault.Fault _ -> ())
+
+let test_reopen_pool_into_machine () =
+  let m = Machine.create () in
+  let p = Machine.create_pool m ~size:(1 lsl 17) ~mode:spp_mode ~name:"x" in
+  let root = Pool.root p ~size:64 in
+  let oid = Pool.alloc p ~size:48 ~dest:root.Oid.off in
+  ignore oid;
+  Spp_sim.Memdev.save_durable (Pool.dev p)
+    (Filename.temp_file "machine" ".img")
+  |> ignore;
+  (* reopen the same durable image in a fresh machine *)
+  let img = Spp_sim.Memdev.durable_snapshot (Pool.dev p) in
+  let m2 = Machine.create () in
+  let dev2 = Spp_sim.Memdev.of_image ~name:"x" img in
+  let p2 = Machine.open_pool m2 dev2 in
+  let slot = Pool.load_oid p2 ~off:(Pool.root_oid p2).Oid.off in
+  check_int "size field travelled" 48 slot.Oid.size;
+  check_bool "tag rebuilt in the new machine" true
+    (Spp_core.Encoding.remaining Spp_core.Config.default
+       (Machine.direct m2 slot)
+     = 48)
+
+let test_vheap_is_high () =
+  let m = Machine.create () in
+  let addr = Spp_sim.Vheap.malloc (Machine.vheap m) 64 in
+  check_bool "volatile allocations above the PM span" true
+    (addr >= Spp_sim.Vheap.default_base)
+
+let () =
+  Alcotest.run "spp_machine"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "two pools, mixed modes" `Quick
+            test_two_pools_dispatch;
+          Alcotest.test_case "unknown uuid rejected" `Quick
+            test_unknown_uuid_rejected;
+          Alcotest.test_case "pools disjoint with guard gaps" `Quick
+            test_pools_are_disjoint;
+          Alcotest.test_case "reopen into a fresh machine" `Quick
+            test_reopen_pool_into_machine;
+          Alcotest.test_case "volatile heap mapped high" `Quick
+            test_vheap_is_high;
+        ] );
+    ]

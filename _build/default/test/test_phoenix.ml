@@ -1,0 +1,83 @@
+(* Tests for the Phoenix PM port: every app computes the same result on
+   every variant (instrumentation must not change semantics), and the
+   string_match off-by-one is detected exactly by the checkers that
+   should see it. *)
+
+let check_int = Alcotest.(check int)
+
+let mk ?(tag_bits = 31) variant =
+  Spp_access.create ~tag_bits ~pool_size:(1 lsl 24)
+    ~name:(Spp_access.variant_name variant) variant
+
+let test_app_agrees_across_variants (app : Spp_phoenix.Phx_apps.app) () =
+  let scale = max 16 (app.Spp_phoenix.Phx_apps.default_scale / 20) in
+  let reference =
+    app.Spp_phoenix.Phx_apps.run (mk Spp_access.Pmdk) ~scale
+  in
+  List.iter
+    (fun v ->
+      check_int
+        (Printf.sprintf "%s on %s" app.Spp_phoenix.Phx_apps.app_name
+           (Spp_access.variant_name v))
+        reference
+        (app.Spp_phoenix.Phx_apps.run (mk v) ~scale))
+    [ Spp_access.Spp; Spp_access.Safepm; Spp_access.Memcheck ]
+
+let test_string_match_bug_detected_by_spp () =
+  let a = mk Spp_access.Spp in
+  match
+    Spp_access.run_guarded (fun () ->
+      ignore (Spp_phoenix.Phx_apps.string_match ~buggy:true a ~scale:4096))
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SPP must detect the off-by-one read"
+
+let test_string_match_bug_silent_on_native () =
+  let a = mk Spp_access.Pmdk in
+  match
+    Spp_access.run_guarded (fun () ->
+      ignore (Spp_phoenix.Phx_apps.string_match ~buggy:true a ~scale:4096))
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "native should read slack silently: %s" r
+
+let test_string_match_bug_detected_by_safepm () =
+  (* the paper verified the same bug with ASan on the volatile build *)
+  let a = mk Spp_access.Safepm in
+  match
+    Spp_access.run_guarded (fun () ->
+      ignore (Spp_phoenix.Phx_apps.string_match ~buggy:true a ~scale:4096))
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SafePM must detect the off-by-one read"
+
+let test_fixed_string_match_clean () =
+  let a = mk Spp_access.Spp in
+  let n = Spp_phoenix.Phx_apps.string_match ~buggy:false a ~scale:4096 in
+  Alcotest.(check bool) "found the planted keys" true (n >= 3)
+
+let () =
+  let agree_cases =
+    List.map
+      (fun app ->
+        Alcotest.test_case
+          (app.Spp_phoenix.Phx_apps.app_name ^ " agrees across variants")
+          `Quick
+          (test_app_agrees_across_variants app))
+      Spp_phoenix.Phx_apps.apps
+  in
+  Alcotest.run "spp_phoenix"
+    [
+      ("agreement", agree_cases);
+      ( "string_match bug",
+        [
+          Alcotest.test_case "detected by SPP" `Quick
+            test_string_match_bug_detected_by_spp;
+          Alcotest.test_case "silent on native" `Quick
+            test_string_match_bug_silent_on_native;
+          Alcotest.test_case "detected by SafePM" `Quick
+            test_string_match_bug_detected_by_safepm;
+          Alcotest.test_case "fixed version clean" `Quick
+            test_fixed_string_match_clean;
+        ] );
+    ]

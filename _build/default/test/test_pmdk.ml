@@ -1,0 +1,469 @@
+(* Tests for the mini-PMDK: allocator, transactions, recovery, and the
+   SPP-adapted persistent-pointer representation. *)
+
+open Spp_sim
+open Spp_pmdk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spp_cfg = Spp_core.Config.default
+
+let mk_pool ?(mode = Mode.Native) ?(size = 1 lsl 20) () =
+  let space = Space.create () in
+  Pool.create space ~base:4096 ~size ~mode ~name:"test-pool"
+
+let mk_tracked_pool ?(mode = Mode.Native) ?(size = 1 lsl 20) () =
+  let p = mk_pool ~mode ~size () in
+  Memdev.set_tracking (Pool.dev p) true;
+  p
+
+(* Allocation basics *)
+
+let test_alloc_free_roundtrip () =
+  let p = mk_pool () in
+  let oid = Pool.alloc p ~size:100 in
+  check_bool "non-null" false (Oid.is_null oid);
+  check_int "requested size recorded" 100 (Pool.alloc_size p oid);
+  let addr = Pool.direct p oid in
+  Space.store_word (Pool.space p) addr 0xCAFE;
+  check_int "data" 0xCAFE (Space.load_word (Pool.space p) addr);
+  Pool.free_ p oid;
+  let st = Pool.heap_stats p in
+  check_int "no live blocks" 0 st.Heap.allocated_blocks
+
+let test_free_block_reused () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:64 in
+  Pool.free_ p a;
+  let b = Pool.alloc p ~size:64 in
+  check_int "same block reused" a.Oid.off b.Oid.off
+
+let test_double_free_rejected () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:64 in
+  Pool.free_ p a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Pmdk free: block is not allocated (double free?)")
+    (fun () -> Pool.free_ p a)
+
+let test_zalloc_zeroes () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:64 in
+  Space.fill (Pool.space p) (Pool.direct p a) 64 'x';
+  Pool.free_ p a;
+  let b = Pool.alloc ~zero:true p ~size:64 in
+  check_int "same block" a.Oid.off b.Oid.off;
+  check_int "zeroed" 0 (Space.load_word (Pool.space p) (Pool.direct p b))
+
+let test_alloc_size_classes () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:1 in
+  let b = Pool.alloc p ~size:33 in
+  (* PMDK-style minimum class: 128 bytes *)
+  check_int "min class is 128" 128 (b.Oid.off - a.Oid.off - 16)
+
+let test_out_of_pm () =
+  let p = mk_pool ~size:65536 () in
+  Alcotest.check_raises "oom" Heap.Out_of_pm
+    (fun () ->
+      for _ = 1 to 100 do
+        ignore (Pool.alloc p ~size:16384)
+      done)
+
+let test_realloc_grow_preserves () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:32 in
+  Space.write_string (Pool.space p) (Pool.direct p a) "0123456789abcdef";
+  let b = Pool.realloc p a ~size:4096 in
+  check_bool "moved to a new class" true (a.Oid.off <> b.Oid.off);
+  Alcotest.(check string) "contents preserved" "0123456789abcdef"
+    (Bytes.to_string (Space.read_bytes (Pool.space p) (Pool.direct p b) 16));
+  check_int "old block freed"
+    1 (Pool.heap_stats p).Heap.free_blocks
+
+let test_realloc_same_class () =
+  let p = mk_pool () in
+  let a = Pool.alloc p ~size:100 in
+  let b = Pool.realloc p a ~size:110 in
+  (* 100 and 110 share the 128-byte class *)
+  check_int "block unchanged within class" a.Oid.off b.Oid.off;
+  check_int "size updated" 110 (Pool.alloc_size p b)
+
+(* Root object *)
+
+let test_root_idempotent () =
+  let p = mk_pool () in
+  let r1 = Pool.root p ~size:256 in
+  let r2 = Pool.root p ~size:256 in
+  check_bool "same oid" true (Oid.equal r1 r2);
+  check_bool "stored in header" true (Oid.equal r1 (Pool.root_oid p))
+
+(* SPP mode: tagged direct + durable size *)
+
+let test_spp_direct_is_tagged () =
+  let p = mk_pool ~mode:(Mode.Spp spp_cfg) () in
+  let oid = Pool.alloc p ~size:42 in
+  let ptr = Pool.direct p oid in
+  check_bool "pm bit" true (Spp_core.Encoding.is_pm spp_cfg ptr);
+  check_int "remaining = size" 42 (Spp_core.Encoding.remaining spp_cfg ptr);
+  check_int "address" (4096 + oid.Oid.off)
+    (Spp_core.Encoding.address spp_cfg ptr)
+
+let test_native_direct_is_raw () =
+  let p = mk_pool () in
+  let oid = Pool.alloc p ~size:42 in
+  check_int "plain address" (4096 + oid.Oid.off) (Pool.direct p oid)
+
+let test_oid_stored_size_by_mode () =
+  let n = mk_pool () in
+  let s = mk_pool ~mode:(Mode.Spp spp_cfg) () in
+  check_int "native 16" 16 (Pool.oid_stored_size n);
+  check_int "spp 24" 24 (Pool.oid_stored_size s)
+
+let test_oid_slot_roundtrip_spp () =
+  let p = mk_pool ~mode:(Mode.Spp spp_cfg) () in
+  let root = Pool.root p ~size:64 in
+  let oid = Pool.alloc p ~size:1234 in
+  Pool.store_oid p ~off:root.Oid.off oid;
+  let oid' = Pool.load_oid p ~off:root.Oid.off in
+  check_bool "roundtrip" true (Oid.equal oid oid');
+  check_int "size survives" 1234 oid'.Oid.size
+
+let test_spp_object_too_large () =
+  let cfg = Spp_core.Config.make ~tag_bits:10 in   (* max object 1 KiB *)
+  let space = Space.create () in
+  let p = Pool.create space ~base:4096 ~size:(1 lsl 20)
+      ~mode:(Mode.Spp cfg) ~name:"small-tag" in
+  match Pool.alloc p ~size:2048 with
+  | _ -> Alcotest.fail "expected Object_too_large"
+  | exception Spp_core.Encoding.Object_too_large _ -> ()
+
+let test_spp_pool_span_checked () =
+  let cfg = Spp_core.Config.make ~tag_bits:40 in   (* 21 address bits = 2 MiB *)
+  let space = Space.create () in
+  match
+    Pool.create space ~base:4096 ~size:(1 lsl 22) ~mode:(Mode.Spp cfg)
+      ~name:"too-big"
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* End-to-end overflow detection on PM objects *)
+
+let test_spp_overflow_on_pm_object () =
+  let p = mk_pool ~mode:(Mode.Spp spp_cfg) () in
+  let oid = Pool.alloc p ~size:16 in
+  let ptr = Pool.direct p oid in
+  let space = Pool.space p in
+  let cfg = spp_cfg in
+  (* fill legally *)
+  for i = 0 to 15 do
+    let pi = Spp_core.Encoding.gep cfg ptr i in
+    Space.store_u8 space (Spp_core.Encoding.check_bound cfg pi 1) i
+  done;
+  (* the 17th byte faults *)
+  let oob = Spp_core.Encoding.gep cfg ptr 16 in
+  (match
+     Space.store_u8 space (Spp_core.Encoding.check_bound cfg oob 1) 99
+   with
+   | () -> Alcotest.fail "expected fault"
+   | exception Fault.Fault _ -> ());
+  (* neighbouring object unharmed *)
+  let neigh = Pool.alloc p ~size:16 in
+  check_int "neighbour clean" 0
+    (Space.load_u8 space (Spp_core.Encoding.clean_tag cfg (Pool.direct p neigh)))
+
+(* Transactions *)
+
+let test_tx_commit_applies () =
+  let p = mk_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.with_tx p (fun () ->
+    Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+    Pool.store_word p ~off:oid.Oid.off 0xC0FFEE);
+  check_int "committed" 0xC0FFEE (Pool.load_word p ~off:oid.Oid.off)
+
+let test_tx_abort_restores () =
+  let p = mk_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.store_word p ~off:oid.Oid.off 111;
+  Pool.persist p ~off:oid.Oid.off ~len:8;
+  (try
+     Pool.with_tx p (fun () ->
+       Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+       Pool.store_word p ~off:oid.Oid.off 222;
+       failwith "boom")
+   with Failure _ -> ());
+  check_int "restored" 111 (Pool.load_word p ~off:oid.Oid.off)
+
+let test_tx_abort_rolls_back_alloc () =
+  let p = mk_pool () in
+  let live_before = (Pool.heap_stats p).Heap.allocated_blocks in
+  (try
+     Pool.with_tx p (fun () ->
+       let (_ : Oid.t) = Pool.tx_alloc p ~size:128 in
+       failwith "boom")
+   with Failure _ -> ());
+  check_int "allocation rolled back" live_before
+    (Pool.heap_stats p).Heap.allocated_blocks
+
+let test_tx_free_deferred () =
+  let p = mk_pool () in
+  let oid = Pool.alloc p ~size:64 in
+  Pool.with_tx p (fun () ->
+    Pool.tx_free p oid;
+    (* still allocated inside the tx: frees apply at commit *)
+    check_int "still live inside tx" 1
+      (Pool.heap_stats p).Heap.allocated_blocks);
+  check_int "freed after commit" 0 (Pool.heap_stats p).Heap.allocated_blocks
+
+let test_tx_abort_drops_free () =
+  let p = mk_pool () in
+  let oid = Pool.alloc p ~size:64 in
+  (try
+     Pool.with_tx p (fun () ->
+       Pool.tx_free p oid;
+       failwith "boom")
+   with Failure _ -> ());
+  check_int "free dropped on abort" 1
+    (Pool.heap_stats p).Heap.allocated_blocks
+
+let test_tx_nesting () =
+  let p = mk_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.with_tx p (fun () ->
+    Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+    Pool.store_word p ~off:oid.Oid.off 1;
+    Pool.with_tx p (fun () ->
+      Pool.tx_add_range p ~off:(oid.Oid.off + 8) ~len:8;
+      Pool.store_word p ~off:(oid.Oid.off + 8) 2));
+  check_int "outer" 1 (Pool.load_word p ~off:oid.Oid.off);
+  check_int "inner" 2 (Pool.load_word p ~off:(oid.Oid.off + 8))
+
+let test_tx_outside_rejected () =
+  let p = mk_pool () in
+  Alcotest.check_raises "no tx" Tx.Not_in_tx
+    (fun () -> Pool.tx_add_range p ~off:0 ~len:8)
+
+(* Crash recovery. Tracking mode: unfenced stores are genuinely lost. *)
+
+let test_crash_during_tx_rolls_back () =
+  let p = mk_tracked_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.store_word p ~off:oid.Oid.off 42;
+  Pool.persist p ~off:oid.Oid.off ~len:8;
+  Pool.tx_begin p;
+  Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+  Pool.store_word p ~off:oid.Oid.off 99;
+  (* crash before commit *)
+  let report = Pool.crash_and_recover p in
+  check_bool "rolled back" true (report.Pool.tx_outcome = `Rolled_back);
+  check_int "old value restored" 42 (Pool.load_word p ~off:oid.Oid.off)
+
+let test_crash_after_commit_keeps () =
+  let p = mk_tracked_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.with_tx p (fun () ->
+    Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+    Pool.store_word p ~off:oid.Oid.off 7);
+  let report = Pool.crash_and_recover p in
+  check_bool "clean" true (report.Pool.tx_outcome = `Clean);
+  check_int "committed value durable" 7 (Pool.load_word p ~off:oid.Oid.off)
+
+let test_crash_during_tx_alloc_no_leak () =
+  let p = mk_tracked_pool () in
+  Pool.tx_begin p;
+  let (_ : Oid.t) = Pool.tx_alloc p ~size:64 in
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
+  check_int "no leaked blocks" 0 (Pool.heap_stats p).Heap.allocated_blocks
+
+let test_crash_atomic_alloc_with_dest () =
+  (* An atomic allocation publishing into a PM slot either fully happens
+     or not at all; after recovery the slot and the heap agree. *)
+  let p = mk_tracked_pool ~mode:(Mode.Spp spp_cfg) () in
+  let root = Pool.root p ~size:64 in
+  let oid = Pool.alloc p ~size:512 ~dest:root.Oid.off in
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
+  let slot = Pool.load_oid p ~off:root.Oid.off in
+  if Oid.is_null slot then
+    (* allowed: publication lost; then the heap must not leak *)
+    check_int "slot empty, heap has only root" 1
+      (Pool.heap_stats p).Heap.allocated_blocks
+  else begin
+    check_bool "slot matches allocation" true (Oid.equal slot oid);
+    check_int "size durable" 512 slot.Oid.size;
+    check_int "root + object live" 2 (Pool.heap_stats p).Heap.allocated_blocks
+  end
+
+let test_recovery_is_idempotent () =
+  let p = mk_tracked_pool () in
+  let oid = Pool.alloc ~zero:true p ~size:64 in
+  Pool.tx_begin p;
+  Pool.tx_add_range p ~off:oid.Oid.off ~len:8;
+  Pool.store_word p ~off:oid.Oid.off 5;
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
+  check_int "still consistent" 0 (Pool.load_word p ~off:oid.Oid.off)
+
+let test_reopen_from_saved_file () =
+  let path = Filename.temp_file "spp_pool" ".img" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let space = Space.create () in
+      let p = Pool.create space ~base:4096 ~size:(1 lsl 20)
+          ~mode:(Mode.Spp spp_cfg) ~name:"saved" in
+      let root = Pool.root p ~size:64 in
+      let oid = Pool.alloc p ~size:333 ~dest:root.Oid.off in
+      Space.write_string space (Spp_core.Encoding.clean_tag spp_cfg
+                                  (Pool.direct p oid)) "durable!";
+      Pool.persist p ~off:oid.Oid.off ~len:8;
+      Memdev.save_durable (Pool.dev p) path;
+      (* reopen in a fresh "process" *)
+      let space2 = Space.create () in
+      let dev2 = Memdev.load_durable ~name:"saved" path in
+      let p2 = Pool.of_dev space2 ~base:4096 dev2 in
+      check_bool "spp mode restored" true (Mode.is_spp (Pool.mode p2));
+      let slot = Pool.load_oid p2 ~off:(Pool.root_oid p2).Oid.off in
+      check_int "size field durable across processes" 333 slot.Oid.size;
+      let ptr = Pool.direct p2 slot in
+      check_int "tag rebuilt from durable size" 333
+        (Spp_core.Encoding.remaining spp_cfg ptr);
+      Alcotest.(check string) "data back" "durable!"
+        (Bytes.to_string
+           (Space.read_bytes space2
+              (Spp_core.Encoding.clean_tag spp_cfg ptr) 8)))
+
+(* Property tests *)
+
+let prop_alloc_free_consistency =
+  QCheck.Test.make ~name:"random alloc/free keeps heap consistent" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 60)
+              (pair bool (int_range 1 2048)))
+    (fun ops ->
+      let p = mk_pool ~size:(1 lsl 21) () in
+      let live = ref [] in
+      List.iter
+        (fun (do_free, size) ->
+          if do_free && !live <> [] then begin
+            match !live with
+            | oid :: rest -> Pool.free_ p oid; live := rest
+            | [] -> ()
+          end else begin
+            let oid = Pool.alloc p ~size in
+            live := oid :: !live
+          end)
+        ops;
+      let st = Pool.heap_stats p in
+      st.Heap.allocated_blocks = List.length !live
+      && st.Heap.requested_bytes
+         = List.fold_left (fun a o -> a + o.Oid.size) 0
+             (List.map (fun o -> { o with Oid.size = Pool.alloc_size p o })
+                !live))
+
+let prop_tx_atomicity_under_crash =
+  QCheck.Test.make
+    ~name:"crash mid-tx never exposes partial updates" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 10) (int_bound 1000))
+    (fun values ->
+      let p = mk_tracked_pool () in
+      let oid = Pool.alloc ~zero:true p ~size:256 in
+      (* baseline: all slots 7 *)
+      for i = 0 to 7 do Pool.store_word p ~off:(oid.Oid.off + 8 * i) 7 done;
+      Pool.persist p ~off:oid.Oid.off ~len:64;
+      Pool.tx_begin p;
+      Pool.tx_add_range p ~off:oid.Oid.off ~len:64;
+      List.iteri
+        (fun i v -> Pool.store_word p ~off:(oid.Oid.off + 8 * (i mod 8)) v)
+        values;
+      let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
+      (* after rollback every slot must read 7 again *)
+      let ok = ref true in
+      for i = 0 to 7 do
+        if Pool.load_word p ~off:(oid.Oid.off + 8 * i) <> 7 then ok := false
+      done;
+      !ok)
+
+let prop_spp_size_always_tagged_correctly =
+  QCheck.Test.make
+    ~name:"direct() tag always encodes the allocated size" ~count:200
+    QCheck.(int_range 1 (1 lsl 16))
+    (fun size ->
+      let p = mk_pool ~mode:(Mode.Spp spp_cfg) () in
+      let oid = Pool.alloc p ~size in
+      let ptr = Pool.direct p oid in
+      Spp_core.Encoding.remaining spp_cfg ptr = size
+      && not (Spp_core.Encoding.is_overflowed spp_cfg
+                (Spp_core.Encoding.gep spp_cfg ptr (size - 1)))
+      && Spp_core.Encoding.is_overflowed spp_cfg
+           (Spp_core.Encoding.gep spp_cfg ptr size))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "spp_pmdk"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc/free roundtrip" `Quick
+            test_alloc_free_roundtrip;
+          Alcotest.test_case "free block reused" `Quick test_free_block_reused;
+          Alcotest.test_case "double free rejected" `Quick
+            test_double_free_rejected;
+          Alcotest.test_case "zalloc zeroes" `Quick test_zalloc_zeroes;
+          Alcotest.test_case "size classes" `Quick test_alloc_size_classes;
+          Alcotest.test_case "out of PM" `Quick test_out_of_pm;
+          Alcotest.test_case "realloc grow preserves" `Quick
+            test_realloc_grow_preserves;
+          Alcotest.test_case "realloc same class" `Quick test_realloc_same_class;
+          Alcotest.test_case "root idempotent" `Quick test_root_idempotent;
+        ] );
+      ( "spp-mode",
+        [
+          Alcotest.test_case "direct is tagged" `Quick test_spp_direct_is_tagged;
+          Alcotest.test_case "native direct is raw" `Quick
+            test_native_direct_is_raw;
+          Alcotest.test_case "oid stored size by mode" `Quick
+            test_oid_stored_size_by_mode;
+          Alcotest.test_case "oid slot roundtrip (size durable)" `Quick
+            test_oid_slot_roundtrip_spp;
+          Alcotest.test_case "object too large" `Quick test_spp_object_too_large;
+          Alcotest.test_case "pool span checked" `Quick test_spp_pool_span_checked;
+          Alcotest.test_case "overflow detected on PM object" `Quick
+            test_spp_overflow_on_pm_object;
+        ] );
+      ( "tx",
+        [
+          Alcotest.test_case "commit applies" `Quick test_tx_commit_applies;
+          Alcotest.test_case "abort restores" `Quick test_tx_abort_restores;
+          Alcotest.test_case "abort rolls back alloc" `Quick
+            test_tx_abort_rolls_back_alloc;
+          Alcotest.test_case "free deferred to commit" `Quick
+            test_tx_free_deferred;
+          Alcotest.test_case "abort drops free" `Quick test_tx_abort_drops_free;
+          Alcotest.test_case "nesting" `Quick test_tx_nesting;
+          Alcotest.test_case "tx ops outside tx rejected" `Quick
+            test_tx_outside_rejected;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash during tx rolls back" `Quick
+            test_crash_during_tx_rolls_back;
+          Alcotest.test_case "crash after commit keeps" `Quick
+            test_crash_after_commit_keeps;
+          Alcotest.test_case "crash during tx_alloc: no leak" `Quick
+            test_crash_during_tx_alloc_no_leak;
+          Alcotest.test_case "atomic alloc with PM dest is atomic" `Quick
+            test_crash_atomic_alloc_with_dest;
+          Alcotest.test_case "recovery idempotent" `Quick
+            test_recovery_is_idempotent;
+          Alcotest.test_case "reopen pool from saved file" `Quick
+            test_reopen_from_saved_file;
+        ] );
+      ( "properties",
+        [
+          qt prop_alloc_free_consistency;
+          qt prop_tx_atomicity_under_crash;
+          qt prop_spp_size_always_tagged_correctly;
+        ] );
+    ]
+

@@ -1,0 +1,267 @@
+(* Tests for the libpmemobj example programs (paper §VI-D): they must run
+   clean under SPP with arbitrary inputs, the array example's unchecked
+   realloc must be detected, and state must survive crashes. *)
+
+open Spp_pmdk
+open Spp_pmdk_examples
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(pool_size = 1 lsl 20) variant =
+  Spp_access.create ~pool_size ~name:(Spp_access.variant_name variant) variant
+
+(* array *)
+
+let test_array_basic () =
+  List.iter
+    (fun v ->
+      let a = mk v in
+      let arr = Pm_array.create a ~size:10 in
+      for i = 0 to 9 do
+        Pm_array.set arr i (i * i)
+      done;
+      check_int "len" 10 (Pm_array.length arr);
+      check_int "elt" 49 (Pm_array.get arr 7);
+      Pm_array.resize arr 20;
+      check_int "resized len" 20 (Pm_array.length arr);
+      check_int "old data preserved" 81 (Pm_array.get arr 9);
+      check_int "new data zeroed" 0 (Pm_array.get arr 15))
+    [ Spp_access.Pmdk; Spp_access.Spp; Spp_access.Safepm ]
+
+let test_array_bug_detected_by_spp () =
+  (* pool too small for the grow: the unchecked realloc overflows *)
+  let a = mk ~pool_size:(1 lsl 16) Spp_access.Spp in
+  let arr = Pm_array.create ~check_realloc:false a ~size:16 in
+  match
+    Spp_access.run_guarded (fun () ->
+      Pm_array.resize arr (Pool.size a.Spp_access.pool))
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SPP must detect the array realloc bug"
+
+let test_array_bug_silent_on_native () =
+  let a = mk ~pool_size:(1 lsl 16) Spp_access.Pmdk in
+  let arr = Pm_array.create ~check_realloc:false a ~size:16 in
+  match
+    Spp_access.run_guarded (fun () -> Pm_array.resize arr 64)
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "native should be silent: %s" r
+
+let test_array_fixed_raises () =
+  let a = mk ~pool_size:(1 lsl 16) Spp_access.Spp in
+  let arr = Pm_array.create ~check_realloc:true a ~size:16 in
+  Alcotest.check_raises "failure propagated" Heap.Out_of_pm
+    (fun () -> Pm_array.resize arr (Pool.size a.Spp_access.pool))
+
+(* queue *)
+
+let test_queue_fifo_order () =
+  let a = mk Spp_access.Spp in
+  let q = Pm_queue.create a ~capacity:8 in
+  for i = 1 to 8 do
+    Pm_queue.enqueue q i
+  done;
+  check_bool "full" true (Pm_queue.is_full q);
+  Alcotest.check_raises "overflow rejected" Pm_queue.Full
+    (fun () -> Pm_queue.enqueue q 99);
+  for i = 1 to 8 do
+    check_int "fifo order" i (Pm_queue.dequeue q)
+  done;
+  Alcotest.check_raises "underflow rejected" Pm_queue.Empty
+    (fun () -> ignore (Pm_queue.dequeue q))
+
+let test_queue_wraparound () =
+  let a = mk Spp_access.Spp in
+  let q = Pm_queue.create a ~capacity:4 in
+  for round = 0 to 9 do
+    Pm_queue.enqueue q round;
+    Pm_queue.enqueue q (round + 100);
+    check_int "wrap" round (Pm_queue.dequeue q);
+    check_int "wrap2" (round + 100) (Pm_queue.dequeue q)
+  done
+
+let test_queue_crash_atomic () =
+  let a = mk Spp_access.Pmdk in
+  let q = Pm_queue.create a ~capacity:8 in
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  Pm_queue.enqueue q 42;
+  Pm_queue.enqueue q 43;
+  ignore (Pm_queue.dequeue q);
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  check_int "count durable" 1 (Pm_queue.count q);
+  check_int "element durable" 43 (Pm_queue.dequeue q)
+
+(* fifo list *)
+
+let test_fifo_order_and_free () =
+  let a = mk Spp_access.Spp in
+  let f = Pm_fifo.create a in
+  for i = 1 to 32 do
+    Pm_fifo.push f i
+  done;
+  check_int "length" 32 (Pm_fifo.length f);
+  for i = 1 to 32 do
+    check_int "order" i (Pm_fifo.pop f)
+  done;
+  check_bool "empty" true (Pm_fifo.is_empty f);
+  (* all nodes freed: only the descriptor remains *)
+  check_int "no leaked nodes" 1
+    (Pool.heap_stats a.Spp_access.pool).Heap.allocated_blocks
+
+let test_fifo_crash_mid_stream () =
+  let a = mk Spp_access.Pmdk in
+  let f = Pm_fifo.create a in
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  for i = 1 to 5 do
+    Pm_fifo.push f i
+  done;
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  check_int "length durable" 5 (Pm_fifo.length f);
+  check_int "head durable" 1 (Pm_fifo.pop f)
+
+(* Monte Carlo examples *)
+
+let test_pi_estimate_converges () =
+  let a = mk Spp_access.Spp in
+  let mc = Pm_montecarlo.create a ~seed:7 in
+  Pm_montecarlo.run_batch mc ~trials:20_000 ~hit:Pm_montecarlo.pi_hit;
+  let pi = Pm_montecarlo.pi_estimate mc in
+  check_bool (Printf.sprintf "pi ~ %.3f" pi) true (pi > 3.05 && pi < 3.25)
+
+let test_buffon_estimate_converges () =
+  let a = mk Spp_access.Spp in
+  let mc = Pm_montecarlo.create a ~seed:11 in
+  Pm_montecarlo.run_batch mc ~trials:20_000 ~hit:Pm_montecarlo.buffon_hit;
+  let pi = Pm_montecarlo.buffon_pi_estimate mc in
+  check_bool (Printf.sprintf "buffon pi ~ %.3f" pi) true (pi > 2.9 && pi < 3.4)
+
+let test_montecarlo_resumes_after_crash () =
+  (* an interrupted batch rolls back; completed batches persist *)
+  let a = mk Spp_access.Pmdk in
+  let mc = Pm_montecarlo.create a ~seed:3 in
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  Pm_montecarlo.run_batch mc ~trials:1000 ~hit:Pm_montecarlo.pi_hit;
+  let t1 = Pm_montecarlo.trials mc in
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  check_int "trials durable" t1 (Pm_montecarlo.trials mc);
+  Pm_montecarlo.run_batch mc ~trials:1000 ~hit:Pm_montecarlo.pi_hit;
+  check_int "resumed" (t1 + 1000) (Pm_montecarlo.trials mc)
+
+(* slab allocator *)
+
+let test_slab_alloc_free_cycle () =
+  let a = mk Spp_access.Spp in
+  let slab = Pm_slab.create a ~slot_size:64 ~nslots:100 in
+  let slots = List.init 100 (fun _ -> Pm_slab.alloc_slot slab) in
+  check_int "all distinct" 100
+    (List.length (List.sort_uniq compare slots));
+  check_int "live" 100 (Pm_slab.live_slots slab);
+  Alcotest.check_raises "full" Pm_slab.Slab_full
+    (fun () -> ignore (Pm_slab.alloc_slot slab));
+  List.iteri (fun i s -> if i mod 2 = 0 then Pm_slab.free_slot slab s) slots;
+  check_int "half live" 50 (Pm_slab.live_slots slab);
+  (* freed slots are reusable *)
+  let again = List.init 50 (fun _ -> Pm_slab.alloc_slot slab) in
+  check_int "refilled" 100 (Pm_slab.live_slots slab);
+  ignore again
+
+let test_slab_slot_isolation_under_spp () =
+  (* writing one slot's full extent never touches the next slot, and a
+     write past the whole slab object faults *)
+  let a = mk Spp_access.Spp in
+  let slab = Pm_slab.create a ~slot_size:32 ~nslots:4 in
+  let s0 = Pm_slab.alloc_slot slab in
+  let s1 = Pm_slab.alloc_slot slab in
+  a.Spp_access.memset (Pm_slab.slot_ptr slab s0) 'A' 32;
+  check_int "neighbour untouched" 0
+    (a.Spp_access.load_u8 (Pm_slab.slot_ptr slab s1));
+  match
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.memset (Pm_slab.slot_ptr slab 3) 'B' 64)
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "write past the slab must fault"
+
+let test_slab_double_free () =
+  let a = mk Spp_access.Pmdk in
+  let slab = Pm_slab.create a ~slot_size:16 ~nslots:8 in
+  let s = Pm_slab.alloc_slot slab in
+  Pm_slab.free_slot slab s;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Pm_slab.free_slot: not allocated")
+    (fun () -> Pm_slab.free_slot slab s)
+
+(* determinism across variants (the "arbitrary inputs, no errors" of
+   §VI-D) *)
+
+let prop_examples_variant_agnostic =
+  QCheck.Test.make ~name:"queue+fifo behave identically on all variants"
+    ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair bool (int_bound 1000)))
+    (fun ops ->
+      let run variant =
+        let a = mk variant in
+        let q = Pm_queue.create a ~capacity:16 in
+        let f = Pm_fifo.create a in
+        let log = ref [] in
+        List.iter
+          (fun (push, v) ->
+            if push then begin
+              (try Pm_queue.enqueue q v with Pm_queue.Full -> ());
+              Pm_fifo.push f v
+            end
+            else begin
+              (try log := Pm_queue.dequeue q :: !log with Pm_queue.Empty -> ());
+              try log := Pm_fifo.pop f :: !log with Pm_fifo.Empty -> ()
+            end)
+          ops;
+        (!log, Pm_queue.count q, Pm_fifo.length f)
+      in
+      run Spp_access.Pmdk = run Spp_access.Spp
+      && run Spp_access.Spp = run Spp_access.Safepm)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "spp_pmdk_examples"
+    [
+      ( "array",
+        [
+          Alcotest.test_case "basic + resize" `Quick test_array_basic;
+          Alcotest.test_case "realloc bug detected by SPP" `Quick
+            test_array_bug_detected_by_spp;
+          Alcotest.test_case "realloc bug silent on native" `Quick
+            test_array_bug_silent_on_native;
+          Alcotest.test_case "fixed variant raises" `Quick
+            test_array_fixed_raises;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "fifo order + bounds" `Quick test_queue_fifo_order;
+          Alcotest.test_case "wraparound" `Quick test_queue_wraparound;
+          Alcotest.test_case "crash atomicity" `Quick test_queue_crash_atomic;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order and node reclamation" `Quick
+            test_fifo_order_and_free;
+          Alcotest.test_case "crash mid stream" `Quick test_fifo_crash_mid_stream;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "pi converges" `Quick test_pi_estimate_converges;
+          Alcotest.test_case "buffon converges" `Quick
+            test_buffon_estimate_converges;
+          Alcotest.test_case "resumes after crash" `Quick
+            test_montecarlo_resumes_after_crash;
+        ] );
+      ( "slab",
+        [
+          Alcotest.test_case "alloc/free cycle" `Quick test_slab_alloc_free_cycle;
+          Alcotest.test_case "slot isolation under SPP" `Quick
+            test_slab_slot_isolation_under_spp;
+          Alcotest.test_case "double free" `Quick test_slab_double_free;
+        ] );
+      ("properties", [ qt prop_examples_variant_agnostic ]);
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the pmemkv cmap engine: correctness against an oracle on all
+   variants, variable-size values, deletion, crash durability, and the
+   db_bench driver. *)
+
+open Spp_pmdk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(pool_size = 1 lsl 24) variant =
+  Spp_access.create ~pool_size ~name:(Spp_access.variant_name variant) variant
+
+let test_put_get_all_variants () =
+  List.iter
+    (fun v ->
+      let a = mk v in
+      let kv = Spp_pmemkv.Cmap.create ~nbuckets:64 a in
+      Spp_pmemkv.Cmap.put kv ~key:"alpha" ~value:"1";
+      Spp_pmemkv.Cmap.put kv ~key:"beta" ~value:"2";
+      Alcotest.(check (option string))
+        (Spp_access.variant_name v ^ " get alpha")
+        (Some "1") (Spp_pmemkv.Cmap.get kv "alpha");
+      Alcotest.(check (option string))
+        (Spp_access.variant_name v ^ " get missing")
+        None (Spp_pmemkv.Cmap.get kv "gamma");
+      check_bool "remove beta" true (Spp_pmemkv.Cmap.remove kv "beta");
+      check_bool "remove twice" false (Spp_pmemkv.Cmap.remove kv "beta");
+      check_int "count" 1 (Spp_pmemkv.Cmap.count_all kv))
+    Spp_access.all_variants
+
+let test_overwrite_same_and_different_size () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+  Spp_pmemkv.Cmap.put kv ~key:"k" ~value:"aaaa";
+  Spp_pmemkv.Cmap.put kv ~key:"k" ~value:"bbbb";   (* in-place *)
+  Alcotest.(check (option string)) "same-size overwrite" (Some "bbbb")
+    (Spp_pmemkv.Cmap.get kv "k");
+  Spp_pmemkv.Cmap.put kv ~key:"k" ~value:"cccccccc";   (* realloc path *)
+  Alcotest.(check (option string)) "resize overwrite" (Some "cccccccc")
+    (Spp_pmemkv.Cmap.get kv "k");
+  check_int "single live entry" 1 (Spp_pmemkv.Cmap.count_all kv)
+
+let test_oracle_random_ops () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:32 a in
+  let model = Hashtbl.create 64 in
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 2000 do
+    let key = Printf.sprintf "key-%d" (Random.State.int st 200) in
+    match Random.State.int st 3 with
+    | 0 ->
+      let value = Printf.sprintf "val-%d" (Random.State.int st 10000) in
+      Spp_pmemkv.Cmap.put kv ~key ~value;
+      Hashtbl.replace model key value
+    | 1 ->
+      let expected = Hashtbl.mem model key in
+      check_bool "remove agrees" expected (Spp_pmemkv.Cmap.remove kv key);
+      Hashtbl.remove model key
+    | _ ->
+      Alcotest.(check (option string)) "get agrees"
+        (Hashtbl.find_opt model key)
+        (Spp_pmemkv.Cmap.get kv key)
+  done;
+  check_int "final count" (Hashtbl.length model) (Spp_pmemkv.Cmap.count_all kv)
+
+let test_crash_durability () =
+  let a = mk Spp_access.Pmdk in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  Spp_pmemkv.Cmap.put kv ~key:"durable" ~value:"yes";
+  Spp_pmemkv.Cmap.put kv ~key:"gone-after-remove" ~value:"x";
+  check_bool "removed" true (Spp_pmemkv.Cmap.remove kv "gone-after-remove");
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  Alcotest.(check (option string)) "committed put durable" (Some "yes")
+    (Spp_pmemkv.Cmap.get kv "durable");
+  Alcotest.(check (option string)) "committed remove durable" None
+    (Spp_pmemkv.Cmap.get kv "gone-after-remove")
+
+let test_large_values () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+  let v = String.make 1024 'z' in
+  Spp_pmemkv.Cmap.put kv ~key:"big" ~value:v;
+  Alcotest.(check (option string)) "1 KiB value" (Some v)
+    (Spp_pmemkv.Cmap.get kv "big")
+
+let test_db_bench_runs () =
+  let a = mk Spp_access.Pmdk in
+  let kv = Spp_pmemkv.Cmap.create a in
+  Spp_pmemkv.Db_bench.preload kv ~keys:200;
+  List.iter
+    (fun w ->
+      let r =
+        Spp_pmemkv.Db_bench.run kv ~threads:2 ~ops_per_thread:100 ~universe:200 w
+      in
+      check_int (Spp_pmemkv.Db_bench.workload_name w ^ " ops") 200
+        r.Spp_pmemkv.Db_bench.total_ops;
+      check_bool "positive throughput" true
+        (r.Spp_pmemkv.Db_bench.throughput > 0.))
+    Spp_pmemkv.Db_bench.all_workloads
+
+let () =
+  Alcotest.run "spp_pmemkv"
+    [
+      ( "cmap",
+        [
+          Alcotest.test_case "put/get/remove on all variants" `Quick
+            test_put_get_all_variants;
+          Alcotest.test_case "overwrite same/diff size" `Quick
+            test_overwrite_same_and_different_size;
+          Alcotest.test_case "oracle random ops" `Quick test_oracle_random_ops;
+          Alcotest.test_case "crash durability" `Quick test_crash_durability;
+          Alcotest.test_case "1 KiB values" `Quick test_large_values;
+        ] );
+      ( "db_bench",
+        [ Alcotest.test_case "all workloads run" `Quick test_db_bench_runs ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the pmemlog analogue: append/walk/rewind semantics, the
+   write-ahead watermark discipline under crashes (including pmreorder
+   exploration), and SPP protection of the log buffer. *)
+
+open Spp_pmdk
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk variant =
+  Spp_access.create ~pool_size:(1 lsl 20)
+    ~name:(Spp_access.variant_name variant) variant
+
+let test_append_read_all_variants () =
+  List.iter
+    (fun v ->
+      let a = mk v in
+      let log = Spp_pmemlog.create a ~capacity:256 in
+      Spp_pmemlog.append log "hello ";
+      Spp_pmemlog.append log "persistent ";
+      Spp_pmemlog.append log "log";
+      Alcotest.(check string)
+        (Spp_access.variant_name v ^ " contents")
+        "hello persistent log" (Spp_pmemlog.read_all log);
+      check_int "committed" 20 (Spp_pmemlog.committed log);
+      check_int "remaining" 236 (Spp_pmemlog.remaining log))
+    Spp_access.all_variants
+
+let test_log_full () =
+  let a = mk Spp_access.Spp in
+  let log = Spp_pmemlog.create a ~capacity:8 in
+  Spp_pmemlog.append log "12345678";
+  Alcotest.check_raises "full" Spp_pmemlog.Log_full
+    (fun () -> Spp_pmemlog.append log "x")
+
+let test_walk_records () =
+  let a = mk Spp_access.Spp in
+  let log = Spp_pmemlog.create a ~capacity:64 in
+  List.iter (Spp_pmemlog.append log) [ "aa"; "bb"; "cc" ];
+  let seen = ref [] in
+  Spp_pmemlog.walk log (fun ~off chunk ->
+    seen := (off, String.sub chunk 0 2) :: !seen;
+    2);
+  Alcotest.(check (list (pair int string)))
+    "records in order" [ (0, "aa"); (2, "bb"); (4, "cc") ] (List.rev !seen)
+
+let test_rewind () =
+  let a = mk Spp_access.Spp in
+  let log = Spp_pmemlog.create a ~capacity:64 in
+  Spp_pmemlog.append log "data";
+  Spp_pmemlog.rewind log;
+  check_int "rewound" 0 (Spp_pmemlog.committed log);
+  Spp_pmemlog.append log "new";
+  Alcotest.(check string) "fresh contents" "new" (Spp_pmemlog.read_all log)
+
+let test_torn_append_invisible () =
+  (* crash right after the payload write (before the watermark): the log
+     must read as if the append never happened *)
+  let a = mk Spp_access.Pmdk in
+  let log = Spp_pmemlog.create a ~capacity:64 in
+  Spp_pmemlog.append log "durable.";
+  Spp_sim.Memdev.set_tracking (Pool.dev a.Spp_access.pool) true;
+  (* hand-roll a torn append: payload persisted, watermark only stored *)
+  let tail = Spp_pmemlog.committed log in
+  let data = Spp_pmemlog.data_oid log in
+  a.Spp_access.write_string
+    (a.Spp_access.gep (a.Spp_access.direct data) tail) "torn!";
+  Pool.persist a.Spp_access.pool ~off:(data.Oid.off + tail) ~len:5;
+  let wm =
+    a.Spp_access.gep (a.Spp_access.direct (Spp_pmemlog.descriptor log)) 8
+  in
+  a.Spp_access.store_word wm (tail + 5);
+  (* no persist of the watermark -> lost at crash *)
+  let (_ : Pool.recovery_report) = Pool.crash_and_recover a.Spp_access.pool in
+  Alcotest.(check string) "torn append invisible" "durable."
+    (Spp_pmemlog.read_all log)
+
+let test_pmreorder_append_protocol () =
+  (* every reachable crash state shows a committed prefix of appends *)
+  let a = mk Spp_access.Spp in
+  let log = Spp_pmemlog.create a ~capacity:64 in
+  let desc_off = (Spp_pmemlog.descriptor log).Oid.off in
+  let data_off = (Spp_pmemlog.data_oid log).Oid.off in
+  let result =
+    Spp_pmemcheck.Pmreorder.explore ~pool:a.Spp_access.pool
+      ~workload:(fun () ->
+        Spp_pmemlog.append log "AAAA";
+        Spp_pmemlog.append log "BBBB")
+      ~consistent:(fun pool' ->
+        let committed = Pool.load_word pool' ~off:(desc_off + 8) in
+        let body len =
+          Bytes.to_string
+            (Spp_sim.Space.read_bytes (Pool.space pool')
+               (Pool.addr_of_off pool' data_off) len)
+        in
+        match committed with
+        | 0 -> true
+        | 4 -> body 4 = "AAAA"
+        | 8 -> body 8 = "AAAABBBB"
+        | _ -> false)
+      ()
+  in
+  check_bool
+    (Format.asprintf "prefix property: %a" Spp_pmemcheck.Pmreorder.pp_result
+       result)
+    true
+    (result.Spp_pmemcheck.Pmreorder.failures = 0)
+
+let test_spp_protects_log_buffer () =
+  (* an append that would overrun the data object faults before damage
+     even if the watermark bookkeeping were broken *)
+  let a = mk Spp_access.Spp in
+  let log = Spp_pmemlog.create a ~capacity:16 in
+  let data = Spp_pmemlog.data_oid log in
+  match
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.write_string
+        (a.Spp_access.gep (a.Spp_access.direct data) 12) "overflowing")
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "SPP must catch the log overflow"
+
+let () =
+  Alcotest.run "spp_pmemlog"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append/read on all variants" `Quick
+            test_append_read_all_variants;
+          Alcotest.test_case "log full" `Quick test_log_full;
+          Alcotest.test_case "walk records" `Quick test_walk_records;
+          Alcotest.test_case "rewind" `Quick test_rewind;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "torn append invisible" `Quick
+            test_torn_append_invisible;
+          Alcotest.test_case "pmreorder prefix property" `Quick
+            test_pmreorder_append_protocol;
+          Alcotest.test_case "SPP protects the buffer" `Quick
+            test_spp_protects_log_buffer;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the typed persistent-pointer layer (the libpmemobj-cpp
+   analogue): typed structs work identically on native and SPP pools,
+   layouts account for the mode-dependent PMEMoid footprint, and typed
+   code inherits SPP's protection. *)
+
+open Spp_pptr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk variant =
+  Spp_access.create ~pool_size:(1 lsl 20)
+    ~name:(Spp_access.variant_name variant) variant
+
+(* A typed linked-list node: { value : int; name : string(16); next } *)
+type node
+
+let node_layout a :
+  node layout * (node, int) field * (node, string) field
+  * (node, node ptr) field =
+  let l = layout a in
+  let value = word l in
+  let name = fixed_string l ~len:16 in
+  let next = pptr l in
+  (seal l, value, name, next)
+
+let test_typed_struct_roundtrip () =
+  List.iter
+    (fun variant ->
+      let a = mk variant in
+      let l, value, name, next = node_layout a in
+      let n1 = alloc l in
+      let n2 = alloc l in
+      set l n1 value 42;
+      set l n1 name "head";
+      set l n1 next n2;
+      set l n2 value 43;
+      set l n2 name "tail";
+      set l n2 next null;
+      check_int (a.Spp_access.name ^ " value") 42 (get l n1 value);
+      Alcotest.(check string) (a.Spp_access.name ^ " name") "head"
+        (get l n1 name);
+      let n2' = get l n1 next in
+      check_bool "link" true (equal n2 n2');
+      check_int "via link" 43 (get l n2' value);
+      check_bool "null end" true (is_null (get l n2' next)))
+    [ Spp_access.Pmdk; Spp_access.Spp; Spp_access.Safepm ]
+
+let test_layout_size_mode_dependent () =
+  (* the oid field makes the same declaration 8 bytes bigger on SPP pools,
+     like sizeof() with the extended PMEMoid (paper §IV-F) *)
+  let native = mk Spp_access.Pmdk and spp = mk Spp_access.Spp in
+  let ln, _, _, _ = node_layout native in
+  let ls, _, _, _ = node_layout spp in
+  check_int "native layout" (8 + 16 + 16) (size_of ln);
+  check_int "spp layout" (8 + 16 + 24) (size_of ls)
+
+let test_typed_list_walk () =
+  let a = mk Spp_access.Spp in
+  let l, value, _, next = node_layout a in
+  (* build 1 -> 2 -> ... -> 50 *)
+  let rec build i tail =
+    if i = 0 then tail
+    else begin
+      let n = alloc l in
+      set l n value i;
+      set l n next tail;
+      build (i - 1) n
+    end
+  in
+  let head = build 50 null in
+  let rec sum p acc =
+    if is_null p then acc else sum (get l p next) (acc + get l p value)
+  in
+  check_int "sum 1..50" 1275 (sum head 0)
+
+let test_tx_field_snapshot () =
+  let a = mk Spp_access.Spp in
+  let l, value, name, _ = node_layout a in
+  let n = alloc l in
+  set l n value 7;
+  set l n name "keep";
+  (try
+     with_tx l (fun () ->
+       tx_add_field l n value;
+       set l n value 99;
+       failwith "boom")
+   with Failure _ -> ());
+  check_int "field rolled back" 7 (get l n value);
+  Alcotest.(check string) "other field untouched" "keep" (get l n name)
+
+let test_typed_protection_inherited () =
+  (* a raw out-of-bounds access derived from a typed pointer still faults
+     under SPP *)
+  let a = mk Spp_access.Spp in
+  let l, _, _, _ = node_layout a in
+  let n = alloc l in
+  match
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.store_word (a.Spp_access.gep (direct l n) (size_of l)) 1)
+  with
+  | Spp_access.Prevented _ -> ()
+  | Ok_completed -> Alcotest.fail "typed pointer must stay protected"
+
+let test_fixed_string_too_long () =
+  let a = mk Spp_access.Spp in
+  let l, _, name, _ = node_layout a in
+  let n = alloc l in
+  Alcotest.check_raises "oversized string"
+    (Invalid_argument "Spp_pptr.fixed_string: value too long")
+    (fun () -> set l n name "exactly-16-chars!")
+
+let prop_typed_equals_untyped =
+  QCheck.Test.make
+    ~name:"typed field access equals manual offset arithmetic" ~count:100
+    QCheck.(pair (int_bound 10000) string_printable)
+    (fun (v, s) ->
+      let s = if String.length s > 15 then String.sub s 0 15 else s in
+      let s = String.map (fun c -> if c = '\000' then 'x' else c) s in
+      let a = mk Spp_access.Spp in
+      let l, value, name, _ = node_layout a in
+      let n = alloc l in
+      set l n value v;
+      set l n name s;
+      let raw = direct l n in
+      a.Spp_access.load_word raw = v
+      && (let b = a.Spp_access.read_bytes (a.Spp_access.gep raw 8)
+                    (String.length s) in
+          Bytes.to_string b = s))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "spp_pptr"
+    [
+      ( "typed",
+        [
+          Alcotest.test_case "struct roundtrip on all variants" `Quick
+            test_typed_struct_roundtrip;
+          Alcotest.test_case "layout size is mode dependent" `Quick
+            test_layout_size_mode_dependent;
+          Alcotest.test_case "typed list walk" `Quick test_typed_list_walk;
+          Alcotest.test_case "tx field snapshot" `Quick test_tx_field_snapshot;
+          Alcotest.test_case "protection inherited" `Quick
+            test_typed_protection_inherited;
+          Alcotest.test_case "fixed string bound" `Quick
+            test_fixed_string_too_long;
+        ] );
+      ("properties", [ qt prop_typed_equals_untyped ]);
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the RIPE attack framework: outcomes must be emergent from
+   the mechanisms, and the Table IV ordering must hold. *)
+
+open Spp_ripe
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_rows = lazy (Ripe.run_all ())
+
+let row name =
+  match
+    List.find_opt (fun r -> r.Ripe.row_name = name) (Lazy.force run_rows)
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no RIPE row %s" name
+
+let test_unprotected_all_succeed () =
+  List.iter
+    (fun name ->
+      let r = row name in
+      check_int (name ^ " successful") (List.length Ripe.all_attacks)
+        r.Ripe.successful;
+      check_int (name ^ " prevented") 0 r.Ripe.prevented)
+    [ "Volatile heap"; "PM pool heap" ]
+
+let test_spp_prevents_most () =
+  let spp = row "SPP" in
+  check_bool "SPP prevents the majority" true
+    (spp.Ripe.prevented > spp.Ripe.successful);
+  (* the documented blind spots survive: int2ptr, external, intra-object *)
+  List.iter
+    (fun (at, o) ->
+      match at.Ripe.technique with
+      | Ripe.Int2ptr_aware | Ripe.External_aware | Ripe.Intra_word
+      | Ripe.Intra_memcpy
+      (* no lower-bound tag: underflows are out of scope (paper §IV-A) *)
+      | Ripe.Under_seq_word | Ripe.Under_far_word ->
+        check_bool (Ripe.attack_name at ^ " evades SPP") true
+          (o = Ripe.Successful)
+      | Ripe.Seq_u8 | Ripe.Seq_word | Ripe.Far_naive_u8 | Ripe.Far_naive_word
+      | Ripe.Memcpy_naive | Ripe.Strcpy_naive | Ripe.Read_leak_naive
+      | Ripe.Far_aware_write | Ripe.Far_aware_read ->
+        check_bool (Ripe.attack_name at ^ " prevented by SPP") true
+          (match o with Ripe.Prevented _ -> true | _ -> false))
+    spp.Ripe.details
+
+let test_table4_ordering () =
+  let spp = row "SPP" and safepm = row "SafePM" and mc = row "memcheck" in
+  check_bool "SPP beats SafePM" true (spp.Ripe.successful <= safepm.Ripe.successful);
+  check_bool "SafePM beats memcheck" true
+    (safepm.Ripe.successful < mc.Ripe.successful);
+  check_bool "everything catches something" true (mc.Ripe.prevented > 0)
+
+let test_spp_catches_aware_far_safepm_does_not () =
+  (* the tag travels with the pointer, so even a layout-aware direct jump
+     overflows; SafePM only sees addressability *)
+  let spp_far =
+    Ripe.run_attack Spp_access.Spp
+      { Ripe.technique = Ripe.Far_aware_write; loc = Ripe.Adjacent }
+  in
+  let safepm_far =
+    Ripe.run_attack Spp_access.Safepm
+      { Ripe.technique = Ripe.Far_aware_write; loc = Ripe.Adjacent }
+  in
+  check_bool "SPP catches layout-aware far write" true
+    (match spp_far with Ripe.Prevented _ -> true | _ -> false);
+  check_bool "SafePM misses layout-aware far write" true
+    (safepm_far = Ripe.Successful)
+
+let test_memcheck_misses_naive_far () =
+  (* same layout as native, no redzones: the naive jump lands in the
+     target's interior *)
+  let o =
+    Ripe.run_attack Spp_access.Memcheck
+      { Ripe.technique = Ripe.Far_naive_word; loc = Ripe.Adjacent }
+  in
+  check_bool "memcheck misses naive far write" true (o = Ripe.Successful)
+
+let test_safepm_layout_shift_catches_naive () =
+  let o =
+    Ripe.run_attack Spp_access.Safepm
+      { Ripe.technique = Ripe.Far_naive_word; loc = Ripe.Adjacent }
+  in
+  check_bool "redzone shift catches the naive jump" true
+    (match o with Ripe.Prevented _ -> true | _ -> false)
+
+let test_underflow_blind_spot () =
+  (* SPP has no lower-bound tag (paper §IV-A): underflows evade it; the
+     contiguous walk dies in SafePM's left redzone, but the direct jump
+     lands in the earlier object's interior and evades SafePM too *)
+  let at t = { Ripe.technique = t; loc = Ripe.Adjacent } in
+  check_bool "SPP misses underflow walk" true
+    (Ripe.run_attack Spp_access.Spp (at Ripe.Under_seq_word)
+     = Ripe.Successful);
+  check_bool "SafePM catches underflow walk" true
+    (match Ripe.run_attack Spp_access.Safepm (at Ripe.Under_seq_word) with
+     | Ripe.Prevented _ -> true
+     | _ -> false);
+  check_bool "SafePM misses underflow jump" true
+    (Ripe.run_attack Spp_access.Safepm (at Ripe.Under_far_word)
+     = Ripe.Successful);
+  check_bool "memcheck misses underflow jump" true
+    (Ripe.run_attack Spp_access.Memcheck (at Ripe.Under_far_word)
+     = Ripe.Successful)
+
+let test_determinism () =
+  let r1 = Ripe.run_row Spp_access.Spp and r2 = Ripe.run_row Spp_access.Spp in
+  check_int "deterministic successful" r1.Ripe.successful r2.Ripe.successful;
+  check_int "deterministic prevented" r1.Ripe.prevented r2.Ripe.prevented
+
+let () =
+  Alcotest.run "spp_ripe"
+    [
+      ( "table4",
+        [
+          Alcotest.test_case "unprotected rows all succeed" `Quick
+            test_unprotected_all_succeed;
+          Alcotest.test_case "SPP prevents most, blind spots survive" `Quick
+            test_spp_prevents_most;
+          Alcotest.test_case "ordering SPP <= SafePM < memcheck" `Quick
+            test_table4_ordering;
+        ] );
+      ( "mechanisms",
+        [
+          Alcotest.test_case "aware far: SPP yes, SafePM no" `Quick
+            test_spp_catches_aware_far_safepm_does_not;
+          Alcotest.test_case "naive far: memcheck misses" `Quick
+            test_memcheck_misses_naive_far;
+          Alcotest.test_case "naive far: SafePM catches via shift" `Quick
+            test_safepm_layout_shift_catches_naive;
+          Alcotest.test_case "underflow blind spot" `Quick
+            test_underflow_blind_spot;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+    ]

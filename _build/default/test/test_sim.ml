@@ -1,0 +1,312 @@
+(* Tests for the machine substrate: memory devices, durability semantics,
+   address space, and the volatile heap. *)
+
+open Spp_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let expect_fault f =
+  match f () with
+  | _ -> Alcotest.fail "expected a simulated fault"
+  | exception Fault.Fault _ -> ()
+
+(* Memdev *)
+
+let test_memdev_roundtrip () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:100 "hello";
+  check_int "view readback" (Char.code 'h')
+    (Char.code (Bytes.get (Memdev.load_bytes d ~off:100 ~len:1) 0));
+  Alcotest.(check string) "full string" "hello"
+    (Bytes.to_string (Memdev.load_bytes d ~off:100 ~len:5))
+
+let test_memdev_bounds () =
+  let d = Memdev.create_volatile ~name:"t" 64 in
+  Alcotest.check_raises "oob store"
+    (Invalid_argument "Memdev(t): range [60, 60+8) out of device bounds 64")
+    (fun () -> Memdev.store_string d ~off:60 "12345678")
+
+let test_tracking_unfenced_lost () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:0 "AAAA";
+  Memdev.persist d ~off:0 ~len:4;
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "BBBB";
+  (* no flush/fence: store must not survive the crash *)
+  Memdev.crash d;
+  Alcotest.(check string) "unfenced store lost" "AAAA"
+    (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:4))
+
+let test_tracking_flush_without_fence_lost () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "CCCC";
+  Memdev.flush d ~off:0 ~len:4;
+  (* flushed but not fenced: still not guaranteed durable *)
+  Memdev.crash d;
+  Alcotest.(check string) "flushed-unfenced store lost" "\000\000\000\000"
+    (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:4))
+
+let test_tracking_persist_survives () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:8 "DDDD";
+  Memdev.persist d ~off:8 ~len:4;
+  Memdev.crash d;
+  Alcotest.(check string) "persisted store survives" "DDDD"
+    (Bytes.to_string (Memdev.load_bytes d ~off:8 ~len:4))
+
+let test_tracking_cacheline_granularity () =
+  (* Flushing one byte drains the whole cacheline's pending stores. *)
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "EE";
+  Memdev.store_string d ~off:60 "FF";   (* same 64-byte line *)
+  Memdev.flush d ~off:0 ~len:1;
+  Memdev.fence d;
+  Memdev.crash d;
+  Alcotest.(check string) "line co-resident store drained" "FF"
+    (Bytes.to_string (Memdev.load_bytes d ~off:60 ~len:2))
+
+let test_crash_applying_subset () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "XX";
+  Memdev.store_string d ~off:10 "YY";
+  (match Memdev.pending_stores d with
+   | [ first; _second ] ->
+     Memdev.crash_applying d [ first ];
+     Alcotest.(check string) "first applied" "XX"
+       (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:2));
+     Alcotest.(check string) "second dropped" "\000\000"
+       (Bytes.to_string (Memdev.load_bytes d ~off:10 ~len:2))
+   | l -> Alcotest.failf "expected 2 pending stores, got %d" (List.length l))
+
+let test_program_order_replay () =
+  (* Overlapping pending stores replay in program order. *)
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "first___";
+  Memdev.store_string d ~off:0 "second__";
+  let all = Memdev.pending_stores d in
+  Memdev.crash_applying d all;
+  Alcotest.(check string) "later store wins" "second__"
+    (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:8))
+
+let test_save_load_durable () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:42 "persist-me";
+  Memdev.persist d ~off:42 ~len:10;
+  let path = Filename.temp_file "spp_pool" ".img" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Memdev.save_durable d path;
+      let d2 = Memdev.load_durable ~name:"t2" path in
+      Alcotest.(check string) "reloaded" "persist-me"
+        (Bytes.to_string (Memdev.load_bytes d2 ~off:42 ~len:10)))
+
+(* Space *)
+
+let mk_space () =
+  let s = Space.create () in
+  let pm = Memdev.create_persistent ~name:"pm" 65536 in
+  let dram = Memdev.create_volatile ~name:"dram" 65536 in
+  Space.map s ~base:4096 ~size:65536 ~kind:Space.Persistent ~name:"pm" pm;
+  Space.map s ~base:(1 lsl 45) ~size:65536 ~kind:Space.Volatile ~name:"dram" dram;
+  s
+
+let test_space_word_roundtrip () =
+  let s = mk_space () in
+  Space.store_word s 4096 0x1234_5678_9ABC;
+  check_int "word" 0x1234_5678_9ABC (Space.load_word s 4096);
+  Space.store_word s 8000 max_int;
+  check_int "max_int" max_int (Space.load_word s 8000)
+
+let test_space_typed_accessors () =
+  let s = mk_space () in
+  Space.store_u8 s 5000 0xAB;
+  check_int "u8" 0xAB (Space.load_u8 s 5000);
+  Space.store_u16 s 5002 0xBEEF;
+  check_int "u16" 0xBEEF (Space.load_u16 s 5002);
+  Space.store_u32 s 5004 0xDEADBEEF;
+  check_int "u32" 0xDEADBEEF (Space.load_u32 s 5004)
+
+let test_space_unmapped_faults () =
+  let s = mk_space () in
+  expect_fault (fun () -> Space.load_u8 s 0);
+  expect_fault (fun () -> Space.load_u8 s (4096 + 65536));
+  expect_fault (fun () -> Space.store_word s (1 lsl 61) 1);
+  (* access straddling the region end *)
+  expect_fault (fun () -> Space.load_word s (4096 + 65536 - 4))
+
+let test_space_overlap_rejected () =
+  let s = mk_space () in
+  let d = Memdev.create_volatile ~name:"x" 4096 in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Space.map: region x overlaps pm")
+    (fun () -> Space.map s ~base:8192 ~size:4096 ~kind:Space.Volatile ~name:"x" d)
+
+let test_space_blit_and_strings () =
+  let s = mk_space () in
+  Space.write_string s 4200 "hello world\000";
+  Space.blit s ~src:4200 ~dst:9000 ~len:12;
+  Alcotest.(check string) "blit" "hello world" (Space.read_cstring s 9000);
+  check_int "strlen" 11 (Space.strlen s 4200)
+
+let test_space_stats () =
+  let s = mk_space () in
+  Space.reset_stats s;
+  Space.store_word s 4096 1;
+  ignore (Space.load_word s 4096);
+  Space.store_word s (1 lsl 45) 1;
+  let st = Space.stats s in
+  check_int "pm stores" 1 st.Space.pm_stores;
+  check_int "pm loads" 1 st.Space.pm_loads;
+  check_int "vol stores" 1 st.Space.vol_stores
+
+(* Vheap *)
+
+let test_vheap_basic () =
+  let s = Space.create () in
+  let h = Vheap.create s 65536 in
+  let a = Vheap.malloc h 100 in
+  let b = Vheap.malloc h 200 in
+  check_bool "disjoint" true (b >= a + 100 || a >= b + 200);
+  Space.write_string s a "data";
+  Alcotest.(check string) "rw" "data"
+    (Bytes.to_string (Space.read_bytes s a 4));
+  Vheap.free h a;
+  Vheap.free h b;
+  check_int "all free" 0 (Vheap.bytes_live h)
+
+let test_vheap_coalesce_reuse () =
+  let s = Space.create () in
+  let h = Vheap.create s 4096 in
+  let a = Vheap.malloc h 1024 in
+  let b = Vheap.malloc h 1024 in
+  let c = Vheap.malloc h 1024 in
+  Vheap.free h a; Vheap.free h b; Vheap.free h c;
+  (* after coalescing, a 3 KiB block must fit again *)
+  let big = Vheap.malloc h 3072 in
+  check_int "reused from start" a big
+
+let test_vheap_realloc_preserves () =
+  let s = Space.create () in
+  let h = Vheap.create s 65536 in
+  let a = Vheap.malloc h 16 in
+  Space.write_string s a "0123456789ABCDEF";
+  let b = Vheap.realloc h a 64 in
+  Alcotest.(check string) "contents preserved" "0123456789ABCDEF"
+    (Bytes.to_string (Space.read_bytes s b 16))
+
+let test_vheap_double_free () =
+  let s = Space.create () in
+  let h = Vheap.create s 4096 in
+  let a = Vheap.malloc h 8 in
+  Vheap.free h a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Vheap.free: not a live allocation")
+    (fun () -> Vheap.free h a)
+
+let test_vheap_oom () =
+  let s = Space.create () in
+  let h = Vheap.create s 1024 in
+  Alcotest.check_raises "oom" Out_of_memory
+    (fun () -> ignore (Vheap.malloc h 4096))
+
+(* Property tests *)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"space word store/load roundtrip" ~count:500
+    QCheck.(pair (int_bound 65000) (int_bound max_int))
+    (fun (off, v) ->
+      QCheck.assume (off land 7 = 0 && off + 8 <= 65536);
+      let s = Space.create () in
+      let d = Memdev.create_persistent ~name:"p" 65536 in
+      Space.map s ~base:4096 ~size:65536 ~kind:Space.Persistent ~name:"p" d;
+      Space.store_word s (4096 + off) v;
+      Space.load_word s (4096 + off) = v)
+
+let prop_vheap_disjoint =
+  QCheck.Test.make ~name:"vheap live allocations never overlap" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 200))
+    (fun sizes ->
+      let s = Space.create () in
+      let h = Vheap.create s (1 lsl 20) in
+      let addrs = List.map (fun sz -> (Vheap.malloc h sz, sz)) sizes in
+      (* free every other allocation to fragment the heap *)
+      List.iteri (fun i (a, _) -> if i mod 2 = 0 then Vheap.free h a) addrs;
+      let live = Vheap.live_allocations h in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          a1 + s1 <= a2 && disjoint rest
+        | _ -> true
+      in
+      disjoint live)
+
+let prop_crash_is_prefix_consistent =
+  QCheck.Test.make
+    ~name:"crash never resurrects pre-tracking state after persist" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (pair (int_bound 400) (int_bound 255)))
+    (fun writes ->
+      let d = Memdev.create_persistent ~name:"p" 512 in
+      Memdev.set_tracking d true;
+      List.iter
+        (fun (off, v) ->
+          let off = min off 511 in
+          Memdev.store_bytes d ~off (Bytes.make 1 (Char.chr v)) ~src_off:0 ~len:1;
+          Memdev.persist d ~off ~len:1)
+        writes;
+      let expected = Bytes.copy (Memdev.load_bytes d ~off:0 ~len:512) in
+      Memdev.crash d;
+      Bytes.equal expected (Memdev.load_bytes d ~off:0 ~len:512))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "spp_sim"
+    [
+      ( "memdev",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_memdev_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_memdev_bounds;
+          Alcotest.test_case "unfenced store lost on crash" `Quick
+            test_tracking_unfenced_lost;
+          Alcotest.test_case "flush without fence lost" `Quick
+            test_tracking_flush_without_fence_lost;
+          Alcotest.test_case "persist survives crash" `Quick
+            test_tracking_persist_survives;
+          Alcotest.test_case "cacheline flush granularity" `Quick
+            test_tracking_cacheline_granularity;
+          Alcotest.test_case "crash applying subset" `Quick
+            test_crash_applying_subset;
+          Alcotest.test_case "program-order replay" `Quick
+            test_program_order_replay;
+          Alcotest.test_case "save/load pool file" `Quick test_save_load_durable;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "word roundtrip" `Quick test_space_word_roundtrip;
+          Alcotest.test_case "typed accessors" `Quick test_space_typed_accessors;
+          Alcotest.test_case "unmapped access faults" `Quick
+            test_space_unmapped_faults;
+          Alcotest.test_case "overlapping map rejected" `Quick
+            test_space_overlap_rejected;
+          Alcotest.test_case "blit and cstrings" `Quick
+            test_space_blit_and_strings;
+          Alcotest.test_case "access stats" `Quick test_space_stats;
+        ] );
+      ( "vheap",
+        [
+          Alcotest.test_case "malloc/free" `Quick test_vheap_basic;
+          Alcotest.test_case "coalesce and reuse" `Quick
+            test_vheap_coalesce_reuse;
+          Alcotest.test_case "realloc preserves contents" `Quick
+            test_vheap_realloc_preserves;
+          Alcotest.test_case "double free rejected" `Quick test_vheap_double_free;
+          Alcotest.test_case "out of memory" `Quick test_vheap_oom;
+        ] );
+      ( "properties",
+        [ qt prop_word_roundtrip; qt prop_vheap_disjoint;
+          qt prop_crash_is_prefix_consistent ] );
+    ]

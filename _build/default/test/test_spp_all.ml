@@ -1,0 +1,106 @@
+(* Tests for the §VII generalization: SPP extended to volatile pointers
+   (full DeltaPointers mode). Volatile allocations carry delta tags, so
+   the very overflows the PM-only design leaves to the volatile side are
+   caught too — at the price of instrumenting everything. *)
+
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk variant =
+  Spp_access.create ~pool_size:(1 lsl 18)
+    ~name:(Spp_access.variant_name variant) variant
+
+let test_volatile_rw_works () =
+  let a = mk Spp_access.Spp_all in
+  let p = a.Spp_access.valloc 64 in
+  check_bool "volatile pointer is tagged" true
+    (Spp_core.Encoding.is_pm Spp_core.Config.default p);
+  a.Spp_access.store_word p 77;
+  a.Spp_access.store_word (a.Spp_access.gep p 56) 88;
+  check_int "word0" 77 (a.Spp_access.load_word p);
+  check_int "word7" 88 (a.Spp_access.load_word (a.Spp_access.gep p 56));
+  a.Spp_access.vfree p
+
+let test_volatile_overflow_detected () =
+  let a = mk Spp_access.Spp_all in
+  let p = a.Spp_access.valloc 64 in
+  let neighbour = a.Spp_access.valloc 64 in
+  a.Spp_access.store_word neighbour 0x5AFE;
+  (match
+     Spp_access.run_guarded (fun () ->
+       a.Spp_access.store_word (a.Spp_access.gep p 64) 0xBAD)
+   with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "volatile overflow must fault");
+  check_int "neighbour unharmed" 0x5AFE (a.Spp_access.load_word neighbour)
+
+let test_pm_only_spp_misses_volatile_overflow () =
+  (* the paper's baseline behaviour: PM-only SPP leaves the volatile heap
+     unprotected *)
+  let a = mk Spp_access.Pmdk in
+  let p = a.Spp_access.valloc 64 in
+  match
+    Spp_access.run_guarded (fun () ->
+      a.Spp_access.store_word (a.Spp_access.gep p 64) 0xBAD)
+  with
+  | Spp_access.Ok_completed -> ()
+  | Prevented r -> Alcotest.failf "untagged heap should not fault: %s" r
+
+let test_mixed_pm_and_volatile () =
+  let a = mk Spp_access.Spp_all in
+  let v = a.Spp_access.valloc 32 in
+  let oid = a.Spp_access.palloc 32 in
+  let pm = a.Spp_access.direct oid in
+  a.Spp_access.store_word v 1;
+  a.Spp_access.store_word pm 2;
+  a.Spp_access.memcpy ~dst:v ~src:pm ~len:32;
+  check_int "cross-heap memcpy" 2 (a.Spp_access.load_word v);
+  (* both sides remain protected *)
+  List.iter
+    (fun ptr ->
+      match
+        Spp_access.run_guarded (fun () ->
+          a.Spp_access.store_u8 (a.Spp_access.gep ptr 32) 1)
+      with
+      | Spp_access.Prevented _ -> ()
+      | Ok_completed -> Alcotest.fail "both heaps must be protected")
+    [ v; pm ]
+
+let test_spp_all_blocks_volatile_ripe_row () =
+  (* the §VII extension closes the volatile-heap row of Table IV: the
+     same contiguous overflow that succeeds raw is now caught *)
+  let a = mk Spp_access.Spp_all in
+  let victim = a.Spp_access.valloc 120 in
+  let target = a.Spp_access.valloc 120 in
+  a.Spp_access.store_word (a.Spp_access.gep target 16) 0xD15;
+  let delta =
+    a.Spp_access.ptr_to_int target + 16 - a.Spp_access.ptr_to_int victim
+  in
+  (match
+     Spp_access.run_guarded (fun () ->
+       for i = 0 to delta + 7 do
+         a.Spp_access.store_u8 (a.Spp_access.gep victim i) 0x41
+       done)
+   with
+   | Spp_access.Prevented _ -> ()
+   | Ok_completed -> Alcotest.fail "volatile RIPE walk must be prevented");
+  check_int "dispatch intact" 0xD15
+    (a.Spp_access.load_word (a.Spp_access.gep target 16))
+
+let () =
+  Alcotest.run "spp_all"
+    [
+      ( "volatile-generalization",
+        [
+          Alcotest.test_case "tagged volatile rw" `Quick test_volatile_rw_works;
+          Alcotest.test_case "volatile overflow detected" `Quick
+            test_volatile_overflow_detected;
+          Alcotest.test_case "PM-only SPP misses it" `Quick
+            test_pm_only_spp_misses_volatile_overflow;
+          Alcotest.test_case "mixed PM + volatile" `Quick
+            test_mixed_pm_and_volatile;
+          Alcotest.test_case "volatile RIPE row closed" `Quick
+            test_spp_all_blocks_volatile_ripe_row;
+        ] );
+    ]
