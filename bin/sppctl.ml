@@ -6,7 +6,8 @@
      attack    run the RIPE attack matrix for one variant or all
      index     drive a persistent index and report timing + space
      check     run an index workload under the pmemcheck trace checker
-     explore   pmreorder-style crash-state exploration of an index op *)
+     explore   pmreorder-style crash-state exploration of an index op
+     torture   systematic crash-point enumeration with media faults *)
 
 open Cmdliner
 
@@ -198,17 +199,31 @@ let pool_open_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
   let run path =
-    let dev = Spp_sim.Memdev.load_durable ~name:(Filename.basename path) path in
+    let dev =
+      try
+        Spp_sim.Memdev.load_durable ~name:(Filename.basename path)
+          ~min_size:Spp_pmdk.Pool.min_pool_size
+          ~magic:Spp_pmdk.Pool.magic_word path
+      with Invalid_argument msg ->
+        prerr_endline ("not a pool image: " ^ msg);
+        exit 1
+    in
     let space = Spp_sim.Space.create () in
-    let pool = Spp_pmdk.Pool.of_dev space ~base:4096 dev in
-    Format.printf "%a@." Spp_pmdk.Inspect.pp_info (Spp_pmdk.Inspect.info pool);
-    match Spp_pmdk.Inspect.check pool with
-    | [] -> print_endline "integrity check: OK"
-    | issues ->
-      List.iter
-        (fun i -> print_endline ("ISSUE: " ^ Spp_pmdk.Inspect.issue_to_string i))
-        issues;
+    match Spp_pmdk.Pool.open_dev space ~base:4096 dev with
+    | Error e ->
+      Format.eprintf "corrupt pool: %a@." Spp_pmdk.Pool.pp_pool_error e;
       exit 1
+    | Ok (pool, _report) ->
+      Format.printf "%a@." Spp_pmdk.Inspect.pp_info
+        (Spp_pmdk.Inspect.info pool);
+      (match Spp_pmdk.Inspect.check pool with
+       | [] -> print_endline "integrity check: OK"
+       | issues ->
+         List.iter
+           (fun i ->
+             print_endline ("ISSUE: " ^ Spp_pmdk.Inspect.issue_to_string i))
+           issues;
+         exit 1)
   in
   Cmd.v
     (Cmd.info "pool-open"
@@ -241,10 +256,79 @@ let explore_cmd =
        ~doc:"Explore crash states of a transactional index insert")
     Term.(const run $ variant_arg)
 
+(* torture *)
+
+let torture_cmd =
+  let workload_arg =
+    let doc = "Workload to torture: kvstore, pmemlog, counter, or all." in
+    Arg.(value & opt string "all" & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Maximum crash points per workload; events beyond it are sampled \
+       at a uniform stride (default: enumerate every event)."
+    in
+    Arg.(value & opt int max_int & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for torn-write subsets and bit-flip placement." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let torn_arg =
+    let doc =
+      "Torn crashes: a seeded subset of the unfenced stores reaches the \
+       media at each crash (cache-eviction reordering)."
+    in
+    Arg.(value & flag & info [ "torn" ] ~doc)
+  in
+  let bitflips_arg =
+    let doc =
+      "Flip this many seeded random bits in the durable image after each \
+       crash (media rot); typed open rejections then count as graceful."
+    in
+    Arg.(value & opt int 0 & info [ "bitflips" ] ~docv:"N" ~doc)
+  in
+  let tops_arg =
+    let doc = "Operations per workload run." in
+    Arg.(value & opt int 24 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let run variant workload budget seed torn bitflips ops =
+    let open Spp_torture in
+    let faults = { Torture.torn; bitflips } in
+    let workloads =
+      match workload with
+      | "all" -> Workloads.all ~variant ~ops ()
+      | name ->
+        (match Workloads.by_name ~variant ~ops name with
+         | Some w -> [ w ]
+         | None ->
+           prerr_endline
+             ("unknown workload " ^ name
+              ^ " (expected kvstore | pmemlog | counter | all)");
+           exit 2)
+    in
+    let failed = ref false in
+    List.iter
+      (fun w ->
+        let r = Torture.run ~budget ~seed ~faults w in
+        Format.printf "%a@." Torture.pp_report r;
+        if r.Torture.r_invariant_failures > 0 then failed := true)
+      workloads;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Enumerate crash points of a recovery workload: replay it once \
+          per durability event, cut the power there, reopen, recover, \
+          and check the acknowledgement invariant")
+    Term.(const run $ variant_arg $ workload_arg $ budget_arg $ seed_arg
+          $ torn_arg $ bitflips_arg $ tops_arg)
+
 let () =
   let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc)
           [ info_cmd; decode_cmd; attack_cmd; index_cmd; check_cmd;
-            explore_cmd; pool_demo_cmd; pool_open_cmd ]))
+            explore_cmd; pool_demo_cmd; pool_open_cmd; torture_cmd ]))

@@ -432,6 +432,22 @@ let create ?(tag_bits = 26) ?(pool_base = default_pool_base)
     let vheap = Vheap.create space vheap_size in
     make_memcheck ~space ~pool ~table ~vheap ~name
 
+(* Re-attach to an already-open pool — the "process restart" half of the
+   crash-recovery story: [Pool.open_dev] brings the pool back, [attach]
+   rebuilds the compiled-binary view over it. The variant is derived from
+   the pool's durable mode word: an SPP pool reopens with tagged pointers
+   and checked accesses, a native pool with raw PMDK semantics. The
+   checker variants (Safepm/Memcheck) rebuild their volatile side tables
+   from scratch elsewhere and are not reattachable here. *)
+
+let attach ?(name = "reattached") space pool =
+  match Pool.mode pool with
+  | Mode.Spp cfg -> make_spp ~space ~pool ~cfg ~name ()
+  | Mode.Native ->
+    (* a fresh volatile heap, mapped high where pools never live *)
+    let vheap = Vheap.create space (1 lsl 16) in
+    make_pmdk ~space ~pool ~vheap ~name
+
 (* --- Violation handling --------------------------------------------------- *)
 
 type outcome =

@@ -82,6 +82,13 @@ val create :
 (** Build a fresh machine (address space + pool + checker state) for the
     variant. [tag_bits] only affects {!Spp} (default 26). *)
 
+val attach : ?name:string -> Space.t -> Pool.t -> t
+(** Rebuild the access layer over an already-open pool (after
+    [Pool.open_dev] on a reopened image): SPP pools come back with
+    tagged, checked accesses; native pools with raw PMDK semantics. The
+    checker variants (Safepm/Memcheck) keep volatile side tables and are
+    not reattachable through this path. *)
+
 (** {1 Violation handling} *)
 
 type outcome =

@@ -13,6 +13,19 @@ type t = Rep.t
 
 exception Wrong_pool of Oid.t
 
+let () =
+  Printexc.register_printer (function
+    | Wrong_pool oid ->
+      Some
+        (Printf.sprintf
+           "Pool.Wrong_pool: oid {uuid=0x%x; off=0x%x; size=%d} does not \
+            belong to this pool"
+           oid.Oid.uuid oid.Oid.off oid.Oid.size)
+    | _ -> None)
+
+let magic_word = Rep.magic
+let min_pool_size = Rep.min_pool_size
+
 let uuid_counter = ref 0x1000
 
 let next_uuid () =
@@ -47,11 +60,16 @@ let create space ~base ~size ~mode ~name =
   Rep.store t Rep.off_magic Rep.magic;
   Rep.store t Rep.off_uuid uuid;
   Rep.store t Rep.off_pool_size size;
-  Rep.store t Rep.off_mode (if Mode.is_spp mode then 1 else 0);
-  Rep.store t Rep.off_tag_bits
-    (match mode with
-     | Mode.Native -> 0
-     | Mode.Spp cfg -> Spp_core.Config.tag_bits cfg);
+  let mode_word = if Mode.is_spp mode then 1 else 0 in
+  let tag_bits =
+    match mode with
+    | Mode.Native -> 0
+    | Mode.Spp cfg -> Spp_core.Config.tag_bits cfg
+  in
+  Rep.store t Rep.off_mode mode_word;
+  Rep.store t Rep.off_tag_bits tag_bits;
+  Rep.store t Rep.off_hdr_csum
+    (Rep.header_checksum ~uuid ~psize:size ~mode_word ~tag_bits);
   Rep.store t Rep.off_heap_bump t.Rep.heap_base;
   Rep.store_oid t Rep.off_root Oid.null;
   for ci = 0 to Rep.n_classes - 1 do
@@ -76,24 +94,95 @@ let recover (t : Rep.t) =
   let tx_outcome = Tx.recover t in
   { redo_replayed; tx_outcome }
 
-let of_dev space ~base dev =
+(* Typed open errors: a pool image from failed media must degrade into a
+   diagnosable [Error], never an untyped exception (paper §IV-F treats
+   metadata durability as the safety root; an unreadable root must not
+   take the process down). *)
+
+type pool_error =
+  | Bad_header of string
+  | Bad_checksum of { stored : int; computed : int }
+  | Truncated of { expected : int; actual : int }
+  | Corrupt_log of string
+
+let pool_error_to_string = function
+  | Bad_header msg -> Printf.sprintf "bad header: %s" msg
+  | Bad_checksum { stored; computed } ->
+    Printf.sprintf "bad header checksum: stored 0x%x, computed 0x%x"
+      stored computed
+  | Truncated { expected; actual } ->
+    Printf.sprintf "truncated image: %d bytes, expected at least %d"
+      actual expected
+  | Corrupt_log msg -> Printf.sprintf "corrupt log area: %s" msg
+
+let pp_pool_error ppf e = Format.pp_print_string ppf (pool_error_to_string e)
+
+exception Open_error of pool_error
+
+let open_dev space ~base dev =
   let size = Memdev.size dev in
-  let probe = make_rep space dev ~base ~size ~mode:Mode.Native ~uuid:0 in
-  (* The header must be readable before we know mode/uuid; map first. *)
-  Space.map space ~base ~size ~kind:Space.Persistent
-    ~name:(Memdev.name dev) dev;
-  if Rep.load probe Rep.off_magic <> Rep.magic then
-    invalid_arg "Pool.of_dev: bad magic (not a pool)";
-  let mode =
-    if Rep.load probe Rep.off_mode = 0 then Mode.Native
-    else Mode.Spp (Spp_core.Config.make
-                     ~tag_bits:(Rep.load probe Rep.off_tag_bits))
-  in
-  let uuid = Rep.load probe Rep.off_uuid in
-  check_span ~base ~size mode;
-  let t = make_rep space dev ~base ~size ~mode ~uuid in
-  let (_ : recovery_report) = recover t in
-  t
+  if size < Rep.min_pool_size then
+    Error (Truncated { expected = Rep.min_pool_size; actual = size })
+  else begin
+    (* The header must be readable before we know mode/uuid; map first. *)
+    Space.map space ~base ~size ~kind:Space.Persistent
+      ~name:(Memdev.name dev) dev;
+    let bad e = raise (Open_error e) in
+    match
+      let probe = make_rep space dev ~base ~size ~mode:Mode.Native ~uuid:0 in
+      let magic = Rep.load probe Rep.off_magic in
+      if magic <> Rep.magic then
+        bad (Bad_header
+               (Printf.sprintf "magic 0x%x, expected 0x%x (not a pool)"
+                  magic Rep.magic));
+      let stored_size = Rep.load probe Rep.off_pool_size in
+      if stored_size > size then
+        bad (Truncated { expected = stored_size; actual = size });
+      if stored_size <> size then
+        bad (Bad_header
+               (Printf.sprintf "header pool size %d < device size %d"
+                  stored_size size));
+      let mode_word = Rep.load probe Rep.off_mode in
+      if mode_word <> 0 && mode_word <> 1 then
+        bad (Bad_header (Printf.sprintf "mode word %d not in {0, 1}" mode_word));
+      let tag_bits = Rep.load probe Rep.off_tag_bits in
+      let uuid = Rep.load probe Rep.off_uuid in
+      let stored = Rep.load probe Rep.off_hdr_csum in
+      let computed =
+        Rep.header_checksum ~uuid ~psize:stored_size ~mode_word ~tag_bits
+      in
+      if stored <> computed then bad (Bad_checksum { stored; computed });
+      let mode =
+        if mode_word = 0 then Mode.Native
+        else
+          match Spp_core.Config.make ~tag_bits with
+          | cfg -> Mode.Spp cfg
+          | exception Invalid_argument msg -> bad (Bad_header msg)
+      in
+      (match check_span ~base ~size mode with
+       | () -> ()
+       | exception Invalid_argument msg -> bad (Bad_header msg));
+      let t = make_rep space dev ~base ~size ~mode ~uuid in
+      (* Redo replay / tx rollback walk log areas whose contents a media
+         fault may have scrambled; surface parse failures as typed
+         corruption, not an escape. *)
+      (match recover t with
+       | report -> (t, report)
+       | exception e -> bad (Corrupt_log (Printexc.to_string e)))
+    with
+    | result -> Ok result
+    | exception Open_error e ->
+      Space.unmap space ~base;
+      Error e
+    | exception e ->
+      Space.unmap space ~base;
+      Error (Bad_header ("unexpected failure: " ^ Printexc.to_string e))
+  end
+
+let of_dev space ~base dev =
+  match open_dev space ~base dev with
+  | Ok (t, _report) -> t
+  | Error e -> invalid_arg ("Pool.of_dev: " ^ pool_error_to_string e)
 
 let crash_and_recover (t : Rep.t) =
   (* Simulated power failure and restart of the same pool: the view

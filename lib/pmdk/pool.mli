@@ -22,14 +22,40 @@ val create :
     fit below the tag configuration's address span ([Invalid_argument]
     otherwise — the paper maps pools to the lower address space). *)
 
-val of_dev : Space.t -> base:int -> Memdev.t -> t
-(** Open an existing pool device: map, validate the header, and run
-    recovery (redo replay, then transaction rollback/completion). *)
-
 type recovery_report = {
   redo_replayed : bool;
   tx_outcome : [ `Clean | `Rolled_back | `Completed_commit ];
 }
+
+type pool_error =
+  | Bad_header of string
+      (** Magic, mode word, tag bits or size field unusable. *)
+  | Bad_checksum of { stored : int; computed : int }
+      (** Header identity checksum mismatch (media bit rot). *)
+  | Truncated of { expected : int; actual : int }
+      (** Device smaller than the minimum pool or the header's size field. *)
+  | Corrupt_log of string
+      (** Redo/undo log area failed to parse during recovery. *)
+
+val pool_error_to_string : pool_error -> string
+val pp_pool_error : Format.formatter -> pool_error -> unit
+
+val open_dev :
+  Space.t -> base:int -> Memdev.t -> (t * recovery_report, pool_error) result
+(** Open an existing pool device: map, validate the header (magic, size,
+    mode, identity checksum), and run recovery (redo replay, then
+    transaction rollback/completion). A corrupt image yields a typed
+    [Error] with the region unmapped again — no exception escapes. *)
+
+val of_dev : Space.t -> base:int -> Memdev.t -> t
+(** {!open_dev}, raising [Invalid_argument] on any [pool_error] —
+    the legacy interface for callers that treat corruption as fatal. *)
+
+val magic_word : int
+(** First durable word of every pool image ("SPP_PM"); pass to
+    [Memdev.load_durable ~magic] to reject foreign files early. *)
+
+val min_pool_size : int
 
 val recover : t -> recovery_report
 val crash_and_recover : t -> recovery_report

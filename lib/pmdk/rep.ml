@@ -9,6 +9,7 @@
      0x020  tag bits (SPP mode)
      0x028  heap bump pointer (next never-carved offset)
      0x030  root oid slot (24 B reserved)
+     0x048  header checksum (over the immutable identity fields)
      0x080  freelist heads, one word per size class
      0x200  redo log   : valid, nentries, entries (off/val pairs)
      0x800  tx lane    : tx_state, ulog_used, ulog data area
@@ -30,6 +31,7 @@ let off_mode = 0x018
 let off_tag_bits = 0x020
 let off_heap_bump = 0x028
 let off_root = 0x030
+let off_hdr_csum = 0x048
 let off_freelists = 0x080             (* room for 96 classes until 0x380 *)
 
 (* Redo log. *)
@@ -75,6 +77,18 @@ let class_of_size size =
     if class_sizes.(mid) >= size then hi := mid else lo := mid + 1
   done;
   !lo
+
+(* Header checksum over the identity fields. All five inputs are written
+   exactly once, at pool create, in the same initial persist as the sum
+   itself, and no later code path rewrites any of them — which is what
+   makes the checksum crash-consistent for free. FNV-1a word mix, folded
+   to the 63-bit OCaml int like every other stored word. *)
+
+let header_checksum ~uuid ~psize ~mode_word ~tag_bits =
+  List.fold_left
+    (fun h v -> ((h lxor v) * 0x100000001b3) land max_int)
+    0x3bf29ce484222325
+    [ magic; uuid; psize; mode_word; tag_bits ]
 
 (* Block header state word. *)
 let st_allocated = 1

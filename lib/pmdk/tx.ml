@@ -19,6 +19,17 @@ exception Tx_log_full
 exception Not_in_tx
 exception Tx_aborted
 
+(* Readable fault reports, matching the Fault printer in lib/sim/fault.ml. *)
+let () =
+  Printexc.register_printer (function
+    | Tx_log_full ->
+      Some "Tx.Tx_log_full: persistent undo log exhausted \
+            (snapshot/alloc/free records exceed the lane capacity)"
+    | Not_in_tx ->
+      Some "Tx.Not_in_tx: transactional operation outside tx_begin/tx_commit"
+    | Tx_aborted -> Some "Tx.Tx_aborted: transaction rolled back"
+    | _ -> None)
+
 let kind_snapshot = 1
 let kind_alloc = 2
 let kind_free = 3

@@ -52,6 +52,16 @@ let create ?(nbuckets = 4096) (a : Spp_access.t) =
   { a; nbuckets; buckets;
     locks = Array.init nstripes (fun _ -> Mutex.create ()) }
 
+let buckets_oid t = t.buckets
+
+let attach (a : Spp_access.t) ~buckets =
+  (* The bucket count is recovered from the array object's durable
+     requested size — the oid is all a reopening process needs to keep. *)
+  let nbuckets = Pool.alloc_size a.pool buckets / a.oid_size in
+  if nbuckets <= 0 then invalid_arg "Cmap.attach: bucket array too small";
+  { a; nbuckets; buckets;
+    locks = Array.init nstripes (fun _ -> Mutex.create ()) }
+
 let bucket_of t key = hash key mod t.nbuckets
 
 let with_bucket t b f =

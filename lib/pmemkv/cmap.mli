@@ -12,6 +12,14 @@ type t
 val create : ?nbuckets:int -> Spp_access.t -> t
 (** Default 4096 buckets. *)
 
+val attach : Spp_access.t -> buckets:Spp_pmdk.Oid.t -> t
+(** Re-attach to an existing map after a pool reopen; the bucket count is
+    recovered from the bucket array's durable allocation size. *)
+
+val buckets_oid : t -> Spp_pmdk.Oid.t
+(** The bucket-array oid — store it in a durable slot (e.g. the pool
+    root) so the map survives a restart. *)
+
 val put : t -> key:string -> value:string -> unit
 (** Same-size overwrites happen in place (one snapshot); size changes
     allocate a replacement entry and free the old one, transactionally. *)

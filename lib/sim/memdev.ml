@@ -28,6 +28,13 @@ type event =
   | Ev_flush of { off : int; len : int }
   | Ev_fence
 
+(* Lightweight durability-event descriptor handed to the injector — no
+   payload copy, so an armed injector costs one closure call per event. *)
+type hook_event =
+  | Hk_store of { off : int; len : int }
+  | Hk_flush of { off : int; len : int }
+  | Hk_fence
+
 type t = {
   name : string;
   size : int;
@@ -40,18 +47,23 @@ type t = {
   mutable n_stores : int;
   mutable n_flushes : int;
   mutable n_fences : int;
+  mutable injector : (hook_event -> unit) option;
+  mutable bad_blocks : (int * int) list;   (* (off, len) poisoned regions *)
+  mutable powered_off : bool;
 }
 
 let create_volatile ~name size =
   { name; size; view = Bytes.make size '\000'; durable = None;
     tracking = false; next_seq = 0; pending = []; trace = [];
-    n_stores = 0; n_flushes = 0; n_fences = 0 }
+    n_stores = 0; n_flushes = 0; n_fences = 0;
+    injector = None; bad_blocks = []; powered_off = false }
 
 let create_persistent ~name size =
   { name; size; view = Bytes.make size '\000';
     durable = Some (Bytes.make size '\000');
     tracking = false; next_seq = 0; pending = []; trace = [];
-    n_stores = 0; n_flushes = 0; n_fences = 0 }
+    n_stores = 0; n_flushes = 0; n_fences = 0;
+    injector = None; bad_blocks = []; powered_off = false }
 
 let name t = t.name
 let size t = t.size
@@ -76,14 +88,58 @@ let check_range t off len =
       (Printf.sprintf "Memdev(%s): range [%d, %d+%d) out of device bounds %d"
          t.name off off len t.size)
 
+(* Fault injection: a pluggable callback fired after every durability
+   event (store, flush, fence). An injector that raises models a power
+   failure at exactly that event — the store/flush has already reached
+   the view and the pending set, then the machine dies. *)
+
+let set_injector t inj = t.injector <- inj
+
+let inject t ev =
+  match t.injector with
+  | None -> ()
+  | Some f -> f ev
+
+(* Power failure freeze. Between the instant the power dies and the
+   restart, stores, flushes and fences from the dying process are
+   discarded — without this, an exception-driven "crash" would let
+   [with_tx]'s abort handler tidy the media post-mortem and every crash
+   point would look like a clean abort. [crash] restores power. *)
+
+let power_off t = t.powered_off <- true
+let is_powered_off t = t.powered_off
+
+(* Media faults: bad-block regions whose loads deliver SIGBUS, the way a
+   real PM DIMM reports an uncorrectable media error on access. *)
+
+let add_bad_block t ~off ~len =
+  check_range t off len;
+  if len > 0 then t.bad_blocks <- (off, len) :: t.bad_blocks
+
+let clear_bad_blocks t = t.bad_blocks <- []
+
+let bad_blocks t = t.bad_blocks
+
+let check_load t ~off ~len =
+  match t.bad_blocks with
+  | [] -> ()
+  | bbs ->
+    List.iter
+      (fun (b_off, b_len) ->
+        if off < b_off + b_len && b_off < off + len then
+          Fault.bus_error (max off b_off))
+      bbs
+
 (* Loads always observe the view. *)
 
 let load_bytes t ~off ~len =
   check_range t off len;
+  check_load t ~off ~len;
   Bytes.sub t.view off len
 
 let load_into t ~off ~len ~dst ~dst_off =
   check_range t off len;
+  check_load t ~off ~len;
   Bytes.blit t.view off dst dst_off len
 
 let unsafe_view t = t.view
@@ -101,24 +157,30 @@ let record_store t off len =
 
 let store_bytes t ~off src ~src_off ~len =
   check_range t off len;
-  Bytes.blit src src_off t.view off len;
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off len
-    else Bytes.blit src src_off d off len
+  if not t.powered_off then begin
+    Bytes.blit src src_off t.view off len;
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off len
+       else Bytes.blit src src_off d off len);
+    inject t (Hk_store { off; len })
+  end
 
 let store_string t ~off s =
   let len = String.length s in
   check_range t off len;
-  Bytes.blit_string s 0 t.view off len;
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off len
-    else Bytes.blit_string s 0 d off len
+  if not t.powered_off then begin
+    Bytes.blit_string s 0 t.view off len;
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off len
+       else Bytes.blit_string s 0 d off len);
+    inject t (Hk_store { off; len })
+  end
 
 (* Allocation-free typed stores for the hot paths: the temporary-buffer
    route through [store_bytes] would allocate on every word store, which
@@ -126,52 +188,67 @@ let store_string t ~off s =
 
 let store_u8 t ~off v =
   check_range t off 1;
-  let c = Char.unsafe_chr (v land 0xFF) in
-  Bytes.set t.view off c;
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d -> if t.tracking then record_store t off 1 else Bytes.set d off c
+  if not t.powered_off then begin
+    let c = Char.unsafe_chr (v land 0xFF) in
+    Bytes.set t.view off c;
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d -> if t.tracking then record_store t off 1 else Bytes.set d off c);
+    inject t (Hk_store { off; len = 1 })
+  end
 
 let store_u16 t ~off v =
   check_range t off 2;
-  Bytes.set_uint16_le t.view off (v land 0xFFFF);
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off 2
-    else Bytes.set_uint16_le d off (v land 0xFFFF)
+  if not t.powered_off then begin
+    Bytes.set_uint16_le t.view off (v land 0xFFFF);
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off 2
+       else Bytes.set_uint16_le d off (v land 0xFFFF));
+    inject t (Hk_store { off; len = 2 })
+  end
 
 let store_u32 t ~off v =
   check_range t off 4;
-  Bytes.set_int32_le t.view off (Int32.of_int v);
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off 4
-    else Bytes.set_int32_le d off (Int32.of_int v)
+  if not t.powered_off then begin
+    Bytes.set_int32_le t.view off (Int32.of_int v);
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off 4
+       else Bytes.set_int32_le d off (Int32.of_int v));
+    inject t (Hk_store { off; len = 4 })
+  end
 
 let store_word t ~off v =
   check_range t off 8;
-  Bytes.set_int64_le t.view off (Int64.of_int v);
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off 8
-    else Bytes.set_int64_le d off (Int64.of_int v)
+  if not t.powered_off then begin
+    Bytes.set_int64_le t.view off (Int64.of_int v);
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off 8
+       else Bytes.set_int64_le d off (Int64.of_int v));
+    inject t (Hk_store { off; len = 8 })
+  end
 
 let fill t ~off ~len c =
   check_range t off len;
-  Bytes.fill t.view off len c;
-  t.n_stores <- t.n_stores + 1;
-  match t.durable with
-  | None -> ()
-  | Some d ->
-    if t.tracking then record_store t off len
-    else Bytes.fill d off len c
+  if not t.powered_off then begin
+    Bytes.fill t.view off len c;
+    t.n_stores <- t.n_stores + 1;
+    (match t.durable with
+     | None -> ()
+     | Some d ->
+       if t.tracking then record_store t off len
+       else Bytes.fill d off len c);
+    inject t (Hk_store { off; len })
+  end
 
 (* Flush and fence. *)
 
@@ -180,6 +257,8 @@ let ranges_intersect a_off a_len b_off b_len =
 
 let flush t ~off ~len =
   check_range t off len;
+  if t.powered_off then ()
+  else begin
   t.n_flushes <- t.n_flushes + 1;
   if t.tracking then begin
     (* CLWB works at cacheline granularity. *)
@@ -192,6 +271,8 @@ let flush t ~off ~len =
           r.flushed <- true)
       t.pending;
     t.trace <- Ev_flush { off; len } :: t.trace
+  end;
+  inject t (Hk_flush { off; len })
   end
 
 let apply_to_durable t r =
@@ -200,6 +281,8 @@ let apply_to_durable t r =
   | Some d -> Bytes.blit r.data 0 d r.s_off r.s_len
 
 let fence t =
+  if t.powered_off then ()
+  else begin
   t.n_fences <- t.n_fences + 1;
   if t.tracking then begin
     (* Drain flushed stores to the durable image, in program order. *)
@@ -210,6 +293,8 @@ let fence t =
     List.iter (fun r -> r.fenced <- true) drained;
     t.pending <- still;
     t.trace <- Ev_fence :: t.trace
+  end;
+  inject t Hk_fence
   end
 
 let persist t ~off ~len =
@@ -223,7 +308,8 @@ let crash t =
    | None -> Bytes.fill t.view 0 t.size '\000'
    | Some d -> Bytes.blit d 0 t.view 0 t.size);
   t.pending <- [];
-  t.trace <- []
+  t.trace <- [];
+  t.powered_off <- false       (* restart: power is back *)
 
 let pending_stores t = List.rev t.pending
 
@@ -275,13 +361,40 @@ let durable_snapshot t =
   | None -> invalid_arg "Memdev.durable_snapshot: volatile device"
   | Some d -> Bytes.copy d
 
-let load_durable ~name path =
+let corrupt_durable t ~off ~bit =
+  match t.durable with
+  | None -> invalid_arg "Memdev.corrupt_durable: volatile device"
+  | Some d ->
+    check_range t off 1;
+    let c = Char.code (Bytes.get d off) lxor (1 lsl (bit land 7)) in
+    Bytes.set d off (Char.chr c);
+    (* The view mirrors the media after the next restart; keep them in
+       sync so a flip applied post-crash is observable immediately. *)
+    Bytes.set t.view off (Char.chr c)
+
+let load_durable ~name ?(min_size = 16) ?magic path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic)
     (fun () ->
       let size = in_channel_length ic in
+      if size < min_size then
+        invalid_arg
+          (Printf.sprintf
+             "Memdev.load_durable(%s): file is %d bytes, below the %d-byte \
+              minimum — truncated or not a pool image"
+             path size min_size);
       let d = Bytes.create size in
       really_input ic d 0 size;
+      (match magic with
+       | None -> ()
+       | Some m ->
+         let got = Int64.to_int (Bytes.get_int64_le d 0) in
+         if got <> m then
+           invalid_arg
+             (Printf.sprintf
+                "Memdev.load_durable(%s): bad magic 0x%x (expected 0x%x) — \
+                 not a pool image for this toolchain"
+                path got m));
       let t = create_persistent ~name size in
       (match t.durable with Some dd -> Bytes.blit d 0 dd 0 size | None -> ());
       Bytes.blit d 0 t.view 0 size;

@@ -67,6 +67,49 @@ val fence : t -> unit
 val persist : t -> off:int -> len:int -> unit
 (** [flush] followed by [fence] — PMDK's [pmem_persist]. *)
 
+(** {1 Fault injection}
+
+    Hooks for the torture harness: a pluggable injector observes every
+    durability event; bad blocks model uncorrectable media errors
+    (SIGBUS on load, the hardware fault-delivery model Memory Tagging
+    relies on); {!corrupt_durable} models silent media bit rot. *)
+
+type hook_event =
+  | Hk_store of { off : int; len : int }
+  | Hk_flush of { off : int; len : int }
+  | Hk_fence
+
+val set_injector : t -> (hook_event -> unit) option -> unit
+(** Install (or clear) the injector, called after every store, flush and
+    fence has taken effect. An injector that raises models a power
+    failure at exactly that event; it may also poison the device through
+    {!corrupt_durable}/{!add_bad_block}. *)
+
+val add_bad_block : t -> off:int -> len:int -> unit
+(** Mark a region as failed media: any load intersecting it raises
+    [Fault.Fault (Bus_error, addr)]. Stores still land (real PM accepts
+    writes to relocated bad blocks). *)
+
+val clear_bad_blocks : t -> unit
+val bad_blocks : t -> (int * int) list
+
+val check_load : t -> off:int -> len:int -> unit
+(** Raise [Bus_error] if the range intersects a bad block. Exposed for
+    {!Space}'s direct-view fast paths. *)
+
+val corrupt_durable : t -> off:int -> bit:int -> unit
+(** Flip bit [bit land 7] of the durable byte at [off] (and its view
+    mirror) — a seeded-bit-rot primitive for media-fault torture. *)
+
+val power_off : t -> unit
+(** Freeze the device at the instant of a simulated power failure: every
+    subsequent store, flush and fence is silently discarded until
+    {!crash} restarts it. An injector calls this before raising so that
+    the dying process's unwind handlers (e.g. a transaction abort) cannot
+    tidy the media post-mortem. *)
+
+val is_powered_off : t -> bool
+
 (** {1 Crash simulation} *)
 
 type store_rec
@@ -114,5 +157,10 @@ val save_durable : t -> string -> unit
 (** Write the durable image to a host file (a pool file as under
     [/mnt/pmem]). *)
 
-val load_durable : name:string -> string -> t
-(** Recreate a persistent device from a pool file. *)
+val load_durable : name:string -> ?min_size:int -> ?magic:int -> string -> t
+(** Recreate a persistent device from a pool file. Raises
+    [Invalid_argument] with a descriptive message when the file is
+    smaller than [min_size] (default 16 — one magic word plus change) or
+    when [magic] is given and the first little-endian word differs —
+    catching truncated and foreign files before they decode as garbage
+    downstream. *)

@@ -105,24 +105,31 @@ let count_store t r = match r.kind with
 (* Typed accessors. Words are 63-bit OCaml ints stored as 8 little-endian
    bytes; the top bit is always zero on store and discarded on load. *)
 
+(* Loads check for poisoned media (bad blocks raise SIGBUS) before
+   touching the view; [Memdev.check_load] is a no-op on healthy devices. *)
+
 let load_u8 t addr =
   let r, off = translate t addr 1 in
   count_load t r;
+  Memdev.check_load r.dev ~off ~len:1;
   Char.code (Bytes.get (Memdev.unsafe_view r.dev) off)
 
 let load_u16 t addr =
   let r, off = translate t addr 2 in
   count_load t r;
+  Memdev.check_load r.dev ~off ~len:2;
   Bytes.get_uint16_le (Memdev.unsafe_view r.dev) off
 
 let load_u32 t addr =
   let r, off = translate t addr 4 in
   count_load t r;
+  Memdev.check_load r.dev ~off ~len:4;
   Int32.to_int (Bytes.get_int32_le (Memdev.unsafe_view r.dev) off) land 0xFFFFFFFF
 
 let load_word t addr =
   let r, off = translate t addr 8 in
   count_load t r;
+  Memdev.check_load r.dev ~off ~len:8;
   Int64.to_int (Bytes.get_int64_le (Memdev.unsafe_view r.dev) off)
 
 let store_u8 t addr v =

@@ -1,0 +1,180 @@
+(* Systematic crash-point torture harness.
+
+   Replay discipline: [w_make] rebuilds the instance from scratch for
+   every crash point, so replay [i] is bit-identical to replay [j] up to
+   the crash — determinism comes from re-execution, not snapshots. The
+   injector counts durability events and, at the chosen one, powers the
+   device off before raising [Crashed]: the dying process's unwind
+   handlers (transaction aborts, Fun.protect finalizers) still run but
+   none of their stores reach the media, exactly like a real power cut.
+
+   The reopen happens in a fresh Space (a fresh "process"): recovery must
+   work from the durable image alone, with no help from the volatile
+   mirrors of the crashed run. *)
+
+open Spp_sim
+open Spp_pmdk
+
+exception Crashed of int
+
+type instance = {
+  access : Spp_access.t;
+  mutate : ack:(unit -> unit) -> unit;
+  check : pool:Pool.t -> acked:int -> (unit, string) result;
+}
+
+type workload = {
+  w_name : string;
+  w_make : unit -> instance;
+}
+
+type fault_plan = {
+  torn : bool;
+  bitflips : int;
+}
+
+let no_faults = { torn = false; bitflips = 0 }
+
+type report = {
+  r_workload : string;
+  r_events : int;
+  r_crash_points : int;
+  r_recovered : int;
+  r_rejected : int;
+  r_invariant_failures : int;
+  r_first_failure : (int * string) option;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s: %d events, %d crash points explored, %d recoveries verified, \
+     %d corrupt images rejected, %d invariant failures%s"
+    r.r_workload r.r_events r.r_crash_points r.r_recovered r.r_rejected
+    r.r_invariant_failures
+    (match r.r_first_failure with
+     | None -> ""
+     | Some (i, msg) ->
+       Printf.sprintf "\n  first failure at crash point %d: %s" i msg)
+
+(* Count the durability events of one full, uninterrupted run. *)
+
+let count_events w =
+  let inst = w.w_make () in
+  let dev = Pool.dev inst.access.Spp_access.pool in
+  Memdev.set_tracking dev true;
+  let n = ref 0 in
+  Memdev.set_injector dev (Some (fun _ -> incr n));
+  inst.mutate ~ack:(fun () -> ());
+  Memdev.set_injector dev None;
+  !n
+
+(* Pick the crash-point indices: all of [1..events] if they fit the
+   budget, else a uniform stride keeping the first and last. Index
+   [events + 1] is always included — the clean run whose crash happens
+   after the workload finished (quiescent shutdown). *)
+
+let crash_indices ~events ~budget =
+  let clean = events + 1 in
+  if budget <= 0 then [ clean ]
+  else if events + 1 <= budget then List.init (events + 1) (fun i -> i + 1)
+  else begin
+    let n = budget - 1 in   (* reserve one slot for the clean run *)
+    let picks =
+      List.init n (fun k ->
+        (* spread 1..events across n samples, endpoints included *)
+        if n = 1 then 1
+        else 1 + (k * (events - 1) / (n - 1)))
+    in
+    List.sort_uniq compare (picks @ [ clean ])
+  end
+
+(* One replay, crashing at durability event [idx] (1-based; an index past
+   the last event degenerates to a clean post-workload crash). *)
+
+type verdict =
+  | Recovered
+  | Rejected of string
+  | Invariant_failure of string
+
+let explore_point ~rng ~faults w idx =
+  let inst = w.w_make () in
+  let pool = inst.access.Spp_access.pool in
+  let dev = Pool.dev pool in
+  let base = Pool.base pool in
+  Memdev.set_tracking dev true;
+  let acked = ref 0 in
+  let count = ref 0 in
+  Memdev.set_injector dev
+    (Some
+       (fun _ev ->
+         incr count;
+         if !count = idx then begin
+           Memdev.power_off dev;
+           raise (Crashed idx)
+         end));
+  (match inst.mutate ~ack:(fun () -> incr acked) with
+   | () -> ()                      (* clean run: crash after completion *)
+   | exception Crashed _ -> ());
+  Memdev.set_injector dev None;
+  (* Power failure. Torn mode lets a seeded subset of the unfenced
+     pending stores reach the media first, in program order. *)
+  if faults.torn then begin
+    let sel =
+      List.filter (fun _ -> Random.State.bool rng) (Memdev.pending_stores dev)
+    in
+    Memdev.crash_applying dev sel
+  end
+  else Memdev.crash dev;
+  (* Media rot between the crash and the restart. *)
+  for _ = 1 to faults.bitflips do
+    Memdev.corrupt_durable dev
+      ~off:(Random.State.int rng (Memdev.size dev))
+      ~bit:(Random.State.int rng 8)
+  done;
+  Memdev.set_tracking dev false;
+  (* Restart: reopen in a fresh space, run recovery, ask the oracle. *)
+  let space' = Space.create () in
+  match Pool.open_dev space' ~base dev with
+  | Error e -> Rejected (Pool.pool_error_to_string e)
+  | Ok (pool', (_ : Pool.recovery_report)) ->
+    (match inst.check ~pool:pool' ~acked:!acked with
+     | Ok () -> Recovered
+     | Error msg -> Invariant_failure msg
+     | exception e ->
+       Invariant_failure ("oracle raised: " ^ Printexc.to_string e))
+  | exception e ->
+    (* open_dev promises not to leak exceptions; if one escapes anyway,
+       that is itself a finding. *)
+    Invariant_failure ("open_dev raised: " ^ Printexc.to_string e)
+
+let run ?(budget = max_int) ?(seed = 0) ?(faults = no_faults) w =
+  let events = count_events w in
+  let indices = crash_indices ~events ~budget in
+  let rng = Random.State.make [| seed; Hashtbl.hash w.w_name; events |] in
+  let recovered = ref 0 and rejected = ref 0 and failures = ref 0 in
+  let first_failure = ref None in
+  List.iter
+    (fun idx ->
+      match explore_point ~rng ~faults w idx with
+      | Recovered -> incr recovered
+      | Rejected msg ->
+        if faults.bitflips > 0 then incr rejected
+        else begin
+          (* with no media rot, a clean-crash image must always open *)
+          incr failures;
+          if !first_failure = None then
+            first_failure := Some (idx, "rejected clean image: " ^ msg)
+        end
+      | Invariant_failure msg ->
+        incr failures;
+        if !first_failure = None then first_failure := Some (idx, msg))
+    indices;
+  {
+    r_workload = w.w_name;
+    r_events = events;
+    r_crash_points = List.length indices;
+    r_recovered = !recovered;
+    r_rejected = !rejected;
+    r_invariant_failures = !failures;
+    r_first_failure = !first_failure;
+  }

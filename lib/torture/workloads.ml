@@ -1,0 +1,172 @@
+(* Workload adapters for the torture harness.
+
+   Each adapter builds a fresh pool per replay, does its setup untracked
+   (setup stores are not crash points), then exposes the tortured phase
+   plus an oracle that re-attaches to the recovered pool through the
+   durable handles it parked in the root object. *)
+
+open Spp_pmdk
+
+let kv_key i = Printf.sprintf "key-%03d" i
+let kv_value i = Printf.sprintf "value-%05d" i
+
+(* pmemlog records are fixed 16 bytes so the committed watermark encodes
+   the record count: 7-digit index + 9-byte filler. *)
+let log_record i = Printf.sprintf "%07d-record!!" i
+
+let check_all checks =
+  List.fold_left
+    (fun acc (ok, msg) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> if ok then Ok () else Error msg)
+    (Ok ()) checks
+
+(* pmemkv cmap: transactional puts into a persistent hashmap. The bucket
+   array's oid is parked in the root object; the oracle re-attaches and
+   requires every acked key readable and every later key absent or fully
+   written (the in-flight put either committed or rolled back). *)
+let kvstore ?(variant = Spp_access.Spp) ?(ops = 24) () =
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-kv" variant
+    in
+    let pool = a.Spp_access.pool in
+    let map = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+    let root = a.Spp_access.root a.Spp_access.oid_size in
+    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid map);
+    Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
+    Spp_pmemkv.Cmap.put map ~key:"baseline" ~value:"present";
+    let mutate ~ack =
+      for i = 1 to ops do
+        Spp_pmemkv.Cmap.put map ~key:(kv_key i) ~value:(kv_value i);
+        ack ()
+      done
+    in
+    let check ~pool:pool' ~acked =
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let root' = Pool.root_oid pool' in
+      let buckets = Pool.load_oid pool' ~off:root'.Oid.off in
+      let map' = Spp_pmemkv.Cmap.attach a' ~buckets in
+      let checks = ref [] in
+      let add ok msg = checks := (ok, msg) :: !checks in
+      add
+        (Spp_pmemkv.Cmap.get map' "baseline" = Some "present")
+        "baseline key lost";
+      for i = 1 to acked do
+        add
+          (Spp_pmemkv.Cmap.get map' (kv_key i) = Some (kv_value i))
+          (Printf.sprintf "acked put %d not durable" i)
+      done;
+      for i = acked + 1 to ops do
+        match Spp_pmemkv.Cmap.get map' (kv_key i) with
+        | None -> ()
+        | Some v ->
+          add (v = kv_value i)
+            (Printf.sprintf "unacked put %d visible but torn" i)
+      done;
+      check_all (List.rev !checks)
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = "kvstore"; w_make }
+
+(* pmemlog: fixed-size appends. The descriptor and data oids are parked
+   in the root object side by side; the oracle requires the committed
+   watermark to sit on a record boundary at or past the acked count, with
+   every committed record byte-exact. *)
+let pmemlog ?(variant = Spp_access.Spp) ?(ops = 24) () =
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-log" variant
+    in
+    let pool = a.Spp_access.pool in
+    let log = Spp_pmemlog.create a ~capacity:((ops * 16) + 64) in
+    let osz = a.Spp_access.oid_size in
+    let root = a.Spp_access.root (2 * osz) in
+    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemlog.descriptor log);
+    Pool.store_oid pool ~off:(root.Oid.off + osz) (Spp_pmemlog.data_oid log);
+    Pool.persist pool ~off:root.Oid.off ~len:(2 * osz);
+    let mutate ~ack =
+      for i = 1 to ops do
+        Spp_pmemlog.append log (log_record i);
+        ack ()
+      done
+    in
+    let check ~pool:pool' ~acked =
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let osz' = Pool.oid_stored_size pool' in
+      let root' = Pool.root_oid pool' in
+      let desc = Pool.load_oid pool' ~off:root'.Oid.off in
+      let data = Pool.load_oid pool' ~off:(root'.Oid.off + osz') in
+      let log' = Spp_pmemlog.attach a' ~desc ~data in
+      let n = Spp_pmemlog.committed log' in
+      if n mod 16 <> 0 then
+        Error (Printf.sprintf "watermark %d not on a record boundary" n)
+      else begin
+        let k = n / 16 in
+        if k < acked then
+          Error (Printf.sprintf "%d records committed < %d acked" k acked)
+        else if k > ops then
+          Error (Printf.sprintf "%d records committed > %d appended" k ops)
+        else begin
+          let contents = Spp_pmemlog.read_all log' in
+          let bad = ref None in
+          for i = 1 to k do
+            if !bad = None && String.sub contents ((i - 1) * 16) 16
+                              <> log_record i
+            then bad := Some i
+          done;
+          match !bad with
+          | None -> Ok ()
+          | Some i -> Error (Printf.sprintf "committed record %d torn" i)
+        end
+      end
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = "pmemlog"; w_make }
+
+(* Transactional counter: two root words updated together inside one
+   transaction per op. The oracle requires them equal (atomicity) and
+   within [acked, ops] (no lost acked update, no invented one). *)
+let counter ?(variant = Spp_access.Spp) ?(ops = 24) () =
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 16) ~name:"torture-ctr" variant
+    in
+    let pool = a.Spp_access.pool in
+    let root = a.Spp_access.root 16 in
+    let mutate ~ack =
+      for i = 1 to ops do
+        Pool.with_tx pool (fun () ->
+          Pool.tx_add_range pool ~off:root.Oid.off ~len:16;
+          Pool.store_word pool ~off:root.Oid.off i;
+          Pool.store_word pool ~off:(root.Oid.off + 8) i);
+        ack ()
+      done
+    in
+    let check ~pool:pool' ~acked =
+      let root' = Pool.root_oid pool' in
+      let c1 = Pool.load_word pool' ~off:root'.Oid.off in
+      let c2 = Pool.load_word pool' ~off:(root'.Oid.off + 8) in
+      if c1 <> c2 then
+        Error (Printf.sprintf "counter halves diverged: %d vs %d" c1 c2)
+      else if c1 < acked then
+        Error (Printf.sprintf "counter %d < %d acked" c1 acked)
+      else if c1 > ops then
+        Error (Printf.sprintf "counter %d > %d ops" c1 ops)
+      else Ok ()
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = "counter"; w_make }
+
+let all ?variant ?ops () =
+  [ kvstore ?variant ?ops (); pmemlog ?variant ?ops (); counter ?variant ?ops () ]
+
+let by_name ?variant ?ops = function
+  | "kvstore" -> Some (kvstore ?variant ?ops ())
+  | "pmemlog" -> Some (pmemlog ?variant ?ops ())
+  | "counter" -> Some (counter ?variant ?ops ())
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Canned workloads for the torture harness.
+
+    Every adapter builds a fresh single-device pool per replay, parks its
+    durable handles in the pool root object, and re-attaches through
+    those handles in its oracle — the oracle never reuses volatile state
+    from before the crash. [variant] picks the access-layer build
+    (default {!Spp_access.Spp}); [ops] the number of tortured operations
+    (default 24). *)
+
+val kvstore : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** Transactional puts into a pmemkv cmap. Oracle: baseline and all
+    acked keys readable with exact values; later keys absent or intact. *)
+
+val pmemlog : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** Fixed 16-byte appends to a pmemlog. Oracle: committed watermark on a
+    record boundary, between acked and appended counts, contents exact. *)
+
+val counter : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** Two root words incremented together inside one transaction per op.
+    Oracle: halves equal and within [acked, ops]. *)
+
+val all : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload list
+
+val by_name :
+  ?variant:Spp_access.variant -> ?ops:int -> string -> Torture.workload option
+(** ["kvstore"], ["pmemlog"] or ["counter"]. *)

@@ -306,6 +306,68 @@ let test_recovery_is_idempotent () =
   let (_ : Pool.recovery_report) = Pool.crash_and_recover p in
   check_int "still consistent" 0 (Pool.load_word p ~off:oid.Oid.off)
 
+let test_recover_completed_commit () =
+  (* Crash exactly when COMMITTING becomes durable but before the commit
+     work (deferred frees, lane reset) ran: recovery must finish the
+     commit — snapshot values kept, the tx_free'd block actually freed. *)
+  let p = mk_tracked_pool () in
+  let dev = Pool.dev p in
+  let root = Pool.root p ~size:16 in
+  let victim = Pool.alloc p ~size:64 in
+  (* tx_state stores: #1 ACTIVE at begin, #2 COMMITTING at commit *)
+  let state_stores = ref 0 in
+  let armed = ref false in
+  Memdev.set_injector dev
+    (Some
+       (function
+         | Memdev.Hk_store { off; _ } when off = Rep.off_tx_state ->
+           incr state_stores;
+           if !state_stores = 2 then armed := true
+         | Memdev.Hk_fence when !armed ->
+           Memdev.power_off dev;
+           raise Exit
+         | _ -> ()));
+  (match
+     Pool.with_tx p (fun () ->
+       Pool.tx_add_range p ~off:root.Oid.off ~len:8;
+       Pool.store_word p ~off:root.Oid.off 42;
+       Pool.tx_free p victim)
+   with
+   | () -> Alcotest.fail "expected the simulated power failure"
+   | exception Exit -> ());
+  Memdev.set_injector dev None;
+  Memdev.crash dev;
+  Memdev.set_tracking dev false;
+  (* reopen in a fresh "process" *)
+  let space2 = Space.create () in
+  match Pool.open_dev space2 ~base:4096 dev with
+  | Error e -> Alcotest.failf "open failed: %s" (Pool.pool_error_to_string e)
+  | Ok (p2, report) ->
+    check_bool "recovery completed the commit" true
+      (report.Pool.tx_outcome = `Completed_commit);
+    check_int "committed snapshot value kept" 42
+      (Pool.load_word p2 ~off:(Pool.root_oid p2).Oid.off);
+    let b = Pool.alloc p2 ~size:64 in
+    check_int "deferred free applied: block reclaimed" victim.Oid.off
+      b.Oid.off
+
+let test_exception_printers () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "Wrong_pool printer" true
+    (contains
+       (Printexc.to_string (Pool.Wrong_pool { Oid.uuid = 7; off = 64; size = 8 }))
+       "uuid=0x7");
+  check_bool "Not_in_tx printer" true
+    (contains (Printexc.to_string Tx.Not_in_tx) "outside tx_begin");
+  check_bool "Tx_log_full printer" true
+    (contains (Printexc.to_string Tx.Tx_log_full) "undo log exhausted");
+  check_bool "Tx_aborted printer" true
+    (contains (Printexc.to_string Tx.Tx_aborted) "rolled back")
+
 let test_reopen_from_saved_file () =
   let path = Filename.temp_file "spp_pool" ".img" in
   Fun.protect ~finally:(fun () -> Sys.remove path)
@@ -321,7 +383,10 @@ let test_reopen_from_saved_file () =
       Memdev.save_durable (Pool.dev p) path;
       (* reopen in a fresh "process" *)
       let space2 = Space.create () in
-      let dev2 = Memdev.load_durable ~name:"saved" path in
+      let dev2 =
+        Memdev.load_durable ~name:"saved" ~min_size:Pool.min_pool_size
+          ~magic:Pool.magic_word path
+      in
       let p2 = Pool.of_dev space2 ~base:4096 dev2 in
       check_bool "spp mode restored" true (Mode.is_spp (Pool.mode p2));
       let slot = Pool.load_oid p2 ~off:(Pool.root_oid p2).Oid.off in
@@ -456,6 +521,10 @@ let () =
             test_crash_atomic_alloc_with_dest;
           Alcotest.test_case "recovery idempotent" `Quick
             test_recovery_is_idempotent;
+          Alcotest.test_case "crash while COMMITTING completes the commit"
+            `Quick test_recover_completed_commit;
+          Alcotest.test_case "exception printers registered" `Quick
+            test_exception_printers;
           Alcotest.test_case "reopen pool from saved file" `Quick
             test_reopen_from_saved_file;
         ] );

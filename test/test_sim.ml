@@ -83,6 +83,99 @@ let test_crash_applying_subset () =
        (Bytes.to_string (Memdev.load_bytes d ~off:10 ~len:2))
    | l -> Alcotest.failf "expected 2 pending stores, got %d" (List.length l))
 
+let test_crash_applying_order_insensitive () =
+  (* The caller's subset is a selection, not an ordering: even handed the
+     records reversed, overlapping stores land in program order. *)
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  Memdev.store_string d ~off:0 "first___";
+  Memdev.store_string d ~off:0 "second__";
+  Memdev.crash_applying d (List.rev (Memdev.pending_stores d));
+  Alcotest.(check string) "program order wins over list order" "second__"
+    (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:8))
+
+let test_injector_sees_events () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.set_tracking d true;
+  let stores = ref 0 and flushes = ref 0 and fences = ref 0 in
+  Memdev.set_injector d
+    (Some
+       (function
+         | Memdev.Hk_store _ -> incr stores
+         | Memdev.Hk_flush _ -> incr flushes
+         | Memdev.Hk_fence -> incr fences));
+  Memdev.store_string d ~off:0 "abcd";
+  Memdev.persist d ~off:0 ~len:4;   (* flush + fence *)
+  Memdev.set_injector d None;
+  Memdev.store_string d ~off:8 "ef"; (* not observed any more *)
+  check_int "stores seen" 1 !stores;
+  check_int "flushes seen" 1 !flushes;
+  check_int "fences seen" 1 !fences
+
+let test_power_off_discards_everything () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:0 "AAAA";
+  Memdev.persist d ~off:0 ~len:4;
+  Memdev.set_tracking d true;
+  Memdev.power_off d;
+  (* a dying process's unwind path: stores, flushes, fences — all void *)
+  Memdev.store_string d ~off:0 "BBBB";
+  Memdev.persist d ~off:0 ~len:4;
+  check_bool "reports off" true (Memdev.is_powered_off d);
+  Memdev.crash d;
+  check_bool "restart restores power" false (Memdev.is_powered_off d);
+  Alcotest.(check string) "post-power-off persist void" "AAAA"
+    (Bytes.to_string (Memdev.load_bytes d ~off:0 ~len:4))
+
+let test_bad_block_bus_error () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:128 "okokokok";
+  Memdev.add_bad_block d ~off:256 ~len:64;
+  (* loads outside the region still work *)
+  Alcotest.(check string) "healthy load" "okokokok"
+    (Bytes.to_string (Memdev.load_bytes d ~off:128 ~len:8));
+  (match Memdev.load_bytes d ~off:300 ~len:4 with
+   | _ -> Alcotest.fail "expected SIGBUS"
+   | exception Fault.Fault (Fault.Bus_error, addr) ->
+     check_int "faulting address" 300 addr);
+  (* a load straddling the region edge faults at the first bad byte *)
+  (match Memdev.load_bytes d ~off:250 ~len:16 with
+   | _ -> Alcotest.fail "expected SIGBUS"
+   | exception Fault.Fault (Fault.Bus_error, addr) ->
+     check_int "first bad byte" 256 addr);
+  Memdev.clear_bad_blocks d;
+  ignore (Memdev.load_bytes d ~off:300 ~len:4)
+
+let test_corrupt_durable_flips_bit () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  let byte_at off = Char.code (Bytes.get (Memdev.load_bytes d ~off ~len:1) 0) in
+  Memdev.store_u8 d ~off:77 0b0000_0100;
+  Memdev.persist d ~off:77 ~len:1;
+  Memdev.corrupt_durable d ~off:77 ~bit:2;
+  check_int "bit cleared" 0 (byte_at 77);
+  Memdev.corrupt_durable d ~off:77 ~bit:7;
+  check_int "bit set" 0b1000_0000 (byte_at 77)
+
+let test_load_durable_validation () =
+  let path = Filename.temp_file "spp_bad" ".img" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "tiny";
+      close_out oc;
+      (match Memdev.load_durable ~name:"bad" ~min_size:4096 path with
+       | _ -> Alcotest.fail "expected rejection of a truncated file"
+       | exception Invalid_argument _ -> ());
+      let d = Memdev.create_persistent ~name:"src" 4096 in
+      Memdev.store_word d ~off:0 0xBAD_CAFE;
+      Memdev.persist d ~off:0 ~len:8;
+      Memdev.save_durable d path;
+      (match Memdev.load_durable ~name:"bad" ~magic:0x600D_F00D path with
+       | _ -> Alcotest.fail "expected rejection of a foreign magic"
+       | exception Invalid_argument _ -> ());
+      (* correct magic loads fine *)
+      ignore (Memdev.load_durable ~name:"ok" ~magic:0xBAD_CAFE path))
+
 let test_program_order_replay () =
   (* Overlapping pending stores replay in program order. *)
   let d = Memdev.create_persistent ~name:"t" 4096 in
@@ -280,9 +373,21 @@ let () =
             test_tracking_cacheline_granularity;
           Alcotest.test_case "crash applying subset" `Quick
             test_crash_applying_subset;
+          Alcotest.test_case "crash applying ignores list order" `Quick
+            test_crash_applying_order_insensitive;
           Alcotest.test_case "program-order replay" `Quick
             test_program_order_replay;
+          Alcotest.test_case "injector sees durability events" `Quick
+            test_injector_sees_events;
+          Alcotest.test_case "power off discards late stores" `Quick
+            test_power_off_discards_everything;
+          Alcotest.test_case "bad block raises bus error" `Quick
+            test_bad_block_bus_error;
+          Alcotest.test_case "corrupt_durable flips bits" `Quick
+            test_corrupt_durable_flips_bit;
           Alcotest.test_case "save/load pool file" `Quick test_save_load_durable;
+          Alcotest.test_case "load_durable validates size and magic" `Quick
+            test_load_durable_validation;
         ] );
       ( "space",
         [
