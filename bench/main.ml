@@ -15,6 +15,21 @@ let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let sc n = if quick then max 1 (n / 10) else n
 
+(* --json FILE: dump every emitted record as schema "spp-bench/1" (see
+   EXPERIMENTS.md, "Benchmark methodology"). *)
+let json_file =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let jout = Spp_benchlib.Json_out.create ()
+
+let jemit ~experiment ~name ~metric ?unit_ ?extra v =
+  Spp_benchlib.Json_out.emit jout ~experiment ~name ~metric ?unit_ ?extra v
+
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: persistent indices — insert/get/remove slowdowns            *)
 (* ------------------------------------------------------------------ *)
@@ -70,6 +85,20 @@ let fig4 () =
         List.map (fun v -> (v, run_index_workload v index_name)) fig4_variants
       in
       let bi, bg, br = List.assoc Spp_access.Pmdk results in
+      let nops = float_of_int (index_ops index_name) in
+      List.iter
+        (fun (v, (ti, tg, tr)) ->
+          let vn = Spp_access.variant_name v in
+          List.iter
+            (fun (op, t, b) ->
+              let nm = Printf.sprintf "%s/%s/%s" index_name op vn in
+              jemit ~experiment:"fig4" ~name:nm ~metric:"ns_per_op" ~unit_:"ns"
+                (t /. nops *. 1e9);
+              if v <> Spp_access.Pmdk then
+                jemit ~experiment:"fig4" ~name:nm ~metric:"slowdown"
+                  (slowdown ~baseline:b t))
+            [ ("insert", ti, bi); ("get", tg, bg); ("remove", tr, br) ])
+        results;
       let cells =
         List.concat_map
           (fun sel ->
@@ -634,6 +663,94 @@ let hook_microbench () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline microbenchmark (ours): translate / flush / fence paths     *)
+(* ------------------------------------------------------------------ *)
+
+(* Before/after evidence for the fast-path refactor: address translation
+   through the TLB-fronted sorted-array lookup, and the tracking-mode
+   store/flush/fence pipeline under both engines. The List_based engine
+   is the pre-refactor implementation kept selectable precisely for this
+   comparison; the acceptance bar is >= 2x on the flush/fence-heavy
+   workload. *)
+
+let pipeline () =
+  let open Spp_sim in
+  print_title "Pipeline microbenchmark: translation TLB and tracking engines";
+  (* -- translation: hot loads through the TLB, with decoy regions so the
+        slow path has a real array to search -- *)
+  let space = Space.create () in
+  let psize = 1 lsl 22 in
+  let dev = Memdev.create_persistent ~name:"pipe" psize in
+  Space.map space ~base:4096 ~size:psize ~kind:Space.Persistent ~name:"pm" dev;
+  for i = 0 to 7 do
+    let d = Memdev.create_volatile ~name:(Printf.sprintf "v%d" i) 4096 in
+    Space.map space ~base:((1 lsl 30) + (i * 8192)) ~size:4096
+      ~kind:Space.Volatile ~name:(Printf.sprintf "v%d" i) d
+  done;
+  let n = sc 1_000_000 in
+  Space.reset_stats space;
+  let t_translate =
+    best_of (fun () ->
+      for i = 0 to n - 1 do
+        (* 64 B stride over 2 MiB: sequential pages, TLB-friendly *)
+        ignore (Space.load_word space (4096 + ((i land 0x7FFF) * 64)))
+      done)
+  in
+  let st = Space.stats space in
+  let hit_rate =
+    float_of_int st.Space.tlb_hits
+    /. float_of_int (max 1 (st.Space.tlb_hits + st.Space.tlb_misses))
+  in
+  let ns_translate = t_translate /. float_of_int n *. 1e9 in
+  Printf.printf "translate+load        %8.1f ns/op   (TLB hit rate %s)\n"
+    ns_translate (fmt_pct hit_rate);
+  jemit ~experiment:"pipeline" ~name:"translate_load" ~metric:"ns_per_op"
+    ~unit_:"ns"
+    ~extra:[ ("tlb_hit_rate", Spp_benchlib.Json_out.J_float hit_rate) ]
+    ns_translate;
+  (* -- tracking engines: P stores to distinct cachelines, P flushes, one
+        fence — the PMDK commit pattern. The list engine walks all
+        pending stores on every flush (O(P^2) per round); the
+        line-indexed engine touches only the flushed line's bucket. -- *)
+  (* [lines] stays fixed even under --quick: the engines differ in
+     per-round asymptotics, so shrinking the pending set would shrink the
+     very effect being measured. Quick mode scales rounds only. *)
+  let lines = 1024 in
+  let rounds = sc 100 in
+  let ops_per_run = rounds * ((2 * lines) + 1) in
+  let bench_engine engine =
+    let dev = Memdev.create_persistent ~name:"engine" (1 lsl 20) in
+    Memdev.set_engine dev engine;
+    Memdev.set_tracking dev true;
+    best_of (fun () ->
+      for _ = 1 to rounds do
+        for i = 0 to lines - 1 do
+          Memdev.store_word dev ~off:(i * 64) i
+        done;
+        for i = 0 to lines - 1 do
+          Memdev.flush dev ~off:(i * 64) ~len:8
+        done;
+        Memdev.fence dev
+      done)
+  in
+  let t_list = bench_engine Memdev.List_based in
+  let t_indexed = bench_engine Memdev.Line_indexed in
+  let ns_of t = t /. float_of_int ops_per_run *. 1e9 in
+  let speedup = t_list /. t_indexed in
+  Printf.printf
+    "store/flush/fence     %8.1f ns/op (list engine, pre-refactor)\n"
+    (ns_of t_list);
+  Printf.printf "store/flush/fence     %8.1f ns/op (line-indexed engine)\n"
+    (ns_of t_indexed);
+  Printf.printf "engine speedup        %8.2fx %s\n" speedup
+    (if speedup >= 2.0 then "(>= 2x: OK)" else "(below the 2x bar!)");
+  jemit ~experiment:"pipeline" ~name:"flush_fence/list" ~metric:"ns_per_op"
+    ~unit_:"ns" (ns_of t_list);
+  jemit ~experiment:"pipeline" ~name:"flush_fence/line_indexed"
+    ~metric:"ns_per_op" ~unit_:"ns" (ns_of t_indexed);
+  jemit ~experiment:"pipeline" ~name:"flush_fence" ~metric:"speedup" speedup
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -649,12 +766,18 @@ let experiments =
     ("counters", counters);
     ("ablation", ablation);
     ("hooks", hook_microbench);
+    ("pipeline", pipeline);
   ]
 
 let () =
   let requested =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--quick")
+    let rec strip = function
+      | [] -> []
+      | "--quick" :: rest -> strip rest
+      | "--json" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+    in
+    strip (List.tl (Array.to_list Sys.argv))
   in
   let to_run =
     if requested = [] then experiments
@@ -677,5 +800,15 @@ let () =
          later experiment's timings never pay for an earlier one's heap *)
       Gc.compact ();
       let t, () = time f in
+      jemit ~experiment:name ~name:"total" ~metric:"wall_s" ~unit_:"s" t;
       Printf.printf "[%s finished in %.1f s]\n%!" name t)
-    to_run
+    to_run;
+  match json_file with
+  | None -> ()
+  | Some path ->
+    Spp_benchlib.Json_out.write jout
+      ~meta:
+        [ ("generator", Spp_benchlib.Json_out.J_string "bench/main.exe");
+          ("quick", Spp_benchlib.Json_out.J_bool quick) ]
+      path;
+    Printf.printf "wrote %s\n%!" path

@@ -109,14 +109,7 @@ let make_pmdk ~space ~pool ~vheap ~name =
         let n = Space.strlen space src + 1 in
         Space.blit space ~src ~dst ~len:n);
     strlen = Space.strlen space;
-    strcmp =
-      (fun a b ->
-        let rec go i =
-          let ca = Space.load_u8 space (a + i)
-          and cb = Space.load_u8 space (b + i) in
-          if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
-        in
-        go 0);
+    strcmp = Space.strcmp space;
     palloc = (fun ?zero ?dest size -> Pool.alloc ?zero ?dest pool ~size);
     pfree = (fun ?dest oid -> Pool.free_ ?dest pool oid);
     prealloc = (fun oid size -> Pool.realloc pool oid ~size);

@@ -1,0 +1,101 @@
+(* Minimal JSON emitter for benchmark results — schema "spp-bench/1".
+
+   No external JSON dependency: the value type below covers everything a
+   benchmark record needs, and the printer emits RFC 8259 output
+   (strings escaped, non-finite floats as null so the file always
+   parses). See EXPERIMENTS.md ("Benchmark methodology") for the record
+   schema and how BENCH_*.json files are regenerated. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_buf buf = function
+  | J_null -> Buffer.add_string buf "null"
+  | J_bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float f ->
+    if Float.is_finite f then
+      (* %.17g round-trips any double; trim is not worth the bytes *)
+      Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
+  | J_string s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | J_list vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buf buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | J_obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buf buf (J_string k);
+        Buffer.add_char buf ':';
+        to_buf buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buf buf v;
+  Buffer.contents buf
+
+(* Collector: experiments append records as they run; [write] dumps the
+   whole file at exit. Records accumulate newest-first and are reversed
+   on output. *)
+
+type t = { mutable records : json list }
+
+let create () = { records = [] }
+
+let emit t ~experiment ~name ~metric ?unit_ ?(extra = []) value =
+  let base =
+    [ ("experiment", J_string experiment);
+      ("name", J_string name);
+      ("metric", J_string metric);
+      ("value", J_float value) ]
+  in
+  let u = match unit_ with None -> [] | Some u -> [ ("unit", J_string u) ] in
+  t.records <- J_obj (base @ u @ extra) :: t.records
+
+let write t ?(meta = []) path =
+  let doc =
+    J_obj
+      (("schema", J_string "spp-bench/1")
+       :: meta
+       @ [ ("records", J_list (List.rev t.records)) ])
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n')

@@ -15,8 +15,7 @@ let wrap_memcpy cfg space ~dst ~src ~len =
   Space.blit space ~src:src' ~dst:dst' ~len
 
 let wrap_memmove cfg space ~dst ~src ~len =
-  (* Space.blit materializes the source before writing, so overlapping
-     ranges behave like memmove already. *)
+  (* Space.blit is memmove-safe for overlapping ranges. *)
   wrap_memcpy cfg space ~dst ~src ~len
 
 let wrap_memset cfg space ~dst ~c ~len =
@@ -26,7 +25,7 @@ let wrap_memset cfg space ~dst ~c ~len =
 let wrap_memcmp cfg space ~a ~b ~len =
   let a' = Runtime.spp_memintr_check cfg a len in
   let b' = Runtime.spp_memintr_check cfg b len in
-  compare (Space.read_bytes space a' len) (Space.read_bytes space b' len)
+  Space.memcmp space a' b' len
 
 (* String functions. The wrapper first masks the argument (so an already
    overflown pointer faults on the scan), measures the string, then
@@ -59,10 +58,4 @@ let wrap_strcat cfg space ~dst ~src =
 let wrap_strcmp cfg space a b =
   let a' = Runtime.spp_cleantag cfg a in
   let b' = Runtime.spp_cleantag cfg b in
-  let rec go i =
-    let ca = Space.load_u8 space (a' + i) and cb = Space.load_u8 space (b' + i) in
-    if ca <> cb then compare ca cb
-    else if ca = 0 then 0
-    else go (i + 1)
-  in
-  go 0
+  Space.strcmp space a' b'

@@ -7,7 +7,21 @@
    on open. Entry order is significant: SPP relies on the oid [size]
    entry preceding the [off] entry. *)
 
+open Spp_sim
+
 exception Redo_full
+
+(* Apply a batch: store every entry, flush each target word, then drain
+   with a single fence. The valid flag stays set until after the drain
+   and the entries are idempotent, so a crash anywhere in the batch is
+   recovered by re-applying it on open — one fence per batch instead of
+   one per entry. *)
+let apply_entries (t : Rep.t) entries =
+  List.iter (fun (off, v) -> Rep.store t off v) entries;
+  List.iter (fun (off, _) -> Space.flush t.Rep.space (Rep.a t off) 8) entries;
+  match entries with
+  | [] -> ()
+  | (off, _) :: _ -> Space.fence_at t.Rep.space (Rep.a t off)
 
 let run (t : Rep.t) entries =
   let n = List.length entries in
@@ -20,22 +34,18 @@ let run (t : Rep.t) entries =
   Rep.store t Rep.off_redo_n n;
   Rep.persist t Rep.off_redo_n (8 + (16 * n));
   Rep.store_p t Rep.off_redo_valid 1;
-  List.iter
-    (fun (off, v) ->
-      Rep.store t off v;
-      Rep.persist t off 8)
-    entries;
+  apply_entries t entries;
   Rep.store_p t Rep.off_redo_valid 0
 
 let recover (t : Rep.t) =
   if Rep.load t Rep.off_redo_valid = 1 then begin
     let n = Rep.load t Rep.off_redo_n in
-    for i = 0 to n - 1 do
-      let off = Rep.load t (Rep.off_redo_entries + (16 * i)) in
-      let v = Rep.load t (Rep.off_redo_entries + (16 * i) + 8) in
-      Rep.store t off v;
-      Rep.persist t off 8
-    done;
+    let entries =
+      List.init n (fun i ->
+          ( Rep.load t (Rep.off_redo_entries + (16 * i)),
+            Rep.load t (Rep.off_redo_entries + (16 * i) + 8) ))
+    in
+    apply_entries t entries;
     Rep.store_p t Rep.off_redo_valid 0;
     true
   end else false

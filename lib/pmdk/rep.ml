@@ -132,8 +132,8 @@ let store t off v = Space.store_word t.space (a t off) v
 let persist t off len = Space.persist t.space (a t off) len
 
 let store_p t off v =
-  store t off v;
-  persist t off 8
+  (* fused store+CLWB+SFENCE: one address translation for all three *)
+  Space.store_word_persist t.space (a t off) v
 
 (* Oid slots in PM. Field order within a slot: size (SPP only), uuid, off.
    The size field precedes the off field in media order so that recovery

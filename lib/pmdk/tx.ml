@@ -163,14 +163,30 @@ let apply_deferred_frees (t : Rep.t) records =
       | Snapshot _ | Alloc_rec _ -> ())
     records
 
+(* Sort and coalesce overlapping/adjacent (off, len) ranges so a
+   heavily-snapshotted object is flushed once, not once per add_range. *)
+let coalesce_ranges ranges =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ranges in
+  let rec go = function
+    | (o1, l1) :: (o2, l2) :: rest when o2 <= o1 + l1 ->
+      go ((o1, max l1 (o2 + l2 - o1)) :: rest)
+    | r :: rest -> r :: go rest
+    | [] -> []
+  in
+  go sorted
+
 let commit_outer (t : Rep.t) =
-  (* PMDK flushes all snapshotted ranges at commit time. *)
-  List.iter
-    (fun (off, len) -> Space.flush t.Rep.space (Rep.a t off) len)
-    t.Rep.tx_ranges;
+  (* PMDK flushes all snapshotted ranges at commit time; one fence drains
+     the whole batch. *)
   (match t.Rep.tx_ranges with
    | [] -> ()
-   | (off, _) :: _ -> Space.fence_at t.Rep.space (Rep.a t off));
+   | ranges ->
+     let merged = coalesce_ranges ranges in
+     List.iter
+       (fun (off, len) -> Space.flush t.Rep.space (Rep.a t off) len)
+       merged;
+     let off, _ = List.hd merged in
+     Space.fence_at t.Rep.space (Rep.a t off));
   Rep.store_p t Rep.off_tx_state Rep.tx_committing;
   apply_deferred_frees t (parse_log t);
   finish_lane t

@@ -10,9 +10,23 @@
    - persistent, tracking on: stores are buffered as pending records and
      only reach the durable image once they have been flushed (CLWB) and a
      fence (SFENCE) has drained them — the regime used by the crash
-     simulator and the pmemcheck-style trace checker. *)
+     simulator and the pmemcheck-style trace checker.
+
+   Tracking engines. The original engine kept pending stores in one
+   newest-first list: every flush scanned all P pending records and every
+   fence partitioned the whole list — O(P) per durability event, which the
+   crash-point torture harness replays O(E) times per event. The default
+   engine now indexes pending records by cacheline (a dirty table), so a
+   flush touches only the buckets of the lines it covers and a fence
+   drains an ordered queue of already-flushed records. The list engine is
+   kept selectable so the two can be benchmarked and differentially
+   tested against each other. *)
 
 let cacheline = 64
+
+type tracking_engine =
+  | Line_indexed
+  | List_based
 
 type store_rec = {
   seq : int;
@@ -41,9 +55,20 @@ type t = {
   view : Bytes.t;
   durable : Bytes.t option;
   mutable tracking : bool;
+  mutable engine : tracking_engine;
   mutable next_seq : int;
+  (* List engine state. *)
   mutable pending : store_rec list;   (* newest first *)
-  mutable trace : event list;         (* newest first; only when tracking *)
+  (* Line-indexed engine state. All pending records live in [p_journal]
+     in program order; [line_tbl] indexes the not-yet-flushed ones by
+     cacheline; [flushed_q] holds flushed-not-yet-fenced records in flush
+     order (re-sorted by seq at the fence, which only pays for what it
+     drains). Fenced records stay in the journal until compaction. *)
+  p_journal : store_rec Journal.t;
+  mutable p_live : int;               (* unfenced records in p_journal *)
+  line_tbl : (int, store_rec list ref) Hashtbl.t;
+  flushed_q : store_rec Journal.t;
+  trace_j : event Journal.t;          (* program order; only when tracking *)
   mutable n_stores : int;
   mutable n_flushes : int;
   mutable n_fences : int;
@@ -52,22 +77,53 @@ type t = {
   mutable powered_off : bool;
 }
 
-let create_volatile ~name size =
-  { name; size; view = Bytes.make size '\000'; durable = None;
-    tracking = false; next_seq = 0; pending = []; trace = [];
+(* New devices pick up the process-wide default engine, so harnesses that
+   replay workloads through freshly built pools (the torture enumerator
+   rebuilds one per crash point) can be switched wholesale. *)
+let default_engine_ref = ref Line_indexed
+let set_default_engine e = default_engine_ref := e
+let default_engine () = !default_engine_ref
+
+let create ~name ~durable size =
+  { name; size; view = Bytes.make size '\000'; durable;
+    tracking = false; engine = !default_engine_ref; next_seq = 0;
+    pending = [];
+    p_journal = Journal.create (); p_live = 0;
+    line_tbl = Hashtbl.create 64; flushed_q = Journal.create ();
+    trace_j = Journal.create ();
     n_stores = 0; n_flushes = 0; n_fences = 0;
     injector = None; bad_blocks = []; powered_off = false }
 
+let create_volatile ~name size = create ~name ~durable:None size
+
 let create_persistent ~name size =
-  { name; size; view = Bytes.make size '\000';
-    durable = Some (Bytes.make size '\000');
-    tracking = false; next_seq = 0; pending = []; trace = [];
-    n_stores = 0; n_flushes = 0; n_fences = 0;
-    injector = None; bad_blocks = []; powered_off = false }
+  create ~name ~durable:(Some (Bytes.make size '\000')) size
 
 let name t = t.name
 let size t = t.size
 let is_persistent t = t.durable <> None
+
+let has_pending t =
+  t.pending <> [] || t.p_live > 0
+
+let clear_pending t =
+  t.pending <- [];
+  Journal.clear t.p_journal;
+  t.p_live <- 0;
+  Hashtbl.reset t.line_tbl;
+  Journal.clear t.flushed_q
+
+let engine t = t.engine
+
+let set_engine t e =
+  if e <> t.engine then begin
+    if t.tracking && has_pending t then
+      invalid_arg
+        "Memdev.set_engine: pending stores buffered; switch engines at a \
+         quiescent point (after a fence or crash)";
+    clear_pending t;
+    t.engine <- e
+  end
 
 let set_tracking t on =
   if on && not (is_persistent t) then
@@ -78,8 +134,8 @@ let set_tracking t on =
     (match t.durable with
      | Some d -> Bytes.blit t.view 0 d 0 t.size
      | None -> ());
-    t.pending <- [];
-    t.trace <- []
+    clear_pending t;
+    Journal.clear t.trace_j
   end
 
 let check_range t off len =
@@ -147,13 +203,30 @@ let unsafe_durable t = t.durable
 
 (* Stores. *)
 
+let line_of off = off / cacheline
+
+let add_to_line_tbl t r =
+  (* A record is indexed under every cacheline it touches; zero-length
+     records touch none and simply await compaction. *)
+  if r.s_len > 0 then
+    for line = line_of r.s_off to line_of (r.s_off + r.s_len - 1) do
+      match Hashtbl.find_opt t.line_tbl line with
+      | Some bucket -> bucket := r :: !bucket
+      | None -> Hashtbl.add t.line_tbl line (ref [ r ])
+    done
+
 let record_store t off len =
   let data = Bytes.sub t.view off len in
   let r = { seq = t.next_seq; s_off = off; s_len = len; data;
             flushed = false; fenced = false } in
   t.next_seq <- t.next_seq + 1;
-  t.pending <- r :: t.pending;
-  t.trace <- Ev_store { off; len; data } :: t.trace
+  (match t.engine with
+   | List_based -> t.pending <- r :: t.pending
+   | Line_indexed ->
+     Journal.push t.p_journal r;
+     t.p_live <- t.p_live + 1;
+     add_to_line_tbl t r);
+  Journal.push t.trace_j (Ev_store { off; len; data })
 
 let store_bytes t ~off src ~src_off ~len =
   check_range t off len;
@@ -180,6 +253,29 @@ let store_string t ~off s =
        if t.tracking then record_store t off len
        else Bytes.blit_string s 0 d off len);
     inject t (Hk_store { off; len })
+  end
+
+(* Device-level copy: both buffers are touched in place, so Space-level
+   memcpy/memmove/blit stop double-copying through an intermediate
+   [Bytes.t]. [Bytes.blit] is memmove-safe, and with tracking on the
+   pending record snapshots the destination view after the copy — the
+   same value an intermediate buffer would have carried. *)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check_range src src_off len;
+  check_range dst dst_off len;
+  if len > 0 then begin
+    check_load src ~off:src_off ~len;
+    if not dst.powered_off then begin
+      Bytes.blit src.view src_off dst.view dst_off len;
+      dst.n_stores <- dst.n_stores + 1;
+      (match dst.durable with
+       | None -> ()
+       | Some d ->
+         if dst.tracking then record_store dst dst_off len
+         else Bytes.blit dst.view dst_off d dst_off len);
+      inject dst (Hk_store { off = dst_off; len })
+    end
   end
 
 (* Allocation-free typed stores for the hot paths: the temporary-buffer
@@ -255,22 +351,46 @@ let fill t ~off ~len c =
 let ranges_intersect a_off a_len b_off b_len =
   a_off < b_off + b_len && b_off < a_off + a_len
 
+let flush_list t off len =
+  (* CLWB works at cacheline granularity. *)
+  let lo = off / cacheline * cacheline in
+  let hi = (off + len + cacheline - 1) / cacheline * cacheline in
+  let flen = hi - lo in
+  List.iter
+    (fun r ->
+      if (not r.flushed) && ranges_intersect lo flen r.s_off r.s_len then
+        r.flushed <- true)
+    t.pending
+
+let flush_indexed t off len =
+  (* Only the buckets of the covered cachelines are touched. A record
+     spanning several lines is flushed on the first hit; the flag stops
+     its other buckets from re-queueing it. *)
+  if len > 0 then
+    for line = line_of off to line_of (off + len - 1) do
+      match Hashtbl.find_opt t.line_tbl line with
+      | None -> ()
+      | Some bucket ->
+        List.iter
+          (fun r ->
+            if not r.flushed then begin
+              r.flushed <- true;
+              Journal.push t.flushed_q r
+            end)
+          !bucket;
+        Hashtbl.remove t.line_tbl line
+    done
+
 let flush t ~off ~len =
   check_range t off len;
   if t.powered_off then ()
   else begin
   t.n_flushes <- t.n_flushes + 1;
   if t.tracking then begin
-    (* CLWB works at cacheline granularity. *)
-    let lo = off / cacheline * cacheline in
-    let hi = (off + len + cacheline - 1) / cacheline * cacheline in
-    let flen = hi - lo in
-    List.iter
-      (fun r ->
-        if (not r.flushed) && ranges_intersect lo flen r.s_off r.s_len then
-          r.flushed <- true)
-      t.pending;
-    t.trace <- Ev_flush { off; len } :: t.trace
+    (match t.engine with
+     | List_based -> flush_list t off len
+     | Line_indexed -> flush_indexed t off len);
+    Journal.push t.trace_j (Ev_flush { off; len })
   end;
   inject t (Hk_flush { off; len })
   end
@@ -280,19 +400,44 @@ let apply_to_durable t r =
   | None -> ()
   | Some d -> Bytes.blit r.data 0 d r.s_off r.s_len
 
+let fence_list t =
+  (* Drain flushed stores to the durable image, in program order. *)
+  let drained, still = List.partition (fun r -> r.flushed) t.pending in
+  List.iter (apply_to_durable t) (List.rev drained);
+  List.iter (fun r -> r.fenced <- true) drained;
+  t.pending <- still
+
+let fence_indexed t =
+  (* The queue holds exactly the flushed-unfenced records; sorting the
+     drained set by sequence restores program order for overlapping
+     stores whose lines were flushed out of order. The whole operation
+     costs O(f log f) in the number of records actually drained, never
+     O(P) in all pending stores. *)
+  if not (Journal.is_empty t.flushed_q) then begin
+    let drained = Journal.to_array t.flushed_q in
+    Array.sort (fun a b -> compare a.seq b.seq) drained;
+    Array.iter
+      (fun r ->
+        apply_to_durable t r;
+        r.fenced <- true)
+      drained;
+    t.p_live <- t.p_live - Array.length drained;
+    Journal.clear t.flushed_q;
+    (* Compact once fenced corpses dominate the journal. *)
+    if Journal.length t.p_journal > 64
+       && 2 * t.p_live < Journal.length t.p_journal
+    then Journal.filter_in_place (fun r -> not r.fenced) t.p_journal
+  end
+
 let fence t =
   if t.powered_off then ()
   else begin
   t.n_fences <- t.n_fences + 1;
   if t.tracking then begin
-    (* Drain flushed stores to the durable image, in program order. *)
-    let drained, still =
-      List.partition (fun r -> r.flushed) t.pending
-    in
-    List.iter (apply_to_durable t) (List.rev drained);
-    List.iter (fun r -> r.fenced <- true) drained;
-    t.pending <- still;
-    t.trace <- Ev_fence :: t.trace
+    (match t.engine with
+     | List_based -> fence_list t
+     | Line_indexed -> fence_indexed t);
+    Journal.push t.trace_j Ev_fence
   end;
   inject t Hk_fence
   end
@@ -307,11 +452,15 @@ let crash t =
   (match t.durable with
    | None -> Bytes.fill t.view 0 t.size '\000'
    | Some d -> Bytes.blit d 0 t.view 0 t.size);
-  t.pending <- [];
-  t.trace <- [];
+  clear_pending t;
+  Journal.clear t.trace_j;
   t.powered_off <- false       (* restart: power is back *)
 
-let pending_stores t = List.rev t.pending
+let pending_stores t =
+  match t.engine with
+  | List_based -> List.rev t.pending
+  | Line_indexed ->
+    List.filter (fun r -> not r.fenced) (Journal.to_list t.p_journal)
 
 let crash_applying t recs =
   (* A crash where a chosen subset of the pending (not yet fenced) stores
@@ -325,11 +474,11 @@ let crash_applying t recs =
      List.iter (fun r -> Bytes.blit r.data 0 d r.s_off r.s_len) sorted);
   crash t
 
-let trace t = List.rev t.trace
-let clear_trace t = t.trace <- []
+let trace t = Journal.to_list t.trace_j
+let clear_trace t = Journal.clear t.trace_j
 
 let unflushed_pending t =
-  List.rev (List.filter (fun r -> not r.flushed) t.pending)
+  List.filter (fun r -> not r.flushed) (pending_stores t)
 
 type counters = { stores : int; flushes : int; fences : int }
 

@@ -13,6 +13,33 @@ type t
 val cacheline : int
 (** Cacheline size in bytes (64); flush granularity. *)
 
+(** {1 Tracking engines}
+
+    Two interchangeable implementations of the tracking-mode pending
+    set. [Line_indexed] (the default) keeps a cacheline-keyed dirty
+    table plus growable-array journals: a flush touches only the
+    covered lines' buckets and a fence drains an ordered queue —
+    O(lines) and O(drained log drained) instead of O(pending).
+    [List_based] is the original single-list engine, kept selectable
+    for differential testing and before/after benchmarking. Both
+    produce bit-identical durable images and traces. *)
+
+type tracking_engine =
+  | Line_indexed
+  | List_based
+
+val set_default_engine : tracking_engine -> unit
+(** Engine given to devices created afterwards (process-wide). *)
+
+val default_engine : unit -> tracking_engine
+
+val engine : t -> tracking_engine
+
+val set_engine : t -> tracking_engine -> unit
+(** Switch this device's engine. Raises [Invalid_argument] if tracking
+    is on and stores are still buffered — switch at a quiescent point
+    (after a fence, a crash, or before enabling tracking). *)
+
 (** {1 Construction} *)
 
 val create_volatile : name:string -> int -> t
@@ -40,6 +67,13 @@ val load_into : t -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
 val store_bytes : t -> off:int -> Bytes.t -> src_off:int -> len:int -> unit
 val store_string : t -> off:int -> string -> unit
 val fill : t -> off:int -> len:int -> char -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Device-level copy, memmove-safe for overlapping ranges on one
+    device. Checks the source for bad blocks like a load, then lands on
+    the destination with full store semantics (durability tracking,
+    injector event, power-off discard) — without materializing an
+    intermediate buffer the way a load/store pair would. *)
 
 (** Allocation-free typed stores (hot paths). *)
 

@@ -3,7 +3,13 @@
    Regions map address ranges onto memory devices. Translation of an
    address not covered by any region raises a fault — this is the
    mechanism SPP's implicit bounds check relies on: an overflown tagged
-   pointer decodes to a huge address that no region covers. *)
+   pointer decodes to a huge address that no region covers.
+
+   Translation pipeline: regions live in a sorted array searched by
+   binary search, fronted by a small direct-mapped software TLB keyed by
+   address page. A TLB entry is installed only when its whole page lies
+   inside one region, so a region boundary mid-page can never be masked
+   by a hit; map/unmap invalidate the TLB wholesale (they are rare). *)
 
 type kind =
   | Volatile
@@ -23,23 +29,43 @@ type stats = {
   mutable pm_stores : int;
   mutable vol_loads : int;
   mutable vol_stores : int;
+  mutable pm_bytes_loaded : int;
+  mutable pm_bytes_stored : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
 }
 
+(* Direct-mapped TLB geometry: 64 entries over 4 KiB pages. *)
+let page_bits = 12
+let tlb_bits = 6
+let tlb_size = 1 lsl tlb_bits
+
 type t = {
-  mutable regions : region list;   (* sorted by base, ascending *)
-  mutable cache : region option;   (* last hit *)
+  mutable regions : region array;   (* sorted by base, ascending *)
+  tlb_pages : int array;            (* page tag per slot; -1 = invalid *)
+  tlb_regs : region option array;
   stats : stats;
 }
 
 let create () =
-  { regions = []; cache = None;
-    stats = { pm_loads = 0; pm_stores = 0; vol_loads = 0; vol_stores = 0 } }
+  { regions = [||];
+    tlb_pages = Array.make tlb_size (-1);
+    tlb_regs = Array.make tlb_size None;
+    stats = { pm_loads = 0; pm_stores = 0; vol_loads = 0; vol_stores = 0;
+              pm_bytes_loaded = 0; pm_bytes_stored = 0;
+              tlb_hits = 0; tlb_misses = 0 } }
 
 let stats t = t.stats
 
 let reset_stats t =
   t.stats.pm_loads <- 0; t.stats.pm_stores <- 0;
-  t.stats.vol_loads <- 0; t.stats.vol_stores <- 0
+  t.stats.vol_loads <- 0; t.stats.vol_stores <- 0;
+  t.stats.pm_bytes_loaded <- 0; t.stats.pm_bytes_stored <- 0;
+  t.stats.tlb_hits <- 0; t.stats.tlb_misses <- 0
+
+let tlb_invalidate t =
+  Array.fill t.tlb_pages 0 tlb_size (-1);
+  Array.fill t.tlb_regs 0 tlb_size None
 
 let overlaps a b =
   a.base < b.base + b.rsize && b.base < a.base + a.rsize
@@ -49,22 +75,28 @@ let map t ~base ~size ?(dev_off = 0) ~kind ~name dev =
   if dev_off < 0 || dev_off + size > Memdev.size dev then
     invalid_arg "Space.map: range exceeds device";
   let r = { base; rsize = size; dev; dev_off; kind; rname = name } in
-  List.iter
+  Array.iter
     (fun r' ->
       if overlaps r r' then
         invalid_arg
           (Printf.sprintf "Space.map: region %s overlaps %s" name r'.rname))
     t.regions;
-  t.regions <- List.sort (fun a b -> compare a.base b.base) (r :: t.regions)
+  let arr = Array.append t.regions [| r |] in
+  Array.sort (fun a b -> compare a.base b.base) arr;
+  t.regions <- arr;
+  tlb_invalidate t
 
 let unmap t ~base =
-  t.cache <- None;
-  let before = List.length t.regions in
-  t.regions <- List.filter (fun r -> r.base <> base) t.regions;
-  if List.length t.regions = before then
-    invalid_arg "Space.unmap: no region at this base"
+  tlb_invalidate t;
+  let keep =
+    Array.of_list
+      (List.filter (fun r -> r.base <> base) (Array.to_list t.regions))
+  in
+  if Array.length keep = Array.length t.regions then
+    invalid_arg "Space.unmap: no region at this base";
+  t.regions <- keep
 
-let regions t = t.regions
+let regions t = Array.to_list t.regions
 
 let region_name r = r.rname
 let region_base r = r.base
@@ -72,34 +104,60 @@ let region_size r = r.rsize
 let region_kind r = r.kind
 let region_dev r = r.dev
 
+(* Binary search for the region containing [addr]; fills the TLB slot
+   when the page is wholly covered. *)
+let find_region_slow t addr page slot =
+  t.stats.tlb_misses <- t.stats.tlb_misses + 1;
+  let arr = t.regions in
+  (* greatest index whose base <= addr *)
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if (Array.unsafe_get arr mid).base <= addr then begin
+      found := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !found < 0 then Fault.segfault addr;
+  let r = Array.unsafe_get arr !found in
+  if addr >= r.base + r.rsize then Fault.segfault addr;
+  let pbase = page lsl page_bits in
+  if pbase >= r.base && pbase + (1 lsl page_bits) <= r.base + r.rsize then begin
+    t.tlb_pages.(slot) <- page;
+    t.tlb_regs.(slot) <- Some r
+  end;
+  r
+
 let find_region t addr =
-  match t.cache with
-  | Some r when addr >= r.base && addr < r.base + r.rsize -> r
-  | _ ->
-    let rec go = function
-      | [] -> Fault.segfault addr
-      | r :: rest ->
-        if addr < r.base then Fault.segfault addr
-        else if addr < r.base + r.rsize then begin
-          t.cache <- Some r; r
-        end else go rest
-    in
-    go t.regions
+  if addr < 0 then Fault.segfault addr;
+  let page = addr lsr page_bits in
+  let slot = page land (tlb_size - 1) in
+  if Array.unsafe_get t.tlb_pages slot = page then
+    match Array.unsafe_get t.tlb_regs slot with
+    | Some r ->
+      t.stats.tlb_hits <- t.stats.tlb_hits + 1;
+      r
+    | None -> find_region_slow t addr page slot
+  else find_region_slow t addr page slot
 
 (* Translate an access of [len] bytes at [addr]; the whole access must lie
    within one region, otherwise it faults at the first uncovered byte. *)
 let translate t addr len =
-  if addr < 0 then Fault.segfault addr;
   let r = find_region t addr in
   if addr + len > r.base + r.rsize then Fault.segfault (r.base + r.rsize);
   (r, r.dev_off + (addr - r.base))
 
-let count_load t r = match r.kind with
-  | Persistent -> t.stats.pm_loads <- t.stats.pm_loads + 1
+let count_load t r len = match r.kind with
+  | Persistent ->
+    t.stats.pm_loads <- t.stats.pm_loads + 1;
+    t.stats.pm_bytes_loaded <- t.stats.pm_bytes_loaded + len
   | Volatile -> t.stats.vol_loads <- t.stats.vol_loads + 1
 
-let count_store t r = match r.kind with
-  | Persistent -> t.stats.pm_stores <- t.stats.pm_stores + 1
+let count_store t r len = match r.kind with
+  | Persistent ->
+    t.stats.pm_stores <- t.stats.pm_stores + 1;
+    t.stats.pm_bytes_stored <- t.stats.pm_bytes_stored + len
   | Volatile -> t.stats.vol_stores <- t.stats.vol_stores + 1
 
 (* Typed accessors. Words are 63-bit OCaml ints stored as 8 little-endian
@@ -110,55 +168,57 @@ let count_store t r = match r.kind with
 
 let load_u8 t addr =
   let r, off = translate t addr 1 in
-  count_load t r;
+  count_load t r 1;
   Memdev.check_load r.dev ~off ~len:1;
   Char.code (Bytes.get (Memdev.unsafe_view r.dev) off)
 
 let load_u16 t addr =
   let r, off = translate t addr 2 in
-  count_load t r;
+  count_load t r 2;
   Memdev.check_load r.dev ~off ~len:2;
   Bytes.get_uint16_le (Memdev.unsafe_view r.dev) off
 
 let load_u32 t addr =
   let r, off = translate t addr 4 in
-  count_load t r;
+  count_load t r 4;
   Memdev.check_load r.dev ~off ~len:4;
   Int32.to_int (Bytes.get_int32_le (Memdev.unsafe_view r.dev) off) land 0xFFFFFFFF
 
 let load_word t addr =
   let r, off = translate t addr 8 in
-  count_load t r;
+  count_load t r 8;
   Memdev.check_load r.dev ~off ~len:8;
   Int64.to_int (Bytes.get_int64_le (Memdev.unsafe_view r.dev) off)
 
 let store_u8 t addr v =
   let r, off = translate t addr 1 in
-  count_store t r;
+  count_store t r 1;
   Memdev.store_u8 r.dev ~off v
 
 let store_u16 t addr v =
   let r, off = translate t addr 2 in
-  count_store t r;
+  count_store t r 2;
   Memdev.store_u16 r.dev ~off v
 
 let store_u32 t addr v =
   let r, off = translate t addr 4 in
-  count_store t r;
+  count_store t r 4;
   Memdev.store_u32 r.dev ~off v
 
 let store_word t addr v =
   let r, off = translate t addr 8 in
-  count_store t r;
+  count_store t r 8;
   Memdev.store_word r.dev ~off v
 
-(* Block operations. *)
+(* Block operations. A block access counts one load/store event (stats
+   skew otherwise: an N-byte memcpy is one instruction, not N), with the
+   moved bytes accounted separately in [pm_bytes_loaded/stored]. *)
 
 let read_bytes t addr len =
   if len = 0 then Bytes.create 0
   else begin
     let r, off = translate t addr len in
-    count_load t r;
+    count_load t r len;
     Memdev.load_bytes r.dev ~off ~len
   end
 
@@ -166,7 +226,7 @@ let write_bytes t addr b =
   let len = Bytes.length b in
   if len > 0 then begin
     let r, off = translate t addr len in
-    count_store t r;
+    count_store t r len;
     Memdev.store_bytes r.dev ~off b ~src_off:0 ~len
   end
 
@@ -174,34 +234,103 @@ let write_string t addr s =
   let len = String.length s in
   if len > 0 then begin
     let r, off = translate t addr len in
-    count_store t r;
+    count_store t r len;
     Memdev.store_string r.dev ~off s
   end
 
 let fill t addr len c =
   if len > 0 then begin
     let r, off = translate t addr len in
-    count_store t r;
+    count_store t r len;
     Memdev.fill r.dev ~off ~len c
   end
 
 let blit t ~src ~dst ~len =
+  (* Device-level copy: no intermediate buffer, memmove-safe overlap. *)
   if len > 0 then begin
-    let b = read_bytes t src len in
-    write_bytes t dst b
+    let rs, src_off = translate t src len in
+    let rd, dst_off = translate t dst len in
+    count_load t rs len;
+    count_store t rd len;
+    Memdev.blit ~src:rs.dev ~src_off ~dst:rd.dev ~dst_off ~len
   end
 
-(* C-string helpers: scan for NUL, faulting if the scan leaves the region. *)
+(* Block compare without materializing either side. *)
+
+let memcmp t a b len =
+  if len = 0 then 0
+  else begin
+    let ra, off_a = translate t a len in
+    let rb, off_b = translate t b len in
+    count_load t ra len;
+    count_load t rb len;
+    Memdev.check_load ra.dev ~off:off_a ~len;
+    Memdev.check_load rb.dev ~off:off_b ~len;
+    let va = Memdev.unsafe_view ra.dev and vb = Memdev.unsafe_view rb.dev in
+    let rec go i =
+      if i = len then 0
+      else begin
+        let ca = Char.code (Bytes.unsafe_get va (off_a + i))
+        and cb = Char.code (Bytes.unsafe_get vb (off_b + i)) in
+        if ca <> cb then compare ca cb else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+(* C-string helpers: the region is resolved once and the device view is
+   scanned in chunks — not one full translation per byte — still faulting
+   at the region boundary exactly like a runaway strlen on hardware. *)
+
+let strlen_chunk = 256
 
 let strlen t addr =
-  let rec go i =
-    if load_u8 t (addr + i) = 0 then i else go (i + 1)
+  let r = find_region t addr in
+  let view = Memdev.unsafe_view r.dev in
+  let limit = r.base + r.rsize in
+  let rec scan a =
+    if a >= limit then Fault.segfault limit;
+    let chunk = min strlen_chunk (limit - a) in
+    let off = r.dev_off + (a - r.base) in
+    let nul = ref (-1) in
+    let i = ref 0 in
+    while !nul < 0 && !i < chunk do
+      if Bytes.unsafe_get view (off + !i) = '\000' then nul := !i else incr i
+    done;
+    (* only the bytes actually scanned count as read (and are checked
+       against bad blocks): the NUL stops the access like on hardware *)
+    let scanned = if !nul >= 0 then !nul + 1 else chunk in
+    count_load t r scanned;
+    Memdev.check_load r.dev ~off ~len:scanned;
+    if !nul >= 0 then a + !nul - addr else scan (a + chunk)
   in
-  go 0
+  scan addr
 
 let read_cstring t addr =
   let len = strlen t addr in
   Bytes.to_string (read_bytes t addr len)
+
+let strcmp t a b =
+  let ra = find_region t a and rb = find_region t b in
+  let va = Memdev.unsafe_view ra.dev and vb = Memdev.unsafe_view rb.dev in
+  let lim_a = ra.base + ra.rsize and lim_b = rb.base + rb.rsize in
+  let rec go i =
+    if a + i >= lim_a then Fault.segfault lim_a;
+    if b + i >= lim_b then Fault.segfault lim_b;
+    let off_a = ra.dev_off + (a + i - ra.base) in
+    let off_b = rb.dev_off + (b + i - rb.base) in
+    Memdev.check_load ra.dev ~off:off_a ~len:1;
+    Memdev.check_load rb.dev ~off:off_b ~len:1;
+    let ca = Char.code (Bytes.unsafe_get va off_a)
+    and cb = Char.code (Bytes.unsafe_get vb off_b) in
+    if ca <> cb then (i, compare ca cb)
+    else if ca = 0 then (i, 0)
+    else go (i + 1)
+  in
+  let scanned, result = go 0 in
+  count_load t ra (scanned + 1);
+  count_load t rb (scanned + 1);
+  result
 
 (* Durability pass-throughs. *)
 
@@ -216,8 +345,21 @@ let fence_at t addr =
   Memdev.fence r.dev
 
 let persist t addr len =
-  flush t addr len;
-  if len > 0 then fence_at t addr
+  (* one translation for both halves of the CLWB+SFENCE pair *)
+  if len > 0 then begin
+    let r, off = translate t addr len in
+    Memdev.flush r.dev ~off ~len;
+    Memdev.fence r.dev
+  end
+
+let store_word_persist t addr v =
+  (* Fused store+persist for the pmdk metadata paths (store_p): one
+     translation instead of three. *)
+  let r, off = translate t addr 8 in
+  count_store t r 8;
+  Memdev.store_word r.dev ~off v;
+  Memdev.flush r.dev ~off ~len:8;
+  Memdev.fence r.dev
 
 let is_mapped t addr =
   match find_region t addr with

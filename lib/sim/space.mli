@@ -3,7 +3,12 @@
     Regions map simulated address ranges onto {!Memdev} devices. Any access
     through an address not covered by a region raises {!Fault.Fault} — the
     analogue of a hardware fault, and the sink for SPP's implicitly
-    invalidated (overflown) pointers. *)
+    invalidated (overflown) pointers.
+
+    Translation walks a sorted region array by binary search, fronted by a
+    direct-mapped software TLB (64 entries over 4 KiB pages). A TLB entry
+    is only installed when its whole page lies inside one region, so a
+    region boundary mid-page still faults; map/unmap invalidate the TLB. *)
 
 type t
 
@@ -51,27 +56,48 @@ val store_u16 : t -> int -> int -> unit
 val store_u32 : t -> int -> int -> unit
 val store_word : t -> int -> int -> unit
 
-(** {1 Block operations} *)
+(** {1 Block operations}
+
+    A block operation counts one load/store event regardless of length;
+    the bytes moved are accounted in [pm_bytes_loaded]/[pm_bytes_stored]. *)
 
 val read_bytes : t -> int -> int -> Bytes.t
 val write_bytes : t -> int -> Bytes.t -> unit
 val write_string : t -> int -> string -> unit
 val fill : t -> int -> int -> char -> unit
+
 val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Copy [len] bytes between mapped ranges through {!Memdev.blit} — no
+    intermediate buffer, memmove-safe for overlapping ranges. *)
+
+val memcmp : t -> int -> int -> int -> int
+(** [memcmp t a b len] — lexicographic byte compare without materializing
+    either side. Negative, zero or positive like C [memcmp]. *)
 
 (** {1 C-string helpers} *)
 
 val strlen : t -> int -> int
-(** Distance to the first NUL byte; faults if the scan leaves the mapped
+(** Distance to the first NUL byte. The region is resolved once and the
+    device view scanned in chunks; faults if the scan leaves the mapped
     region (exactly like a runaway [strlen] on real hardware). *)
 
 val read_cstring : t -> int -> string
+
+val strcmp : t -> int -> int -> int
+(** C [strcmp] over two NUL-terminated strings, scanning the device views
+    directly; faults if either scan leaves its mapped region. *)
 
 (** {1 Durability} *)
 
 val flush : t -> int -> int -> unit
 val fence_at : t -> int -> unit
+
 val persist : t -> int -> int -> unit
+(** Flush + fence with a single translation. *)
+
+val store_word_persist : t -> int -> int -> unit
+(** Fused [store_word] + [persist] over the stored word — one translation
+    for the whole store/CLWB/SFENCE sequence (the pmdk [store_p] path). *)
 
 (** {1 Accounting} *)
 
@@ -80,6 +106,10 @@ type stats = {
   mutable pm_stores : int;
   mutable vol_loads : int;
   mutable vol_stores : int;
+  mutable pm_bytes_loaded : int;   (** bytes moved by PM loads *)
+  mutable pm_bytes_stored : int;   (** bytes moved by PM stores *)
+  mutable tlb_hits : int;          (** translations served by the TLB *)
+  mutable tlb_misses : int;        (** translations that walked the region array *)
 }
 
 val stats : t -> stats

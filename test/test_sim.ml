@@ -199,6 +199,84 @@ let test_save_load_durable () =
       Alcotest.(check string) "reloaded" "persist-me"
         (Bytes.to_string (Memdev.load_bytes d2 ~off:42 ~len:10)))
 
+let test_memdev_blit () =
+  let d = Memdev.create_persistent ~name:"t" 4096 in
+  Memdev.store_string d ~off:0 "abcdefgh";
+  Memdev.persist d ~off:0 ~len:8;
+  Memdev.set_tracking d true;
+  Memdev.blit ~src:d ~src_off:0 ~dst:d ~dst_off:100 ~len:8;
+  Alcotest.(check string) "view sees the copy" "abcdefgh"
+    (Bytes.to_string (Memdev.load_bytes d ~off:100 ~len:8));
+  Memdev.crash d;
+  Alcotest.(check string) "unpersisted blit lost" (String.make 8 '\000')
+    (Bytes.to_string (Memdev.load_bytes d ~off:100 ~len:8));
+  Memdev.blit ~src:d ~src_off:0 ~dst:d ~dst_off:100 ~len:8;
+  Memdev.persist d ~off:100 ~len:8;
+  Memdev.crash d;
+  Alcotest.(check string) "persisted blit survives" "abcdefgh"
+    (Bytes.to_string (Memdev.load_bytes d ~off:100 ~len:8));
+  (* overlapping same-device copy behaves like memmove *)
+  Memdev.set_tracking d false;
+  Memdev.store_string d ~off:200 "12345678";
+  Memdev.blit ~src:d ~src_off:200 ~dst:d ~dst_off:204 ~len:8;
+  Alcotest.(check string) "memmove-safe overlap" "123412345678"
+    (Bytes.to_string (Memdev.load_bytes d ~off:200 ~len:12))
+
+(* Tracking-engine differentials: the line-indexed dirty table must be
+   observationally identical to the original list engine. *)
+
+let bytes8 v = Bytes.make 8 (Char.chr v)
+
+let prop_engines_agree =
+  QCheck.Test.make
+    ~name:"line-indexed and list engines produce identical durable images"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (triple (int_bound 4) (int_bound 440) (int_bound 255)))
+    (fun ops ->
+      let run engine =
+        let d = Memdev.create_persistent ~name:"p" 512 in
+        Memdev.set_engine d engine;
+        Memdev.set_tracking d true;
+        List.iter
+          (fun (kind, off, v) ->
+            match kind with
+            | 0 | 1 -> Memdev.store_bytes d ~off (bytes8 v) ~src_off:0 ~len:8
+            | 2 -> Memdev.flush d ~off ~len:(1 + (v land 63))
+            | 3 -> Memdev.fence d
+            | _ -> Memdev.persist d ~off ~len:8)
+          ops;
+        Memdev.crash d;
+        Memdev.durable_snapshot d
+      in
+      Bytes.equal (run Memdev.Line_indexed) (run Memdev.List_based))
+
+let prop_tracked_full_flush_equals_untracked =
+  QCheck.Test.make
+    ~name:"tracking-on + full flush/fence = tracking-off durable image"
+    ~count:150
+    QCheck.(
+      pair bool
+        (list_of_size (Gen.int_range 1 40)
+           (pair (int_bound 440) (int_bound 255))))
+    (fun (indexed, writes) ->
+      let run tracking =
+        let d = Memdev.create_persistent ~name:"p" 512 in
+        Memdev.set_engine d
+          (if indexed then Memdev.Line_indexed else Memdev.List_based);
+        Memdev.set_tracking d tracking;
+        List.iter
+          (fun (off, v) -> Memdev.store_bytes d ~off (bytes8 v) ~src_off:0 ~len:8)
+          writes;
+        if tracking then begin
+          Memdev.flush d ~off:0 ~len:512;
+          Memdev.fence d
+        end;
+        Memdev.durable_snapshot d
+      in
+      Bytes.equal (run true) (run false))
+
 (* Space *)
 
 let mk_space () =
@@ -257,6 +335,117 @@ let test_space_stats () =
   check_int "pm stores" 1 st.Space.pm_stores;
   check_int "pm loads" 1 st.Space.pm_loads;
   check_int "vol stores" 1 st.Space.vol_stores
+
+let test_space_byte_counters () =
+  (* A block op is one event; the moved bytes are accounted separately. *)
+  let s = mk_space () in
+  Space.reset_stats s;
+  Space.write_string s 4096 "12345678";
+  ignore (Space.read_bytes s 4096 8);
+  Space.store_u8 s 5000 1;
+  let st = Space.stats s in
+  check_int "store events" 2 st.Space.pm_stores;
+  check_int "bytes stored" 9 st.Space.pm_bytes_stored;
+  check_int "load events" 1 st.Space.pm_loads;
+  check_int "bytes loaded" 8 st.Space.pm_bytes_loaded
+
+let test_space_tlb_counters () =
+  let s = mk_space () in
+  Space.reset_stats s;
+  ignore (Space.load_u8 s 8192);          (* cold page: miss *)
+  ignore (Space.load_u8 s 8200);          (* same page: hit *)
+  ignore (Space.load_u8 s 8208);
+  let st = Space.stats s in
+  check_int "tlb misses" 1 st.Space.tlb_misses;
+  check_int "tlb hits" 2 st.Space.tlb_hits
+
+let test_space_memcmp_strcmp () =
+  let s = mk_space () in
+  Space.write_string s 4100 "apple\000";
+  Space.write_string s 4200 "apples\000";
+  Space.write_string s 4300 "apple\000";
+  check_bool "strcmp lt" true (Space.strcmp s 4100 4200 < 0);
+  check_bool "strcmp gt" true (Space.strcmp s 4200 4100 > 0);
+  check_int "strcmp eq" 0 (Space.strcmp s 4100 4300);
+  check_int "memcmp eq" 0 (Space.memcmp s 4100 4300 5);
+  check_bool "memcmp lt" true (Space.memcmp s 4100 4200 6 < 0)
+
+let test_strlen_chunked_boundaries () =
+  let s = mk_space () in
+  (* longer than one scan chunk *)
+  Space.write_string s 4200 (String.make 1000 'a' ^ "\000");
+  check_int "long strlen" 1000 (Space.strlen s 4200);
+  let end_ = 4096 + 65536 in
+  (* unterminated scan running off the region end must fault *)
+  Space.fill s (end_ - 32) 32 'x';
+  expect_fault (fun () -> Space.strlen s (end_ - 32));
+  (* NUL in the region's very last byte is still found *)
+  Space.fill s (end_ - 16) 15 'y';
+  Space.store_u8 s (end_ - 1) 0;
+  check_int "nul at region end" 15 (Space.strlen s (end_ - 16))
+
+let test_strlen_bad_block_semantics () =
+  let s = Space.create () in
+  let d = Memdev.create_persistent ~name:"p" 4096 in
+  Space.map s ~base:4096 ~size:4096 ~kind:Space.Persistent ~name:"p" d;
+  Space.write_string s 4096 "ok\000";
+  Memdev.add_bad_block d ~off:64 ~len:64;
+  (* the NUL stops the access before the bad block, like on hardware *)
+  check_int "strlen stops at NUL" 2 (Space.strlen s 4096);
+  (* a scan crossing the bad block faults with SIGBUS *)
+  Space.fill s (4096 + 60) 8 'z';
+  Space.store_u8 s (4096 + 70) 0;
+  expect_fault (fun () -> Space.strlen s (4096 + 60))
+
+(* Satellite: the translation cache must never outlive its region. *)
+
+let test_tlb_unmap_remap_no_stale () =
+  let s = Space.create () in
+  let d1 = Memdev.create_persistent ~name:"d1" 8192 in
+  let d2 = Memdev.create_persistent ~name:"d2" 8192 in
+  Memdev.store_u8 d1 ~off:0 1;
+  Memdev.store_u8 d2 ~off:0 2;
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"r1" d1;
+  check_int "d1 content" 1 (Space.load_u8 s 4096);   (* warms the TLB *)
+  check_int "d1 content again" 1 (Space.load_u8 s 4096);
+  Space.unmap s ~base:4096;
+  expect_fault (fun () -> Space.load_u8 s 4096);
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"r2" d2;
+  check_int "remap serves the new device" 2 (Space.load_u8 s 4096)
+
+let prop_tlb_never_stale =
+  QCheck.Test.make
+    ~name:"tlb never serves a stale translation across map/unmap" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 40) (pair (int_bound 3) (int_bound 2)))
+    (fun ops ->
+      (* four slots, each 2 pages apart; every mapped device carries a
+         unique stamp so a stale TLB entry is immediately visible *)
+      let s = Space.create () in
+      let stamps = Array.make 4 None in
+      let next = ref 0 in
+      let base i = 4096 + (i * 8192) in
+      let ok = ref true in
+      List.iter
+        (fun (slot, action) ->
+          let i = slot land 3 in
+          match (action, stamps.(i)) with
+          | 0, None ->
+            incr next;
+            let d = Memdev.create_persistent ~name:"d" 8192 in
+            Memdev.store_word d ~off:0 !next;
+            Space.map s ~base:(base i) ~size:8192 ~kind:Space.Persistent
+              ~name:(string_of_int !next) d;
+            stamps.(i) <- Some !next
+          | 0, Some _ ->
+            Space.unmap s ~base:(base i);
+            stamps.(i) <- None
+          | _, expected -> (
+            match Space.load_word s (base i) with
+            | v -> if expected <> Some v then ok := false
+            | exception Fault.Fault _ -> if expected <> None then ok := false))
+        ops;
+      !ok)
 
 (* Vheap *)
 
@@ -388,6 +577,7 @@ let () =
           Alcotest.test_case "save/load pool file" `Quick test_save_load_durable;
           Alcotest.test_case "load_durable validates size and magic" `Quick
             test_load_durable_validation;
+          Alcotest.test_case "device-level blit" `Quick test_memdev_blit;
         ] );
       ( "space",
         [
@@ -400,6 +590,17 @@ let () =
           Alcotest.test_case "blit and cstrings" `Quick
             test_space_blit_and_strings;
           Alcotest.test_case "access stats" `Quick test_space_stats;
+          Alcotest.test_case "byte counters" `Quick test_space_byte_counters;
+          Alcotest.test_case "tlb hit/miss counters" `Quick
+            test_space_tlb_counters;
+          Alcotest.test_case "memcmp and strcmp" `Quick
+            test_space_memcmp_strcmp;
+          Alcotest.test_case "chunked strlen boundaries" `Quick
+            test_strlen_chunked_boundaries;
+          Alcotest.test_case "strlen vs bad blocks" `Quick
+            test_strlen_bad_block_semantics;
+          Alcotest.test_case "tlb unmap/remap not stale" `Quick
+            test_tlb_unmap_remap_no_stale;
         ] );
       ( "vheap",
         [
@@ -413,5 +614,8 @@ let () =
         ] );
       ( "properties",
         [ qt prop_word_roundtrip; qt prop_vheap_disjoint;
-          qt prop_crash_is_prefix_consistent ] );
+          qt prop_crash_is_prefix_consistent;
+          qt prop_engines_agree;
+          qt prop_tracked_full_flush_equals_untracked;
+          qt prop_tlb_never_stale ] );
     ]

@@ -65,6 +65,41 @@ let test_seed_reproducible () =
   in
   check_bool "identical reports" true (run () = run ())
 
+(* Engine differential: the line-indexed tracking engine must reproduce
+   the list-based engine's torture results exactly — same event count,
+   same crash points, same verdicts. [w_make] builds fresh devices per
+   replay, so the engine is selected process-wide. *)
+
+let with_engine e f =
+  let saved = Memdev.default_engine () in
+  Memdev.set_default_engine e;
+  Fun.protect ~finally:(fun () -> Memdev.set_default_engine saved) f
+
+let engine_differential ?faults ?budget ?seed w =
+  let run e = with_engine e (fun () -> Torture.run ?budget ?seed ?faults w) in
+  let a = run Memdev.Line_indexed in
+  let b = run Memdev.List_based in
+  check_bool ("identical reports: " ^ a.Torture.r_workload) true (a = b);
+  a
+
+let test_engine_differential_clean () =
+  List.iter
+    (fun w ->
+      let r = engine_differential w in
+      check_int "zero invariant failures" 0 r.Torture.r_invariant_failures)
+    [ Workloads.kvstore ~ops:5 (); Workloads.pmemlog ~ops:5 ();
+      Workloads.counter ~ops:5 () ]
+
+let test_engine_differential_faults () =
+  ignore
+    (engine_differential ~budget:40 ~seed:7
+       ~faults:{ Torture.torn = true; bitflips = 0 }
+       (Workloads.counter ~ops:6 ()));
+  ignore
+    (engine_differential ~budget:30 ~seed:9
+       ~faults:{ Torture.torn = true; bitflips = 2 }
+       (Workloads.pmemlog ~ops:5 ()))
+
 (* Graceful pool-corruption handling *)
 
 let mk_image () =
@@ -152,6 +187,13 @@ let () =
             test_counter_full;
           Alcotest.test_case "native variant too" `Quick test_native_variant;
           Alcotest.test_case "budget sampling" `Quick test_budget_sampling;
+        ] );
+      ( "engine differential",
+        [
+          Alcotest.test_case "clean suites agree across engines" `Quick
+            test_engine_differential_clean;
+          Alcotest.test_case "fault suites agree across engines" `Quick
+            test_engine_differential_faults;
         ] );
       ( "media faults",
         [
