@@ -25,6 +25,16 @@ let json_file =
   in
   find (Array.to_list Sys.argv)
 
+(* --domains N: cap the scaleout experiment's domain counts (CI smoke
+   runs with 2; the full ladder is 1, 2, 4, 8). *)
+let domains_cap =
+  let rec find = function
+    | "--domains" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 let jout = Spp_benchlib.Json_out.create ()
 
 let jemit ~experiment ~name ~metric ?unit_ ?extra v =
@@ -751,6 +761,123 @@ let pipeline () =
   jemit ~experiment:"pipeline" ~name:"flush_fence" ~metric:"speedup" speedup
 
 (* ------------------------------------------------------------------ *)
+(* Scaleout (ours): domain-parallel sharded serving vs logical shards   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 5's thread model runs logical shards sequentially; this
+   experiment runs the same per-shard streams with one Domain per shard
+   (shard-per-pool, see lib/shard) and reports the throughput ladder,
+   the parallel-vs-sequential speedup, and uniform-vs-Zipfian skew.
+   Every point first proves the two modes bit-identical on the same
+   seed — a wrong-by-construction parallel path must not produce a
+   throughput number. *)
+
+let scaleout () =
+  let open Spp_shard in
+  print_title "Scaleout: domain-parallel sharded KV (shard-per-pool)";
+  let domain_counts =
+    let all = [ 1; 2; 4; 8 ] in
+    match domains_cap with
+    | None -> all
+    | Some cap -> List.filter (fun d -> d <= max 1 cap) all
+  in
+  let preload_keys = sc 2_000 and total_ops = sc 24_000 in
+  let seed = 42 in
+  Printf.printf
+    "(cmap engine under SPP, %d preloaded keys, %d routed ops, update-heavy; \
+     %d core(s) recommended by the runtime)\n"
+    preload_keys total_ops
+    (Domain.recommended_domain_count ());
+  let build nshards =
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 23) ~nshards
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:preload_keys;
+    Shard.reset_stats t;
+    t
+  in
+  let run_pair ~nshards ~dist workload =
+    (* two identically constructed stores: an update-heavy stream
+       mutates the store, so sequential and parallel must not share one *)
+    let ops =
+      Shard_bench.gen_ops ~seed ~ops:total_ops ~universe:preload_keys ~dist
+        workload
+    in
+    let streams = Shard_bench.partition ~nshards ops in
+    let t_seq = build nshards and t_par = build nshards in
+    let rs = Shard_bench.run t_seq ~mode:Shard_bench.Sequential streams in
+    let rp = Shard_bench.run t_par ~mode:Shard_bench.Parallel streams in
+    let agree =
+      Shard_bench.results_agree rs rp
+      && Shard.merged_stats t_seq = Shard.merged_stats t_par
+    in
+    if not agree then
+      Printf.printf
+        "!! parallel/sequential DIVERGENCE at %d shards (%s) — results \
+         invalid\n"
+        nshards (Shard_bench.dist_name dist);
+    (rs, rp, agree)
+  in
+  print_row ~w:12
+    [ "domains"; "seq op/s"; "par op/s"; "speedup"; "identical" ];
+  List.iter
+    (fun nd ->
+      Gc.compact ();
+      let rs, rp, agree =
+        run_pair ~nshards:nd ~dist:Shard_bench.Uniform
+          Spp_pmemkv.Db_bench.Update_heavy
+      in
+      let speedup = rs.Shard_bench.r_wall /. Float.max rp.Shard_bench.r_wall 1e-9 in
+      print_row ~w:12
+        [ string_of_int nd;
+          fmt_ops rs.Shard_bench.r_throughput;
+          fmt_ops rp.Shard_bench.r_throughput;
+          fmt_slowdown speedup;
+          (if agree then "yes" else "NO") ];
+      let nm mode = Printf.sprintf "update_heavy/uniform/%d/%s" nd mode in
+      jemit ~experiment:"scaleout" ~name:(nm "sequential") ~metric:"ops_per_s"
+        ~unit_:"op/s" rs.Shard_bench.r_throughput;
+      jemit ~experiment:"scaleout" ~name:(nm "parallel") ~metric:"ops_per_s"
+        ~unit_:"op/s"
+        ~extra:
+          [ ("identical_to_sequential", Spp_benchlib.Json_out.J_bool agree) ]
+        rp.Shard_bench.r_throughput;
+      jemit ~experiment:"scaleout"
+        ~name:(Printf.sprintf "update_heavy/uniform/%d" nd) ~metric:"speedup"
+        speedup;
+      if nd = 4 then
+        Printf.printf "  4-domain speedup %.2fx %s\n" speedup
+          (if speedup >= 2.0 then "(>= 2x: OK)"
+           else "(below the 2x bar — needs >= 4 hardware cores)")
+    )
+    domain_counts;
+  (* Uniform vs Zipfian under full parallelism: skew concentrates the
+     hot keys on few shards, so the Zipfian ladder shows what a real
+     skewed tenant does to the router. *)
+  let nd = List.fold_left max 1 domain_counts in
+  Gc.compact ();
+  print_subtitle
+    (Printf.sprintf "key-distribution skew at %d domains (parallel)" nd);
+  print_row ~w:16 [ "distribution"; "par op/s"; "identical" ];
+  List.iter
+    (fun dist ->
+      let _, rp, agree =
+        run_pair ~nshards:nd ~dist Spp_pmemkv.Db_bench.Update_heavy
+      in
+      print_row ~w:16
+        [ Shard_bench.dist_name dist;
+          fmt_ops rp.Shard_bench.r_throughput;
+          (if agree then "yes" else "NO") ];
+      jemit ~experiment:"scaleout"
+        ~name:
+          (Printf.sprintf "update_heavy/%s/%d/parallel"
+             (Shard_bench.dist_name dist) nd)
+        ~metric:"ops_per_s" ~unit_:"op/s"
+        ~extra:
+          [ ("identical_to_sequential", Spp_benchlib.Json_out.J_bool agree) ]
+        rp.Shard_bench.r_throughput)
+    [ Shard_bench.Uniform; Shard_bench.Zipfian 0.99 ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -767,6 +894,7 @@ let experiments =
     ("ablation", ablation);
     ("hooks", hook_microbench);
     ("pipeline", pipeline);
+    ("scaleout", scaleout);
   ]
 
 let () =
@@ -775,6 +903,7 @@ let () =
       | [] -> []
       | "--quick" :: rest -> strip rest
       | "--json" :: _ :: rest -> strip rest
+      | "--domains" :: _ :: rest -> strip rest
       | a :: rest -> a :: strip rest
     in
     strip (List.tl (Array.to_list Sys.argv))

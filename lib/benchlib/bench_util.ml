@@ -1,9 +1,21 @@
 (* Timing, normalization and table formatting for the benchmark harness. *)
 
+(* Monotonic wall clock, in seconds. [Monotonic_clock.now] is bechamel's
+   noalloc CLOCK_MONOTONIC stub, so an NTP step or a wall-clock
+   adjustment mid-run cannot corrupt a measurement the way
+   [Unix.gettimeofday] deltas can. The stub reports 0 on platforms
+   without a monotonic source; only then do we fall back to the wall
+   clock. *)
+let mono_available = Monotonic_clock.now () > 0L
+
+let now_mono () =
+  if mono_available then Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+  else Unix.gettimeofday ()
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_mono () in
   let v = f () in
-  (Unix.gettimeofday () -. t0, v)
+  (now_mono () -. t0, v)
 
 (* Best-of-n timing: the minimum is the least noisy estimator for
    throughput-style measurements on a shared machine. *)

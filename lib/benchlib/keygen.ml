@@ -1,0 +1,74 @@
+(* Deterministic key-index generators for benchmark workloads.
+
+   [uniform] draws equiprobably over [0, universe); [zipfian] is the
+   YCSB-style bounded Zipfian sampler (Gray et al., "Quickly generating
+   billion-record synthetic databases"): rank 0 is the hottest key and
+   the item popularity follows 1/rank^theta. Both are driven by a
+   private [Random.State], so a generator is a pure function of
+   (seed, universe, theta) — the property the parallel-vs-sequential
+   differential harness relies on. *)
+
+type t = {
+  g_name : string;
+  g_universe : int;
+  next : unit -> int;   (* draws in [0, universe) *)
+}
+
+let name t = t.g_name
+let universe t = t.g_universe
+let next t = t.next ()
+
+(* Distinct mix-in words keep a uniform and a zipfian generator built
+   from the same seed from sharing a random stream. *)
+let uniform ~seed ~universe =
+  if universe <= 0 then invalid_arg "Keygen.uniform: empty universe";
+  let st = Random.State.make [| seed; 0x75AF; universe |] in
+  { g_name = "uniform"; g_universe = universe;
+    next = (fun () -> Random.State.int st universe) }
+
+(* zeta(n, theta) = sum_{i=1..n} 1/i^theta — computed once per
+   generator; universes are benchmark-sized (<= a few hundred thousand),
+   so the O(n) sum is negligible next to preloading that many keys. *)
+let zeta n theta =
+  let s = ref 0. in
+  for i = 1 to n do
+    s := !s +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let zipfian ?(theta = 0.99) ~seed ~universe () =
+  if universe <= 0 then invalid_arg "Keygen.zipfian: empty universe";
+  if theta <= 0. || theta >= 1. then
+    invalid_arg "Keygen.zipfian: theta must lie in (0, 1)";
+  let st = Random.State.make [| seed; 0x21F0; universe |] in
+  let n = float_of_int universe in
+  let zetan = zeta universe theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. Float.pow (2. /. n) (1. -. theta)) /. (1. -. (zeta 2 theta /. zetan))
+  in
+  let next () =
+    let u = Random.State.float st 1. in
+    let uz = u *. zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 theta then 1
+    else begin
+      let k = int_of_float (n *. Float.pow ((eta *. u) -. eta +. 1.) alpha) in
+      (* clamp the floating-point edge at u ~ 1.0 *)
+      if k >= universe then universe - 1 else if k < 0 then 0 else k
+    end
+  in
+  { g_name = Printf.sprintf "zipfian(%.2f)" theta; g_universe = universe; next }
+
+(* Empirical head mass: the fraction of [samples] draws that land on the
+   hottest [hot_fraction] of the universe (ranks [0, universe *
+   hot_fraction)). Used by the skew acceptance test and handy for
+   sanity-printing a distribution. *)
+let head_mass t ~samples ~hot_fraction =
+  if samples <= 0 then invalid_arg "Keygen.head_mass: no samples";
+  let hot = max 1 (int_of_float (float_of_int t.g_universe *. hot_fraction)) in
+  let in_head = ref 0 in
+  for _ = 1 to samples do
+    if t.next () < hot then incr in_head
+  done;
+  float_of_int !in_head /. float_of_int samples

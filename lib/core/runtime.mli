@@ -17,7 +17,18 @@ type counters = {
 }
 
 val counters : counters
+(** The {e main} domain's counter record (counters are domain-local —
+    see {!local_counters}). *)
+
+val local_counters : unit -> counters
+(** The calling domain's counter record. On the main domain this is
+    {!counters}; a domain spawned by the sharded serving path gets its
+    own record, so concurrent shards never contend on (or lose
+    increments to) one shared cache line. Read it before the domain
+    exits — the record dies with the domain. *)
+
 val reset_counters : unit -> unit
+(** Zero the calling domain's record. *)
 
 val spp_updatetag : Config.t -> int -> int -> int
 val spp_updatetag_direct : Config.t -> int -> int -> int

@@ -41,7 +41,7 @@ type result = {
 
 let run_shard t ~seed ~ops ~universe workload =
   let st = Random.State.make [| seed |] in
-  let start = Unix.gettimeofday () in
+  let start = Spp_benchlib.Bench_util.now_mono () in
   (match workload with
    | Seq_reads ->
      for i = 0 to ops - 1 do
@@ -60,7 +60,7 @@ let run_shard t ~seed ~ops ~universe workload =
          Cmap.put t ~key:k ~value:value_block
        else ignore (Cmap.get t k)
      done);
-  Unix.gettimeofday () -. start
+  Spp_benchlib.Bench_util.now_mono () -. start
 
 let run t ~threads ~ops_per_thread ~universe workload =
   (* measurements on a managed runtime: drain the GC before timing so a
@@ -72,8 +72,16 @@ let run t ~threads ~ops_per_thread ~universe workload =
       run_shard t ~seed:(1000 + shard) ~ops:ops_per_thread ~universe workload)
   in
   let elapsed = List.fold_left max 0. times in
-  let sorted = List.sort compare times in
-  let median_shard = List.nth sorted (threads / 2) in
+  let sorted = Array.of_list (List.sort compare times) in
+  let median_shard =
+    (* even shard counts: average the two middle elements rather than
+       taking the upper one *)
+    let n = Array.length sorted in
+    if n land 1 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+  in
   let total_ops = threads * ops_per_thread in
   { threads; total_ops; elapsed; median_shard;
-    throughput = float_of_int total_ops /. elapsed }
+    (* --quick runs can finish below the clock's resolution; clamp the
+       divisor so throughput never becomes inf/nan in JSON records *)
+    throughput = float_of_int total_ops /. Float.max elapsed 1e-9 }

@@ -1,0 +1,107 @@
+(* Domain-parallel sharded KV serving path.
+
+   The unit of parallelism is the pool, exactly PMDK's per-pool
+   concurrency model: one shard owns one full simulator stack — a
+   persistent Memdev, a Space, a Pool and a Cmap engine over it — so no
+   simulator state is ever mutated from two domains. A hash router
+   partitions the key space across shards; after the driving domains
+   join, per-shard [Space]/[Memdev] stats are snapshotted and merged
+   into one aggregate view.
+
+   No mutable state is shared across domains on the serving path: each
+   shard's Memdev/Space/Pool belong to one domain, and the SPP hook-call
+   counters are domain-local ([Spp_core.Runtime.local_counters]), so
+   concurrent shards neither lose increments nor ping-pong a shared
+   cache line on every pointer operation. *)
+
+open Spp_pmdk
+
+type shard = {
+  index : int;
+  access : Spp_access.t;
+  kv : Spp_pmemkv.Cmap.t;
+}
+
+type t = {
+  shards : shard array;
+  variant : Spp_access.variant;
+}
+
+let nshards t = Array.length t.shards
+let variant t = t.variant
+let shard t i = t.shards.(i)
+let shard_index (s : shard) = s.index
+let shard_access (s : shard) = s.access
+let shard_kv (s : shard) = s.kv
+
+(* Router hash: FNV-1a folded through a splitmix-style finalizer —
+   deliberately a different function from Cmap's plain FNV bucket hash,
+   so shard choice and bucket choice stay uncorrelated (a correlated
+   pair would leave most buckets of every shard permanently empty). *)
+let route_hash key =
+  let h = ref 0x5bf03635aaf24325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) key;
+  let h = !h land max_int in
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x4cf5ad432745937 land max_int in
+  let h = h lxor (h lsr 27) in
+  h land max_int
+
+let shard_of_key ~nshards key =
+  if nshards <= 0 then invalid_arg "Shard.shard_of_key: no shards";
+  route_hash key mod nshards
+
+let route t key = shard_of_key ~nshards:(Array.length t.shards) key
+
+let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ~nshards variant =
+  if nshards <= 0 then invalid_arg "Shard.create: nshards must be positive";
+  let shards =
+    Array.init nshards (fun index ->
+      let access =
+        Spp_access.create ~pool_size
+          ~name:
+            (Printf.sprintf "%s-shard%d" (Spp_access.variant_name variant)
+               index)
+          variant
+      in
+      { index; access; kv = Spp_pmemkv.Cmap.create ~nbuckets access })
+  in
+  { shards; variant }
+
+(* Routed single-key operations — the serving interface. *)
+
+let put t ~key ~value =
+  Spp_pmemkv.Cmap.put t.shards.(route t key).kv ~key ~value
+
+let get t key = Spp_pmemkv.Cmap.get t.shards.(route t key).kv key
+
+let remove t key = Spp_pmemkv.Cmap.remove t.shards.(route t key).kv key
+
+let count_all t =
+  Array.fold_left
+    (fun acc s -> acc + Spp_pmemkv.Cmap.count_all s.kv)
+    0 t.shards
+
+(* Merged accounting. Reading a shard's stats is only race-free once the
+   domain driving it has joined; callers sequence that, we just sum. *)
+
+let merged_stats t =
+  Spp_sim.Space.merge_stats
+    (Array.to_list
+       (Array.map
+          (fun s -> Spp_sim.Space.snapshot_stats s.access.Spp_access.space)
+          t.shards))
+
+let merged_counters t =
+  Spp_sim.Memdev.merge_counters
+    (Array.to_list
+       (Array.map
+          (fun s -> Spp_sim.Memdev.counters (Pool.dev s.access.Spp_access.pool))
+          t.shards))
+
+let reset_stats t =
+  Array.iter
+    (fun s ->
+      Spp_sim.Space.reset_stats s.access.Spp_access.space;
+      Spp_sim.Memdev.reset_counters (Pool.dev s.access.Spp_access.pool))
+    t.shards

@@ -1,0 +1,55 @@
+(** Domain-parallel sharded KV serving path.
+
+    A shard owns one fully independent simulator stack (persistent
+    {!Spp_sim.Memdev} + {!Spp_sim.Space} + pool + cmap engine), so
+    driving different shards from different domains never mutates
+    shared simulator state — the pool is the unit of parallelism, as in
+    PMDK's per-pool concurrency model. A hash router partitions the key
+    space; merged stats views are summed from per-shard snapshots after
+    the driving domains join. *)
+
+type shard
+
+type t
+
+val create :
+  ?nbuckets:int -> ?pool_size:int -> nshards:int -> Spp_access.variant -> t
+(** [create ~nshards variant] builds [nshards] independent shards, each
+    with its own pool ([pool_size] bytes, default 8 MiB) and cmap engine
+    ([nbuckets] buckets per shard, default 1024). *)
+
+val nshards : t -> int
+val variant : t -> Spp_access.variant
+
+val shard : t -> int -> shard
+val shard_index : shard -> int
+val shard_access : shard -> Spp_access.t
+val shard_kv : shard -> Spp_pmemkv.Cmap.t
+
+(** {1 Routing} *)
+
+val route_hash : string -> int
+(** Stable non-negative key hash, decorrelated from cmap's bucket hash. *)
+
+val shard_of_key : nshards:int -> string -> int
+(** The unique shard index in [\[0, nshards)] serving this key; a pure
+    function of the key and the shard count. *)
+
+val route : t -> string -> int
+
+(** {1 Routed operations} *)
+
+val put : t -> key:string -> value:string -> unit
+val get : t -> string -> string option
+val remove : t -> string -> bool
+val count_all : t -> int
+
+(** {1 Merged accounting}
+
+    Only meaningful once the domains driving the shards have joined —
+    [Domain.join] is the synchronization point that makes per-shard
+    stats safe to read from the merging domain. *)
+
+val merged_stats : t -> Spp_sim.Space.stats
+val merged_counters : t -> Spp_sim.Memdev.counters
+val reset_stats : t -> unit

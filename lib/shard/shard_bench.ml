@@ -1,0 +1,155 @@
+(* True-parallel db_bench over the sharded router.
+
+   The operation stream is generated once on the main domain, routed
+   into per-shard streams, and then driven either sequentially (the
+   logical-shard model fig5 uses — the differential baseline) or with
+   one [Domain] per shard. Both modes execute the identical per-shard
+   streams against identically constructed stores, so the per-shard op
+   results — op/hit/put counts and an order-sensitive digest of every
+   get — must match bit for bit; only the wall clock may differ. *)
+
+open Spp_benchlib
+
+type dist =
+  | Uniform
+  | Zipfian of float   (* theta in (0, 1); YCSB default 0.99 *)
+
+let dist_name = function
+  | Uniform -> "uniform"
+  | Zipfian theta -> Printf.sprintf "zipfian%.2f" theta
+
+type op = {
+  o_key : string;
+  o_write : bool;
+}
+
+let write_pct (w : Spp_pmemkv.Db_bench.workload) =
+  match w with
+  | Spp_pmemkv.Db_bench.Update_heavy -> 50
+  | Spp_pmemkv.Db_bench.Read_heavy -> 5
+  | Spp_pmemkv.Db_bench.Random_reads | Spp_pmemkv.Db_bench.Seq_reads -> 0
+
+let gen_ops ~seed ~ops ~universe ~dist workload =
+  let pct = write_pct workload in
+  let gen =
+    match dist with
+    | Uniform -> Keygen.uniform ~seed ~universe
+    | Zipfian theta -> Keygen.zipfian ~theta ~seed ~universe ()
+  in
+  (* separate stream for the read/write coin so changing the key
+     distribution never changes the op mix *)
+  let coin = Random.State.make [| seed; 0x11C9 |] in
+  Array.init ops (fun i ->
+    let idx =
+      match workload with
+      | Spp_pmemkv.Db_bench.Seq_reads -> (seed + i) mod universe
+      | _ -> Keygen.next gen
+    in
+    { o_key = Spp_pmemkv.Db_bench.key_of_int idx;
+      o_write = pct > 0 && Random.State.int coin 100 < pct })
+
+(* Route a global stream into per-shard streams, preserving program
+   order within each shard. Partitioning depends only on the shard
+   count, so a sequential and a parallel store of equal [nshards] see
+   identical streams. *)
+let partition ~nshards ops =
+  let buckets = Array.make nshards [] in
+  Array.iter
+    (fun op ->
+      let s = Shard.shard_of_key ~nshards op.o_key in
+      buckets.(s) <- op :: buckets.(s))
+    ops;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let preload t ~keys =
+  for i = 0 to keys - 1 do
+    Shard.put t ~key:(Spp_pmemkv.Db_bench.key_of_int i)
+      ~value:Spp_pmemkv.Db_bench.value_block
+  done
+
+(* Per-shard execution result. [sr_digest] folds every get outcome in
+   op order, so two runs agree only if they saw the same hit/miss
+   sequence with the same value shapes. [sr_elapsed] is measurement,
+   not result — [signature] deliberately excludes it. *)
+type shard_result = {
+  sr_shard : int;
+  sr_ops : int;
+  sr_hits : int;
+  sr_puts : int;
+  sr_digest : int;
+  sr_elapsed : float;
+}
+
+let signature r = (r.sr_shard, r.sr_ops, r.sr_hits, r.sr_puts, r.sr_digest)
+
+let exec_shard (s : Shard.shard) ops =
+  let kv = Shard.shard_kv s in
+  let digest = ref 0x1505 in
+  let mix v = digest := (!digest * 0x01000193) lxor v in
+  let hits = ref 0 and puts = ref 0 in
+  let t0 = Bench_util.now_mono () in
+  Array.iter
+    (fun op ->
+      if op.o_write then begin
+        Spp_pmemkv.Cmap.put kv ~key:op.o_key
+          ~value:Spp_pmemkv.Db_bench.value_block;
+        incr puts;
+        mix 1
+      end
+      else
+        match Spp_pmemkv.Cmap.get kv op.o_key with
+        | Some v ->
+          incr hits;
+          mix (String.length v + Char.code v.[0])
+        | None -> mix 0x7F)
+    ops;
+  let elapsed = Bench_util.now_mono () -. t0 in
+  { sr_shard = Shard.shard_index s; sr_ops = Array.length ops;
+    sr_hits = !hits; sr_puts = !puts; sr_digest = !digest land max_int;
+    sr_elapsed = elapsed }
+
+type mode =
+  | Sequential   (* logical shards, one domain — the fig5 baseline *)
+  | Parallel     (* one Domain per shard *)
+
+let mode_name = function Sequential -> "sequential" | Parallel -> "parallel"
+
+type run_result = {
+  r_mode : mode;
+  r_shards : shard_result array;
+  r_wall : float;        (* whole-run wall clock, spawn to join *)
+  r_total_ops : int;
+  r_throughput : float;  (* total ops / wall *)
+}
+
+let run t ~mode per_shard_ops =
+  if Array.length per_shard_ops <> Shard.nshards t then
+    invalid_arg "Shard_bench.run: stream count <> shard count";
+  (* drain the GC before timing so a pending major collection from
+     preload does not land inside the measured window *)
+  Gc.full_major ();
+  let t0 = Bench_util.now_mono () in
+  let r_shards =
+    match mode with
+    | Sequential ->
+      Array.mapi (fun i ops -> exec_shard (Shard.shard t i) ops) per_shard_ops
+    | Parallel ->
+      let domains =
+        Array.mapi
+          (fun i ops ->
+            let s = Shard.shard t i in
+            Domain.spawn (fun () -> exec_shard s ops))
+          per_shard_ops
+      in
+      Array.map Domain.join domains
+  in
+  let r_wall = Bench_util.now_mono () -. t0 in
+  let r_total_ops = Array.fold_left (fun a r -> a + r.sr_ops) 0 r_shards in
+  { r_mode = mode; r_shards; r_wall; r_total_ops;
+    r_throughput = float_of_int r_total_ops /. Float.max r_wall 1e-9 }
+
+let results_agree a b =
+  Array.length a.r_shards = Array.length b.r_shards
+  && Array.for_all2
+       (fun x y -> signature x = signature y)
+       a.r_shards b.r_shards

@@ -84,6 +84,14 @@ let default_engine_ref = ref Line_indexed
 let set_default_engine e = default_engine_ref := e
 let default_engine () = !default_engine_ref
 
+(* Scoped selection: the default engine is process-wide state, and a test
+   or bench that sets it and raises would poison every later suite. The
+   combinator restores the previous default on any exit path. *)
+let with_default_engine e f =
+  let saved = !default_engine_ref in
+  default_engine_ref := e;
+  Fun.protect ~finally:(fun () -> default_engine_ref := saved) f
+
 let create ~name ~durable size =
   { name; size; view = Bytes.make size '\000'; durable;
     tracking = false; engine = !default_engine_ref; next_seq = 0;
@@ -483,6 +491,15 @@ let unflushed_pending t =
 type counters = { stores : int; flushes : int; fences : int }
 
 let counters t = { stores = t.n_stores; flushes = t.n_flushes; fences = t.n_fences }
+
+let merge_counters l =
+  List.fold_left
+    (fun acc c ->
+      { stores = acc.stores + c.stores;
+        flushes = acc.flushes + c.flushes;
+        fences = acc.fences + c.fences })
+    { stores = 0; flushes = 0; fences = 0 }
+    l
 
 let reset_counters t =
   t.n_stores <- 0; t.n_flushes <- 0; t.n_fences <- 0

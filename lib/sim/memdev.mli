@@ -33,6 +33,12 @@ val set_default_engine : tracking_engine -> unit
 
 val default_engine : unit -> tracking_engine
 
+val with_default_engine : tracking_engine -> (unit -> 'a) -> 'a
+(** [with_default_engine e f] runs [f] with [e] as the process-wide
+    default engine and restores the previous default on any exit path
+    (normal return or exception) — the leak-proof form of
+    {!set_default_engine} for differential suites. *)
+
 val engine : t -> tracking_engine
 
 val set_engine : t -> tracking_engine -> unit
@@ -177,6 +183,9 @@ type counters = { stores : int; flushes : int; fences : int }
 
 val counters : t -> counters
 val reset_counters : t -> unit
+
+val merge_counters : counters list -> counters
+(** Fieldwise sum over a set of per-shard devices. *)
 
 val of_image : name:string -> Bytes.t -> t
 (** Device whose durable image and view both start as a copy of the given

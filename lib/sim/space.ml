@@ -57,6 +57,36 @@ let create () =
 
 let stats t = t.stats
 
+(* Stats snapshot/merge: the shard router gives every domain its own
+   Space, so per-shard stats records are mutated race-free and summed
+   only after the domains have joined. *)
+
+let zero_stats () =
+  { pm_loads = 0; pm_stores = 0; vol_loads = 0; vol_stores = 0;
+    pm_bytes_loaded = 0; pm_bytes_stored = 0; tlb_hits = 0; tlb_misses = 0 }
+
+let snapshot_stats t =
+  let s = t.stats in
+  { pm_loads = s.pm_loads; pm_stores = s.pm_stores;
+    vol_loads = s.vol_loads; vol_stores = s.vol_stores;
+    pm_bytes_loaded = s.pm_bytes_loaded; pm_bytes_stored = s.pm_bytes_stored;
+    tlb_hits = s.tlb_hits; tlb_misses = s.tlb_misses }
+
+let add_stats ~into s =
+  into.pm_loads <- into.pm_loads + s.pm_loads;
+  into.pm_stores <- into.pm_stores + s.pm_stores;
+  into.vol_loads <- into.vol_loads + s.vol_loads;
+  into.vol_stores <- into.vol_stores + s.vol_stores;
+  into.pm_bytes_loaded <- into.pm_bytes_loaded + s.pm_bytes_loaded;
+  into.pm_bytes_stored <- into.pm_bytes_stored + s.pm_bytes_stored;
+  into.tlb_hits <- into.tlb_hits + s.tlb_hits;
+  into.tlb_misses <- into.tlb_misses + s.tlb_misses
+
+let merge_stats l =
+  let m = zero_stats () in
+  List.iter (fun s -> add_stats ~into:m s) l;
+  m
+
 let reset_stats t =
   t.stats.pm_loads <- 0; t.stats.pm_stores <- 0;
   t.stats.vol_loads <- 0; t.stats.vol_stores <- 0;

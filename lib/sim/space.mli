@@ -113,4 +113,19 @@ type stats = {
 }
 
 val stats : t -> stats
+(** The live (mutable) stats record of this space. *)
+
+val snapshot_stats : t -> stats
+(** An immutable-by-convention copy of the current counters — safe to
+    keep across a [reset_stats] or to hand to {!merge_stats}. *)
+
+val zero_stats : unit -> stats
+
+val add_stats : into:stats -> stats -> unit
+(** Accumulate [s] into [into], fieldwise. *)
+
+val merge_stats : stats list -> stats
+(** Fieldwise sum — the aggregate view over a set of per-shard spaces
+    after their driving domains have joined. *)
+
 val reset_stats : t -> unit

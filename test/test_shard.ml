@@ -1,0 +1,189 @@
+(* Tests for the domain-parallel sharded serving path and the benchlib
+   generators feeding it: Zipfian determinism/range/skew, router
+   consistency, routed-operation correctness against an oracle, and the
+   parallel-vs-sequential differential on a fixed seed. *)
+
+open Spp_benchlib
+open Spp_shard
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Keygen ----------------------------------------------------------- *)
+
+let draws gen n = Array.init n (fun _ -> Keygen.next gen)
+
+let test_zipfian_deterministic () =
+  let mk () = Keygen.zipfian ~theta:0.99 ~seed:7 ~universe:1000 () in
+  check_bool "same seed, same stream" true
+    (draws (mk ()) 2000 = draws (mk ()) 2000);
+  let other = Keygen.zipfian ~theta:0.99 ~seed:8 ~universe:1000 () in
+  check_bool "different seed, different stream" false
+    (draws (mk ()) 2000 = draws other 2000)
+
+let test_zipfian_range () =
+  List.iter
+    (fun (theta, universe) ->
+      let gen = Keygen.zipfian ~theta ~seed:3 ~universe () in
+      Array.iter
+        (fun v ->
+          check_bool
+            (Printf.sprintf "0 <= %d < %d (theta %.2f)" v universe theta)
+            true
+            (v >= 0 && v < universe))
+        (draws gen 5000))
+    [ (0.5, 10); (0.99, 1); (0.99, 1000); (0.8, 65536) ]
+
+(* theta = 0.99 over 10k keys: the hottest 1% must carry at least 35% of
+   the draws (the analytic head mass is ~0.5; the bar leaves sampling
+   slack). Uniform over the same universe sits at ~1%, so the test also
+   separates the two generators. *)
+let required_head_mass = 0.35
+
+let test_zipfian_skew () =
+  let universe = 10_000 in
+  let zipf = Keygen.zipfian ~theta:0.99 ~seed:11 ~universe () in
+  let mass = Keygen.head_mass zipf ~samples:50_000 ~hot_fraction:0.01 in
+  check_bool
+    (Printf.sprintf "hottest 1%% carries %.3f >= %.2f" mass required_head_mass)
+    true
+    (mass >= required_head_mass);
+  let uni = Keygen.uniform ~seed:11 ~universe in
+  let umass = Keygen.head_mass uni ~samples:50_000 ~hot_fraction:0.01 in
+  check_bool (Printf.sprintf "uniform head mass %.4f < 0.05" umass) true
+    (umass < 0.05)
+
+let test_uniform_deterministic_range () =
+  let mk () = Keygen.uniform ~seed:5 ~universe:333 in
+  let a = draws (mk ()) 3000 in
+  check_bool "deterministic" true (a = draws (mk ()) 3000);
+  Array.iter (fun v -> check_bool "in range" true (v >= 0 && v < 333)) a
+
+(* --- Router ----------------------------------------------------------- *)
+
+let test_router_consistency () =
+  let nshards = 4 in
+  let seen = Array.make nshards 0 in
+  for i = 0 to 999 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    let s = Shard.shard_of_key ~nshards key in
+    check_bool "in [0, nshards)" true (s >= 0 && s < nshards);
+    (* stable across calls *)
+    check_int "stable" s (Shard.shard_of_key ~nshards key);
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      check_bool (Printf.sprintf "shard %d serves some keys" i) true (n > 0))
+    seen;
+  (* routing through a store instance agrees with the pure function *)
+  let t = Shard.create ~nbuckets:16 ~pool_size:(1 lsl 20) ~nshards
+      Spp_access.Pmdk in
+  for i = 0 to 99 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    check_int "instance route = pure route"
+      (Shard.shard_of_key ~nshards key)
+      (Shard.route t key)
+  done
+
+let test_routed_ops_oracle () =
+  let t = Shard.create ~nbuckets:32 ~pool_size:(1 lsl 21) ~nshards:3
+      Spp_access.Spp in
+  let model = Hashtbl.create 64 in
+  let st = Random.State.make [| 23 |] in
+  for _ = 1 to 1500 do
+    let key = Printf.sprintf "key-%d" (Random.State.int st 150) in
+    match Random.State.int st 3 with
+    | 0 ->
+      let value = Printf.sprintf "val-%d" (Random.State.int st 10_000) in
+      Shard.put t ~key ~value;
+      Hashtbl.replace model key value
+    | 1 ->
+      check_bool "remove agrees" (Hashtbl.mem model key) (Shard.remove t key);
+      Hashtbl.remove model key
+    | _ ->
+      Alcotest.(check (option string))
+        "get agrees" (Hashtbl.find_opt model key) (Shard.get t key)
+  done;
+  check_int "count" (Hashtbl.length model) (Shard.count_all t)
+
+(* --- Parallel-vs-sequential differential ------------------------------ *)
+
+let build_store nshards =
+  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 21) ~nshards
+      Spp_access.Spp in
+  Shard_bench.preload t ~keys:300;
+  Shard.reset_stats t;
+  t
+
+let test_parallel_sequential_differential () =
+  List.iter
+    (fun (dist, workload) ->
+      let nshards = 4 in
+      let ops =
+        Shard_bench.gen_ops ~seed:99 ~ops:2_000 ~universe:300 ~dist workload
+      in
+      let streams = Shard_bench.partition ~nshards ops in
+      check_int "partition preserves every op" 2_000
+        (Array.fold_left (fun a s -> a + Array.length s) 0 streams);
+      let t_seq = build_store nshards and t_par = build_store nshards in
+      let rs = Shard_bench.run t_seq ~mode:Shard_bench.Sequential streams in
+      let rp = Shard_bench.run t_par ~mode:Shard_bench.Parallel streams in
+      check_bool "per-shard results bit-identical" true
+        (Shard_bench.results_agree rs rp);
+      check_bool "merged Space stats identical" true
+        (Shard.merged_stats t_seq = Shard.merged_stats t_par);
+      check_bool "merged Memdev counters identical" true
+        (Shard.merged_counters t_seq = Shard.merged_counters t_par);
+      check_int "same surviving entries" (Shard.count_all t_seq)
+        (Shard.count_all t_par);
+      check_int "all ops executed" 2_000 rs.Shard_bench.r_total_ops)
+    [ (Shard_bench.Uniform, Spp_pmemkv.Db_bench.Update_heavy);
+      (Shard_bench.Zipfian 0.99, Spp_pmemkv.Db_bench.Read_heavy) ]
+
+(* A second run over the same parallel store must also be deterministic:
+   shard state after run 1 is a pure function of the stream. *)
+let test_parallel_rerun_deterministic () =
+  let nshards = 2 in
+  let ops =
+    Shard_bench.gen_ops ~seed:5 ~ops:1_000 ~universe:300
+      ~dist:Shard_bench.Uniform Spp_pmemkv.Db_bench.Update_heavy
+  in
+  let streams = Shard_bench.partition ~nshards ops in
+  let t1 = build_store nshards and t2 = build_store nshards in
+  let a1 = Shard_bench.run t1 ~mode:Shard_bench.Parallel streams in
+  let a2 = Shard_bench.run t2 ~mode:Shard_bench.Parallel streams in
+  check_bool "independent parallel runs agree" true
+    (Shard_bench.results_agree a1 a2);
+  let b1 = Shard_bench.run t1 ~mode:Shard_bench.Parallel streams in
+  let b2 = Shard_bench.run t2 ~mode:Shard_bench.Parallel streams in
+  check_bool "second round agrees too" true (Shard_bench.results_agree b1 b2)
+
+let () =
+  Alcotest.run "spp_shard"
+    [
+      ( "keygen",
+        [
+          Alcotest.test_case "zipfian deterministic per seed" `Quick
+            test_zipfian_deterministic;
+          Alcotest.test_case "zipfian stays in range" `Quick test_zipfian_range;
+          Alcotest.test_case "zipfian skew (theta 0.99)" `Quick
+            test_zipfian_skew;
+          Alcotest.test_case "uniform deterministic + range" `Quick
+            test_uniform_deterministic_range;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "consistent stable routing" `Quick
+            test_router_consistency;
+          Alcotest.test_case "routed ops vs oracle" `Quick
+            test_routed_ops_oracle;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel = sequential (fixed seed)" `Quick
+            test_parallel_sequential_differential;
+          Alcotest.test_case "parallel reruns deterministic" `Quick
+            test_parallel_rerun_deterministic;
+        ] );
+    ]

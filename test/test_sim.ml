@@ -544,6 +544,26 @@ let prop_crash_is_prefix_consistent =
       Memdev.crash d;
       Bytes.equal expected (Memdev.load_bytes d ~off:0 ~len:512))
 
+(* The scoped default-engine selector must restore the previous default
+   on every exit path — including an exception mid-scope — so an
+   engine-differential suite can never poison suites that run after it. *)
+let test_with_default_engine_scoped () =
+  let initial = Memdev.default_engine () in
+  let inside =
+    Memdev.with_default_engine Memdev.List_based Memdev.default_engine
+  in
+  check_bool "selected inside the scope" true (inside = Memdev.List_based);
+  check_bool "restored after return" true (Memdev.default_engine () = initial);
+  (try
+     Memdev.with_default_engine Memdev.List_based (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_bool "restored after exception" true
+    (Memdev.default_engine () = initial);
+  let d = Memdev.with_default_engine Memdev.List_based
+      (fun () -> Memdev.create_persistent ~name:"scoped" 64) in
+  check_bool "device created in scope uses the scoped engine" true
+    (Memdev.engine d = Memdev.List_based)
+
 let () =
   let qt t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "spp_sim"
@@ -578,6 +598,8 @@ let () =
           Alcotest.test_case "load_durable validates size and magic" `Quick
             test_load_durable_validation;
           Alcotest.test_case "device-level blit" `Quick test_memdev_blit;
+          Alcotest.test_case "with_default_engine scoped" `Quick
+            test_with_default_engine_scoped;
         ] );
       ( "space",
         [

@@ -70,13 +70,10 @@ let test_seed_reproducible () =
    same crash points, same verdicts. [w_make] builds fresh devices per
    replay, so the engine is selected process-wide. *)
 
-let with_engine e f =
-  let saved = Memdev.default_engine () in
-  Memdev.set_default_engine e;
-  Fun.protect ~finally:(fun () -> Memdev.set_default_engine saved) f
-
 let engine_differential ?faults ?budget ?seed w =
-  let run e = with_engine e (fun () -> Torture.run ?budget ?seed ?faults w) in
+  let run e =
+    Memdev.with_default_engine e (fun () -> Torture.run ?budget ?seed ?faults w)
+  in
   let a = run Memdev.Line_indexed in
   let b = run Memdev.List_based in
   check_bool ("identical reports: " ^ a.Torture.r_workload) true (a = b);
