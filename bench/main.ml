@@ -806,16 +806,22 @@ let scaleout () =
     let t_seq = build nshards and t_par = build nshards in
     let rs = Shard_bench.run t_seq ~mode:Shard_bench.Sequential streams in
     let rp = Shard_bench.run t_par ~mode:Shard_bench.Parallel streams in
-    let agree =
-      Shard_bench.results_agree rs rp
-      && Shard.merged_stats t_seq = Shard.merged_stats t_par
+    let diverged =
+      match Shard_bench.explain_divergence rs rp with
+      | Some _ as why -> why
+      | None ->
+        if Shard.merged_stats t_seq <> Shard.merged_stats t_par then
+          Some "op results agree but merged Space stats differ"
+        else None
     in
-    if not agree then
-      Printf.printf
-        "!! parallel/sequential DIVERGENCE at %d shards (%s) — results \
-         invalid\n"
-        nshards (Shard_bench.dist_name dist);
-    (rs, rp, agree)
+    (match diverged with
+     | None -> ()
+     | Some why ->
+       Printf.printf
+         "!! parallel/sequential DIVERGENCE at %d shards (%s) — results \
+          invalid\n   %s\n"
+         nshards (Shard_bench.dist_name dist) why);
+    (rs, rp, diverged = None)
   in
   print_row ~w:12
     [ "domains"; "seq op/s"; "par op/s"; "speedup"; "identical" ];
@@ -878,6 +884,220 @@ let scaleout () =
     [ Shard_bench.Uniform; Shard_bench.Zipfian 0.99 ]
 
 (* ------------------------------------------------------------------ *)
+(* Serve (ours): async batched pipeline — group commit + latency        *)
+(* ------------------------------------------------------------------ *)
+
+(* Three parts. (1) Fence amortization, deterministic and timing-free:
+   the sequential baseline chunked at each batch cap, fences/op from the
+   Memdev counters, under both tracking engines — the acceptance bar is
+   cap 32 <= 1/4 of cap 1. (2) Differential: the async pipeline in
+   deterministic mode (fixed batching, pre-enqueued) must be
+   bit-identical to that baseline before any live number is reported.
+   (3) Live sweep: batch cap x offered load (per-client submission
+   window) x shard count, with adaptive batching and per-request
+   latency percentiles from the shard histograms. *)
+
+let serve () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  print_title "Serve: asynchronous batched pipeline (group-committed redo)";
+  let shard_counts =
+    let all = [ 1; 2; 4 ] in
+    match domains_cap with
+    | None -> all
+    | Some cap -> List.filter (fun d -> d <= max 1 cap) all
+  in
+  let caps = [ 1; 8; 32 ] in
+  let windows = [ 1; 64 ] in
+  let universe = sc 2_000 in
+  let total_ops = sc 16_000 in
+  let value = String.make 256 'v' in
+  Printf.printf
+    "(cmap engine under SPP, %d-key universe, %d requests, 3:1 put:get, \
+     256 B values)\n"
+    universe total_ops;
+  let gen_requests ~seed n =
+    let st = Random.State.make [| seed; 0x5EFE |] in
+    Array.init n (fun _ ->
+      let key = Spp_pmemkv.Db_bench.key_of_int (Random.State.int st universe) in
+      if Random.State.int st 4 = 3 then Serve.Get key
+      else Serve.Put { key; value })
+  in
+  let partition ~nshards reqs =
+    let buckets = Array.make nshards [] in
+    Array.iter
+      (fun r ->
+        let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+        buckets.(s) <- r :: buckets.(s))
+      reqs;
+    Array.map (fun l -> Array.of_list (List.rev l)) buckets
+  in
+  let build ?(tracking = false) nshards =
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards
+        Spp_access.Spp in
+    if tracking then
+      for i = 0 to nshards - 1 do
+        Spp_sim.Memdev.set_tracking
+          (Pool.dev (Shard.shard_access (Shard.shard t i)).Spp_access.pool)
+          true
+      done;
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  (* -- part 1: fence amortization, both engines -- *)
+  print_subtitle "group-commit fence amortization (sequential path, 2 shards)";
+  print_row ~w:14
+    ("engine" :: List.map (fun c -> Printf.sprintf "cap %d" c) caps
+     @ [ "ratio 32/1" ]);
+  let streams2 = partition ~nshards:2 (gen_requests ~seed:7 total_ops) in
+  List.iter
+    (fun (ename, engine) ->
+      let fences_per_op cap =
+        Spp_sim.Memdev.with_default_engine engine (fun () ->
+          let t = build ~tracking:true 2 in
+          ignore (Serve.run_sequential t ~batch_cap:cap streams2);
+          let c = Shard.merged_counters t in
+          ( float_of_int c.Spp_sim.Memdev.fences /. float_of_int total_ops,
+            c ))
+      in
+      let per_cap = List.map (fun c -> (c, fences_per_op c)) caps in
+      let f1 = fst (List.assoc 1 per_cap)
+      and f32, c32 = List.assoc 32 per_cap in
+      let ratio = f32 /. Float.max f1 1e-9 in
+      print_row ~w:14
+        (ename
+         :: List.map (fun (_, (f, _)) -> Printf.sprintf "%.3f" f) per_cap
+         @ [ Printf.sprintf "%.3f %s" ratio
+               (if ratio <= 0.25 then "(<= 1/4: OK)" else "(above the bar!)") ]);
+      List.iter
+        (fun (cap, (f, (c : Spp_sim.Memdev.counters))) ->
+          jemit ~experiment:"serve"
+            ~name:(Printf.sprintf "amortization/%s/cap%d" ename cap)
+            ~metric:"fences_per_op"
+            ~extra:
+              [ ("fences_saved", Json_out.J_int c.Spp_sim.Memdev.fences_saved);
+                ("batched_ops", Json_out.J_int c.Spp_sim.Memdev.batched_ops) ]
+            f)
+        per_cap;
+      jemit ~experiment:"serve"
+        ~name:(Printf.sprintf "amortization/%s" ename)
+        ~metric:"fence_ratio_32_vs_1" ratio;
+      ignore c32)
+    [ ("line_indexed", Spp_sim.Memdev.Line_indexed);
+      ("list_based", Spp_sim.Memdev.List_based) ];
+  (* -- part 2: async pipeline == sequential baseline, bit for bit -- *)
+  let nd_max = List.fold_left max 1 shard_counts in
+  let diff_cap = 16 in
+  let streams = partition ~nshards:nd_max (gen_requests ~seed:7 total_ops) in
+  let t_seq = build nd_max and t_par = build nd_max in
+  let seq_replies = Serve.run_sequential t_seq ~batch_cap:diff_cap streams in
+  let sv = Serve.create ~batch_cap:diff_cap ~adaptive:false ~autostart:false
+      t_par in
+  let tickets = Array.map (Array.map (Serve.submit sv)) streams in
+  Serve.start sv;
+  let par_replies = Array.map (Array.map (Serve.await sv)) tickets in
+  Serve.stop sv;
+  let identical =
+    Array.for_all2
+      (fun a b -> Serve.digest_replies a = Serve.digest_replies b)
+      seq_replies par_replies
+    && Shard.merged_stats t_seq = Shard.merged_stats t_par
+    && Shard.merged_counters t_seq = Shard.merged_counters t_par
+  in
+  Printf.printf
+    "async pipeline vs sequential baseline (%d shards, cap %d): %s\n" nd_max
+    diff_cap
+    (if identical then "bit-identical (replies, stats, counters)"
+     else "!! DIVERGENCE — results invalid");
+  jemit ~experiment:"serve" ~name:"differential" ~metric:"identical"
+    (if identical then 1. else 0.);
+  (* -- part 3: live sweep -- *)
+  print_subtitle "live async sweep (adaptive batching, 2 client domains)";
+  if quick then
+    Printf.printf
+      "(note: latency percentiles are meaningless under --quick; use a full \
+       run)\n";
+  print_row ~w:11
+    [ "shards"; "cap"; "window"; "op/s"; "p50 us"; "p95 us"; "p99 us";
+      "max us"; "avg batch"; "fences/op" ];
+  let nclients = 2 in
+  List.iter
+    (fun nshards ->
+      List.iter
+        (fun cap ->
+          List.iter
+            (fun window ->
+              Gc.compact ();
+              let t = build ~tracking:true nshards in
+              let sv = Serve.create ~batch_cap:cap t in
+              let per_client =
+                Array.init nclients (fun c ->
+                  gen_requests ~seed:(100 + c) (total_ops / nclients))
+              in
+              let t0 = now_mono () in
+              let feeders =
+                Array.map
+                  (fun reqs ->
+                    Domain.spawn (fun () ->
+                      let q = Queue.create () in
+                      Array.iter
+                        (fun r ->
+                          if Queue.length q >= window then
+                            ignore (Serve.await sv (Queue.pop q));
+                          Queue.push (Serve.submit sv r) q)
+                        reqs;
+                      Queue.iter (fun tk -> ignore (Serve.await sv tk)) q))
+                  per_client
+              in
+              Array.iter Domain.join feeders;
+              let wall = now_mono () -. t0 in
+              Serve.stop sv;
+              let ops = Array.fold_left
+                  (fun a r -> a + Array.length r) 0 per_client in
+              let thr = float_of_int ops /. Float.max wall 1e-9 in
+              let h = Serve.merged_hist sv in
+              let us p = float_of_int (Histogram.percentile h p) /. 1e3 in
+              let max_us = float_of_int (Histogram.max_value h) /. 1e3 in
+              let batches = max 1 (Serve.total_batches sv) in
+              let avg_batch = float_of_int ops /. float_of_int batches in
+              let c = Shard.merged_counters t in
+              let fpo =
+                float_of_int c.Spp_sim.Memdev.fences /. float_of_int ops in
+              print_row ~w:11
+                [ string_of_int nshards; string_of_int cap;
+                  string_of_int window; fmt_ops thr;
+                  Printf.sprintf "%.1f" (us 50.);
+                  Printf.sprintf "%.1f" (us 95.);
+                  Printf.sprintf "%.1f" (us 99.);
+                  Printf.sprintf "%.1f" max_us;
+                  Printf.sprintf "%.1f" avg_batch;
+                  Printf.sprintf "%.3f" fpo ];
+              let nm what =
+                Printf.sprintf "live/shards%d/cap%d/win%d/%s" nshards cap
+                  window what
+              in
+              jemit ~experiment:"serve" ~name:(nm "throughput")
+                ~metric:"ops_per_s" ~unit_:"op/s"
+                ~extra:
+                  [ ("avg_batch", Json_out.J_float avg_batch);
+                    ("fences_per_op", Json_out.J_float fpo);
+                    ("fences_saved",
+                     Json_out.J_int c.Spp_sim.Memdev.fences_saved) ]
+                thr;
+              List.iter
+                (fun p ->
+                  jemit ~experiment:"serve"
+                    ~name:(nm (Printf.sprintf "p%g" p))
+                    ~metric:"latency_us" ~unit_:"us" (us p))
+                [ 50.; 95.; 99. ];
+              jemit ~experiment:"serve" ~name:(nm "max") ~metric:"latency_us"
+                ~unit_:"us" max_us)
+            windows)
+        caps)
+    shard_counts
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -895,6 +1115,7 @@ let experiments =
     ("hooks", hook_microbench);
     ("pipeline", pipeline);
     ("scaleout", scaleout);
+    ("serve", serve);
   ]
 
 let () =

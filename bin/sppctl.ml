@@ -7,7 +7,8 @@
      index     drive a persistent index and report timing + space
      check     run an index workload under the pmemcheck trace checker
      explore   pmreorder-style crash-state exploration of an index op
-     torture   systematic crash-point enumeration with media faults *)
+     torture   systematic crash-point enumeration with media faults
+     serve     drive the async batched serving pipeline (group commit) *)
 
 open Cmdliner
 
@@ -260,7 +261,10 @@ let explore_cmd =
 
 let torture_cmd =
   let workload_arg =
-    let doc = "Workload to torture: kvstore, pmemlog, counter, or all." in
+    let doc =
+      "Workload to torture: kvstore, pmemlog, counter, kvbatch \
+       (group-committed multi-put), or all."
+    in
     Arg.(value & opt string "all" & info [ "workload" ] ~docv:"NAME" ~doc)
   in
   let budget_arg =
@@ -304,7 +308,7 @@ let torture_cmd =
          | None ->
            prerr_endline
              ("unknown workload " ^ name
-              ^ " (expected kvstore | pmemlog | counter | all)");
+              ^ " (expected kvstore | pmemlog | counter | kvbatch | all)");
            exit 2)
     in
     let failed = ref false in
@@ -325,10 +329,103 @@ let torture_cmd =
     Term.(const run $ variant_arg $ workload_arg $ budget_arg $ seed_arg
           $ torn_arg $ bitflips_arg $ tops_arg)
 
+(* serve *)
+
+let serve_cmd =
+  let shards_arg =
+    let doc = "Number of shards (one worker domain each)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let batch_cap_arg =
+    let doc = "Maximum requests drained into one group-committed batch." in
+    Arg.(value & opt int 32 & info [ "batch-cap" ] ~docv:"N" ~doc)
+  in
+  let serve_ops_arg =
+    let doc = "Synthetic requests to submit (3:1 put:get over 512 keys)." in
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Submission window: outstanding requests kept in flight. Large \
+       windows build queue pressure and let adaptive batching amortize \
+       fences; window 1 degenerates to one op per batch."
+    in
+    Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let run variant nshards batch_cap ops window =
+    let open Spp_shard in
+    let open Spp_benchlib in
+    let nshards = max 1 nshards and window = max 1 window in
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards variant in
+    for i = 0 to nshards - 1 do
+      Spp_sim.Memdev.set_tracking
+        (Spp_pmdk.Pool.dev (Shard.shard_access (Shard.shard t i)).Spp_access.pool)
+        true
+    done;
+    Shard.reset_stats t;
+    let sv = Serve.create ~batch_cap t in
+    let st = Random.State.make [| 0x5E12 |] in
+    let value = String.make 256 'v' in
+    let q = Queue.create () in
+    let t0 = Bench_util.now_mono () in
+    for _ = 1 to ops do
+      if Queue.length q >= window then ignore (Serve.await sv (Queue.pop q));
+      let key = Printf.sprintf "key-%04d" (Random.State.int st 512) in
+      let req =
+        if Random.State.int st 4 = 3 then Serve.Get key
+        else Serve.Put { key; value }
+      in
+      Queue.push (Serve.submit sv req) q
+    done;
+    Queue.iter (fun tk -> ignore (Serve.await sv tk)) q;
+    let wall = Bench_util.now_mono () -. t0 in
+    Serve.stop sv;
+    Printf.printf
+      "%d requests on %d shard(s), batch cap %d, window %d (%s): %.3f s \
+       (%.0f op/s)\n"
+      ops nshards batch_cap window (Spp_access.variant_name variant) wall
+      (float_of_int ops /. Float.max wall 1e-9);
+    let batches = max 1 (Serve.total_batches sv) in
+    Printf.printf "batches: %d (avg %.1f ops/batch)\n" batches
+      (float_of_int ops /. float_of_int batches);
+    Array.iter
+      (fun s ->
+        Printf.printf
+          "  shard %d: %d ops in %d batches (largest %d), p50 %.1f us\n"
+          s.Serve.ss_shard s.Serve.ss_ops s.Serve.ss_batches
+          s.Serve.ss_max_batch
+          (float_of_int (Histogram.percentile s.Serve.ss_hist 50.) /. 1e3))
+      (Serve.stats sv);
+    let h = Serve.merged_hist sv in
+    Printf.printf
+      "latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, max %.1f us\n"
+      (float_of_int (Histogram.p50 h) /. 1e3)
+      (float_of_int (Histogram.p95 h) /. 1e3)
+      (float_of_int (Histogram.p99 h) /. 1e3)
+      (float_of_int (Histogram.max_value h) /. 1e3);
+    let c = Shard.merged_counters t in
+    Printf.printf
+      "merged counters: %d stores, %d flushes, %d fences (%.3f fences/op), \
+       %d batched ops, %d fences saved by group commit\n"
+      c.Spp_sim.Memdev.stores c.Spp_sim.Memdev.flushes c.Spp_sim.Memdev.fences
+      (float_of_int c.Spp_sim.Memdev.fences /. float_of_int ops)
+      c.Spp_sim.Memdev.batched_ops c.Spp_sim.Memdev.fences_saved
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive the asynchronous batched serving pipeline: per-shard \
+          submission queues drained in adaptive batches, each batch \
+          group-committed through one coalesced redo flush and fence \
+          schedule")
+    Term.(const run $ variant_arg $ shards_arg $ batch_cap_arg
+          $ serve_ops_arg $ window_arg)
+
 let () =
   let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc)
           [ info_cmd; decode_cmd; attack_cmd; index_cmd; check_cmd;
-            explore_cmd; pool_demo_cmd; pool_open_cmd; torture_cmd ]))
+            explore_cmd; pool_demo_cmd; pool_open_cmd; torture_cmd;
+            serve_cmd ]))

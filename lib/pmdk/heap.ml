@@ -92,6 +92,72 @@ let alloc (t : Rep.t) ?(zero = false) ~size ~dest () =
   end;
   publish_alloc t p ~size ~dest
 
+(* ------------------------------------------------------------------ *)
+(* Group-commit variants: allocator staging inside a Redo.batch         *)
+(* ------------------------------------------------------------------ *)
+
+(* Same transitions as [stage_alloc]/[free_entries], but all allocator
+   metadata is read through the batch overlay (so an op sees the bumps,
+   pops and pushes of earlier ops in the batch) and the update entries
+   are staged into the open batch op instead of forming a private redo
+   run.
+
+   Two deviations from the synchronous paths, both forced by deferred
+   application. First, a block freed earlier in the batch still carries
+   its durable pre-state — the free only lands at commit — so it must
+   not be handed out again: such blocks are pinned, and the freelist
+   walk pops the first unpinned block (unlinking from the middle is
+   fine: the predecessor's link is just another staged word). Second,
+   the virgin-carve header write is a plain store + flush with no fence;
+   the commit's first persist supplies the drain, and until the staged
+   bump advance commits the block is unreachable anyway. *)
+
+let alloc_batched (t : Rep.t) (b : Redo.batch) ~size =
+  if size <= 0 then invalid_arg "Pmdk alloc: non-positive size";
+  check_spp_size t size;
+  let ci = Rep.class_of_size size in
+  let stage off v = Redo.batch_stage b ~off ~v in
+  let rec pop prev_off cand =
+    if cand = 0 then None
+    else if Redo.batch_pinned b cand then
+      pop (link_off ~data_off:cand) (Redo.batch_load b (link_off ~data_off:cand))
+    else Some (prev_off, cand)
+  in
+  let data_off =
+    match pop (Rep.freelist_off ci) (Redo.batch_load b (Rep.freelist_off ci)) with
+    | Some (prev_off, head) ->
+      stage prev_off (Redo.batch_load b (link_off ~data_off:head));
+      stage (Rep.header_off ~data_off:head) size;
+      stage (Rep.header_off ~data_off:head + 8) (publish_state ci);
+      head
+    | None ->
+      let bump = Redo.batch_load b Rep.off_heap_bump in
+      let data_off = bump + Rep.block_header_size in
+      let new_bump = data_off + Rep.class_size ci in
+      if new_bump > t.Rep.psize then raise Out_of_pm;
+      let hoff = Rep.header_off ~data_off in
+      Rep.store t hoff size;
+      Rep.store t (hoff + 8)
+        (Rep.st_allocated lor (ci lsl Rep.st_class_shift));
+      Spp_sim.Space.flush t.Rep.space (Rep.a t hoff) Rep.block_header_size;
+      stage Rep.off_heap_bump new_bump;
+      stage (hoff + 8) (publish_state ci);
+      data_off
+  in
+  { Oid.uuid = t.Rep.uuid; off = data_off; size }
+
+let free_batched (_ : Rep.t) (b : Redo.batch) ~data_off =
+  let st = Redo.batch_load b (Rep.header_off ~data_off + 8) in
+  if not (Rep.state_is_allocated st && Rep.state_is_published st) then
+    invalid_arg "Pmdk free: block is not allocated (double free?)";
+  let ci = Rep.state_class st in
+  let head = Redo.batch_load b (Rep.freelist_off ci) in
+  Redo.batch_pin b data_off;
+  Redo.batch_stage b ~off:(link_off ~data_off) ~v:head;
+  Redo.batch_stage b ~off:(Rep.freelist_off ci) ~v:data_off;
+  Redo.batch_stage b ~off:(Rep.header_off ~data_off + 8)
+    ~v:(ci lsl Rep.st_class_shift)
+
 (* Free. Entirely inside the redo batch: link write, freelist push and
    header demotion are atomic together. Idempotent via the published
    flag, which is what recovery needs when it re-runs a finished free. *)

@@ -34,6 +34,18 @@ val free_idempotent : Rep.t -> data_off:int -> unit
 
 val realloc : Rep.t -> Oid.t -> new_size:int -> dest:dest -> Oid.t
 
+val alloc_batched : Rep.t -> Redo.batch -> size:int -> Oid.t
+(** Allocation staged into the open op of a group-commit batch: metadata
+    reads go through the batch overlay, update entries join the batch,
+    and nothing is published until the batch commits. Blocks freed
+    earlier in the batch are skipped (their durable pre-state is live
+    until the commit lands). *)
+
+val free_batched : Rep.t -> Redo.batch -> data_off:int -> unit
+(** Free staged into the open batch op; pins the block against reuse
+    until the next sub-commit. Raises [Invalid_argument] on a block the
+    batch does not see as allocated+published. *)
+
 type stats = {
   allocated_blocks : int;
   allocated_bytes : int;   (** header + class capacity of live blocks *)

@@ -320,6 +320,55 @@ let with_tx (t : Rep.t) f =
 
 let in_tx (t : Rep.t) = Tx.in_tx t
 
+(* Group commit. The batch takes the pool's single lane (tx_lock) for
+   its whole lifetime — transactions and other batches serialize behind
+   it, exactly as contending PMDK writers do — plus the allocator lock,
+   since batched ops read and stage heap metadata directly. If [f]
+   raises, everything staged since the last sub-commit is discarded: the
+   durable state then holds a prefix of whole operations, never a torn
+   one (the same guarantee a crash gets). *)
+
+let with_batch (t : Rep.t) f =
+  Mutex.lock t.Rep.tx_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.Rep.tx_lock)
+    (fun () ->
+      with_lock t (fun () ->
+        let b = Redo.batch_begin t in
+        let r = f b in
+        Redo.batch_finish b;
+        r))
+
+let batch_load_word (_ : Rep.t) b ~off = Redo.batch_load b off
+let batch_stage_word (_ : Rep.t) b ~off v = Redo.batch_stage b ~off ~v
+
+let batch_load_oid (t : Rep.t) b ~off : Oid.t =
+  match t.Rep.mode with
+  | Mode.Native ->
+    { Oid.uuid = Redo.batch_load b off;
+      off = Redo.batch_load b (off + 8); size = 0 }
+  | Mode.Spp _ ->
+    { Oid.size = Redo.batch_load b off;
+      uuid = Redo.batch_load b (off + 8);
+      off = Redo.batch_load b (off + 16) }
+
+let batch_stage_oid (t : Rep.t) b ~off (oid : Oid.t) =
+  match t.Rep.mode with
+  | Mode.Native ->
+    Redo.batch_stage b ~off ~v:oid.Oid.uuid;
+    Redo.batch_stage b ~off:(off + 8) ~v:oid.Oid.off
+  | Mode.Spp _ ->
+    (* size strictly before off in application order (paper §IV-F) *)
+    Redo.batch_stage b ~off ~v:oid.Oid.size;
+    Redo.batch_stage b ~off:(off + 8) ~v:oid.Oid.uuid;
+    Redo.batch_stage b ~off:(off + 16) ~v:oid.Oid.off
+
+let batch_alloc (t : Rep.t) b ~size = Heap.alloc_batched t b ~size
+
+let batch_free (t : Rep.t) b (oid : Oid.t) =
+  check_owner t oid;
+  Heap.free_batched t b ~data_off:oid.Oid.off
+
 (* Oid slots in PM (pool offsets). *)
 
 let load_oid (t : Rep.t) ~off = Rep.load_oid t off

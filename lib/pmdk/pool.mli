@@ -124,6 +124,36 @@ val with_tx : t -> (unit -> 'a) -> 'a
 
 val in_tx : t -> bool
 
+(** {1 Group commit}
+
+    [with_batch] runs [f] with an open {!Redo.batch}: consecutive
+    operations stage their redo entries into one shared log and the
+    fence schedule is paid once per (sub-)batch instead of once per op.
+    The pool's transaction lane and allocator lock are held for the
+    batch's whole lifetime, so batches serialize against transactions
+    and atomic-API calls; concurrent readers of the *data structures
+    built on top* must be excluded by the caller (the serve queue gives
+    each shard's batch exclusive ownership). On a crash — or an
+    exception from [f] — the durable state lands on a prefix of whole
+    staged operations, never inside one. *)
+
+val with_batch : t -> (Redo.batch -> 'a) -> 'a
+
+val batch_load_word : t -> Redo.batch -> off:int -> int
+val batch_stage_word : t -> Redo.batch -> off:int -> int -> unit
+
+val batch_load_oid : t -> Redo.batch -> off:int -> Oid.t
+val batch_stage_oid : t -> Redo.batch -> off:int -> Oid.t -> unit
+(** Mode-aware oid slot IO through the batch overlay; in SPP mode the
+    staged size entry precedes the offset entry, preserving the paper's
+    §IV-F ordering through group commit. *)
+
+val batch_alloc : t -> Redo.batch -> size:int -> Oid.t
+(** Allocation staged into the open batch op ({!Heap.alloc_batched});
+    the caller publishes the oid by staging it into a reachable slot. *)
+
+val batch_free : t -> Redo.batch -> Oid.t -> unit
+
 (** {1 PMEMoid slots and raw words (pool offsets)} *)
 
 val load_oid : t -> off:int -> Oid.t

@@ -37,6 +37,137 @@ let run (t : Rep.t) entries =
   apply_entries t entries;
   Rep.store_p t Rep.off_redo_valid 0
 
+(* ------------------------------------------------------------------ *)
+(* Group commit: one redo batch carrying several consecutive operations *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-op cost of PM safety metadata is dominated by ordering
+   traffic (paper §VI, Fig. 10): every [run] above pays a persist fence,
+   a valid-flag fence, an apply drain and a flag-clear fence. A batch
+   accumulates the entries of N consecutive operations and pays that
+   fence schedule once for all of them.
+
+   Correctness hinges on the same argument as [run]: no target word is
+   stored until the complete log is durable. During staging, every
+   not-yet-applied word lives only in a volatile overlay; reads from
+   batch code go through [batch_load] so later ops observe earlier ops'
+   effects, while the media keeps the pre-batch state. A commit then
+   replays the standard protocol — entries, count, persist, valid,
+   apply, clear — so an interrupted commit is recovered by the unchanged
+   [recover] below, and a crash anywhere earlier loses the whole
+   sub-batch. Entries are only ever added at operation boundaries, so
+   what recovery replays is always a prefix of *whole* operations.
+
+   When staging would overflow the fixed log area, the accumulated
+   complete operations are committed first (a sub-batch) and staging
+   continues; each sub-batch is still all-or-nothing.
+
+   [batch_pin]/[batch_pinned] are a small escape hatch for the heap: a
+   block freed inside the batch keeps its durable pre-state live until
+   the free commits, so the allocator must not hand it out again within
+   the same sub-batch. Pins are dropped once a commit makes the frees
+   durable. *)
+
+type batch = {
+  b_rep : Rep.t;
+  b_overlay : (int, int) Hashtbl.t;       (* pool off -> staged word *)
+  b_pins_acc : (int, unit) Hashtbl.t;     (* frees staged, not yet committed *)
+  b_pins_op : (int, unit) Hashtbl.t;      (* frees staged by the open op *)
+  mutable b_acc : (int * int) list;       (* complete-op entries, newest first *)
+  mutable b_acc_n : int;
+  mutable b_acc_ops : int;                (* entry-bearing ops accumulated *)
+  mutable b_op : (int * int) list;        (* open op's entries, newest first *)
+  mutable b_op_n : int;
+  mutable b_in_op : bool;
+  mutable b_finished : bool;
+  mutable b_commits : int;                (* sub-batch commits issued *)
+  mutable b_ops : int;                    (* entry-bearing ops, batch total *)
+}
+
+let batch_begin (t : Rep.t) =
+  { b_rep = t;
+    b_overlay = Hashtbl.create 64;
+    b_pins_acc = Hashtbl.create 8;
+    b_pins_op = Hashtbl.create 8;
+    b_acc = []; b_acc_n = 0; b_acc_ops = 0;
+    b_op = []; b_op_n = 0; b_in_op = false;
+    b_finished = false; b_commits = 0; b_ops = 0 }
+
+let check_open b =
+  if b.b_finished then invalid_arg "Redo.batch: already finished"
+
+let batch_load b off =
+  match Hashtbl.find_opt b.b_overlay off with
+  | Some v -> v
+  | None -> Rep.load b.b_rep off
+
+let batch_stage b ~off ~v =
+  check_open b;
+  if not b.b_in_op then
+    invalid_arg "Redo.batch_stage: entries must belong to an operation";
+  b.b_op <- (off, v) :: b.b_op;
+  b.b_op_n <- b.b_op_n + 1;
+  Hashtbl.replace b.b_overlay off v
+
+let batch_pin b off =
+  check_open b;
+  Hashtbl.replace b.b_pins_op off ()
+
+let batch_pinned b off =
+  Hashtbl.mem b.b_pins_op off || Hashtbl.mem b.b_pins_acc off
+
+(* Commit the accumulated complete operations as one redo log. The
+   fences actually spent are measured around the commit; a
+   one-commit-per-op execution would have paid them once per op, which
+   is what [Memdev.note_batch] credits as saved. *)
+let commit_acc b =
+  if b.b_acc_n > 0 then begin
+    let t = b.b_rep in
+    let k = b.b_acc_ops in
+    let f0 = (Memdev.counters t.Rep.dev).Memdev.fences in
+    run t (List.rev b.b_acc);
+    let spent = (Memdev.counters t.Rep.dev).Memdev.fences - f0 in
+    Memdev.note_batch t.Rep.dev ~ops:k ~fences_saved:((k - 1) * spent);
+    b.b_commits <- b.b_commits + 1;
+    b.b_acc <- [];
+    b.b_acc_n <- 0;
+    b.b_acc_ops <- 0;
+    (* the staged frees are durable now; their blocks are reusable *)
+    Hashtbl.reset b.b_pins_acc
+  end
+
+let batch_op_begin b =
+  check_open b;
+  if b.b_in_op then invalid_arg "Redo.batch_op_begin: operation already open";
+  b.b_in_op <- true
+
+let batch_op_end b =
+  check_open b;
+  if not b.b_in_op then invalid_arg "Redo.batch_op_end: no open operation";
+  b.b_in_op <- false;
+  if b.b_op_n > Rep.redo_capacity then raise Redo_full;
+  if b.b_acc_n + b.b_op_n > Rep.redo_capacity then commit_acc b;
+  if b.b_op_n > 0 then begin
+    b.b_acc <- b.b_op @ b.b_acc;
+    b.b_acc_n <- b.b_acc_n + b.b_op_n;
+    b.b_acc_ops <- b.b_acc_ops + 1;
+    b.b_ops <- b.b_ops + 1;
+    b.b_op <- [];
+    b.b_op_n <- 0;
+    Hashtbl.iter (fun off () -> Hashtbl.replace b.b_pins_acc off ())
+      b.b_pins_op;
+    Hashtbl.reset b.b_pins_op
+  end
+
+let batch_finish b =
+  check_open b;
+  if b.b_in_op then invalid_arg "Redo.batch_finish: operation still open";
+  commit_acc b;
+  b.b_finished <- true
+
+let batch_commits b = b.b_commits
+let batch_ops b = b.b_ops
+
 let recover (t : Rep.t) =
   if Rep.load t Rep.off_redo_valid = 1 then begin
     let n = Rep.load t Rep.off_redo_n in

@@ -13,3 +13,52 @@ val run : Rep.t -> (int * int) list -> unit
 
 val recover : Rep.t -> bool
 (** Returns [true] when a valid log was replayed. *)
+
+(** {1 Group commit}
+
+    A batch accumulates the redo entries of several consecutive
+    operations and commits them through one log write — one fence
+    schedule for N ops instead of N. Staged words live in a volatile
+    overlay until the commit applies them; reads from batch code must go
+    through {!batch_load} to observe earlier staged ops. Entries join
+    the log only at {!batch_op_end}, so a crash-time replay always lands
+    on a prefix of whole operations, never inside one. When staging
+    would overflow the log area the accumulated complete ops are
+    committed early (a sub-batch, still all-or-nothing); {!batch_finish}
+    commits whatever remains. Fence savings are credited to the pool's
+    device via {!Memdev.note_batch}. *)
+
+type batch
+
+val batch_begin : Rep.t -> batch
+(** Callers serialize batches against transactions themselves — see
+    [Pool.with_batch]. *)
+
+val batch_load : batch -> int -> int
+(** Word at a pool offset as the batch sees it: the staged overlay
+    value when present, the media view otherwise. *)
+
+val batch_stage : batch -> off:int -> v:int -> unit
+(** Stage a word write into the open operation. Raises
+    [Invalid_argument] outside {!batch_op_begin}/{!batch_op_end}. *)
+
+val batch_op_begin : batch -> unit
+val batch_op_end : batch -> unit
+(** Operation boundary markers: entries staged between them form one
+    atomic unit within the batch. [batch_op_end] may sub-commit the
+    previously accumulated ops to make room. *)
+
+val batch_pin : batch -> int -> unit
+(** Mark a pool offset (a freed block) as not reusable until the next
+    commit makes its free durable. *)
+
+val batch_pinned : batch -> int -> bool
+
+val batch_finish : batch -> unit
+(** Commit the remaining accumulated ops and seal the batch. *)
+
+val batch_commits : batch -> int
+(** Sub-batch commits issued so far. *)
+
+val batch_ops : batch -> int
+(** Entry-bearing operations accumulated over the batch's lifetime. *)

@@ -28,5 +28,30 @@ val get : t -> string -> string option
 val remove : t -> string -> bool
 val count_all : t -> int
 
+(** {1 Group-committed batches}
+
+    [run_batch] executes the array inside one [Pool.with_batch]: the
+    redo entries of consecutive ops share a staged log and one fence
+    schedule per sub-batch, while each op stays individually atomic on
+    crash (recovery lands on a prefix of whole ops — see
+    [Redo.batch]). Later ops in the batch observe earlier ones. The
+    caller must hold the map exclusively for the call — the per-shard
+    serve queue does — since stripe locks cannot cover the deferred
+    commit. Batched puts always replace entries out of place. *)
+
+type batch_op =
+  | B_put of { key : string; value : string }
+  | B_get of string
+  | B_remove of string
+
+type batch_reply =
+  | R_put
+  | R_get of string option
+  | R_removed of bool
+
+val batch_key_of : batch_op -> string
+
+val run_batch : t -> batch_op array -> batch_reply array
+
 val hash : string -> int
 (** FNV-1a, folded to the 63-bit word. *)

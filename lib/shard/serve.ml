@@ -1,0 +1,270 @@
+(* Asynchronous batched serving pipeline over the shard stack.
+
+   One MPSC mailbox per shard (Mutex/Condition, any submitter, one
+   consumer); one worker Domain per shard drains it and executes the
+   drained requests through [Cmap.run_batch], so the whole drain rides a
+   single group-committed redo log (see [Redo.batch]) — the fence
+   schedule that a synchronous routed put pays per operation is paid
+   once per batch. Each request carries a promise-like ticket: the
+   worker fulfils it after the batch's commit returns, which is exactly
+   when the op is durable, and records the submission-to-fulfilment
+   latency into a shard-local histogram.
+
+   Batching is adaptive: the drain size doubles while a backlog remains
+   after a drain (queue pressure) up to [batch_cap], and halves when a
+   drain empties the queue (idle). With [adaptive = false] every drain
+   takes exactly [batch_cap] requests when available — combined with
+   pre-enqueueing ([autostart:false] then [start]) this makes batch
+   boundaries, and therefore every Space/Memdev counter, a pure
+   function of the submitted streams: the property the
+   parallel-vs-sequential differential asserts.
+
+   Crash atomicity is per op, not per batch: recovery lands on a prefix
+   of whole operations of the interrupted batch (torture workload
+   "kvbatch" enumerates exactly this). Acks are stronger — a fulfilled
+   ticket means the op's sub-batch committed. *)
+
+type request =
+  | Put of { key : string; value : string }
+  | Get of string
+  | Remove of string
+
+type reply =
+  | Done                     (* put committed *)
+  | Value of string option   (* get result *)
+  | Removed of bool
+
+let request_key = function
+  | Put { key; _ } | Get key | Remove key -> key
+
+type ticket = {
+  tk_shard : int;
+  tk_submitted : float;              (* monotonic seconds *)
+  mutable tk_reply : reply option;   (* written under the mailbox lock *)
+}
+
+type mailbox = {
+  mu : Mutex.t;
+  work : Condition.t;   (* signaled on submit and stop; worker waits *)
+  done_ : Condition.t;  (* broadcast on fulfilment; awaiters wait *)
+  q : (request * ticket) Queue.t;
+  mutable stop : bool;
+}
+
+type shard_stats = {
+  ss_shard : int;
+  ss_ops : int;
+  ss_batches : int;
+  ss_max_batch : int;
+  ss_hist : Spp_benchlib.Histogram.t;   (* latency, ns *)
+}
+
+type t = {
+  store : Shard.t;
+  boxes : mailbox array;
+  batch_cap : int;
+  adaptive : bool;
+  mutable workers : unit Domain.t array;
+  mutable results : shard_stats array;   (* valid after [stop] *)
+  mutable stopped : bool;
+}
+
+let to_cmap_op = function
+  | Put { key; value } -> Spp_pmemkv.Cmap.B_put { key; value }
+  | Get key -> Spp_pmemkv.Cmap.B_get key
+  | Remove key -> Spp_pmemkv.Cmap.B_remove key
+
+let of_cmap_reply = function
+  | Spp_pmemkv.Cmap.R_put -> Done
+  | Spp_pmemkv.Cmap.R_get v -> Value v
+  | Spp_pmemkv.Cmap.R_removed b -> Removed b
+
+let worker t i =
+  let box = t.boxes.(i) in
+  let kv = Shard.shard_kv (Shard.shard t.store i) in
+  let hist = Spp_benchlib.Histogram.create () in
+  let ops = ref 0 and batches = ref 0 and max_batch = ref 0 in
+  let cur = ref 1 in
+  let running = ref true in
+  while !running do
+    Mutex.lock box.mu;
+    while Queue.is_empty box.q && not box.stop do
+      Condition.wait box.work box.mu
+    done;
+    if Queue.is_empty box.q then begin
+      (* stop requested and the queue is drained *)
+      Mutex.unlock box.mu;
+      running := false
+    end
+    else begin
+      let want = if t.adaptive then !cur else t.batch_cap in
+      let n = min (Queue.length box.q) (min want t.batch_cap) in
+      let items = Array.init n (fun _ -> Queue.pop box.q) in
+      let backlog = Queue.length box.q in
+      Mutex.unlock box.mu;
+      if t.adaptive then
+        cur := if backlog > 0 then min (max (2 * !cur) 2) t.batch_cap
+               else max 1 (!cur / 2);
+      let replies =
+        Spp_pmemkv.Cmap.run_batch kv
+          (Array.map (fun (r, _) -> to_cmap_op r) items)
+      in
+      (* the batch is committed: fulfil the promises and record
+         submission-to-fulfilment latency *)
+      let now = Spp_benchlib.Bench_util.now_mono () in
+      Mutex.lock box.mu;
+      Array.iteri
+        (fun j (_, tk) ->
+          tk.tk_reply <- Some (of_cmap_reply replies.(j));
+          Spp_benchlib.Histogram.add hist
+            (int_of_float ((now -. tk.tk_submitted) *. 1e9)))
+        items;
+      Condition.broadcast box.done_;
+      Mutex.unlock box.mu;
+      ops := !ops + n;
+      incr batches;
+      if n > !max_batch then max_batch := n
+    end
+  done;
+  t.results.(i) <-
+    { ss_shard = i; ss_ops = !ops; ss_batches = !batches;
+      ss_max_batch = !max_batch; ss_hist = hist }
+
+let mk_box () =
+  { mu = Mutex.create (); work = Condition.create ();
+    done_ = Condition.create (); q = Queue.create (); stop = false }
+
+let started t = Array.length t.workers > 0
+
+let start t =
+  if t.stopped then invalid_arg "Serve.start: pipeline already stopped";
+  if not (started t) then
+    t.workers <-
+      Array.init (Shard.nshards t.store) (fun i ->
+        Domain.spawn (fun () -> worker t i))
+
+let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true) store =
+  if batch_cap <= 0 then invalid_arg "Serve.create: batch_cap must be positive";
+  let n = Shard.nshards store in
+  let t =
+    { store; boxes = Array.init n (fun _ -> mk_box ());
+      batch_cap; adaptive; workers = [||];
+      results =
+        Array.init n (fun i ->
+          { ss_shard = i; ss_ops = 0; ss_batches = 0; ss_max_batch = 0;
+            ss_hist = Spp_benchlib.Histogram.create () });
+      stopped = false }
+  in
+  if autostart then start t;
+  t
+
+let shard_of t req = Shard.route t.store (request_key req)
+
+let submit t req =
+  let i = shard_of t req in
+  let box = t.boxes.(i) in
+  let tk =
+    { tk_shard = i; tk_submitted = Spp_benchlib.Bench_util.now_mono ();
+      tk_reply = None }
+  in
+  Mutex.lock box.mu;
+  if box.stop then begin
+    Mutex.unlock box.mu;
+    invalid_arg "Serve.submit: pipeline is stopping"
+  end;
+  Queue.push (req, tk) box.q;
+  Condition.signal box.work;
+  Mutex.unlock box.mu;
+  tk
+
+let await t tk =
+  if not (started t) then
+    invalid_arg "Serve.await: pipeline not started (autostart:false)";
+  let box = t.boxes.(tk.tk_shard) in
+  Mutex.lock box.mu;
+  while tk.tk_reply = None do
+    Condition.wait box.done_ box.mu
+  done;
+  Mutex.unlock box.mu;
+  match tk.tk_reply with Some r -> r | None -> assert false
+
+let peek tk = tk.tk_reply
+
+(* Drain everything still queued, then join the workers. Safe to call
+   once; afterwards [stats]/[merged_*] read race-free. *)
+let stop t =
+  if not t.stopped then begin
+    if not (started t) then start t;
+    Array.iter
+      (fun box ->
+        Mutex.lock box.mu;
+        box.stop <- true;
+        Condition.broadcast box.work;
+        Mutex.unlock box.mu)
+      t.boxes;
+    Array.iter Domain.join t.workers;
+    t.stopped <- true
+  end
+
+let stats t =
+  if not t.stopped then invalid_arg "Serve.stats: stop the pipeline first";
+  Array.copy t.results
+
+let merged_hist t =
+  Array.fold_left
+    (fun acc s -> Spp_benchlib.Histogram.merge acc s.ss_hist)
+    (Spp_benchlib.Histogram.create ())
+    (stats t)
+
+let total_batches t =
+  Array.fold_left (fun a s -> a + s.ss_batches) 0 (stats t)
+
+let store t = t.store
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic baseline + reply digests for the differential          *)
+(* ------------------------------------------------------------------ *)
+
+(* The same per-shard request streams executed synchronously on the
+   calling domain, chunked at exactly [batch_cap], through the identical
+   group-commit path. Against a [create ~adaptive:false ~autostart:false]
+   pipeline that was fully pre-enqueued before [start], batch boundaries
+   match, so replies, Space stats and Memdev counters must all be
+   bit-identical. *)
+let run_sequential store ~batch_cap streams =
+  if Array.length streams <> Shard.nshards store then
+    invalid_arg "Serve.run_sequential: stream count <> shard count";
+  Array.mapi
+    (fun i reqs ->
+      let kv = Shard.shard_kv (Shard.shard store i) in
+      let n = Array.length reqs in
+      let out = Array.make n Done in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min batch_cap (n - !pos) in
+        let chunk =
+          Array.init len (fun j -> to_cmap_op reqs.(!pos + j))
+        in
+        let replies = Spp_pmemkv.Cmap.run_batch kv chunk in
+        Array.iteri (fun j r -> out.(!pos + j) <- of_cmap_reply r) replies;
+        pos := !pos + len
+      done;
+      out)
+    streams
+
+(* Order-sensitive digest of a reply stream, same spirit as
+   [Shard_bench.signature]: two executions agree only if every reply
+   matched in order and shape. *)
+let digest_replies replies =
+  let d = ref 0x1505 in
+  let mix v = d := (!d * 0x01000193) lxor v in
+  Array.iter
+    (fun r ->
+      match r with
+      | Done -> mix 1
+      | Value (Some v) -> mix (String.length v + Char.code v.[0])
+      | Value None -> mix 0x7F
+      | Removed true -> mix 3
+      | Removed false -> mix 0x3F)
+    replies;
+  !d land max_int

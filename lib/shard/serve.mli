@@ -1,0 +1,78 @@
+(** Asynchronous batched serving pipeline over the shard stack.
+
+    One MPSC submission queue (Mutex/Condition mailbox) per shard, one
+    worker Domain per shard. Workers drain the queue in adaptive batches
+    — the drain size grows under queue pressure up to [batch_cap] and
+    shrinks when a drain empties the queue — and execute each drain
+    through [Cmap.run_batch], so the drained ops share one
+    group-committed redo log and one fence schedule ([Redo.batch]).
+    Requests resolve through promise-like tickets fulfilled after the
+    batch commit returns; submission-to-fulfilment latency is recorded
+    per request in a shard-local {!Spp_benchlib.Histogram}.
+
+    Crash atomicity is per operation (recovery lands on a prefix of
+    whole ops of an interrupted batch); a fulfilled ticket additionally
+    means the op's sub-batch committed — acks are durable. *)
+
+type request =
+  | Put of { key : string; value : string }
+  | Get of string
+  | Remove of string
+
+type reply =
+  | Done
+  | Value of string option
+  | Removed of bool
+
+val request_key : request -> string
+
+type ticket
+
+type shard_stats = {
+  ss_shard : int;
+  ss_ops : int;
+  ss_batches : int;
+  ss_max_batch : int;
+  ss_hist : Spp_benchlib.Histogram.t;   (** latency, ns *)
+}
+
+type t
+
+val create : ?batch_cap:int -> ?adaptive:bool -> ?autostart:bool -> Shard.t -> t
+(** Defaults: [batch_cap = 32], [adaptive = true], [autostart = true].
+    With [adaptive:false] every drain takes exactly [batch_cap] requests
+    when available; with [autostart:false] submissions queue up until
+    {!start} — together they make batch boundaries (and therefore all
+    Space/Memdev accounting) a pure function of the submitted streams,
+    which is what the parallel-vs-sequential differential asserts. *)
+
+val start : t -> unit
+val started : t -> bool
+
+val submit : t -> request -> ticket
+(** Route by key to the owning shard's mailbox. Callable from any
+    domain. Raises once {!stop} has begun. *)
+
+val await : t -> ticket -> reply
+(** Block until the ticket's batch has committed. *)
+
+val peek : ticket -> reply option
+
+val stop : t -> unit
+(** Drain all queues, join the workers. Idempotent; required before
+    {!stats}. *)
+
+val stats : t -> shard_stats array
+val merged_hist : t -> Spp_benchlib.Histogram.t
+val total_batches : t -> int
+val store : t -> Shard.t
+
+val run_sequential :
+  Shard.t -> batch_cap:int -> request array array -> reply array array
+(** The deterministic baseline: per-shard streams executed on the
+    calling domain, chunked at exactly [batch_cap], through the same
+    group-commit path. *)
+
+val digest_replies : reply array -> int
+(** Order-sensitive digest; two executions agree only if every reply
+    matched in order and shape. *)

@@ -153,3 +153,40 @@ let results_agree a b =
   && Array.for_all2
        (fun x y -> signature x = signature y)
        a.r_shards b.r_shards
+
+(* Diagnostic differential: [None] when the runs agree, otherwise the
+   first diverging shard index and the first diverging signature field —
+   a bare "signatures differ" is useless when 8 shards each fold 3000
+   ops into one digest. *)
+let explain_divergence a b =
+  let na = Array.length a.r_shards and nb = Array.length b.r_shards in
+  if na <> nb then
+    Some (Printf.sprintf "shard count differs: %d (%s) vs %d (%s)" na
+            (mode_name a.r_mode) nb (mode_name b.r_mode))
+  else begin
+    let explain_shard i =
+      let x = a.r_shards.(i) and y = b.r_shards.(i) in
+      if signature x = signature y then None
+      else
+        let field =
+          if x.sr_shard <> y.sr_shard then
+            Printf.sprintf "sr_shard %d vs %d" x.sr_shard y.sr_shard
+          else if x.sr_ops <> y.sr_ops then
+            Printf.sprintf "sr_ops %d vs %d" x.sr_ops y.sr_ops
+          else if x.sr_puts <> y.sr_puts then
+            Printf.sprintf "sr_puts %d vs %d" x.sr_puts y.sr_puts
+          else if x.sr_hits <> y.sr_hits then
+            Printf.sprintf "sr_hits %d vs %d" x.sr_hits y.sr_hits
+          else
+            Printf.sprintf "sr_digest 0x%x vs 0x%x" x.sr_digest y.sr_digest
+        in
+        Some
+          (Printf.sprintf "first divergence at shard %d: %s (%s vs %s)" i
+             field (mode_name a.r_mode) (mode_name b.r_mode))
+    in
+    let rec go i =
+      if i >= na then None
+      else match explain_shard i with Some _ as s -> s | None -> go (i + 1)
+    in
+    go 0
+  end

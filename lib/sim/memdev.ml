@@ -72,6 +72,8 @@ type t = {
   mutable n_stores : int;
   mutable n_flushes : int;
   mutable n_fences : int;
+  mutable n_batched_ops : int;
+  mutable n_fences_saved : int;
   mutable injector : (hook_event -> unit) option;
   mutable bad_blocks : (int * int) list;   (* (off, len) poisoned regions *)
   mutable powered_off : bool;
@@ -100,6 +102,7 @@ let create ~name ~durable size =
     line_tbl = Hashtbl.create 64; flushed_q = Journal.create ();
     trace_j = Journal.create ();
     n_stores = 0; n_flushes = 0; n_fences = 0;
+    n_batched_ops = 0; n_fences_saved = 0;
     injector = None; bad_blocks = []; powered_off = false }
 
 let create_volatile ~name size = create ~name ~durable:None size
@@ -488,21 +491,40 @@ let clear_trace t = Journal.clear t.trace_j
 let unflushed_pending t =
   List.filter (fun r -> not r.flushed) (pending_stores t)
 
-type counters = { stores : int; flushes : int; fences : int }
+type counters = {
+  stores : int;
+  flushes : int;
+  fences : int;
+  batched_ops : int;
+  fences_saved : int;
+}
 
-let counters t = { stores = t.n_stores; flushes = t.n_flushes; fences = t.n_fences }
+let counters t =
+  { stores = t.n_stores; flushes = t.n_flushes; fences = t.n_fences;
+    batched_ops = t.n_batched_ops; fences_saved = t.n_fences_saved }
+
+(* Group-commit accounting, credited by the redo batch layer: [ops]
+   operations rode one commit, and committing them one by one would have
+   cost [fences_saved] additional fences. The device only records; the
+   amortization policy lives above it. *)
+let note_batch t ~ops ~fences_saved =
+  t.n_batched_ops <- t.n_batched_ops + ops;
+  t.n_fences_saved <- t.n_fences_saved + fences_saved
 
 let merge_counters l =
   List.fold_left
     (fun acc c ->
       { stores = acc.stores + c.stores;
         flushes = acc.flushes + c.flushes;
-        fences = acc.fences + c.fences })
-    { stores = 0; flushes = 0; fences = 0 }
+        fences = acc.fences + c.fences;
+        batched_ops = acc.batched_ops + c.batched_ops;
+        fences_saved = acc.fences_saved + c.fences_saved })
+    { stores = 0; flushes = 0; fences = 0; batched_ops = 0; fences_saved = 0 }
     l
 
 let reset_counters t =
-  t.n_stores <- 0; t.n_flushes <- 0; t.n_fences <- 0
+  t.n_stores <- 0; t.n_flushes <- 0; t.n_fences <- 0;
+  t.n_batched_ops <- 0; t.n_fences_saved <- 0
 
 (* Persistence of the durable image itself to the host filesystem, so that
    pools behave like files under /mnt/pmem as in the paper. *)

@@ -179,10 +179,21 @@ val trace : t -> event list
 
 val clear_trace : t -> unit
 
-type counters = { stores : int; flushes : int; fences : int }
+type counters = {
+  stores : int;
+  flushes : int;
+  fences : int;
+  batched_ops : int;   (** operations that rode a group commit *)
+  fences_saved : int;  (** fences a one-commit-per-op execution would have added *)
+}
 
 val counters : t -> counters
 val reset_counters : t -> unit
+
+val note_batch : t -> ops:int -> fences_saved:int -> unit
+(** Credit a group commit covering [ops] operations that avoided
+    [fences_saved] fences versus committing each op separately. Called by
+    the redo batch layer; purely accounting, no durability effect. *)
 
 val merge_counters : counters list -> counters
 (** Fieldwise sum over a set of per-shard devices. *)

@@ -162,11 +162,94 @@ let counter ?(variant = Spp_access.Spp) ?(ops = 24) () =
   in
   { Torture.w_name = "counter"; w_make }
 
+(* Group-committed multi-put (Cmap.run_batch): [ops] puts executed as
+   two batches of roughly half each, acking a batch's ops only after its
+   run_batch call returns — the serve pipeline's promise semantics. The
+   final op of the second batch *updates* a key written by the first op,
+   so the oracle also proves no reordering across ops: the update is
+   durable only in the all-ops-committed state.
+
+   Oracle: the durable keys must form a *prefix* of the batch program —
+   some k with keys 1..k present and byte-exact, keys k+1..ops-1 absent,
+   and key 1 carrying its updated value exactly when k = ops. A torn op,
+   a hole, or an out-of-order commit all break the prefix shape. *)
+let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
+  let ops = max 3 ops in
+  let updated_value = "value-redux" in
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-kvbatch" variant
+    in
+    let pool = a.Spp_access.pool in
+    let map = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+    let root = a.Spp_access.root a.Spp_access.oid_size in
+    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid map);
+    Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
+    let op_of i =
+      (* ops 1..ops-1 put fresh keys; op [ops] updates key 1 *)
+      if i < ops then
+        Spp_pmemkv.Cmap.B_put { key = kv_key i; value = kv_value i }
+      else Spp_pmemkv.Cmap.B_put { key = kv_key 1; value = updated_value }
+    in
+    let mutate ~ack =
+      let half = ops / 2 in
+      let batch lo hi =
+        ignore
+          (Spp_pmemkv.Cmap.run_batch map
+             (Array.init (hi - lo + 1) (fun j -> op_of (lo + j))));
+        for _ = lo to hi do ack () done
+      in
+      batch 1 half;
+      batch (half + 1) ops
+    in
+    let check ~pool:pool' ~acked =
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let root' = Pool.root_oid pool' in
+      let buckets = Pool.load_oid pool' ~off:root'.Oid.off in
+      let map' = Spp_pmemkv.Cmap.attach a' ~buckets in
+      let v1 = Spp_pmemkv.Cmap.get map' (kv_key 1) in
+      (* committed prefix length over ops 2..ops-1 (distinct keys) *)
+      let k = ref (if v1 = None then 0 else 1) in
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      for i = 2 to ops - 1 do
+        match Spp_pmemkv.Cmap.get map' (kv_key i) with
+        | Some v ->
+          if v <> kv_value i then
+            fail (Printf.sprintf "op %d torn: %S" i v)
+          else if !k <> i - 1 then
+            fail (Printf.sprintf "op %d durable before op %d (hole)" i !k)
+          else incr k
+        | None -> ()
+      done;
+      (* disambiguate the final update through key 1's value *)
+      (match v1 with
+       | None -> if !k > 0 then fail "op 1 missing below a durable prefix"
+       | Some v ->
+         if v = updated_value then begin
+           if !k <> ops - 1 then
+             fail
+               (Printf.sprintf
+                  "final update durable but prefix stops at op %d" !k)
+           else k := ops
+         end
+         else if v <> kv_value 1 then
+           fail (Printf.sprintf "op 1 torn: %S" v));
+      if !err = None && !k < acked then
+        fail (Printf.sprintf "prefix %d < %d acked" !k acked);
+      match !err with None -> Ok () | Some msg -> Error msg
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = "kvbatch"; w_make }
+
 let all ?variant ?ops () =
-  [ kvstore ?variant ?ops (); pmemlog ?variant ?ops (); counter ?variant ?ops () ]
+  [ kvstore ?variant ?ops (); pmemlog ?variant ?ops ();
+    counter ?variant ?ops (); kvbatch ?variant ?ops () ]
 
 let by_name ?variant ?ops = function
   | "kvstore" -> Some (kvstore ?variant ?ops ())
   | "pmemlog" -> Some (pmemlog ?variant ?ops ())
   | "counter" -> Some (counter ?variant ?ops ())
+  | "kvbatch" -> Some (kvbatch ?variant ?ops ())
   | _ -> None

@@ -19,8 +19,14 @@ val counter : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workloa
 (** Two root words incremented together inside one transaction per op.
     Oracle: halves equal and within [acked, ops]. *)
 
+val kvbatch : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** Group-committed multi-put ([Cmap.run_batch], two batches; the final
+    op updates the first op's key). Oracle: the durable keys form a
+    prefix of whole ops — no torn op, no hole, no reordering across ops
+    — and every acked batch is fully durable. *)
+
 val all : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload list
 
 val by_name :
   ?variant:Spp_access.variant -> ?ops:int -> string -> Torture.workload option
-(** ["kvstore"], ["pmemlog"] or ["counter"]. *)
+(** ["kvstore"], ["pmemlog"], ["counter"] or ["kvbatch"]. *)

@@ -1,0 +1,449 @@
+(* Tests for the group-commit stack and the asynchronous batched serving
+   pipeline: histogram unit tests, Cmap.run_batch vs a model oracle and
+   vs the synchronous path, the fences/op amortization bar on both
+   tracking engines, the async-pipeline differential, and the shard
+   divergence diagnostics. *)
+
+open Spp_benchlib
+open Spp_shard
+open Spp_pmemkv
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Histogram -------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  (* values below 16 are exact *)
+  for v = 0 to 15 do
+    check_int "small value exact" v (Histogram.bucket_index v);
+    let lo, hi = Histogram.bucket_range v in
+    check_int "small lo" v lo;
+    check_int "small hi" v hi
+  done;
+  (* octave boundaries land in their bucket, and every bucket contains
+     the values its range claims *)
+  List.iter
+    (fun v ->
+      let i = Histogram.bucket_index v in
+      let lo, hi = Histogram.bucket_range i in
+      check_bool
+        (Printf.sprintf "%d in bucket [%d, %d]" v lo hi)
+        true
+        (lo <= v && v <= hi);
+      (* relative bucket width stays within 1/16 of the magnitude *)
+      if v >= 16 then
+        check_bool
+          (Printf.sprintf "bucket width %d <= %d/16" (hi - lo + 1) v)
+          true
+          (hi - lo + 1 <= max 1 (v / 8)))
+    [ 16; 17; 31; 32; 33; 63; 64; 100; 1_000; 4_095; 4_096; 65_535;
+      1_000_000; 123_456_789; max_int / 2 ];
+  (* bucket index is monotone in the value *)
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let i = Histogram.bucket_index v in
+      check_bool "bucket index monotone" true (i >= !prev);
+      prev := i)
+    [ 0; 1; 7; 15; 16; 20; 90; 1024; 1025; 999_999; max_int / 4 ]
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.add h v
+  done;
+  check_int "count" 1000 (Histogram.count h);
+  check_int "max exact" 1000 (Histogram.max_value h);
+  (* percentile is conservative (>= true quantile) but within a bucket
+     width, and monotone in p *)
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      let truth = int_of_float (ceil (p /. 100. *. 1000.)) in
+      check_bool
+        (Printf.sprintf "p%.0f = %d >= %d" p v truth)
+        true (v >= truth);
+      check_bool
+        (Printf.sprintf "p%.0f = %d within bucket of %d" p v truth)
+        true
+        (v <= truth + (max 1 (truth / 8)));
+      check_bool "monotone in p" true (v >= !prev);
+      prev := v)
+    [ 1.; 10.; 25.; 50.; 75.; 90.; 95.; 99.; 99.9; 100. ];
+  check_int "p100 = max" 1000 (Histogram.percentile h 100.);
+  check_int "empty histogram percentile" 0
+    (Histogram.percentile (Histogram.create ()) 99.)
+
+let test_histogram_merge () =
+  let fill seed n =
+    let st = Random.State.make [| seed |] in
+    let h = Histogram.create () in
+    for _ = 1 to n do
+      Histogram.add h (Random.State.int st 1_000_000)
+    done;
+    h
+  in
+  let a = fill 1 500 and b = fill 2 900 and c = fill 3 40 in
+  let xy = Histogram.merge (Histogram.merge a b) c in
+  let yz = Histogram.merge a (Histogram.merge b c) in
+  check_bool "merge associative (exact state)" true
+    (Histogram.to_alist xy = Histogram.to_alist yz);
+  check_int "merge count" 1440 (Histogram.count xy);
+  check_int "merge max" (Histogram.max_value yz) (Histogram.max_value xy);
+  check_bool "merge commutative" true
+    (Histogram.to_alist (Histogram.merge a b)
+     = Histogram.to_alist (Histogram.merge b a));
+  (* merged percentiles match a histogram fed the union *)
+  let u = Histogram.merge a b in
+  check_int "p50 of union" (Histogram.percentile u 50.)
+    (Histogram.percentile (Histogram.merge b a) 50.)
+
+(* --- Cmap.run_batch --------------------------------------------------- *)
+
+let mk_map ?(nbuckets = 32) variant =
+  let a = Spp_access.create ~pool_size:(1 lsl 21) ~name:"serve-test" variant in
+  Cmap.create ~nbuckets a
+
+let test_run_batch_oracle () =
+  List.iter
+    (fun variant ->
+      let kv = mk_map variant in
+      let model = Hashtbl.create 64 in
+      let st = Random.State.make [| 77 |] in
+      for _round = 1 to 30 do
+        let n = 1 + Random.State.int st 40 in
+        let ops =
+          Array.init n (fun _ ->
+            let key = Printf.sprintf "key-%d" (Random.State.int st 60) in
+            match Random.State.int st 3 with
+            | 0 ->
+              Cmap.B_put
+                { key;
+                  value = Printf.sprintf "val-%d" (Random.State.int st 9999) }
+            | 1 -> Cmap.B_remove key
+            | _ -> Cmap.B_get key)
+        in
+        let replies = Cmap.run_batch kv ops in
+        Array.iteri
+          (fun i op ->
+            match (op, replies.(i)) with
+            | Cmap.B_put { key; value }, Cmap.R_put ->
+              Hashtbl.replace model key value
+            | Cmap.B_get key, Cmap.R_get v ->
+              Alcotest.(check (option string))
+                "batched get agrees with model" (Hashtbl.find_opt model key) v
+            | Cmap.B_remove key, Cmap.R_removed r ->
+              check_bool "batched remove agrees" (Hashtbl.mem model key) r;
+              Hashtbl.remove model key
+            | _ -> Alcotest.fail "reply shape mismatch")
+          ops
+      done;
+      check_int "surviving entries" (Hashtbl.length model) (Cmap.count_all kv);
+      (* the synchronous path reads what the batched path wrote *)
+      Hashtbl.iter
+        (fun k v ->
+          Alcotest.(check (option string)) "sync get sees batched put" (Some v)
+            (Cmap.get kv k))
+        model)
+    [ Spp_access.Spp; Spp_access.Pmdk ]
+
+let test_run_batch_within_batch_visibility () =
+  let kv = mk_map Spp_access.Spp in
+  let replies =
+    Cmap.run_batch kv
+      [| Cmap.B_put { key = "a"; value = "1" };
+         Cmap.B_get "a";                          (* sees the staged put *)
+         Cmap.B_put { key = "a"; value = "22" };  (* replaces in-batch entry *)
+         Cmap.B_get "a";
+         Cmap.B_remove "a";
+         Cmap.B_get "a";
+         Cmap.B_put { key = "a"; value = "333" } |]
+  in
+  check_bool "get after put" true (replies.(1) = Cmap.R_get (Some "1"));
+  check_bool "get after replace" true (replies.(3) = Cmap.R_get (Some "22"));
+  check_bool "remove hits" true (replies.(4) = Cmap.R_removed true);
+  check_bool "get after remove" true (replies.(5) = Cmap.R_get None);
+  Alcotest.(check (option string)) "final state" (Some "333") (Cmap.get kv "a")
+
+(* Group commit must survive a crash mid-stream like any other path:
+   recovery replays or discards the staged log, never tears an op. The
+   torture suite (test_torture) enumerates every crash point; here we
+   sanity-check a plain power cut between batches. *)
+let test_run_batch_crash_between_batches () =
+  let a = Spp_access.create ~pool_size:(1 lsl 20) ~name:"crashkv"
+      Spp_access.Spp in
+  let pool = a.Spp_access.pool in
+  let kv = Cmap.create ~nbuckets:16 a in
+  let root = a.Spp_access.root a.Spp_access.oid_size in
+  Spp_pmdk.Pool.store_oid pool ~off:root.Spp_pmdk.Oid.off (Cmap.buckets_oid kv);
+  Spp_pmdk.Pool.persist pool ~off:root.Spp_pmdk.Oid.off
+    ~len:a.Spp_access.oid_size;
+  Spp_sim.Memdev.set_tracking (Spp_pmdk.Pool.dev pool) true;
+  ignore
+    (Cmap.run_batch kv
+       [| Cmap.B_put { key = "k1"; value = "v1" };
+          Cmap.B_put { key = "k2"; value = "v2" } |]);
+  ignore (Spp_pmdk.Pool.crash_and_recover pool);
+  let a' = Spp_access.attach (Spp_pmdk.Pool.space pool) pool in
+  let buckets =
+    Spp_pmdk.Pool.load_oid pool ~off:(Spp_pmdk.Pool.root_oid pool).Spp_pmdk.Oid.off
+  in
+  let kv' = Cmap.attach a' ~buckets in
+  Alcotest.(check (option string)) "committed batch durable" (Some "v1")
+    (Cmap.get kv' "k1");
+  Alcotest.(check (option string)) "committed batch durable (2)" (Some "v2")
+    (Cmap.get kv' "k2")
+
+(* --- Fence amortization (acceptance bar) ------------------------------ *)
+
+let value_256 = String.make 256 'v'
+
+let serve_streams ~nshards ~ops =
+  let reqs =
+    Array.init ops (fun i ->
+      let key = Spp_pmemkv.Db_bench.key_of_int (i mod 64) in
+      if i mod 4 = 3 then Serve.Get key
+      else Serve.Put { key; value = value_256 })
+  in
+  let streams = Array.make nshards [] in
+  Array.iter
+    (fun r ->
+      let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+      streams.(s) <- r :: streams.(s))
+    reqs;
+  Array.map (fun l -> Array.of_list (List.rev l)) streams
+
+let build_serve_store ?(nshards = 2) ?(tracking = false) () =
+  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 22) ~nshards
+      Spp_access.Spp in
+  if tracking then
+    for i = 0 to nshards - 1 do
+      Spp_sim.Memdev.set_tracking
+        (Spp_pmdk.Pool.dev (Shard.shard_access (Shard.shard t i)).Spp_access.pool)
+        true
+    done;
+  Shard.reset_stats t;
+  t
+
+let fences_per_op ~batch_cap =
+  let nshards = 2 and ops = 512 in
+  let t = build_serve_store ~nshards ~tracking:true () in
+  let streams = serve_streams ~nshards ~ops in
+  ignore (Serve.run_sequential t ~batch_cap streams);
+  let c = Shard.merged_counters t in
+  ( float_of_int c.Spp_sim.Memdev.fences /. float_of_int ops,
+    c )
+
+let test_fence_amortization_both_engines () =
+  List.iter
+    (fun engine ->
+      Spp_sim.Memdev.with_default_engine engine (fun () ->
+        let f32, c32 = fences_per_op ~batch_cap:32 in
+        let f1, c1 = fences_per_op ~batch_cap:1 in
+        check_bool
+          (Printf.sprintf "fences/op %.3f (cap 32) <= 1/4 of %.3f (cap 1)"
+             f32 f1)
+          true
+          (f32 <= f1 /. 4.);
+        (* the saved fences are accounted on the device; a batch of one
+           saves nothing *)
+        check_bool "fences_saved recorded" true
+          (c32.Spp_sim.Memdev.fences_saved > 0);
+        check_int "cap-1 batches save nothing" 0 c1.Spp_sim.Memdev.fences_saved;
+        check_bool "batched_ops recorded" true
+          (c32.Spp_sim.Memdev.batched_ops > 0)))
+    [ Spp_sim.Memdev.Line_indexed; Spp_sim.Memdev.List_based ]
+
+(* --- Async pipeline --------------------------------------------------- *)
+
+let test_serve_pipeline_oracle () =
+  let nshards = 3 in
+  let t = build_serve_store ~nshards () in
+  let serve = Serve.create ~batch_cap:8 t in
+  let model = Hashtbl.create 64 in
+  let st = Random.State.make [| 5 |] in
+  let tickets = ref [] in
+  for i = 0 to 599 do
+    let key = Printf.sprintf "key-%d" (Random.State.int st 80) in
+    let req =
+      match i mod 3 with
+      | 0 ->
+        let value = Printf.sprintf "val-%d" i in
+        Hashtbl.replace model key value;
+        Serve.Put { key; value }
+      | 1 -> Serve.Get key
+      | _ ->
+        Hashtbl.remove model key;
+        Serve.Remove key
+    in
+    tickets := (req, Serve.submit serve req) :: !tickets
+  done;
+  (* resolve every promise; puts/removes must have been applied in
+     submission order per key (same-shard FIFO) *)
+  List.iter
+    (fun (req, tk) ->
+      match (req, Serve.await serve tk) with
+      | Serve.Put _, Serve.Done -> ()
+      | Serve.Get _, Serve.Value _ -> ()
+      | Serve.Remove _, Serve.Removed _ -> ()
+      | _ -> Alcotest.fail "reply shape mismatch")
+    !tickets;
+  Serve.stop serve;
+  check_int "final store contents" (Hashtbl.length model) (Shard.count_all t);
+  Hashtbl.iter
+    (fun k v ->
+      Alcotest.(check (option string)) "final value" (Some v) (Shard.get t k))
+    model;
+  let stats = Serve.stats serve in
+  check_int "every op executed" 600
+    (Array.fold_left (fun a s -> a + s.Serve.ss_ops) 0 stats);
+  check_int "latency recorded per request" 600
+    (Histogram.count (Serve.merged_hist serve));
+  Array.iter
+    (fun s ->
+      check_bool "batch sizes within cap" true (s.Serve.ss_max_batch <= 8))
+    stats
+
+(* The differential the tentpole must preserve: the async pipeline
+   (pre-enqueued, fixed batching) against the sequential baseline on
+   identically built stores — replies, merged Space stats and merged
+   Memdev counters all bit-identical. *)
+let test_serve_differential () =
+  let nshards = 4 and ops = 1_200 and batch_cap = 16 in
+  let streams = serve_streams ~nshards ~ops in
+  let t_seq = build_serve_store ~nshards () in
+  let t_par = build_serve_store ~nshards () in
+  let seq_replies = Serve.run_sequential t_seq ~batch_cap streams in
+  let serve = Serve.create ~batch_cap ~adaptive:false ~autostart:false t_par in
+  let tickets =
+    Array.map (Array.map (fun req -> (req, Serve.submit serve req))) streams
+  in
+  Serve.start serve;
+  let par_replies =
+    Array.map (Array.map (fun (_, tk) -> Serve.await serve tk)) tickets
+  in
+  Serve.stop serve;
+  Array.iteri
+    (fun i seq ->
+      check_int
+        (Printf.sprintf "shard %d reply digest" i)
+        (Serve.digest_replies seq)
+        (Serve.digest_replies par_replies.(i)))
+    seq_replies;
+  check_bool "merged Space stats identical" true
+    (Shard.merged_stats t_seq = Shard.merged_stats t_par);
+  check_bool "merged Memdev counters identical (incl. fences_saved)" true
+    (Shard.merged_counters t_seq = Shard.merged_counters t_par);
+  check_int "same surviving entries" (Shard.count_all t_seq)
+    (Shard.count_all t_par)
+
+let test_serve_adaptive_batching () =
+  (* pre-enqueue a big backlog: the adaptive drain must actually grow
+     beyond 1 and stay within the cap *)
+  let nshards = 1 in
+  let t = build_serve_store ~nshards () in
+  let serve = Serve.create ~batch_cap:32 ~adaptive:true ~autostart:false t in
+  let tickets =
+    Array.init 500 (fun i ->
+      Serve.submit serve
+        (Serve.Put { key = Printf.sprintf "k%d" i; value = "v" }))
+  in
+  Serve.start serve;
+  Array.iter (fun tk -> ignore (Serve.await serve tk)) tickets;
+  Serve.stop serve;
+  let s = (Serve.stats serve).(0) in
+  check_int "all ops served" 500 s.Serve.ss_ops;
+  check_bool "batches grew under pressure" true (s.Serve.ss_max_batch > 4);
+  check_bool "cap respected" true (s.Serve.ss_max_batch <= 32);
+  check_bool "fewer batches than ops" true (s.Serve.ss_batches < 500)
+
+(* --- Divergence diagnostics ------------------------------------------- *)
+
+let test_explain_divergence () =
+  let ops =
+    Shard_bench.gen_ops ~seed:3 ~ops:400 ~universe:100 ~dist:Shard_bench.Uniform
+      Spp_pmemkv.Db_bench.Update_heavy
+  in
+  let streams = Shard_bench.partition ~nshards:2 ops in
+  let build () =
+    let t = Shard.create ~nbuckets:32 ~pool_size:(1 lsl 21) ~nshards:2
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:50;
+    t
+  in
+  let r1 = Shard_bench.run (build ()) ~mode:Shard_bench.Sequential streams in
+  let r2 = Shard_bench.run (build ()) ~mode:Shard_bench.Parallel streams in
+  check_bool "agreement explains as None" true
+    (Shard_bench.explain_divergence r1 r2 = None);
+  (* doctor a divergence and check the report names shard and field *)
+  let broken =
+    { r2 with
+      Shard_bench.r_shards =
+        Array.mapi
+          (fun i s ->
+            if i = 1 then { s with Shard_bench.sr_hits = s.Shard_bench.sr_hits + 7 }
+            else s)
+          r2.Shard_bench.r_shards }
+  in
+  (match Shard_bench.explain_divergence r1 broken with
+   | None -> Alcotest.fail "divergence not detected"
+   | Some msg ->
+     let has needle =
+       let nl = String.length needle and ml = String.length msg in
+       let rec go i =
+         i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     check_bool (Printf.sprintf "names the shard: %s" msg) true
+       (has "shard 1");
+     check_bool (Printf.sprintf "names the field: %s" msg) true
+       (has "sr_hits"));
+  (* shard-count mismatch reported too *)
+  let truncated =
+    { r2 with Shard_bench.r_shards = [| r2.Shard_bench.r_shards.(0) |] }
+  in
+  check_bool "count mismatch detected" true
+    (Shard_bench.explain_divergence r1 truncated <> None)
+
+let () =
+  Alcotest.run "spp_serve"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "percentiles conservative + monotone" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "merge associative" `Quick test_histogram_merge;
+        ] );
+      ( "run_batch",
+        [
+          Alcotest.test_case "vs model oracle (both variants)" `Quick
+            test_run_batch_oracle;
+          Alcotest.test_case "within-batch visibility" `Quick
+            test_run_batch_within_batch_visibility;
+          Alcotest.test_case "crash between batches" `Quick
+            test_run_batch_crash_between_batches;
+        ] );
+      ( "amortization",
+        [
+          Alcotest.test_case "cap 32 <= 1/4 fences of cap 1 (both engines)"
+            `Quick test_fence_amortization_both_engines;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "async serve vs model" `Quick
+            test_serve_pipeline_oracle;
+          Alcotest.test_case "async = sequential differential" `Quick
+            test_serve_differential;
+          Alcotest.test_case "adaptive batch sizing" `Quick
+            test_serve_adaptive_batching;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "explain_divergence" `Quick
+            test_explain_divergence;
+        ] );
+    ]

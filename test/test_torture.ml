@@ -22,6 +22,16 @@ let test_kvstore_full () = full_enum (Workloads.kvstore ~ops:6 ())
 let test_pmemlog_full () = full_enum (Workloads.pmemlog ~ops:6 ())
 let test_counter_full () = full_enum (Workloads.counter ~ops:6 ())
 
+(* Group commit under the same full enumeration: a crash at every
+   durability event of a batched multi-put must recover onto a prefix of
+   whole ops — the kvbatch oracle rejects torn ops, holes and reordering
+   across ops, so zero invariant failures here is the crash-atomicity
+   half of the serve pipeline's contract. *)
+let test_kvbatch_full () = full_enum (Workloads.kvbatch ~ops:8 ())
+
+let test_kvbatch_native_full () =
+  full_enum (Workloads.kvbatch ~variant:Spp_access.Pmdk ~ops:6 ())
+
 let test_native_variant () =
   full_enum (Workloads.counter ~variant:Spp_access.Pmdk ~ops:4 ())
 
@@ -85,7 +95,7 @@ let test_engine_differential_clean () =
       let r = engine_differential w in
       check_int "zero invariant failures" 0 r.Torture.r_invariant_failures)
     [ Workloads.kvstore ~ops:5 (); Workloads.pmemlog ~ops:5 ();
-      Workloads.counter ~ops:5 () ]
+      Workloads.counter ~ops:5 (); Workloads.kvbatch ~ops:5 () ]
 
 let test_engine_differential_faults () =
   ignore
@@ -95,7 +105,11 @@ let test_engine_differential_faults () =
   ignore
     (engine_differential ~budget:30 ~seed:9
        ~faults:{ Torture.torn = true; bitflips = 2 }
-       (Workloads.pmemlog ~ops:5 ()))
+       (Workloads.pmemlog ~ops:5 ()));
+  ignore
+    (engine_differential ~budget:40 ~seed:13
+       ~faults:{ Torture.torn = true; bitflips = 0 }
+       (Workloads.kvbatch ~ops:6 ()))
 
 (* Graceful pool-corruption handling *)
 
@@ -182,6 +196,10 @@ let () =
             test_pmemlog_full;
           Alcotest.test_case "counter survives every crash point" `Quick
             test_counter_full;
+          Alcotest.test_case "group-committed batch lands on whole-op prefix"
+            `Quick test_kvbatch_full;
+          Alcotest.test_case "group commit, native variant" `Quick
+            test_kvbatch_native_full;
           Alcotest.test_case "native variant too" `Quick test_native_variant;
           Alcotest.test_case "budget sampling" `Quick test_budget_sampling;
         ] );
