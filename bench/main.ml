@@ -1019,8 +1019,8 @@ let serve () =
       "(note: latency percentiles are meaningless under --quick; use a full \
        run)\n";
   print_row ~w:11
-    [ "shards"; "cap"; "window"; "op/s"; "p50 us"; "p95 us"; "p99 us";
-      "max us"; "avg batch"; "fences/op" ];
+    [ "shards"; "cap"; "window"; "op/s"; "p50 us"; "mean us"; "p95 us";
+      "p99 us"; "max us"; "avg batch"; "fences/op" ];
   let nclients = 2 in
   List.iter
     (fun nshards ->
@@ -1064,10 +1064,12 @@ let serve () =
               let c = Shard.merged_counters t in
               let fpo =
                 float_of_int c.Spp_sim.Memdev.fences /. float_of_int ops in
+              let mean_us = Histogram.mean h /. 1e3 in
               print_row ~w:11
                 [ string_of_int nshards; string_of_int cap;
                   string_of_int window; fmt_ops thr;
                   Printf.sprintf "%.1f" (us 50.);
+                  Printf.sprintf "%.1f" mean_us;
                   Printf.sprintf "%.1f" (us 95.);
                   Printf.sprintf "%.1f" (us 99.);
                   Printf.sprintf "%.1f" max_us;
@@ -1091,11 +1093,256 @@ let serve () =
                     ~name:(nm (Printf.sprintf "p%g" p))
                     ~metric:"latency_us" ~unit_:"us" (us p))
                 [ 50.; 95.; 99. ];
+              jemit ~experiment:"serve" ~name:(nm "mean") ~metric:"latency_us"
+                ~unit_:"us" mean_us;
               jemit ~experiment:"serve" ~name:(nm "max") ~metric:"latency_us"
                 ~unit_:"us" max_us)
             windows)
         caps)
     shard_counts
+
+(* ------------------------------------------------------------------ *)
+(* Read cache (ours): volatile DRAM cache over the serving stack       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two parts. (1) Correctness gate, deterministic and timing-free: the
+   same read-mostly streams through [run_sequential] on a cached and an
+   uncached store must produce bit-identical replies, identical Memdev
+   counters and identical per-shard durable images — the cache is
+   volatile DRAM only, invisible to the persistence layer (gets stage no
+   redo entries, fills come only from committed state, chunk boundaries
+   sit at fixed request positions). A failed gate prints the divergence
+   and no timing number is reported. (2) Live sweep: the async pipeline
+   with the read fast path, distribution x shard count x capacity. Each
+   point runs one warm pass (windowed, fills the cache) then one timed
+   pass in which puts ride the async window but every get is a
+   *dependent* point read — submitted and awaited before the client
+   continues, the access pattern a read cache exists for. ns/get is that
+   client-observed submit-to-reply time: cache-off stalls each read on
+   the mailbox and group-commit round trip, a cache hit is answered on
+   the submitting thread without entering the mailbox or walking PM.
+   The acceptance bar is >= 2x ns/get on the Zipfian read-mostly point
+   at the largest capacity vs cache-off. *)
+
+let cache () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  print_title "Read cache: volatile DRAM read cache over the serving stack";
+  let shard_counts =
+    let all = [ 1; 2 ] in
+    match domains_cap with
+    | None -> all
+    | Some cap -> List.filter (fun d -> d <= max 1 cap) all
+  in
+  let universe = sc 2_000 in
+  let total_ops = sc 24_000 in
+  let value = String.make 256 'v' in
+  Printf.printf
+    "(cmap engine under SPP, %d-key universe, %d requests, 1:15 put:get, \
+     256 B values)\n"
+    universe total_ops;
+  let dist_label = function
+    | `Uniform -> "uniform"
+    | `Zipfian -> "zipfian0.99"
+  in
+  let gen_requests ~seed ~dist n =
+    let gen =
+      match dist with
+      | `Uniform -> Keygen.uniform ~seed ~universe
+      | `Zipfian -> Keygen.zipfian ~theta:0.99 ~seed ~universe ()
+    in
+    let st = Random.State.make [| seed; 0xCAC4E |] in
+    Array.init n (fun _ ->
+      let key = Spp_pmemkv.Db_bench.key_of_int (Keygen.next gen) in
+      if Random.State.int st 16 = 0 then Serve.Put { key; value }
+      else Serve.Get key)
+  in
+  let partition ~nshards reqs =
+    let buckets = Array.make nshards [] in
+    Array.iter
+      (fun r ->
+        let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+        buckets.(s) <- r :: buckets.(s))
+      reqs;
+    Array.map (fun l -> Array.of_list (List.rev l)) buckets
+  in
+  let build ?(tracking = false) ~cache_cap nshards =
+    let t =
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~nshards
+        Spp_access.Spp
+    in
+    if tracking then
+      for i = 0 to nshards - 1 do
+        Spp_sim.Memdev.set_tracking
+          (Pool.dev (Shard.shard_access (Shard.shard t i)).Spp_access.pool)
+          true
+      done;
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  (* -- part 1: cache-on == cache-off, bit for bit -- *)
+  let nd_diff = List.fold_left max 1 shard_counts in
+  let streams =
+    partition ~nshards:nd_diff
+      (gen_requests ~seed:11 ~dist:`Zipfian total_ops)
+  in
+  let t_on = build ~tracking:true ~cache_cap:4096 nd_diff in
+  let t_off = build ~tracking:true ~cache_cap:0 nd_diff in
+  let r_on = Serve.run_sequential t_on ~batch_cap:16 streams in
+  let r_off = Serve.run_sequential t_off ~batch_cap:16 streams in
+  (* Bitwise image equality between two *distinct* pools is impossible
+     by construction (each pool's uuid is embedded in the header and in
+     every stored oid), so durable equivalence is checked the way a
+     restart would: snapshot each shard's durable image, reopen it
+     through recovery, reattach the map, and compare the full recovered
+     contents. Identical Memdev counters (asserted below) already pin
+     the two runs to the same store/flush/fence schedule. *)
+  let durable_contents t =
+    Array.init nd_diff (fun i ->
+      let sh = Shard.shard t i in
+      let live_kv = Shard.shard_kv sh in
+      let img =
+        Spp_sim.Memdev.durable_snapshot
+          (Pool.dev (Shard.shard_access sh).Spp_access.pool)
+      in
+      let dev =
+        Spp_sim.Memdev.of_image ~name:(Printf.sprintf "cache-diff%d" i) img
+      in
+      let space = Spp_sim.Space.create () in
+      match Pool.open_dev space ~base:4096 dev with
+      | Error _ -> None
+      | Ok (pool', _report) ->
+        let a' = Spp_access.attach (Pool.space pool') pool' in
+        let map' =
+          Spp_pmemkv.Cmap.attach a'
+            ~buckets:(Spp_pmemkv.Cmap.buckets_oid live_kv)
+        in
+        Some
+          ( Spp_pmemkv.Cmap.count_all map',
+            List.init universe (fun k ->
+              Spp_pmemkv.Cmap.get map' (Spp_pmemkv.Db_bench.key_of_int k)) ))
+  in
+  let c_on = durable_contents t_on and c_off = durable_contents t_off in
+  let durable_equal =
+    Array.for_all Option.is_some c_on && c_on = c_off
+  in
+  let identical =
+    Array.for_all2
+      (fun a b -> Serve.digest_replies a = Serve.digest_replies b)
+      r_on r_off
+    && Shard.merged_counters t_on = Shard.merged_counters t_off
+    && durable_equal
+  in
+  let rc_diff = Shard.merged_cache_stats t_on in
+  Printf.printf
+    "cache-on vs cache-off (sequential, %d shards, cap 4096): %s; cached run \
+     hit rate %s\n"
+    nd_diff
+    (if identical then
+       "bit-identical (replies, counters, recovered durable contents)"
+     else "!! DIVERGENCE — results invalid")
+    (fmt_pct (Spp_pmemkv.Rcache.hit_rate rc_diff));
+  jemit ~experiment:"cache" ~name:"differential" ~metric:"identical"
+    ~extra:
+      [ ("hit_rate",
+         Json_out.J_float (Spp_pmemkv.Rcache.hit_rate rc_diff));
+        ("durable_images_equal", Json_out.J_bool durable_equal) ]
+    (if identical then 1. else 0.);
+  (* -- part 2: live sweep -- *)
+  print_subtitle "live async sweep (read fast path, window 64)";
+  if quick then
+    Printf.printf
+      "(note: ns/get is noisy under --quick; use a full run)\n";
+  print_row ~w:13
+    [ "dist"; "shards"; "cap"; "ns/get"; "hit rate"; "bypassed"; "vs off" ];
+  let caps = [ 0; 512; 8192 ] in
+  let max_cap = List.fold_left max 0 caps in
+  let window = 64 in
+  List.iter
+    (fun dist ->
+      List.iter
+        (fun nshards ->
+          let base_ns = ref 0. in
+          List.iter
+            (fun cap ->
+              Gc.compact ();
+              let t = build ~cache_cap:cap nshards in
+              let reqs = gen_requests ~seed:21 ~dist total_ops in
+              let ngets =
+                Array.fold_left
+                  (fun a r ->
+                    match r with Serve.Get _ -> a + 1 | _ -> a)
+                  0 reqs
+              in
+              let sv = Serve.create ~batch_cap:32 t in
+              (* warm pass: everything windowed, fills the cache *)
+              let q = Queue.create () in
+              Array.iter
+                (fun r ->
+                  if Queue.length q >= window then
+                    ignore (Serve.await sv (Queue.pop q));
+                  Queue.push (Serve.submit sv r) q)
+                reqs;
+              Queue.iter (fun tk -> ignore (Serve.await sv tk)) q;
+              Queue.clear q;
+              Shard.reset_stats t;
+              (* timed pass: puts ride the window, gets are dependent *)
+              let t_get = ref 0. in
+              Array.iter
+                (fun r ->
+                  match r with
+                  | Serve.Get _ ->
+                    let t0 = now_mono () in
+                    ignore (Serve.await sv (Serve.submit sv r));
+                    t_get := !t_get +. (now_mono () -. t0)
+                  | _ ->
+                    if Queue.length q >= window then
+                      ignore (Serve.await sv (Queue.pop q));
+                    Queue.push (Serve.submit sv r) q)
+                reqs;
+              Queue.iter (fun tk -> ignore (Serve.await sv tk)) q;
+              Serve.stop sv;
+              let rc = Shard.merged_cache_stats t in
+              let hr = Spp_pmemkv.Rcache.hit_rate rc in
+              let ns_get = !t_get /. float_of_int (max 1 ngets) *. 1e9 in
+              if cap = 0 then base_ns := ns_get;
+              let speedup = !base_ns /. Float.max ns_get 1e-9 in
+              print_row ~w:13
+                [ dist_label dist; string_of_int nshards; string_of_int cap;
+                  Printf.sprintf "%.0f" ns_get;
+                  (if cap = 0 then "-" else fmt_pct hr);
+                  string_of_int (Serve.bypassed_gets sv);
+                  (if cap = 0 then "1.00x"
+                   else Printf.sprintf "%.2fx" speedup) ];
+              let nm what =
+                Printf.sprintf "%s/shards%d/cap%d/%s" (dist_label dist)
+                  nshards cap what
+              in
+              jemit ~experiment:"cache" ~name:(nm "ns_per_get")
+                ~metric:"ns_per_get" ~unit_:"ns"
+                ~extra:
+                  [ ("hit_rate", Json_out.J_float hr);
+                    ("hits", Json_out.J_int rc.Spp_pmemkv.Rcache.rc_hits);
+                    ("misses", Json_out.J_int rc.Spp_pmemkv.Rcache.rc_misses);
+                    ("invalidations",
+                     Json_out.J_int rc.Spp_pmemkv.Rcache.rc_invalidations);
+                    ("bypassed_gets",
+                     Json_out.J_int (Serve.bypassed_gets sv)) ]
+                ns_get;
+              if cap > 0 then
+                jemit ~experiment:"cache" ~name:(nm "speedup")
+                  ~metric:"speedup_vs_cache_off" speedup;
+              if dist = `Zipfian && cap = max_cap
+                 && nshards = List.fold_left max 1 shard_counts
+              then
+                Printf.printf "  zipfian ns/get improvement %.2fx %s\n"
+                  speedup
+                  (if speedup >= 2.0 then "(>= 2x: OK)"
+                   else "(below the 2x bar!)"))
+            caps)
+        shard_counts)
+    [ `Uniform; `Zipfian ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1116,6 +1363,7 @@ let experiments =
     ("pipeline", pipeline);
     ("scaleout", scaleout);
     ("serve", serve);
+    ("cache", cache);
   ]
 
 let () =

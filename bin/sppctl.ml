@@ -352,11 +352,27 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
   in
-  let run variant nshards batch_cap ops window =
+  let cache_cap_arg =
+    let doc =
+      "Per-shard DRAM read-cache entries. A get hitting the cache is \
+       answered on the submitting thread without entering the shard's \
+       queue. 0 disables the cache."
+    in
+    Arg.(value & opt int 4096 & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the read cache (same as --cache-cap 0)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run variant nshards batch_cap ops window cache_cap no_cache =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards and window = max 1 window in
-    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards variant in
+    let cache_cap = if no_cache then 0 else max 0 cache_cap in
+    let t =
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~nshards
+        variant
+    in
     for i = 0 to nshards - 1 do
       Spp_sim.Memdev.set_tracking
         (Spp_pmdk.Pool.dev (Shard.shard_access (Shard.shard t i)).Spp_access.pool)
@@ -409,7 +425,13 @@ let serve_cmd =
        %d batched ops, %d fences saved by group commit\n"
       c.Spp_sim.Memdev.stores c.Spp_sim.Memdev.flushes c.Spp_sim.Memdev.fences
       (float_of_int c.Spp_sim.Memdev.fences /. float_of_int ops)
-      c.Spp_sim.Memdev.batched_ops c.Spp_sim.Memdev.fences_saved
+      c.Spp_sim.Memdev.batched_ops c.Spp_sim.Memdev.fences_saved;
+    if Shard.cache_enabled t then begin
+      let rc = Shard.merged_cache_stats t in
+      Format.printf "read cache (%d entries/shard): %a, %d bypassed gets@."
+        cache_cap Spp_pmemkv.Rcache.pp_stats rc (Serve.bypassed_gets sv)
+    end
+    else print_endline "read cache: disabled"
   in
   Cmd.v
     (Cmd.info "serve"
@@ -417,9 +439,10 @@ let serve_cmd =
          "Drive the asynchronous batched serving pipeline: per-shard \
           submission queues drained in adaptive batches, each batch \
           group-committed through one coalesced redo flush and fence \
-          schedule")
+          schedule. A per-shard DRAM read cache (--cache-cap) answers \
+          hot gets on the submitting thread, bypassing the queue")
     Term.(const run $ variant_arg $ shards_arg $ batch_cap_arg
-          $ serve_ops_arg $ window_arg)
+          $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg)
 
 let () =
   let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in

@@ -21,9 +21,11 @@ type t = {
   counts : int array;
   mutable total : int;
   mutable vmax : int;   (* exact maximum recorded value *)
+  mutable vsum : int;   (* exact sum of recorded values *)
 }
 
-let create () = { counts = Array.make n_buckets 0; total = 0; vmax = 0 }
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; vmax = 0; vsum = 0 }
 
 let msb v =
   (* position of the highest set bit; v > 0 *)
@@ -52,16 +54,24 @@ let add t v =
   let v = max 0 v in
   t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
   t.total <- t.total + 1;
-  if v > t.vmax then t.vmax <- v
+  if v > t.vmax then t.vmax <- v;
+  t.vsum <- t.vsum + v
 
 let count t = t.total
 let max_value t = t.vmax
+
+(* Exact arithmetic mean of the recorded values (the buckets quantize
+   percentiles, not the sum); 0. for an empty recorder. *)
+let mean t =
+  if t.total = 0 then 0.
+  else float_of_int t.vsum /. float_of_int t.total
 
 let merge a b =
   let m = create () in
   Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
   m.total <- a.total + b.total;
   m.vmax <- max a.vmax b.vmax;
+  m.vsum <- a.vsum + b.vsum;
   m
 
 (* Value at quantile [p] in [0, 100]: the upper bound of the bucket

@@ -18,6 +18,7 @@ type t = {
   nbuckets : int;
   buckets : Oid.t;                 (* array object of oid slots *)
   locks : Mutex.t array;           (* lock striping *)
+  mutable cache : Rcache.t option; (* volatile DRAM read cache *)
 }
 
 let nstripes = 256
@@ -35,14 +36,8 @@ let f_value (a : Spp_access.t) klen = a.oid_size + 16 + klen
 
 let entry_size (a : Spp_access.t) ~klen ~vlen = a.oid_size + 16 + klen + vlen
 
-let hash s =
-  (* FNV-1a on 63-bit words *)
-  let h = ref 0x3bf29ce484222325 in
-  String.iter
-    (fun c ->
-      h := (!h lxor Char.code c) * 0x100000001b3)
-    s;
-  !h land max_int
+(* FNV-1a on 63-bit words; shared with the read cache's set index. *)
+let hash = Rcache.hash
 
 let create ?(nbuckets = 4096) (a : Spp_access.t) =
   let buckets =
@@ -50,17 +45,33 @@ let create ?(nbuckets = 4096) (a : Spp_access.t) =
       a.tx_palloc ~zero:true (nbuckets * a.oid_size))
   in
   { a; nbuckets; buckets;
-    locks = Array.init nstripes (fun _ -> Mutex.create ()) }
+    locks = Array.init nstripes (fun _ -> Mutex.create ());
+    cache = None }
 
 let buckets_oid t = t.buckets
 
 let attach (a : Spp_access.t) ~buckets =
   (* The bucket count is recovered from the array object's durable
-     requested size — the oid is all a reopening process needs to keep. *)
+     requested size — the oid is all a reopening process needs to keep.
+     The cache is volatile by design: a reopened map always starts cold
+     (attach a fresh one with [set_cache] if wanted). *)
   let nbuckets = Pool.alloc_size a.pool buckets / a.oid_size in
   if nbuckets <= 0 then invalid_arg "Cmap.attach: bucket array too small";
   { a; nbuckets; buckets;
-    locks = Array.init nstripes (fun _ -> Mutex.create ()) }
+    locks = Array.init nstripes (fun _ -> Mutex.create ());
+    cache = None }
+
+let set_cache t c = t.cache <- c
+let cache t = t.cache
+
+(* Probe without touching PM — the serve layer's fast path calls this
+   from submitting domains, where the shard's simulator state (Space
+   stats, Memdev) must not be mutated. *)
+let cache_probe t key =
+  match t.cache with None -> None | Some rc -> Rcache.probe rc key
+
+let cache_invalidate t key =
+  match t.cache with None -> () | Some rc -> Rcache.invalidate rc key
 
 let bucket_of t key = hash key mod t.nbuckets
 
@@ -111,15 +122,28 @@ let mk_entry t ~key ~value ~next =
   oid
 
 let get t key =
-  let b = bucket_of t key in
-  with_bucket t b (fun () ->
-    match find_slot t (bucket_slot_ptr t b) key with
-    | None -> None
-    | Some (_, _, p) -> Some (entry_value t p))
+  match cache_probe t key with
+  | Some _ as hit -> hit
+  | None ->
+    let b = bucket_of t key in
+    with_bucket t b (fun () ->
+      match find_slot t (bucket_slot_ptr t b) key with
+      | None -> None
+      | Some (_, _, p) ->
+        let v = entry_value t p in
+        (* Fill while still holding the bucket stripe: a same-key writer
+           serializes on it, so a stale value can never be resurrected
+           over a newer put. *)
+        (match t.cache with Some rc -> Rcache.insert rc key v | None -> ());
+        Some v)
 
 let put t ~key ~value =
   let b = bucket_of t key in
   with_bucket t b (fun () ->
+    (* Write-through invalidation, before the mutation commits: readers
+       fall through to PM (and wait on this stripe) rather than ever
+       seeing the cache ahead of — or behind — the durable state. *)
+    cache_invalidate t key;
     let slot = bucket_slot_ptr t b in
     match find_slot t slot key with
     | Some (slot_ptr, old, p) ->
@@ -147,6 +171,7 @@ let put t ~key ~value =
 let remove t key =
   let b = bucket_of t key in
   with_bucket t b (fun () ->
+    cache_invalidate t key;
     match find_slot t (bucket_slot_ptr t b) key with
     | None -> false
     | Some (slot_ptr, oid, p) ->
@@ -257,6 +282,11 @@ let b_put t bt ~key ~value =
   let p = t.a.pool in
   let slot = bucket_slot_off t (bucket_of t key) in
   Redo.batch_op_begin bt;
+  (* Invalidate at stage time, before the deferred commit: a concurrent
+     fast-path reader must never observe a value newer than the durable
+     state allows under the whole-op-prefix guarantee, and the stale
+     pre-batch entry must die before this op's staged words exist. *)
+  cache_invalidate t key;
   (match b_find_slot t bt slot key with
    | Some (slot_off, old) ->
      let next = Pool.batch_load_oid p bt ~off:(old.Oid.off + f_next) in
@@ -284,6 +314,7 @@ let b_remove t bt key =
   let p = t.a.pool in
   let slot = bucket_slot_off t (bucket_of t key) in
   Redo.batch_op_begin bt;
+  cache_invalidate t key;
   let r =
     match b_find_slot t bt slot key with
     | None -> false
@@ -297,13 +328,34 @@ let b_remove t bt key =
   r
 
 let run_batch t ops =
-  Pool.with_batch t.a.pool (fun bt ->
-    Array.map
-      (function
-        | B_put { key; value } -> b_put t bt ~key ~value; R_put
-        | B_get key -> R_get (b_get t bt key)
-        | B_remove key -> R_removed (b_remove t bt key))
-      ops)
+  let replies =
+    Pool.with_batch t.a.pool (fun bt ->
+      Array.map
+        (function
+          | B_put { key; value } -> b_put t bt ~key ~value; R_put
+          | B_get key -> R_get (b_get t bt key)
+          | B_remove key -> R_removed (b_remove t bt key))
+        ops)
+  in
+  (* The batch is committed: everything the ops read or wrote is durable
+     now, so replay their cache effects in op order — a get fills the
+     value it returned, a put fills the value it made durable, a remove
+     drops the key. Replay order makes a later same-key mutation win
+     over an earlier get's fill, so no stale value is resurrected. On a
+     crash the exception propagates before this point and only the eager
+     stage-time invalidations remain — conservative, never wrong. *)
+  (match t.cache with
+   | None -> ()
+   | Some rc ->
+     Array.iteri
+       (fun i op ->
+         match (op, replies.(i)) with
+         | B_get key, R_get (Some v) -> Rcache.insert rc key v
+         | B_get _, _ -> ()
+         | B_put { key; value }, _ -> Rcache.insert rc key value
+         | B_remove key, _ -> Rcache.invalidate rc key)
+       ops);
+  replies
 
 let count_all t =
   let n = ref 0 in

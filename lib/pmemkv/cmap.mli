@@ -14,7 +14,33 @@ val create : ?nbuckets:int -> Spp_access.t -> t
 
 val attach : Spp_access.t -> buckets:Spp_pmdk.Oid.t -> t
 (** Re-attach to an existing map after a pool reopen; the bucket count is
-    recovered from the bucket array's durable allocation size. *)
+    recovered from the bucket array's durable allocation size. The read
+    cache is volatile by design, so a reattached map always starts cold
+    ([cache] is [None] until {!set_cache}). *)
+
+(** {1 Volatile DRAM read cache}
+
+    An optional {!Rcache.t} fronts the PM chain walks. [get] probes it
+    lock-free before taking the bucket stripe and fills it on a miss;
+    every mutation site invalidates write-through — [put]/[remove]
+    inside the bucket stripe before the transaction, the batched
+    [b_put]/[b_remove] paths at stage time before the deferred commit —
+    so the cache can never serve a value newer than the durable state
+    allows, and [run_batch] replays fills only after its commit
+    returns. Purely volatile: no simulated PM traffic, no new crash
+    points, gone on reopen. *)
+
+val set_cache : t -> Rcache.t option -> unit
+val cache : t -> Rcache.t option
+
+val cache_probe : t -> string -> string option
+(** Probe the cache without touching PM; safe from any domain (the serve
+    layer's read fast path). [None] when no cache is attached. *)
+
+val cache_invalidate : t -> string -> unit
+(** Drop a key from the cache if one is attached; safe from any domain.
+    The serve layer calls this on mutation submission so a same-client
+    get can never hit ahead of its own queued write. *)
 
 val buckets_oid : t -> Spp_pmdk.Oid.t
 (** The bucket-array oid — store it in a durable slot (e.g. the pool

@@ -1,0 +1,61 @@
+(** Volatile DRAM read cache fronting the Cmap PM chain walks.
+
+    Fixed-capacity, power-of-two, set-associative (4-way) map from key
+    to value, keyed by the same FNV-1a hash as the Cmap buckets. Lives
+    entirely on the OCaml heap: it issues no simulated PM accesses, adds
+    no durability events, and is gone after a pool reopen — a reattached
+    map always starts cold.
+
+    Readers are lock-free from any domain: per-entry seqlock stamps make
+    a torn probe read as a miss, never a wrong value. Writers (fills and
+    invalidations) serialize on a small striped mutex array. The
+    intended single steady-state writer is the owning shard's worker
+    domain (post-commit fills, stage-time invalidations); submitting
+    domains may additionally invalidate on mutation submission, which
+    the striping makes safe. *)
+
+type t
+
+type stats = {
+  rc_hits : int;            (** probes answered from the cache *)
+  rc_misses : int;          (** probes that fell through to PM *)
+  rc_invalidations : int;   (** entries dropped by a mutation *)
+  rc_fills : int;           (** entries installed *)
+}
+
+val create : cap:int -> t
+(** [cap] is the total entry capacity; rounded up so the set count is a
+    power of two of 4-way sets. Raises [Invalid_argument] on [cap <= 0]. *)
+
+val capacity : t -> int
+
+val probe : t -> string -> string option
+(** Lock-free lookup; callable from any domain. Counts a hit or miss. *)
+
+val insert : t -> string -> string -> unit
+(** Install or overwrite [key]'s entry (evicting round-robin within its
+    set when full). The value must be durable at call time: fills come
+    from committed reads, never staged state. *)
+
+val invalidate : t -> string -> unit
+(** Drop [key]'s entry if present. Mutation sites call this at stage
+    time — before the deferred commit — so a concurrent reader can
+    never observe a value newer than the durable state allows. *)
+
+val clear : t -> unit
+
+val live : t -> int
+(** Number of valid entries (test aid; racy while writers run). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val zero_stats : stats
+val merge_stats : stats list -> stats
+(** Elementwise sum, for per-shard caches after the drivers join. *)
+
+val hit_rate : stats -> float
+val pp_stats : Format.formatter -> stats -> unit
+
+val hash : string -> int
+(** FNV-1a folded to the 63-bit word; [Cmap.hash] aliases this. *)

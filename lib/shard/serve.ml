@@ -64,6 +64,8 @@ type t = {
   boxes : mailbox array;
   batch_cap : int;
   adaptive : bool;
+  bypass : bool;            (* answer cache-hit gets on the submitter *)
+  bypassed : int Atomic.t;  (* gets that never saw a mailbox *)
   mutable workers : unit Domain.t array;
   mutable results : shard_stats array;   (* valid after [stop] *)
   mutable stopped : bool;
@@ -148,7 +150,17 @@ let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true) store =
   let n = Shard.nshards store in
   let t =
     { store; boxes = Array.init n (fun _ -> mk_box ());
-      batch_cap; adaptive; workers = [||];
+      batch_cap; adaptive;
+      (* The read fast path answers a cache-hit [Get] on the submitting
+         thread, skipping the mailbox and the worker domain. It is safe
+         from any domain — the probe touches only the volatile Rcache,
+         never the shard's single-domain simulator state — but it makes
+         batch boundaries depend on cache contents, so deterministic
+         mode ([adaptive = false], the differential-test configuration)
+         keeps every request on the mailbox path. *)
+      bypass = adaptive && Shard.cache_enabled store;
+      bypassed = Atomic.make 0;
+      workers = [||];
       results =
         Array.init n (fun i ->
           { ss_shard = i; ss_ops = 0; ss_batches = 0; ss_max_batch = 0;
@@ -160,8 +172,7 @@ let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true) store =
 
 let shard_of t req = Shard.route t.store (request_key req)
 
-let submit t req =
-  let i = shard_of t req in
+let submit_queued t i req =
   let box = t.boxes.(i) in
   let tk =
     { tk_shard = i; tk_submitted = Spp_benchlib.Bench_util.now_mono ();
@@ -177,18 +188,50 @@ let submit t req =
   Mutex.unlock box.mu;
   tk
 
+let submit t req =
+  let i = shard_of t req in
+  let kv = Shard.shard_kv (Shard.shard t.store i) in
+  (* Submission-time invalidation: by the time a mutation is visible in
+     the mailbox, no later probe — from this client or any other — can
+     hit the value it is about to replace. Combined with the stage-time
+     invalidation inside the batch, this gives read-your-writes to a
+     client that pipelines a put and then a bypassed get. *)
+  (match req with
+   | Put { key; _ } | Remove key -> Spp_pmemkv.Cmap.cache_invalidate kv key
+   | Get _ -> ());
+  (* Read fast path: a cache hit is already durable data (fills only
+     come from committed batches), so answer on the submitting thread
+     with a pre-fulfilled ticket and never touch the mailbox. *)
+  match req with
+  | Get key when t.bypass ->
+    (match Spp_pmemkv.Cmap.cache_probe kv key with
+     | Some v ->
+       Atomic.incr t.bypassed;
+       { tk_shard = i;
+         tk_submitted = Spp_benchlib.Bench_util.now_mono ();
+         tk_reply = Some (Value (Some v)) }
+     | None -> submit_queued t i req)
+  | _ -> submit_queued t i req
+
 let await t tk =
-  if not (started t) then
-    invalid_arg "Serve.await: pipeline not started (autostart:false)";
-  let box = t.boxes.(tk.tk_shard) in
-  Mutex.lock box.mu;
-  while tk.tk_reply = None do
-    Condition.wait box.done_ box.mu
-  done;
-  Mutex.unlock box.mu;
-  match tk.tk_reply with Some r -> r | None -> assert false
+  match tk.tk_reply with
+  | Some r -> r   (* bypassed get: fulfilled at submission *)
+  | None ->
+    if not (started t) then
+      invalid_arg "Serve.await: pipeline not started (autostart:false)";
+    let box = t.boxes.(tk.tk_shard) in
+    Mutex.lock box.mu;
+    while tk.tk_reply = None do
+      Condition.wait box.done_ box.mu
+    done;
+    Mutex.unlock box.mu;
+    (match tk.tk_reply with Some r -> r | None -> assert false)
 
 let peek tk = tk.tk_reply
+
+let bypassed_gets t = Atomic.get t.bypassed
+
+let cache_stats t = Shard.merged_cache_stats t.store
 
 (* Drain everything still queued, then join the workers. Safe to call
    once; afterwards [stats]/[merged_*] read race-free. *)
@@ -231,22 +274,56 @@ let store t = t.store
    pipeline that was fully pre-enqueued before [start], batch boundaries
    match, so replies, Space stats and Memdev counters must all be
    bit-identical. *)
-let run_sequential store ~batch_cap streams =
+let run_sequential ?(use_cache = true) store ~batch_cap streams =
   if Array.length streams <> Shard.nshards store then
     invalid_arg "Serve.run_sequential: stream count <> shard count";
   Array.mapi
     (fun i reqs ->
       let kv = Shard.shard_kv (Shard.shard store i) in
+      let cached = use_cache && Spp_pmemkv.Cmap.cache kv <> None in
       let n = Array.length reqs in
       let out = Array.make n Done in
       let pos = ref 0 in
       while !pos < n do
+        (* Chunk boundaries sit at fixed *request* positions, whether or
+           not some gets get peeled off by the cache below — so the
+           partition of mutations into group commits, and with it every
+           Memdev counter, is a pure function of the request stream,
+           identical cache-on and cache-off. (Gets stage no redo
+           entries, so peeling them changes no fence schedule either.) *)
         let len = min batch_cap (n - !pos) in
-        let chunk =
-          Array.init len (fun j -> to_cmap_op reqs.(!pos + j))
-        in
-        let replies = Spp_pmemkv.Cmap.run_batch kv chunk in
-        Array.iteri (fun j r -> out.(!pos + j) <- of_cmap_reply r) replies;
+        if not cached then begin
+          let chunk = Array.init len (fun j -> to_cmap_op reqs.(!pos + j)) in
+          let replies = Spp_pmemkv.Cmap.run_batch kv chunk in
+          Array.iteri (fun j r -> out.(!pos + j) <- of_cmap_reply r) replies
+        end
+        else begin
+          (* Peel cache-hit gets in request order. A mutation must
+             invalidate *at collection time*: a later same-chunk get
+             would otherwise hit the pre-mutation cached value instead
+             of observing the staged op inside the batch. *)
+          let kept = ref [] and nkept = ref 0 in
+          for j = 0 to len - 1 do
+            let idx = !pos + j in
+            match reqs.(idx) with
+            | Get key as r ->
+              (match Spp_pmemkv.Cmap.cache_probe kv key with
+               | Some v -> out.(idx) <- Value (Some v)
+               | None -> kept := (idx, to_cmap_op r) :: !kept; incr nkept)
+            | (Put { key; _ } | Remove key) as r ->
+              Spp_pmemkv.Cmap.cache_invalidate kv key;
+              kept := (idx, to_cmap_op r) :: !kept; incr nkept
+          done;
+          if !nkept > 0 then begin
+            let kept = Array.of_list (List.rev !kept) in
+            let replies =
+              Spp_pmemkv.Cmap.run_batch kv (Array.map snd kept)
+            in
+            Array.iteri
+              (fun j r -> out.(fst kept.(j)) <- of_cmap_reply r)
+              replies
+          end
+        end;
         pos := !pos + len
       done;
       out)

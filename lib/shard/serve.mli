@@ -12,7 +12,20 @@
 
     Crash atomicity is per operation (recovery lands on a prefix of
     whole ops of an interrupted batch); a fulfilled ticket additionally
-    means the op's sub-batch committed — acks are durable. *)
+    means the op's sub-batch committed — acks are durable.
+
+    {b Read fast path.} When the store has a {!Spp_pmemkv.Rcache}
+    attached and the pipeline is adaptive, a [Get] whose key hits the
+    cache is answered immediately on the submitting thread with a
+    pre-fulfilled ticket — no mailbox, no worker domain, no PM walk.
+    This is sound because fills only come from committed batches (the
+    hit is durable data) and every mutation invalidates its key at
+    submission time, before it becomes visible in the mailbox, so a
+    client that pipelines a put and then a get of the same key can
+    never be answered from ahead of its own write. Deterministic mode
+    ([adaptive = false]) disables the bypass: batch boundaries stay a
+    pure function of the submitted streams and the bit-identical
+    async-vs-sequential differential still holds. *)
 
 type request =
   | Put of { key : string; value : string }
@@ -50,13 +63,24 @@ val start : t -> unit
 val started : t -> bool
 
 val submit : t -> request -> ticket
-(** Route by key to the owning shard's mailbox. Callable from any
-    domain. Raises once {!stop} has begun. *)
+(** Route by key to the owning shard's mailbox — or, for a cache-hit
+    [Get] on an adaptive cached pipeline, answer it inline and return a
+    pre-fulfilled ticket. Mutations invalidate their key in the shard's
+    read cache before enqueueing. Callable from any domain. Raises once
+    {!stop} has begun (a bypassed get may still succeed: it is
+    read-only and touches no queue). *)
 
 val await : t -> ticket -> reply
-(** Block until the ticket's batch has committed. *)
+(** Block until the ticket's batch has committed (immediate for a
+    bypassed get). *)
 
 val peek : ticket -> reply option
+
+val bypassed_gets : t -> int
+(** Gets answered on the submitting thread without entering a mailbox. *)
+
+val cache_stats : t -> Spp_pmemkv.Rcache.stats
+(** [Shard.merged_cache_stats] of the underlying store. *)
 
 val stop : t -> unit
 (** Drain all queues, join the workers. Idempotent; required before
@@ -68,10 +92,18 @@ val total_batches : t -> int
 val store : t -> Shard.t
 
 val run_sequential :
+  ?use_cache:bool ->
   Shard.t -> batch_cap:int -> request array array -> reply array array
 (** The deterministic baseline: per-shard streams executed on the
     calling domain, chunked at exactly [batch_cap], through the same
-    group-commit path. *)
+    group-commit path. When the store has a cache and [use_cache] is
+    true (default), cache-hit gets inside each chunk are answered
+    inline and only the remainder enters the batch; chunk boundaries
+    stay at fixed request positions and gets stage no redo entries, so
+    replies, the durable image and every Memdev counter are
+    bit-identical to a cache-off run of the same streams — the
+    cache-differential property the tests assert. [use_cache:false]
+    forces the pure PM path even on a cached store. *)
 
 val digest_replies : reply array -> int
 (** Order-sensitive digest; two executions agree only if every reply

@@ -53,7 +53,8 @@ let shard_of_key ~nshards key =
 
 let route t key = shard_of_key ~nshards:(Array.length t.shards) key
 
-let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ~nshards variant =
+let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
+    ~nshards variant =
   if nshards <= 0 then invalid_arg "Shard.create: nshards must be positive";
   let shards =
     Array.init nshards (fun index ->
@@ -64,7 +65,13 @@ let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ~nshards variant =
                index)
           variant
       in
-      { index; access; kv = Spp_pmemkv.Cmap.create ~nbuckets access })
+      let kv = Spp_pmemkv.Cmap.create ~nbuckets access in
+      (* One DRAM read cache per shard: single worker-domain writer on
+         the serving path, lock-free readers from any submitting domain. *)
+      if cache_cap > 0 then
+        Spp_pmemkv.Cmap.set_cache kv
+          (Some (Spp_pmemkv.Rcache.create ~cap:cache_cap));
+      { index; access; kv })
   in
   { shards; variant }
 
@@ -99,9 +106,25 @@ let merged_counters t =
           (fun s -> Spp_sim.Memdev.counters (Pool.dev s.access.Spp_access.pool))
           t.shards))
 
+let merged_cache_stats t =
+  Spp_pmemkv.Rcache.merge_stats
+    (Array.to_list
+       (Array.map
+          (fun s ->
+            match Spp_pmemkv.Cmap.cache s.kv with
+            | Some rc -> Spp_pmemkv.Rcache.stats rc
+            | None -> Spp_pmemkv.Rcache.zero_stats)
+          t.shards))
+
+let cache_enabled t =
+  Array.exists (fun s -> Spp_pmemkv.Cmap.cache s.kv <> None) t.shards
+
 let reset_stats t =
   Array.iter
     (fun s ->
       Spp_sim.Space.reset_stats s.access.Spp_access.space;
-      Spp_sim.Memdev.reset_counters (Pool.dev s.access.Spp_access.pool))
+      Spp_sim.Memdev.reset_counters (Pool.dev s.access.Spp_access.pool);
+      match Spp_pmemkv.Cmap.cache s.kv with
+      | Some rc -> Spp_pmemkv.Rcache.reset_stats rc
+      | None -> ())
     t.shards

@@ -13,10 +13,13 @@ type shard
 type t
 
 val create :
-  ?nbuckets:int -> ?pool_size:int -> nshards:int -> Spp_access.variant -> t
+  ?nbuckets:int -> ?pool_size:int -> ?cache_cap:int -> nshards:int ->
+  Spp_access.variant -> t
 (** [create ~nshards variant] builds [nshards] independent shards, each
     with its own pool ([pool_size] bytes, default 8 MiB) and cmap engine
-    ([nbuckets] buckets per shard, default 1024). *)
+    ([nbuckets] buckets per shard, default 1024). [cache_cap > 0]
+    additionally attaches a volatile {!Spp_pmemkv.Rcache} of that many
+    entries to every shard (default 0: no cache). *)
 
 val nshards : t -> int
 val variant : t -> Spp_access.variant
@@ -52,4 +55,12 @@ val count_all : t -> int
 
 val merged_stats : t -> Spp_sim.Space.stats
 val merged_counters : t -> Spp_sim.Memdev.counters
+
+val merged_cache_stats : t -> Spp_pmemkv.Rcache.stats
+(** Elementwise sum of the per-shard read-cache counters; all zero when
+    no shard has a cache attached. *)
+
+val cache_enabled : t -> bool
+
 val reset_stats : t -> unit
+(** Also resets the per-shard read-cache counters (not their contents). *)

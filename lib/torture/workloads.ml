@@ -172,7 +172,16 @@ let counter ?(variant = Spp_access.Spp) ?(ops = 24) () =
    Oracle: the durable keys must form a *prefix* of the batch program —
    some k with keys 1..k present and byte-exact, keys k+1..ops-1 absent,
    and key 1 carrying its updated value exactly when k = ops. A torn op,
-   a hole, or an out-of-order commit all break the prefix shape. *)
+   a hole, or an out-of-order commit all break the prefix shape.
+
+   The tortured phase runs with a DRAM read cache attached, so crash
+   points interleave with its stage-time invalidations and post-commit
+   fills — which must add zero durability events. The oracle then also
+   proves the cache cannot leak across a crash: the reattached map
+   starts cold, and with a fresh cache attached every key is read twice
+   (cold fill, then warm hit) with both reads byte-equal — so no value
+   that was only staged in an uncommitted batch can ever be served,
+   from PM or from cache. *)
 let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
   let ops = max 3 ops in
   let updated_value = "value-redux" in
@@ -182,6 +191,7 @@ let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
     in
     let pool = a.Spp_access.pool in
     let map = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+    Spp_pmemkv.Cmap.set_cache map (Some (Spp_pmemkv.Rcache.create ~cap:64));
     let root = a.Spp_access.root a.Spp_access.oid_size in
     Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid map);
     Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
@@ -207,13 +217,32 @@ let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
       let root' = Pool.root_oid pool' in
       let buckets = Pool.load_oid pool' ~off:root'.Oid.off in
       let map' = Spp_pmemkv.Cmap.attach a' ~buckets in
-      let v1 = Spp_pmemkv.Cmap.get map' (kv_key 1) in
-      (* committed prefix length over ops 2..ops-1 (distinct keys) *)
-      let k = ref (if v1 = None then 0 else 1) in
       let err = ref None in
       let fail msg = if !err = None then err := Some msg in
+      (* The cache is volatile: reopen must start cold, with no channel
+         by which the pre-crash cache could survive the power cycle. *)
+      if Spp_pmemkv.Cmap.cache map' <> None then
+        fail "reattached map did not start with a cold cache";
+      (* Run the oracle itself through a fresh cache: the first read of
+         each key fills from the recovered durable state, the second
+         must hit warm and agree byte-for-byte — any divergence means
+         the cache served something the durable image does not hold
+         (e.g. a value only staged in the interrupted batch). *)
+      Spp_pmemkv.Cmap.set_cache map'
+        (Some (Spp_pmemkv.Rcache.create ~cap:64));
+      let get2 key =
+        let cold = Spp_pmemkv.Cmap.get map' key in
+        let warm = Spp_pmemkv.Cmap.get map' key in
+        if cold <> warm then
+          fail
+            (Printf.sprintf "cache diverged from durable state on %S" key);
+        cold
+      in
+      let v1 = get2 (kv_key 1) in
+      (* committed prefix length over ops 2..ops-1 (distinct keys) *)
+      let k = ref (if v1 = None then 0 else 1) in
       for i = 2 to ops - 1 do
-        match Spp_pmemkv.Cmap.get map' (kv_key i) with
+        match get2 (kv_key i) with
         | Some v ->
           if v <> kv_value i then
             fail (Printf.sprintf "op %d torn: %S" i v)
@@ -237,6 +266,18 @@ let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
            fail (Printf.sprintf "op 1 torn: %S" v));
       if !err = None && !k < acked then
         fail (Printf.sprintf "prefix %d < %d acked" !k acked);
+      (* Explicit staged-visibility pass: every op beyond the committed
+         prefix was at most *staged* in the interrupted batch, and its
+         key must answer None on both the cold and warm read. *)
+      if !err = None then
+        for i = max 2 (!k + 1) to ops - 1 do
+          match get2 (kv_key i) with
+          | None -> ()
+          | Some v ->
+            fail
+              (Printf.sprintf
+                 "uncommitted op %d visible after crash: %S" i v)
+        done;
       match !err with None -> Ok () | Some msg -> Error msg
     in
     { Torture.access = a; mutate; check }

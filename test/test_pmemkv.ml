@@ -76,6 +76,63 @@ let test_crash_durability () =
   Alcotest.(check (option string)) "committed remove durable" None
     (Spp_pmemkv.Cmap.get kv "gone-after-remove")
 
+(* Reopen-after-churn: heavy put/remove traffic (with a warm read cache
+   attached) must leave a durable image that a fresh process — a new
+   Memdev built from the durable snapshot, Pool.open_dev, attach — reads
+   back exactly: same count, same survivors, and a cold cache, since the
+   Rcache is volatile by design. *)
+let test_attach_after_remove_churn () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:32 a in
+  Spp_pmemkv.Cmap.set_cache kv (Some (Spp_pmemkv.Rcache.create ~cap:64));
+  let pool = a.Spp_access.pool in
+  let root = a.Spp_access.root a.Spp_access.oid_size in
+  Pool.store_oid pool ~off:root.Spp_pmdk.Oid.off
+    (Spp_pmemkv.Cmap.buckets_oid kv);
+  Pool.persist pool ~off:root.Spp_pmdk.Oid.off ~len:a.Spp_access.oid_size;
+  let model = Hashtbl.create 64 in
+  let st = Random.State.make [| 2026 |] in
+  let key i = Printf.sprintf "churn-%03d" i in
+  (* Remove-heavy churn: every key is put, most are removed again, some
+     several times over, and gets keep the cache warm throughout. *)
+  for round = 1 to 4 do
+    for i = 0 to 199 do
+      let k = key i in
+      let v = Printf.sprintf "r%d-%d" round i in
+      Spp_pmemkv.Cmap.put kv ~key:k ~value:v;
+      Hashtbl.replace model k v;
+      ignore (Spp_pmemkv.Cmap.get kv k);
+      if Random.State.int st 4 < 3 then begin
+        check_bool "remove live key" true (Spp_pmemkv.Cmap.remove kv k);
+        Hashtbl.remove model k
+      end
+    done
+  done;
+  check_int "live count before reopen" (Hashtbl.length model)
+    (Spp_pmemkv.Cmap.count_all kv);
+  (* A fresh device from the durable snapshot — nothing volatile can
+     leak across, by construction. *)
+  let img = Spp_sim.Memdev.durable_snapshot (Pool.dev pool) in
+  let dev' = Spp_sim.Memdev.of_image ~name:"churn-reopen" img in
+  let space' = Spp_sim.Space.create () in
+  match Pool.open_dev space' ~base:Spp_access.default_pool_base dev' with
+  | Error e -> Alcotest.failf "reopen failed: %s" (Pool.pool_error_to_string e)
+  | Ok (pool', _report) ->
+    let a' = Spp_access.attach (Pool.space pool') pool' in
+    let buckets =
+      Pool.load_oid pool' ~off:(Pool.root_oid pool').Spp_pmdk.Oid.off
+    in
+    let kv' = Spp_pmemkv.Cmap.attach a' ~buckets in
+    check_bool "reattached map starts cold" true
+      (Spp_pmemkv.Cmap.cache kv' = None);
+    check_int "count survives reopen" (Hashtbl.length model)
+      (Spp_pmemkv.Cmap.count_all kv');
+    for i = 0 to 199 do
+      Alcotest.(check (option string)) ("survivor " ^ key i)
+        (Hashtbl.find_opt model (key i))
+        (Spp_pmemkv.Cmap.get kv' (key i))
+    done
+
 let test_large_values () =
   let a = mk Spp_access.Spp in
   let kv = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
@@ -110,6 +167,8 @@ let () =
             test_overwrite_same_and_different_size;
           Alcotest.test_case "oracle random ops" `Quick test_oracle_random_ops;
           Alcotest.test_case "crash durability" `Quick test_crash_durability;
+          Alcotest.test_case "attach after remove-heavy churn" `Quick
+            test_attach_after_remove_churn;
           Alcotest.test_case "1 KiB values" `Quick test_large_values;
         ] );
       ( "db_bench",

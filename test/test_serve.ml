@@ -100,6 +100,22 @@ let test_histogram_merge () =
   check_int "p50 of union" (Histogram.percentile u 50.)
     (Histogram.percentile (Histogram.merge b a) 50.)
 
+let test_histogram_mean () =
+  let h = Histogram.create () in
+  check_int "empty count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Histogram.mean h);
+  List.iter (Histogram.add h) [ 10; 20; 30; 100 ];
+  (* the mean is exact — it comes from the value sum, not the buckets *)
+  Alcotest.(check (float 1e-9)) "exact mean" 40. (Histogram.mean h);
+  check_int "count" 4 (Histogram.count h);
+  let g = Histogram.create () in
+  List.iter (Histogram.add g) [ 0; 0 ];
+  let m = Histogram.merge h g in
+  Alcotest.(check (float 1e-9)) "merged mean reweights" (160. /. 6.)
+    (Histogram.mean m);
+  Alcotest.(check (float 0.)) "all-zero values still mean 0" 0.
+    (Histogram.mean g)
+
 (* --- Cmap.run_batch --------------------------------------------------- *)
 
 let mk_map ?(nbuckets = 32) variant =
@@ -215,8 +231,8 @@ let serve_streams ~nshards ~ops =
     reqs;
   Array.map (fun l -> Array.of_list (List.rev l)) streams
 
-let build_serve_store ?(nshards = 2) ?(tracking = false) () =
-  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 22) ~nshards
+let build_serve_store ?(nshards = 2) ?(tracking = false) ?(cache_cap = 0) () =
+  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 22) ~cache_cap ~nshards
       Spp_access.Spp in
   if tracking then
     for i = 0 to nshards - 1 do
@@ -359,6 +375,164 @@ let test_serve_adaptive_batching () =
   check_bool "cap respected" true (s.Serve.ss_max_batch <= 32);
   check_bool "fewer batches than ops" true (s.Serve.ss_batches < 500)
 
+(* --- Read cache ------------------------------------------------------- *)
+
+(* Get-heavy streams over a small hot set, with removes mixed in so the
+   invalidation paths are on the differential too. *)
+let cache_streams ~nshards ~ops =
+  let st = Random.State.make [| 0xCAFE; nshards; ops |] in
+  let reqs =
+    Array.init ops (fun i ->
+      let key =
+        if Random.State.int st 4 < 3 then
+          Spp_pmemkv.Db_bench.key_of_int (Random.State.int st 8)
+        else Spp_pmemkv.Db_bench.key_of_int (Random.State.int st 48)
+      in
+      match i mod 8 with
+      | 0 -> Serve.Put { key; value = value_256 }
+      | 1 when i mod 40 = 33 -> Serve.Remove key
+      | _ -> Serve.Get key)
+  in
+  let streams = Array.make nshards [] in
+  Array.iter
+    (fun r ->
+      let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+      streams.(s) <- r :: streams.(s))
+    reqs;
+  Array.map (fun l -> Array.of_list (List.rev l)) streams
+
+(* The tentpole's safety property: a cached sequential run must be
+   bit-identical to a cache-off run of the same streams — every reply,
+   every Memdev counter (loads are not simulated events and fills stage
+   nothing), and the recovered durable image. *)
+let test_cache_sequential_differential () =
+  let nshards = 2 and ops = 1_600 and batch_cap = 16 in
+  let streams = cache_streams ~nshards ~ops in
+  let t_on = build_serve_store ~nshards ~tracking:true ~cache_cap:256 () in
+  let t_off = build_serve_store ~nshards ~tracking:true () in
+  check_bool "cache attached" true (Shard.cache_enabled t_on);
+  check_bool "cache absent" false (Shard.cache_enabled t_off);
+  let r_on = Serve.run_sequential t_on ~batch_cap streams in
+  let r_off = Serve.run_sequential t_off ~batch_cap streams in
+  Array.iteri
+    (fun i off ->
+      check_int
+        (Printf.sprintf "shard %d reply digest" i)
+        (Serve.digest_replies off)
+        (Serve.digest_replies r_on.(i)))
+    r_off;
+  check_bool "merged Memdev counters identical" true
+    (Shard.merged_counters t_on = Shard.merged_counters t_off);
+  (* Loads are where the cache pays off — everything on the store side
+     (the durability-relevant traffic) must not move by a single byte,
+     while the cached run must do strictly less PM reading. *)
+  let s_on = Shard.merged_stats t_on and s_off = Shard.merged_stats t_off in
+  check_int "pm_stores identical" s_off.Spp_sim.Space.pm_stores
+    s_on.Spp_sim.Space.pm_stores;
+  check_int "pm_bytes_stored identical" s_off.Spp_sim.Space.pm_bytes_stored
+    s_on.Spp_sim.Space.pm_bytes_stored;
+  check_int "vol_stores identical" s_off.Spp_sim.Space.vol_stores
+    s_on.Spp_sim.Space.vol_stores;
+  check_bool "cache hits skip PM loads" true
+    (s_on.Spp_sim.Space.pm_loads < s_off.Spp_sim.Space.pm_loads);
+  let rc = Shard.merged_cache_stats t_on in
+  check_bool "the cached run actually hit" true (rc.Rcache.rc_hits > 0);
+  check_bool "and invalidated" true (rc.Rcache.rc_invalidations > 0);
+  (* Durable images: crash both stores (dropping all volatile state,
+     including the cache) and compare what recovery brings back. *)
+  let recovered t =
+    Array.init nshards (fun i ->
+      let sh = Shard.shard t i in
+      let pool = (Shard.shard_access sh).Spp_access.pool in
+      let buckets = Cmap.buckets_oid (Shard.shard_kv sh) in
+      ignore (Spp_pmdk.Pool.crash_and_recover pool);
+      let a' = Spp_access.attach (Spp_pmdk.Pool.space pool) pool in
+      let kv' = Cmap.attach a' ~buckets in
+      check_bool "recovered map starts cold" true (Cmap.cache kv' = None);
+      ( Cmap.count_all kv',
+        List.init 48 (fun k ->
+          Cmap.get kv' (Spp_pmemkv.Db_bench.key_of_int k)) ))
+  in
+  let img_on = recovered t_on and img_off = recovered t_off in
+  check_bool "recovered durable contents identical" true (img_on = img_off)
+
+(* use_cache:false on a cached store must take the pure PM path. *)
+let test_run_sequential_use_cache_off () =
+  let nshards = 2 in
+  let t = build_serve_store ~nshards ~cache_cap:256 () in
+  let streams = cache_streams ~nshards ~ops:400 in
+  ignore (Serve.run_sequential ~use_cache:false t ~batch_cap:16 streams);
+  check_int "no probes with use_cache:false" 0
+    (Shard.merged_cache_stats t).Rcache.rc_hits
+
+(* The async fast path: on an adaptive cached pipeline, hot gets are
+   answered on the submitting thread, replies still match the model, and
+   a pipelined put-then-get of one key can never be answered from ahead
+   of the write (submit-time invalidation). *)
+let test_serve_bypass_fast_path () =
+  let nshards = 2 in
+  let t = build_serve_store ~nshards ~cache_cap:256 () in
+  let serve = Serve.create ~batch_cap:8 t in
+  for i = 0 to 63 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    ignore (Serve.await serve (Serve.submit serve (Serve.Put { key; value = "v0" })))
+  done;
+  (* Awaited puts committed, so their batch replay filled the cache:
+     these gets bypass the mailbox entirely. *)
+  for i = 0 to 63 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    match Serve.await serve (Serve.submit serve (Serve.Get key)) with
+    | Serve.Value (Some "v0") -> ()
+    | _ -> Alcotest.fail "wrong value from fast path"
+  done;
+  check_bool "gets bypassed the mailbox" true (Serve.bypassed_gets serve > 0);
+  (* Read-your-writes across the pipeline: submit a put and, without
+     awaiting it, a get of the same key. The get must see the new value
+     (the submit invalidated the cache, so it queued behind the put). *)
+  let key = Spp_pmemkv.Db_bench.key_of_int 7 in
+  let tk_put = Serve.submit serve (Serve.Put { key; value = "v1" }) in
+  let tk_get = Serve.submit serve (Serve.Get key) in
+  (match Serve.await serve tk_get with
+   | Serve.Value (Some "v1") -> ()
+   | Serve.Value v ->
+     Alcotest.failf "pipelined get saw %s, not its own write"
+       (match v with Some s -> s | None -> "None")
+   | _ -> Alcotest.fail "reply shape");
+  ignore (Serve.await serve tk_put);
+  Serve.stop serve;
+  let s = Serve.cache_stats serve in
+  check_bool "cache stats exposed" true (s.Rcache.rc_fills > 0)
+
+(* Deterministic mode must ignore the cache: no bypass, and the async
+   run stays bit-identical to the uncached sequential baseline. *)
+let test_cache_deterministic_mode () =
+  let nshards = 2 and batch_cap = 16 in
+  let streams = cache_streams ~nshards ~ops:800 in
+  let t_seq = build_serve_store ~nshards ~tracking:true ~cache_cap:256 () in
+  let t_par = build_serve_store ~nshards ~tracking:true ~cache_cap:256 () in
+  let seq_replies =
+    Serve.run_sequential ~use_cache:false t_seq ~batch_cap streams
+  in
+  let serve = Serve.create ~batch_cap ~adaptive:false ~autostart:false t_par in
+  let tickets =
+    Array.map (Array.map (fun req -> (req, Serve.submit serve req))) streams
+  in
+  Serve.start serve;
+  let par_replies =
+    Array.map (Array.map (fun (_, tk) -> Serve.await serve tk)) tickets
+  in
+  Serve.stop serve;
+  check_int "deterministic mode never bypasses" 0 (Serve.bypassed_gets serve);
+  Array.iteri
+    (fun i seq ->
+      check_int
+        (Printf.sprintf "shard %d reply digest" i)
+        (Serve.digest_replies seq)
+        (Serve.digest_replies par_replies.(i)))
+    seq_replies;
+  check_bool "merged Memdev counters identical" true
+    (Shard.merged_counters t_seq = Shard.merged_counters t_par)
+
 (* --- Divergence diagnostics ------------------------------------------- *)
 
 let test_explain_divergence () =
@@ -417,6 +591,8 @@ let () =
           Alcotest.test_case "percentiles conservative + monotone" `Quick
             test_histogram_percentiles;
           Alcotest.test_case "merge associative" `Quick test_histogram_merge;
+          Alcotest.test_case "count and mean (incl. empty)" `Quick
+            test_histogram_mean;
         ] );
       ( "run_batch",
         [
@@ -440,6 +616,17 @@ let () =
             test_serve_differential;
           Alcotest.test_case "adaptive batch sizing" `Quick
             test_serve_adaptive_batching;
+        ] );
+      ( "read cache",
+        [
+          Alcotest.test_case "cache-on = cache-off differential" `Quick
+            test_cache_sequential_differential;
+          Alcotest.test_case "use_cache:false takes the PM path" `Quick
+            test_run_sequential_use_cache_off;
+          Alcotest.test_case "bypass fast path + read-your-writes" `Quick
+            test_serve_bypass_fast_path;
+          Alcotest.test_case "deterministic mode ignores the cache" `Quick
+            test_cache_deterministic_mode;
         ] );
       ( "diagnostics",
         [
