@@ -1345,6 +1345,213 @@ let cache () =
     [ `Uniform; `Zipfian ]
 
 (* ------------------------------------------------------------------ *)
+(* Failover (ours): batch replication, primary kill and promotion      *)
+(* ------------------------------------------------------------------ *)
+
+(* Three parts. (1) Correctness gate, deterministic and timing-free: a
+   crash-point enumeration of the replicated batch program (torture
+   workload "kvfailover", plus its lossy-channel variant) must report
+   zero invariant failures — the promoted replica serves a whole-op
+   prefix that never leads cold recovery of the primary, lags it by at
+   most one commit on a lossless channel, and holds every acked op. A
+   failed gate prints the first failure and no timing number is valid.
+   (2) Ack-policy sweep, steady state: the same Zipfian put/get load
+   through the async pipeline with replication off / async / semi-sync
+   / sync, reporting throughput, serving p99 and the replication-lag
+   histogram — what each ack guarantee costs. (3) Kill + promote under
+   load: drive half the requests, power the hot shard's device off,
+   promote its replica (timed), drive the rest; reports whole-run
+   throughput, p99, the typed-failure count and the promotion stall. *)
+
+let failover () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  print_title "Failover: batch replication, primary kill and promotion";
+  (* -- part 1: correctness gate -- *)
+  let gate_budget = if quick then 120 else max_int in
+  let gate_reports =
+    List.map
+      (fun w -> Spp_torture.Torture.run ~budget:gate_budget w)
+      [ Spp_torture.Workloads.kvfailover ~ops:8 ();
+        Spp_torture.Workloads.kvfailover_drop ~ops:8 () ]
+  in
+  let gate_ok =
+    List.for_all
+      (fun r -> r.Spp_torture.Torture.r_invariant_failures = 0)
+      gate_reports
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "gate %s: %d crash points, %d invariant failures%s\n"
+        r.Spp_torture.Torture.r_workload
+        r.Spp_torture.Torture.r_crash_points
+        r.Spp_torture.Torture.r_invariant_failures
+        (match r.Spp_torture.Torture.r_first_failure with
+         | None -> ""
+         | Some (i, msg) -> Printf.sprintf " (first at %d: %s)" i msg);
+      jemit ~experiment:"failover"
+        ~name:("gate/" ^ r.Spp_torture.Torture.r_workload)
+        ~metric:"identical"
+        ~extra:
+          [ ("crash_points",
+             Json_out.J_int r.Spp_torture.Torture.r_crash_points) ]
+        (if r.Spp_torture.Torture.r_invariant_failures = 0 then 1. else 0.))
+    gate_reports;
+  if not gate_ok then
+    Printf.printf "!! GATE FAILED — timing numbers below are invalid\n";
+  (* -- shared load shape -- *)
+  let nshards =
+    match domains_cap with Some c when c < 2 -> 1 | _ -> 2
+  in
+  let universe = sc 1_000 in
+  let total_ops = sc 16_000 in
+  let value = String.make 256 'v' in
+  let window = 64 in
+  Printf.printf
+    "(%d shards, %d-key universe, %d requests, zipfian 0.99, 1:3 put:get, \
+     256 B values, window %d)\n"
+    nshards universe total_ops window;
+  let gen_requests ~seed n =
+    let gen = Keygen.zipfian ~theta:0.99 ~seed ~universe () in
+    let st = Random.State.make [| seed; 0xFA170 |] in
+    Array.init n (fun _ ->
+      let key = Spp_pmemkv.Db_bench.key_of_int (Keygen.next gen) in
+      if Random.State.int st 4 = 0 then Serve.Put { key; value }
+      else Serve.Get key)
+  in
+  let build () =
+    let t =
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards
+        Spp_access.Spp
+    in
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  let drive sv reqs lo hi =
+    let q = Queue.create () in
+    for i = lo to hi - 1 do
+      if Queue.length q >= window then ignore (Serve.await sv (Queue.pop q));
+      Queue.push (Serve.submit sv reqs.(i)) q
+    done;
+    Queue.iter (fun tk -> ignore (Serve.await sv tk)) q
+  in
+  let us v = float_of_int v /. 1e3 in
+  (* -- part 2: ack-policy sweep -- *)
+  print_subtitle "ack-policy sweep (1 replica per shard, threaded appliers)";
+  print_row ~w:12
+    [ "policy"; "ops/s"; "p50 us"; "p99 us"; "lag p50 us"; "lag p99 us";
+      "degraded" ];
+  List.iter
+    (fun policy ->
+      Gc.compact ();
+      let t = build () in
+      let replication =
+        Option.map
+          (fun p ->
+            { Replica.default_config with
+              replicas = 1; policy = p; threaded = true })
+          policy
+      in
+      let sv = Serve.create ~batch_cap:32 ?replication t in
+      let reqs = gen_requests ~seed:31 total_ops in
+      let dt, () = time (fun () -> drive sv reqs 0 total_ops) in
+      Serve.stop sv;
+      let h = Serve.merged_hist sv in
+      let lag = Serve.replication_lag sv in
+      let degraded =
+        List.fold_left
+          (fun a s -> a + s.Replica.rs_degraded_acks)
+          0
+          (Serve.replication_stats sv)
+      in
+      let label =
+        match policy with
+        | None -> "off"
+        | Some p -> Replica.ack_policy_to_string p
+      in
+      let tp = float_of_int total_ops /. dt in
+      print_row ~w:12
+        [ label; Printf.sprintf "%.0f" tp;
+          Printf.sprintf "%.1f" (us (Histogram.p50 h));
+          Printf.sprintf "%.1f" (us (Histogram.p99 h));
+          (if policy = None then "-"
+           else Printf.sprintf "%.1f" (us (Histogram.p50 lag)));
+          (if policy = None then "-"
+           else Printf.sprintf "%.1f" (us (Histogram.p99 lag)));
+          (if policy = None then "-" else string_of_int degraded) ];
+      jemit ~experiment:"failover" ~name:("policy/" ^ label ^ "/throughput")
+        ~metric:"ops_per_s" ~unit_:"op/s"
+        ~extra:
+          [ ("p50_us", Json_out.J_float (us (Histogram.p50 h)));
+            ("p99_us", Json_out.J_float (us (Histogram.p99 h)));
+            ("degraded_acks", Json_out.J_int degraded) ]
+        tp;
+      if policy <> None then
+        jemit ~experiment:"failover" ~name:("policy/" ^ label ^ "/lag")
+          ~metric:"lag_us" ~unit_:"us"
+          ~extra:
+            [ ("p99_us", Json_out.J_float (us (Histogram.p99 lag)));
+              ("commits", Json_out.J_int (Histogram.count lag)) ]
+          (us (Histogram.p50 lag)))
+    [ None; Some Replica.Async; Some Replica.Semi_sync; Some Replica.Sync ];
+  (* -- part 3: kill + promote under load -- *)
+  print_subtitle "kill + promote mid-run (semi-sync, 1 replica per shard)";
+  Gc.compact ();
+  let t = build () in
+  let sv =
+    Serve.create ~batch_cap:32
+      ~replication:
+        { Replica.default_config with
+          replicas = 1; policy = Replica.Semi_sync; threaded = true }
+      t
+  in
+  let reqs = gen_requests ~seed:41 total_ops in
+  let half = total_ops / 2 in
+  let burst = min (2 * window) (total_ops - half) in
+  let dt, promote_s =
+    time (fun () ->
+      drive sv reqs 0 half;
+      (* the window is drained: the worker is idle, kill its device *)
+      Spp_sim.Memdev.power_off
+        (Pool.dev (Shard.shard_access (Shard.shard t 0)).Spp_access.pool);
+      (* drain a burst against the dead primary before promoting: its
+         share of these tickets must resolve [Failed Failed_over], not
+         hang, while the other shard keeps serving.  (Requests still
+         queued when the promotion lands would instead execute on the
+         promoted stack — awaiting here pins the drains to the dead
+         device so the typed-failure path is what gets measured.) *)
+      let in_flight =
+        Array.init burst (fun j -> Serve.submit sv reqs.(half + j))
+      in
+      Array.iter (fun tk -> ignore (Serve.await sv tk)) in_flight;
+      let p_dt, _p = time (fun () -> Serve.promote sv 0) in
+      drive sv reqs (half + burst) total_ops;
+      p_dt)
+  in
+  Serve.stop sv;
+  let h = Serve.merged_hist sv in
+  let failed = Serve.total_failed sv in
+  let tp = float_of_int total_ops /. dt in
+  Printf.printf
+    "whole run: %.0f op/s, p50 %.1f us, p99 %.1f us; promotion stall %.2f \
+     ms; %d tickets failed typed; %d promotion(s)\n"
+    tp
+    (us (Histogram.p50 h))
+    (us (Histogram.p99 h))
+    (promote_s *. 1e3) failed (Serve.promotions sv);
+  jemit ~experiment:"failover" ~name:"kill/throughput" ~metric:"ops_per_s"
+    ~unit_:"op/s"
+    ~extra:
+      [ ("p50_us", Json_out.J_float (us (Histogram.p50 h)));
+        ("p99_us", Json_out.J_float (us (Histogram.p99 h)));
+        ("failed_tickets", Json_out.J_int failed);
+        ("promotions", Json_out.J_int (Serve.promotions sv)) ]
+    tp;
+  jemit ~experiment:"failover" ~name:"kill/promotion_stall" ~metric:"ms"
+    ~unit_:"ms" (promote_s *. 1e3)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1364,6 +1571,7 @@ let experiments =
     ("scaleout", scaleout);
     ("serve", serve);
     ("cache", cache);
+    ("failover", failover);
   ]
 
 let () =

@@ -8,7 +8,8 @@
      check     run an index workload under the pmemcheck trace checker
      explore   pmreorder-style crash-state exploration of an index op
      torture   systematic crash-point enumeration with media faults
-     serve     drive the async batched serving pipeline (group commit) *)
+     serve     drive the async batched serving pipeline (group commit)
+     failover  kill a shard's primary mid-run and promote its replica *)
 
 open Cmdliner
 
@@ -263,7 +264,9 @@ let torture_cmd =
   let workload_arg =
     let doc =
       "Workload to torture: kvstore, pmemlog, counter, kvbatch \
-       (group-committed multi-put), or all."
+       (group-committed multi-put), kvfailover (replicated batch with \
+       promotion differential), kvfailover-drop (same over a lossy \
+       channel), or all."
     in
     Arg.(value & opt string "all" & info [ "workload" ] ~docv:"NAME" ~doc)
   in
@@ -308,7 +311,8 @@ let torture_cmd =
          | None ->
            prerr_endline
              ("unknown workload " ^ name
-              ^ " (expected kvstore | pmemlog | counter | kvbatch | all)");
+              ^ " (expected kvstore | pmemlog | counter | kvbatch | \
+                 kvfailover | kvfailover-drop | all)");
            exit 2)
     in
     let failed = ref false in
@@ -364,11 +368,42 @@ let serve_cmd =
     let doc = "Disable the read cache (same as --cache-cap 0)." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
-  let run variant nshards batch_cap ops window cache_cap no_cache =
+  let replicas_arg =
+    let doc =
+      "Warm replica stacks per shard. 0 disables replication; with N > \
+       0 every group-committed batch is shipped to N standbys and the \
+       batch's tickets are acknowledged per --ack-policy."
+    in
+    Arg.(value & opt int 0 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let ack_policy_arg =
+    let doc =
+      "Replication ack policy: async (acknowledge immediately), \
+       semi-sync (wait for one replica to apply), or sync (wait for \
+       every live replica)."
+    in
+    Arg.(value & opt string "semi-sync"
+         & info [ "ack-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let run variant nshards batch_cap ops window cache_cap no_cache replicas
+      ack_policy =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards and window = max 1 window in
     let cache_cap = if no_cache then 0 else max 0 cache_cap in
+    let policy =
+      match Replica.ack_policy_of_string ack_policy with
+      | Some p -> p
+      | None ->
+        prerr_endline
+          ("unknown ack policy " ^ ack_policy
+           ^ " (expected async | semi-sync | sync)");
+        exit 2
+    in
+    let replication =
+      if replicas <= 0 then None
+      else Some { Replica.default_config with replicas; policy }
+    in
     let t =
       Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~nshards
         variant
@@ -379,7 +414,7 @@ let serve_cmd =
         true
     done;
     Shard.reset_stats t;
-    let sv = Serve.create ~batch_cap t in
+    let sv = Serve.create ~batch_cap ?replication t in
     let st = Random.State.make [| 0x5E12 |] in
     let value = String.make 256 'v' in
     let q = Queue.create () in
@@ -431,7 +466,28 @@ let serve_cmd =
       Format.printf "read cache (%d entries/shard): %a, %d bypassed gets@."
         cache_cap Spp_pmemkv.Rcache.pp_stats rc (Serve.bypassed_gets sv)
     end
-    else print_endline "read cache: disabled"
+    else print_endline "read cache: disabled";
+    match Serve.replication_stats sv with
+    | [] -> ()
+    | rs ->
+      List.iter
+        (fun s ->
+          Printf.printf
+            "  replication shard %d: %d/%d replicas live, %d commits \
+             shipped (%d ops), acked through %d, %d retries, %d degraded \
+             acks\n"
+            s.Replica.rs_shard s.Replica.rs_live s.Replica.rs_replicas
+            s.Replica.rs_seq s.Replica.rs_ops s.Replica.rs_acked_seq
+            s.Replica.rs_retries s.Replica.rs_degraded_acks)
+        rs;
+      let lag = Serve.replication_lag sv in
+      if Histogram.count lag > 0 then
+        Printf.printf
+          "replication lag (%s): p50 %.1f us, p99 %.1f us over %d commits\n"
+          (Replica.ack_policy_to_string policy)
+          (float_of_int (Histogram.p50 lag) /. 1e3)
+          (float_of_int (Histogram.p99 lag) /. 1e3)
+          (Histogram.count lag)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -440,9 +496,136 @@ let serve_cmd =
           submission queues drained in adaptive batches, each batch \
           group-committed through one coalesced redo flush and fence \
           schedule. A per-shard DRAM read cache (--cache-cap) answers \
-          hot gets on the submitting thread, bypassing the queue")
+          hot gets on the submitting thread, bypassing the queue. With \
+          --replicas N every batch is also shipped to N warm standbys \
+          per shard and acknowledged per --ack-policy")
     Term.(const run $ variant_arg $ shards_arg $ batch_cap_arg
-          $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg)
+          $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg
+          $ replicas_arg $ ack_policy_arg)
+
+(* failover *)
+
+let failover_cmd =
+  let shards_arg =
+    let doc = "Number of shards (one worker domain each)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Warm replica stacks per shard." in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let ack_policy_arg =
+    let doc = "Replication ack policy: async, semi-sync or sync." in
+    Arg.(value & opt string "semi-sync"
+         & info [ "ack-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let fo_ops_arg =
+    let doc = "Synthetic requests to submit (3:1 put:get over 512 keys)." in
+    Arg.(value & opt int 8_000 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let drop_rate_arg =
+    let doc = "Replication channel loss rate in [0, 1) (seeded, reproducible)." in
+    Arg.(value & opt float 0. & info [ "drop-rate" ] ~docv:"RATE" ~doc)
+  in
+  let run variant nshards replicas ack_policy ops drop_rate =
+    let open Spp_shard in
+    let open Spp_benchlib in
+    let nshards = max 1 nshards in
+    let policy =
+      match Replica.ack_policy_of_string ack_policy with
+      | Some p -> p
+      | None ->
+        prerr_endline
+          ("unknown ack policy " ^ ack_policy
+           ^ " (expected async | semi-sync | sync)");
+        exit 2
+    in
+    let cfg =
+      { Replica.default_config with
+        replicas = max 1 replicas; policy; drop_rate }
+    in
+    let t =
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 22) ~nshards variant
+    in
+    let sv = Serve.create ~batch_cap:32 ~replication:cfg t in
+    let st = Random.State.make [| 0xFA11 |] in
+    let value = String.make 128 'v' in
+    let fresh_req () =
+      let key = Printf.sprintf "key-%04d" (Random.State.int st 512) in
+      if Random.State.int st 4 = 3 then Serve.Get key
+      else Serve.Put { key; value }
+    in
+    let window = 64 in
+    let q = Queue.create () in
+    let submit req =
+      if Queue.length q >= window then ignore (Serve.await sv (Queue.pop q));
+      Queue.push (Serve.submit sv req) q
+    in
+    let drain () =
+      Queue.iter (fun tk -> ignore (Serve.await sv tk)) q;
+      Queue.clear q
+    in
+    let half = ops / 2 in
+    Printf.printf
+      "%d shard(s), %d replica(s)/shard, %s acks, %.0f%% channel loss\n"
+      nshards cfg.Replica.replicas
+      (Replica.ack_policy_to_string policy)
+      (drop_rate *. 100.);
+    for _ = 1 to half do submit (fresh_req ()) done;
+    drain ();
+    List.iter
+      (fun s ->
+        Printf.printf
+          "  shard %d: %d/%d replicas live, %d commits shipped (%d ops), \
+           acked through %d\n"
+          s.Replica.rs_shard s.Replica.rs_live s.Replica.rs_replicas
+          s.Replica.rs_seq s.Replica.rs_ops s.Replica.rs_acked_seq)
+      (Serve.replication_stats sv);
+    print_endline "powering off shard 0's primary device";
+    Spp_sim.Memdev.power_off
+      (Spp_pmdk.Pool.dev (Shard.shard_access (Shard.shard t 0)).Spp_access.pool);
+    (* drain a burst against the dead primary: shard 0's share must
+       resolve [Failed Failed_over], not hang, while the other shards
+       keep serving *)
+    let burst = 2 * window in
+    let tks = Array.init burst (fun _ -> Serve.submit sv (fresh_req ())) in
+    let failed = ref 0 and served = ref 0 in
+    Array.iter
+      (fun tk ->
+        match Serve.await sv tk with
+        | Serve.Failed Serve.Failed_over -> incr failed
+        | _ -> incr served)
+      tks;
+    Printf.printf
+      "burst of %d in flight: %d failed typed Failed_over, %d served by \
+       live shards\n"
+      burst !failed !served;
+    let dt, p = Bench_util.time (fun () -> Serve.promote sv 0) in
+    Printf.printf
+      "promoted replica %d of shard 0 in %.1f ms: sealed acked prefix = \
+       %d commits / %d ops\n"
+      p.Replica.pr_replica (dt *. 1e3) p.Replica.pr_seq p.Replica.pr_ops;
+    for _ = half + burst + 1 to ops do submit (fresh_req ()) done;
+    drain ();
+    Serve.stop sv;
+    let h = Serve.merged_hist sv in
+    Printf.printf
+      "whole run: %d requests, %d failed typed, %d promotion(s); p50 %.1f \
+       us, p99 %.1f us\n"
+      ops (Serve.total_failed sv) (Serve.promotions sv)
+      (float_of_int (Histogram.p50 h) /. 1e3)
+      (float_of_int (Histogram.p99 h) /. 1e3)
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Demonstrate primary kill and replica promotion: drive the \
+          replicated serving pipeline, power off one shard's device \
+          mid-run, show in-flight tickets failing with a typed \
+          Failed_over, promote the shard's warm replica and finish the \
+          run on the new primary")
+    Term.(const run $ variant_arg $ shards_arg $ replicas_arg
+          $ ack_policy_arg $ fo_ops_arg $ drop_rate_arg)
 
 let () =
   let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in
@@ -451,4 +634,4 @@ let () =
        (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc)
           [ info_cmd; decode_cmd; attack_cmd; index_cmd; check_cmd;
             explore_cmd; pool_demo_cmd; pool_open_cmd; torture_cmd;
-            serve_cmd ]))
+            serve_cmd; failover_cmd ]))

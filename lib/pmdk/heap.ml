@@ -140,6 +140,8 @@ let alloc_batched (t : Rep.t) (b : Redo.batch) ~size =
       Rep.store t (hoff + 8)
         (Rep.st_allocated lor (ci lsl Rep.st_class_shift));
       Spp_sim.Space.flush t.Rep.space (Rep.a t hoff) Rep.block_header_size;
+      (* direct header write: must travel in the replication payload *)
+      Redo.batch_note_write b ~off:hoff ~len:Rep.block_header_size;
       stage Rep.off_heap_bump new_bump;
       stage (hoff + 8) (publish_state ci);
       data_off

@@ -49,7 +49,8 @@ let make_rep space dev ~base ~size ~mode ~uuid =
     heap_base = Rep.heap_base_for ~ulog_cap;
     lock = Mutex.create ();
     tx_lock = Mutex.create ();
-    tx_ranges = []; tx_deferred_free = []; tx_depth = 0 }
+    tx_ranges = []; tx_deferred_free = []; tx_depth = 0;
+    batch_observer = None }
 
 let create space ~base ~size ~mode ~name =
   check_span ~base ~size mode;
@@ -363,6 +364,8 @@ let batch_stage_oid (t : Rep.t) b ~off (oid : Oid.t) =
     Redo.batch_stage b ~off:(off + 8) ~v:oid.Oid.uuid;
     Redo.batch_stage b ~off:(off + 16) ~v:oid.Oid.off
 
+let batch_note_write (_ : Rep.t) b ~off ~len = Redo.batch_note_write b ~off ~len
+
 let batch_alloc (t : Rep.t) b ~size = Heap.alloc_batched t b ~size
 
 let batch_free (t : Rep.t) b (oid : Oid.t) =
@@ -384,3 +387,17 @@ let addr_of_off (t : Rep.t) off = t.Rep.base + off
 let off_of_addr (t : Rep.t) addr = addr - t.Rep.base
 
 let heap_stats (t : Rep.t) = Heap.stats t
+
+(* Replication hooks: export committed sub-batches, import them on a
+   replica. See [Redo.apply_payload]. *)
+
+type batch_payload = Rep.batch_payload = {
+  p_entries : (int * int) list;
+  p_ops : int;
+  p_writes : (int * Bytes.t) list;
+}
+
+let set_batch_observer (t : Rep.t) obs = t.Rep.batch_observer <- obs
+let batch_observer (t : Rep.t) = t.Rep.batch_observer
+
+let apply_batch_payload (t : Rep.t) p = Redo.apply_payload t p

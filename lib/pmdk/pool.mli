@@ -154,6 +154,12 @@ val batch_alloc : t -> Redo.batch -> size:int -> Oid.t
 
 val batch_free : t -> Redo.batch -> Oid.t -> unit
 
+val batch_note_write : t -> Redo.batch -> off:int -> len:int -> unit
+(** Record a direct store the open batch op made past the log (a fresh
+    entry body written while unreachable): the range's committed bytes
+    join the op's commit in its replication payload
+    ({!Redo.batch_note_write}). *)
+
 (** {1 PMEMoid slots and raw words (pool offsets)} *)
 
 val load_oid : t -> off:int -> Oid.t
@@ -172,3 +178,35 @@ val off_of_addr : t -> int -> int
 (** {1 Accounting} *)
 
 val heap_stats : t -> Heap.stats
+
+(** {1 Replication}
+
+    Group-committed batches can be replicated: an observer installed on
+    the primary fires once per committed sub-batch with a
+    {!batch_payload} — the commit's redo entries plus the direct-write
+    blobs that bypassed the log — strictly after the commit is durable,
+    so a payload never describes state a crash could take back.
+    Applying the payload stream in order onto a pool opened from the
+    primary's durable image ({!Spp_sim.Memdev.of_image} +
+    {!open_dev}) keeps the replica bit-identical to the primary after
+    every shipped commit. Only the batched path ([with_batch] /
+    [Cmap.run_batch]) is replicated; the transactional and atomic APIs
+    are not observed. *)
+
+type batch_payload = Rep.batch_payload = {
+  p_entries : (int * int) list;    (** redo entries, application order *)
+  p_ops : int;                     (** whole operations covered *)
+  p_writes : (int * Bytes.t) list; (** direct ranges (pool off, bytes) *)
+}
+
+val set_batch_observer : t -> (batch_payload -> unit) option -> unit
+(** Install (or clear) the per-commit observer. The observer runs on
+    the committing domain, inside the batch's critical section; an
+    exception it raises aborts the remainder of the batch (the
+    committed prefix stays durable). *)
+
+val batch_observer : t -> (batch_payload -> unit) option
+
+val apply_batch_payload : t -> batch_payload -> unit
+(** Import one shipped commit on a replica pool ({!Redo.apply_payload}):
+    blobs first, then entries through the full redo protocol. *)

@@ -82,6 +82,8 @@ type batch = {
   mutable b_finished : bool;
   mutable b_commits : int;                (* sub-batch commits issued *)
   mutable b_ops : int;                    (* entry-bearing ops, batch total *)
+  mutable b_writes_acc : (int * int) list; (* direct ranges (off, len), newest first *)
+  mutable b_writes_op : (int * int) list;  (* open op's direct ranges *)
 }
 
 let batch_begin (t : Rep.t) =
@@ -91,7 +93,8 @@ let batch_begin (t : Rep.t) =
     b_pins_op = Hashtbl.create 8;
     b_acc = []; b_acc_n = 0; b_acc_ops = 0;
     b_op = []; b_op_n = 0; b_in_op = false;
-    b_finished = false; b_commits = 0; b_ops = 0 }
+    b_finished = false; b_commits = 0; b_ops = 0;
+    b_writes_acc = []; b_writes_op = [] }
 
 let check_open b =
   if b.b_finished then invalid_arg "Redo.batch: already finished"
@@ -109,6 +112,17 @@ let batch_stage b ~off ~v =
   b.b_op_n <- b.b_op_n + 1;
   Hashtbl.replace b.b_overlay off v
 
+(* Record a direct store that bypassed the log (a fresh entry body, a
+   virgin block header): the range joins the op's write set and ships
+   with the commit's replication payload. The media effect already
+   happened — this is bookkeeping only, so an unreplicated pool pays one
+   list cons per range. *)
+let batch_note_write b ~off ~len =
+  check_open b;
+  if not b.b_in_op then
+    invalid_arg "Redo.batch_note_write: writes must belong to an operation";
+  b.b_writes_op <- (off, len) :: b.b_writes_op
+
 let batch_pin b off =
   check_open b;
   Hashtbl.replace b.b_pins_op off ()
@@ -124,16 +138,41 @@ let commit_acc b =
   if b.b_acc_n > 0 then begin
     let t = b.b_rep in
     let k = b.b_acc_ops in
+    let entries = List.rev b.b_acc in
+    let writes = List.rev b.b_writes_acc in
     let f0 = (Memdev.counters t.Rep.dev).Memdev.fences in
-    run t (List.rev b.b_acc);
+    run t entries;
     let spent = (Memdev.counters t.Rep.dev).Memdev.fences - f0 in
     Memdev.note_batch t.Rep.dev ~ops:k ~fences_saved:((k - 1) * spent);
     b.b_commits <- b.b_commits + 1;
     b.b_acc <- [];
     b.b_acc_n <- 0;
     b.b_acc_ops <- 0;
+    b.b_writes_acc <- [];
     (* the staged frees are durable now; their blocks are reusable *)
-    Hashtbl.reset b.b_pins_acc
+    Hashtbl.reset b.b_pins_acc;
+    (* Ship the commit to the replication layer, if any. The payload is
+       built only past the commit point — everything in it is durable on
+       the primary — and the write blobs are materialized from the view
+       after the entries applied, so overlapping staged words are
+       captured at their committed values. A crash between the commit
+       and this ship leaves replicas exactly one commit behind, which is
+       the lag the failover oracle bounds. *)
+    match t.Rep.batch_observer with
+    | None -> ()
+    | Some _ when Memdev.is_powered_off t.Rep.dev ->
+      (* A killed primary cannot send: the "commit" above was silently
+         discarded by the dead device, so shipping it would let a
+         replica lead what recovery of the primary can produce. *)
+      ()
+    | Some notify ->
+      let p_writes =
+        List.map
+          (fun (off, len) ->
+            (off, Space.read_bytes t.Rep.space (Rep.a t off) len))
+          writes
+      in
+      notify { Rep.p_entries = entries; p_ops = k; p_writes }
   end
 
 let batch_op_begin b =
@@ -154,6 +193,10 @@ let batch_op_end b =
     b.b_ops <- b.b_ops + 1;
     b.b_op <- [];
     b.b_op_n <- 0;
+    (* the op's direct writes ship with the commit its entries join —
+       never with an earlier overflow commit *)
+    b.b_writes_acc <- b.b_writes_op @ b.b_writes_acc;
+    b.b_writes_op <- [];
     Hashtbl.iter (fun off () -> Hashtbl.replace b.b_pins_acc off ())
       b.b_pins_op;
     Hashtbl.reset b.b_pins_op
@@ -167,6 +210,22 @@ let batch_finish b =
 
 let batch_commits b = b.b_commits
 let batch_ops b = b.b_ops
+
+(* Import side of replication: land the direct-write blobs first (the
+   ranges are unreachable on the replica until the entries publish
+   them, mirroring the primary's ordering), then run the entries
+   through the standard redo protocol — the replica's own log area
+   carries the commit, so a replica that later becomes primary recovers
+   exactly like one. *)
+let apply_payload (t : Rep.t) (p : Rep.batch_payload) =
+  List.iter
+    (fun (off, data) ->
+      Space.write_bytes t.Rep.space (Rep.a t off) data;
+      Space.flush t.Rep.space (Rep.a t off) (Bytes.length data))
+    p.Rep.p_writes;
+  match p.Rep.p_entries with
+  | [] -> ()
+  | entries -> run t entries
 
 let recover (t : Rep.t) =
   if Rep.load t Rep.off_redo_valid = 1 then begin

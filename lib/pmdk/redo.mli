@@ -48,6 +48,13 @@ val batch_op_end : batch -> unit
     atomic unit within the batch. [batch_op_end] may sub-commit the
     previously accumulated ops to make room. *)
 
+val batch_note_write : batch -> off:int -> len:int -> unit
+(** Record a direct store the open operation made past the log (fresh
+    entry bodies, virgin block headers — unreachable until a staged
+    word publishes them). The range's committed bytes join the
+    operation's commit in its replication payload. Bookkeeping only;
+    raises [Invalid_argument] outside an operation. *)
+
 val batch_pin : batch -> int -> unit
 (** Mark a pool offset (a freed block) as not reusable until the next
     commit makes its free durable. *)
@@ -62,3 +69,20 @@ val batch_commits : batch -> int
 
 val batch_ops : batch -> int
 (** Entry-bearing operations accumulated over the batch's lifetime. *)
+
+(** {1 Replication}
+
+    Each committed sub-batch can be exported as a {!Rep.batch_payload}
+    — its redo entries plus the direct-write blobs that bypassed the
+    log — through the pool's batch observer ([Rep.batch_observer], set
+    via [Pool.set_batch_observer]). The observer fires strictly after
+    the commit is durable on the primary, so a payload never describes
+    state the primary could lose. *)
+
+val apply_payload : Rep.t -> Rep.batch_payload -> unit
+(** Apply a shipped commit to a replica pool: direct-write blobs first,
+    then the entries through the full redo protocol (the replica's own
+    log carries the commit). Applying the payload stream in sequence
+    order onto a pool that started from the primary's durable image
+    keeps the replica's durable contents bit-identical to the primary's
+    state after each shipped commit. *)

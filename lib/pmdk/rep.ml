@@ -95,6 +95,19 @@ let st_allocated = 1
 let st_published = 2
 let st_class_shift = 8
 
+(* A committed redo sub-batch exported for replication: the staged
+   entries plus the direct-write ranges (entry bodies, virgin block
+   headers) that bypass the log. Applying [p_writes] then [p_entries]
+   on a pool whose durable image matched the primary's pre-commit state
+   reproduces the primary's post-commit state byte for byte — the
+   entries are idempotent and the write blobs are captured from the
+   view after the commit applied. *)
+type batch_payload = {
+  p_entries : (int * int) list;    (* redo entries, application order *)
+  p_ops : int;                     (* whole operations this commit covers *)
+  p_writes : (int * Bytes.t) list; (* direct ranges (pool off, bytes) *)
+}
+
 type t = {
   space : Space.t;
   dev : Memdev.t;
@@ -109,6 +122,9 @@ type t = {
   mutable tx_ranges : (int * int) list;  (* volatile mirror: ranges to flush at commit *)
   mutable tx_deferred_free : Oid.t list; (* volatile mirror of deferred frees *)
   mutable tx_depth : int;
+  mutable batch_observer : (batch_payload -> unit) option;
+    (* called by [Redo.commit_acc] after each committed sub-batch; the
+       replication layer ships the payload to replica stacks from here *)
 }
 
 let min_pool_size = 1 lsl 16

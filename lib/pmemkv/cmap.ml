@@ -276,6 +276,8 @@ let b_mk_entry t bt ~key ~value ~next =
   Spp_sim.Space.write_string space
     (Pool.addr_of_off p (eoff + f_value t.a klen)) value;
   Spp_sim.Space.flush space (Pool.addr_of_off p eoff) size;
+  (* the entry bytes bypassed the log: ship them with the commit *)
+  Pool.batch_note_write p bt ~off:eoff ~len:size;
   oid
 
 let b_put t bt ~key ~value =

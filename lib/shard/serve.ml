@@ -22,17 +22,53 @@
    Crash atomicity is per op, not per batch: recovery lands on a prefix
    of whole operations of the interrupted batch (torture workload
    "kvbatch" enumerates exactly this). Acks are stronger — a fulfilled
-   ticket means the op's sub-batch committed. *)
+   ticket means the op's sub-batch committed.
+
+   Failure semantics: a ticket resolves to [Failed] instead of hanging.
+   An op that raises fails its whole drain with [Op_raised] but leaves
+   the shard serving (the abandoned batch staged only volatile state;
+   locks unwind via [Fun.protect]). A primary whose device died —
+   [Memdev.power_off], the kill the failover torture injects — fails
+   the drain and every later request on that shard with [Failed_over]
+   until [promote] swaps in a replica stack. A [Failed] reply means the
+   op's outcome is unknown, not that it didn't happen: sub-batches that
+   committed before the failure are durable (and replicated), the rest
+   are not — standard failover ambiguity, resolved by the client
+   re-reading.
+
+   Replication rides the batch observer, so it sees exactly the batched
+   mutations: with [?replication] configured, all writes must flow
+   through this pipeline (the synchronous [Shard.put] tx path is
+   invisible to replicas). Workers gate ticket fulfilment on
+   [Replica.wait_acks] per the configured policy and run one heartbeat
+   round per drain; [promote] executes on the failed shard's own worker
+   domain — the only domain allowed inside the old stack — then repoints
+   the router via [Shard.set_shard]. *)
 
 type request =
   | Put of { key : string; value : string }
   | Get of string
   | Remove of string
 
+type failure =
+  | Op_raised of string   (* an op raised; outcome of the drain unknown *)
+  | Failed_over           (* primary died; resubmit after promotion *)
+
 type reply =
   | Done                     (* put committed *)
   | Value of string option   (* get result *)
   | Removed of bool
+  | Failed of failure        (* op not acked; outcome unknown *)
+
+exception Not_replicated of int
+
+let () =
+  Printexc.register_printer (function
+    | Not_replicated i ->
+      Some
+        (Printf.sprintf
+           "Serve.Not_replicated: shard %d has no replication group" i)
+    | _ -> None)
 
 let request_key = function
   | Put { key; _ } | Get key | Remove key -> key
@@ -45,10 +81,13 @@ type ticket = {
 
 type mailbox = {
   mu : Mutex.t;
-  work : Condition.t;   (* signaled on submit and stop; worker waits *)
+  work : Condition.t;   (* signaled on submit, stop, promote *)
   done_ : Condition.t;  (* broadcast on fulfilment; awaiters wait *)
   q : (request * ticket) Queue.t;
   mutable stop : bool;
+  mutable failed : bool;   (* device died: fail drains until promotion *)
+  mutable promote_req : int option;   (* Some cache_cap: promote now *)
+  mutable promoted : (Replica.promoted, string) result option;
 }
 
 type shard_stats = {
@@ -56,16 +95,19 @@ type shard_stats = {
   ss_ops : int;
   ss_batches : int;
   ss_max_batch : int;
+  ss_failed : int;                      (* tickets resolved [Failed] *)
   ss_hist : Spp_benchlib.Histogram.t;   (* latency, ns *)
 }
 
 type t = {
   store : Shard.t;
   boxes : mailbox array;
+  repl : Replica.t option array;   (* one group per shard, if configured *)
   batch_cap : int;
   adaptive : bool;
   bypass : bool;            (* answer cache-hit gets on the submitter *)
   bypassed : int Atomic.t;  (* gets that never saw a mailbox *)
+  promotions : int Atomic.t;
   mutable workers : unit Domain.t array;
   mutable results : shard_stats array;   (* valid after [stop] *)
   mutable stopped : bool;
@@ -81,60 +123,141 @@ let of_cmap_reply = function
   | Spp_pmemkv.Cmap.R_get v -> Value v
   | Spp_pmemkv.Cmap.R_removed b -> Removed b
 
+(* Resolve a drain's tickets. [Failed] still records latency — a failed
+   op occupied the pipeline for that long. *)
+let resolve box hist nfailed items replies =
+  let now = Spp_benchlib.Bench_util.now_mono () in
+  Mutex.lock box.mu;
+  Array.iteri
+    (fun j (_, tk) ->
+      let r = replies j in
+      (match r with Failed _ -> incr nfailed | _ -> ());
+      tk.tk_reply <- Some r;
+      Spp_benchlib.Histogram.add hist
+        (int_of_float ((now -. tk.tk_submitted) *. 1e9)))
+    items;
+  Condition.broadcast box.done_;
+  Mutex.unlock box.mu
+
+(* Promotion runs here, on the shard's own worker domain — the one
+   domain allowed inside the old stack — so the router swap can never
+   race a drain. The sealed group stays in [t.repl] for post-mortem
+   stats; [Replica.sealed] keeps it off the ack path. *)
+let do_promote t i box cache_cap =
+  let res =
+    match t.repl.(i) with
+    | None -> Error "no replication group"
+    | Some g ->
+      (try
+         let p = Replica.promote ~cache_cap g in
+         Shard.set_shard t.store i ~access:p.Replica.pr_access
+           ~kv:p.Replica.pr_kv;
+         Atomic.incr t.promotions;
+         Ok p
+       with
+       | Replica.Promotion_failed { reason; _ } -> Error reason
+       | e -> Error (Printexc.to_string e))
+  in
+  Mutex.lock box.mu;
+  box.promote_req <- None;
+  (match res with Ok _ -> box.failed <- false | Error _ -> ());
+  box.promoted <- Some res;
+  Condition.broadcast box.done_;
+  Mutex.unlock box.mu
+
 let worker t i =
   let box = t.boxes.(i) in
-  let kv = Shard.shard_kv (Shard.shard t.store i) in
   let hist = Spp_benchlib.Histogram.create () in
   let ops = ref 0 and batches = ref 0 and max_batch = ref 0 in
+  let nfailed = ref 0 in
   let cur = ref 1 in
   let running = ref true in
   while !running do
     Mutex.lock box.mu;
-    while Queue.is_empty box.q && not box.stop do
+    while Queue.is_empty box.q && not box.stop && box.promote_req = None do
       Condition.wait box.work box.mu
     done;
-    if Queue.is_empty box.q then begin
-      (* stop requested and the queue is drained *)
+    match box.promote_req with
+    | Some cap ->
       Mutex.unlock box.mu;
-      running := false
-    end
-    else begin
-      let want = if t.adaptive then !cur else t.batch_cap in
-      let n = min (Queue.length box.q) (min want t.batch_cap) in
-      let items = Array.init n (fun _ -> Queue.pop box.q) in
-      let backlog = Queue.length box.q in
-      Mutex.unlock box.mu;
-      if t.adaptive then
-        cur := if backlog > 0 then min (max (2 * !cur) 2) t.batch_cap
-               else max 1 (!cur / 2);
-      let replies =
-        Spp_pmemkv.Cmap.run_batch kv
-          (Array.map (fun (r, _) -> to_cmap_op r) items)
-      in
-      (* the batch is committed: fulfil the promises and record
-         submission-to-fulfilment latency *)
-      let now = Spp_benchlib.Bench_util.now_mono () in
-      Mutex.lock box.mu;
-      Array.iteri
-        (fun j (_, tk) ->
-          tk.tk_reply <- Some (of_cmap_reply replies.(j));
-          Spp_benchlib.Histogram.add hist
-            (int_of_float ((now -. tk.tk_submitted) *. 1e9)))
-        items;
-      Condition.broadcast box.done_;
-      Mutex.unlock box.mu;
-      ops := !ops + n;
-      incr batches;
-      if n > !max_batch then max_batch := n
-    end
+      do_promote t i box cap
+    | None ->
+      if Queue.is_empty box.q then begin
+        (* stop requested and the queue is drained *)
+        Mutex.unlock box.mu;
+        running := false
+      end
+      else begin
+        let want = if t.adaptive then !cur else t.batch_cap in
+        let n = min (Queue.length box.q) (min want t.batch_cap) in
+        let items = Array.init n (fun _ -> Queue.pop box.q) in
+        let backlog = Queue.length box.q in
+        let already_failed = box.failed in
+        Mutex.unlock box.mu;
+        if t.adaptive then
+          cur := if backlog > 0 then min (max (2 * !cur) 2) t.batch_cap
+                 else max 1 (!cur / 2);
+        if already_failed then
+          (* dead primary, not yet promoted: nothing to execute on *)
+          resolve box hist nfailed items (fun _ -> Failed Failed_over)
+        else begin
+          (* re-resolve the stack each drain: [promote] may have swapped
+             it since the last one *)
+          let sh = Shard.shard t.store i in
+          let kv = Shard.shard_kv sh in
+          let dev =
+            Spp_pmdk.Pool.dev (Shard.shard_access sh).Spp_access.pool
+          in
+          match
+            Spp_pmemkv.Cmap.run_batch kv
+              (Array.map (fun (r, _) -> to_cmap_op r) items)
+          with
+          | exception e ->
+            if Spp_sim.Memdev.is_powered_off dev then begin
+              Mutex.lock box.mu;
+              box.failed <- true;
+              Mutex.unlock box.mu;
+              resolve box hist nfailed items (fun _ -> Failed Failed_over)
+            end
+            else
+              (* the op's own failure: the abandoned batch staged only
+                 volatile state, so the shard keeps serving *)
+              resolve box hist nfailed items
+                (fun _ -> Failed (Op_raised (Printexc.to_string e)))
+          | replies ->
+            if Spp_sim.Memdev.is_powered_off dev then begin
+              (* the device died under the batch: its stores were
+                 silently discarded, so the "commit" is not durable —
+                 never ack it *)
+              Mutex.lock box.mu;
+              box.failed <- true;
+              Mutex.unlock box.mu;
+              resolve box hist nfailed items (fun _ -> Failed Failed_over)
+            end
+            else begin
+              (* gate the acks on the replication policy *)
+              (match t.repl.(i) with
+               | Some g when not (Replica.sealed g) ->
+                 Replica.heartbeat g;
+                 Replica.wait_acks g
+               | _ -> ());
+              resolve box hist nfailed items
+                (fun j -> of_cmap_reply replies.(j));
+              ops := !ops + n;
+              incr batches;
+              if n > !max_batch then max_batch := n
+            end
+        end
+      end
   done;
   t.results.(i) <-
     { ss_shard = i; ss_ops = !ops; ss_batches = !batches;
-      ss_max_batch = !max_batch; ss_hist = hist }
+      ss_max_batch = !max_batch; ss_failed = !nfailed; ss_hist = hist }
 
 let mk_box () =
   { mu = Mutex.create (); work = Condition.create ();
-    done_ = Condition.create (); q = Queue.create (); stop = false }
+    done_ = Condition.create (); q = Queue.create (); stop = false;
+    failed = false; promote_req = None; promoted = None }
 
 let started t = Array.length t.workers > 0
 
@@ -145,11 +268,23 @@ let start t =
       Array.init (Shard.nshards t.store) (fun i ->
         Domain.spawn (fun () -> worker t i))
 
-let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true) store =
+let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true)
+    ?replication store =
   if batch_cap <= 0 then invalid_arg "Serve.create: batch_cap must be positive";
   let n = Shard.nshards store in
   let t =
     { store; boxes = Array.init n (fun _ -> mk_box ());
+      repl =
+        (match replication with
+         | None -> Array.make n None
+         | Some cfg ->
+           (* One group per shard, installed before any batched traffic:
+              the replica images snapshot the store as preloaded. *)
+           Array.init n (fun i ->
+             let pool =
+               (Shard.shard_access (Shard.shard store i)).Spp_access.pool
+             in
+             Some (Replica.create ~cfg ~shard:i pool)));
       batch_cap; adaptive;
       (* The read fast path answers a cache-hit [Get] on the submitting
          thread, skipping the mailbox and the worker domain. It is safe
@@ -160,11 +295,12 @@ let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true) store =
          keeps every request on the mailbox path. *)
       bypass = adaptive && Shard.cache_enabled store;
       bypassed = Atomic.make 0;
+      promotions = Atomic.make 0;
       workers = [||];
       results =
         Array.init n (fun i ->
           { ss_shard = i; ss_ops = 0; ss_batches = 0; ss_max_batch = 0;
-            ss_hist = Spp_benchlib.Histogram.create () });
+            ss_failed = 0; ss_hist = Spp_benchlib.Histogram.create () });
       stopped = false }
   in
   if autostart then start t;
@@ -233,6 +369,56 @@ let bypassed_gets t = Atomic.get t.bypassed
 
 let cache_stats t = Shard.merged_cache_stats t.store
 
+(* ------------------------------------------------------------------ *)
+(* Failover                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shard_failed t i = t.boxes.(i).failed
+
+let promotions t = Atomic.get t.promotions
+
+let replicated t i = t.repl.(i) <> None
+
+(* Ask shard [i]'s worker to promote a replica, and wait for it. The
+   worker performs the swap between drains; requests queued meanwhile
+   resolve [Failed Failed_over] (dead primary) or execute normally (live
+   primary being drained away from). *)
+let promote ?(cache_cap = 0) t i =
+  if i < 0 || i >= Shard.nshards t.store then
+    invalid_arg "Serve.promote: shard index out of range";
+  if t.repl.(i) = None then raise (Not_replicated i);
+  if not (started t) then
+    invalid_arg "Serve.promote: pipeline not started";
+  if t.stopped then invalid_arg "Serve.promote: pipeline already stopped";
+  let box = t.boxes.(i) in
+  Mutex.lock box.mu;
+  box.promoted <- None;
+  box.promote_req <- Some cache_cap;
+  Condition.signal box.work;
+  while box.promoted = None do
+    Condition.wait box.done_ box.mu
+  done;
+  let res = box.promoted in
+  Mutex.unlock box.mu;
+  match res with
+  | Some (Ok p) -> p
+  | Some (Error reason) ->
+    raise (Replica.Promotion_failed { shard = i; reason })
+  | None -> assert false
+
+let replication_stats t =
+  Array.to_list t.repl
+  |> List.filter_map (Option.map Replica.stats)
+
+let replication_lag t =
+  Array.fold_left
+    (fun acc g ->
+      match g with
+      | None -> acc
+      | Some g -> Spp_benchlib.Histogram.merge acc (Replica.lag_hist g))
+    (Spp_benchlib.Histogram.create ())
+    t.repl
+
 (* Drain everything still queued, then join the workers. Safe to call
    once; afterwards [stats]/[merged_*] read race-free. *)
 let stop t =
@@ -246,6 +432,12 @@ let stop t =
         Mutex.unlock box.mu)
       t.boxes;
     Array.iter Domain.join t.workers;
+    (* join the applier domains too: lag histograms read race-free *)
+    Array.iter
+      (function
+        | Some g when not (Replica.sealed g) -> Replica.seal g
+        | _ -> ())
+      t.repl;
     t.stopped <- true
   end
 
@@ -261,6 +453,9 @@ let merged_hist t =
 
 let total_batches t =
   Array.fold_left (fun a s -> a + s.ss_batches) 0 (stats t)
+
+let total_failed t =
+  Array.fold_left (fun a s -> a + s.ss_failed) 0 (stats t)
 
 let store t = t.store
 
@@ -342,6 +537,8 @@ let digest_replies replies =
       | Value (Some v) -> mix (String.length v + Char.code v.[0])
       | Value None -> mix 0x7F
       | Removed true -> mix 3
-      | Removed false -> mix 0x3F)
+      | Removed false -> mix 0x3F
+      | Failed (Op_raised _) -> mix 0x11
+      | Failed Failed_over -> mix 0x13)
     replies;
   !d land max_int

@@ -25,17 +25,41 @@
     never be answered from ahead of its own write. Deterministic mode
     ([adaptive = false]) disables the bypass: batch boundaries stay a
     pure function of the submitted streams and the bit-identical
-    async-vs-sequential differential still holds. *)
+    async-vs-sequential differential still holds.
+
+    {b Failure and failover.} A ticket always resolves — with [Failed]
+    rather than hanging when its op cannot be acked. An op that raises
+    fails its drain with [Op_raised] but the shard keeps serving; a
+    shard whose device died fails everything with [Failed_over] until
+    {!promote} swaps in a replica stack promoted from the shard's
+    {!Replica} group (configured via [?replication] at {!create}).
+    [Failed] means the op's outcome is {e unknown}: sub-batches
+    committed before the failure are durable and replicated, later ones
+    are not. Replication observes the group-commit stream, so with
+    [?replication] all mutations must flow through this pipeline — the
+    synchronous [Shard.put] tx path is invisible to replicas. *)
 
 type request =
   | Put of { key : string; value : string }
   | Get of string
   | Remove of string
 
+(** Why a ticket could not be acked. *)
+type failure =
+  | Op_raised of string
+      (** the op raised mid-batch; the message is the exception *)
+  | Failed_over
+      (** the shard's primary died; resubmit after {!promote} *)
+
 type reply =
   | Done
   | Value of string option
   | Removed of bool
+  | Failed of failure
+
+exception Not_replicated of int
+(** {!promote} on a shard created without a replication group.
+    Registered with [Printexc]. *)
 
 val request_key : request -> string
 
@@ -46,18 +70,25 @@ type shard_stats = {
   ss_ops : int;
   ss_batches : int;
   ss_max_batch : int;
+  ss_failed : int;                      (** tickets resolved [Failed] *)
   ss_hist : Spp_benchlib.Histogram.t;   (** latency, ns *)
 }
 
 type t
 
-val create : ?batch_cap:int -> ?adaptive:bool -> ?autostart:bool -> Shard.t -> t
-(** Defaults: [batch_cap = 32], [adaptive = true], [autostart = true].
-    With [adaptive:false] every drain takes exactly [batch_cap] requests
-    when available; with [autostart:false] submissions queue up until
-    {!start} — together they make batch boundaries (and therefore all
-    Space/Memdev accounting) a pure function of the submitted streams,
-    which is what the parallel-vs-sequential differential asserts. *)
+val create :
+  ?batch_cap:int -> ?adaptive:bool -> ?autostart:bool ->
+  ?replication:Replica.config -> Shard.t -> t
+(** Defaults: [batch_cap = 32], [adaptive = true], [autostart = true],
+    no replication. With [adaptive:false] every drain takes exactly
+    [batch_cap] requests when available; with [autostart:false]
+    submissions queue up until {!start} — together they make batch
+    boundaries (and therefore all Space/Memdev accounting) a pure
+    function of the submitted streams, which is what the
+    parallel-vs-sequential differential asserts. [?replication] builds
+    one {!Replica} group per shard from the store's current durable
+    images (call before any batched traffic) and gates every ack on the
+    configured policy. *)
 
 val start : t -> unit
 val started : t -> bool
@@ -82,13 +113,46 @@ val bypassed_gets : t -> int
 val cache_stats : t -> Spp_pmemkv.Rcache.stats
 (** [Shard.merged_cache_stats] of the underlying store. *)
 
+(** {1 Failover} *)
+
+val shard_failed : t -> int -> bool
+(** The shard's device died and no replica has been promoted yet; its
+    requests are resolving [Failed Failed_over]. *)
+
+val replicated : t -> int -> bool
+
+val promote : ?cache_cap:int -> t -> int -> Replica.promoted
+(** [promote t i] asks shard [i]'s worker — the only domain allowed
+    inside the old stack — to seal its replication group, promote the
+    best replica ({!Replica.promote}), and repoint the router
+    ([Shard.set_shard]); blocks until the swap is done. The promoted
+    stack starts with a cold read cache of [cache_cap] entries (default
+    none). Requests queued behind the promotion execute on the new
+    stack; tickets failed with [Failed_over] before it are {e not}
+    replayed — the client resubmits. Raises {!Not_replicated} without a
+    group, {!Replica.Promotion_failed} on a second promotion of the
+    same group. *)
+
+val promotions : t -> int
+
+val replication_stats : t -> Replica.stats list
+(** One entry per replicated shard. Race-free after {!stop}; a live
+    read is a monotone snapshot. *)
+
+val replication_lag : t -> Spp_benchlib.Histogram.t
+(** Merged commit-to-apply lag over every group, ns. *)
+
 val stop : t -> unit
-(** Drain all queues, join the workers. Idempotent; required before
-    {!stats}. *)
+(** Drain all queues, join the workers and any replica appliers.
+    Idempotent; required before {!stats}. *)
 
 val stats : t -> shard_stats array
 val merged_hist : t -> Spp_benchlib.Histogram.t
 val total_batches : t -> int
+
+val total_failed : t -> int
+(** Tickets resolved [Failed] across all shards. *)
+
 val store : t -> Shard.t
 
 val run_sequential :

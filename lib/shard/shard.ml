@@ -66,6 +66,15 @@ let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
           variant
       in
       let kv = Spp_pmemkv.Cmap.create ~nbuckets access in
+      (* Park the bucket array's oid in the pool root: the durable
+         handle a reopening process — or a replica promoted after a
+         primary failure — needs to re-attach the map without any
+         volatile state from this stack. Same discipline as the torture
+         workloads. *)
+      let pool = access.Spp_access.pool in
+      let root = access.Spp_access.root access.Spp_access.oid_size in
+      Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid kv);
+      Pool.persist pool ~off:root.Oid.off ~len:access.Spp_access.oid_size;
       (* One DRAM read cache per shard: single worker-domain writer on
          the serving path, lock-free readers from any submitting domain. *)
       if cache_cap > 0 then
@@ -74,6 +83,16 @@ let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
       { index; access; kv })
   in
   { shards; variant }
+
+(* Failover repoint: swap a shard's stack for a promoted replica's. The
+   router is pure (key -> index), so the swap changes which stack an
+   index resolves to without moving any key. Caller (the serve layer's
+   worker protocol) must guarantee no other domain is inside the old
+   stack. *)
+let set_shard t i ~access ~kv =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Shard.set_shard: index out of range";
+  t.shards.(i) <- { index = i; access; kv }
 
 (* Routed single-key operations — the serving interface. *)
 

@@ -17,9 +17,19 @@ val create :
   Spp_access.variant -> t
 (** [create ~nshards variant] builds [nshards] independent shards, each
     with its own pool ([pool_size] bytes, default 8 MiB) and cmap engine
-    ([nbuckets] buckets per shard, default 1024). [cache_cap > 0]
-    additionally attaches a volatile {!Spp_pmemkv.Rcache} of that many
-    entries to every shard (default 0: no cache). *)
+    ([nbuckets] buckets per shard, default 1024). The bucket array's oid
+    is parked in each pool's root object, so a reopened image — or a
+    promoted replica — can re-attach the map from durable state alone.
+    [cache_cap > 0] additionally attaches a volatile
+    {!Spp_pmemkv.Rcache} of that many entries to every shard (default
+    0: no cache). *)
+
+val set_shard : t -> int -> access:Spp_access.t -> kv:Spp_pmemkv.Cmap.t -> unit
+(** Failover repoint: make index [i] resolve to a different stack (a
+    promoted replica's). The router is a pure function of the key and
+    shard count, so no key moves. The caller must guarantee no other
+    domain is executing inside the old stack — the serve layer performs
+    the swap on the shard's own worker domain. *)
 
 val nshards : t -> int
 val variant : t -> Spp_access.variant

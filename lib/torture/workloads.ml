@@ -284,13 +284,155 @@ let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
   in
   { Torture.w_name = "kvbatch"; w_make }
 
+(* Failover: the kvbatch program (group-committed puts, final op updates
+   op 1's key) replicated through an inline [Replica] group while the
+   primary is tortured. At every crash point the oracle promotes the
+   replica and compares it against cold recovery of the primary's image
+   — the promotion-equivalence differential:
+
+     - both serve a valid whole-op prefix of the program (byte-exact
+       values, no hole, no reordering);
+     - the replica's prefix k_r never exceeds the primary's k_p
+       (payloads ship strictly after commit durability, so a replica
+       can lag but never lead — the two-generals side the protocol
+       actually guarantees);
+     - on a lossless channel the lag is bounded by one commit: the only
+       shippable-but-unshipped window is between a commit's durability
+       fence and its observer call, which at most one commit occupies;
+     - with the channel lossless and the policy sync, every acked op is
+       on the replica (acked <= k_r): inline replication applies before
+       [run_batch] returns, and acks happen after.
+
+   The drop variant runs the same program over a lossy channel with a
+   small retry budget: once a send exhausts its retries the replica is
+   dead and stops receiving, so the lag bound and the acked clause no
+   longer hold — but the prefix shape and k_r <= k_p must survive
+   arbitrary loss. *)
+let kvfailover ?(variant = Spp_access.Spp) ?(ops = 12) ?(drop_rate = 0.)
+    ?(send_retries = 4) ?(name = "kvfailover") () =
+  let ops = max 3 ops in
+  let half = ops / 2 in
+  let updated_value = "value-redux" in
+  (* valid whole-op prefix length of the program, or the shape violation *)
+  let scan_prefix map' =
+    let err = ref None in
+    let fail msg = if !err = None then err := Some msg in
+    let v1 = Spp_pmemkv.Cmap.get map' (kv_key 1) in
+    let k = ref (if v1 = None then 0 else 1) in
+    for i = 2 to ops - 1 do
+      match Spp_pmemkv.Cmap.get map' (kv_key i) with
+      | Some v ->
+        if v <> kv_value i then fail (Printf.sprintf "op %d torn: %S" i v)
+        else if !k <> i - 1 then
+          fail (Printf.sprintf "op %d durable before op %d (hole)" i !k)
+        else incr k
+      | None -> ()
+    done;
+    (match v1 with
+     | None -> if !k > 0 then fail "op 1 missing below a durable prefix"
+     | Some v ->
+       if v = updated_value then begin
+         if !k <> ops - 1 then
+           fail
+             (Printf.sprintf
+                "final update durable but prefix stops at op %d" !k)
+         else k := ops
+       end
+       else if v <> kv_value 1 then fail (Printf.sprintf "op 1 torn: %S" v));
+    match !err with None -> Ok !k | Some msg -> Error msg
+  in
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-kvfo" variant
+    in
+    let pool = a.Spp_access.pool in
+    let map = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+    let root = a.Spp_access.root a.Spp_access.oid_size in
+    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid map);
+    Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
+    (* Inline, lossless-or-not single replica: apply happens on the
+       committing domain (deterministic — replica-device writes fire no
+       primary injector events, so crash-point counting is unchanged),
+       and the replica image snapshots the quiesced post-setup state. *)
+    let g =
+      Spp_shard.Replica.create
+        ~cfg:
+          { Spp_shard.Replica.default_config with
+            replicas = 1; policy = Spp_shard.Replica.Sync;
+            threaded = false; send_retries; drop_rate;
+            seed = 0x4f56 }
+        ~shard:0 pool
+    in
+    let lossless = drop_rate = 0. in
+    let op_of i =
+      if i < ops then
+        Spp_pmemkv.Cmap.B_put { key = kv_key i; value = kv_value i }
+      else Spp_pmemkv.Cmap.B_put { key = kv_key 1; value = updated_value }
+    in
+    let mutate ~ack =
+      let batch lo hi =
+        ignore
+          (Spp_pmemkv.Cmap.run_batch map
+             (Array.init (hi - lo + 1) (fun j -> op_of (lo + j))));
+        (* sync-policy gate before the acks; immediate in inline mode *)
+        Spp_shard.Replica.wait_acks g;
+        for _ = lo to hi do ack () done
+      in
+      batch 1 half;
+      batch (half + 1) ops
+    in
+    let check ~pool:pool' ~acked =
+      (* Side A: cold recovery of the primary's crashed image. *)
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let root' = Pool.root_oid pool' in
+      let buckets = Pool.load_oid pool' ~off:root'.Oid.off in
+      let map' = Spp_pmemkv.Cmap.attach a' ~buckets in
+      match scan_prefix map' with
+      | Error msg -> Error ("primary: " ^ msg)
+      | Ok k_p ->
+        (* Side B: promote the replica — seal, cold-reopen its image. *)
+        let p = Spp_shard.Replica.promote g in
+        (match scan_prefix p.Spp_shard.Replica.pr_kv with
+         | Error msg -> Error ("promoted replica: " ^ msg)
+         | Ok k_r ->
+           if Spp_pmemkv.Cmap.cache p.Spp_shard.Replica.pr_kv <> None then
+             Error "promoted replica did not start with a cold cache"
+           else if k_r > k_p then
+             Error
+               (Printf.sprintf
+                  "replica leads recovery: replica %d > primary %d ops"
+                  k_r k_p)
+           else if lossless && k_p - k_r > max half (ops - half) then
+             Error
+               (Printf.sprintf
+                  "lossless lag %d ops exceeds one commit (replica %d, \
+                   primary %d)"
+                  (k_p - k_r) k_r k_p)
+           else if lossless && acked > k_r then
+             Error
+               (Printf.sprintf
+                  "acked op lost on failover: %d acked > %d replicated"
+                  acked k_r)
+           else Ok ())
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = name; w_make }
+
+let kvfailover_drop ?variant ?ops () =
+  kvfailover ?variant ?ops ~drop_rate:0.25 ~send_retries:2
+    ~name:"kvfailover-drop" ()
+
 let all ?variant ?ops () =
   [ kvstore ?variant ?ops (); pmemlog ?variant ?ops ();
-    counter ?variant ?ops (); kvbatch ?variant ?ops () ]
+    counter ?variant ?ops (); kvbatch ?variant ?ops ();
+    kvfailover ?variant ?ops (); kvfailover_drop ?variant ?ops () ]
 
 let by_name ?variant ?ops = function
   | "kvstore" -> Some (kvstore ?variant ?ops ())
   | "pmemlog" -> Some (pmemlog ?variant ?ops ())
   | "counter" -> Some (counter ?variant ?ops ())
   | "kvbatch" -> Some (kvbatch ?variant ?ops ())
+  | "kvfailover" -> Some (kvfailover ?variant ?ops ())
+  | "kvfailover-drop" -> Some (kvfailover_drop ?variant ?ops ())
   | _ -> None

@@ -25,8 +25,26 @@ val kvbatch : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workloa
     prefix of whole ops — no torn op, no hole, no reordering across ops
     — and every acked batch is fully durable. *)
 
+val kvfailover :
+  ?variant:Spp_access.variant -> ?ops:int -> ?drop_rate:float ->
+  ?send_retries:int -> ?name:string -> unit -> Torture.workload
+(** The kvbatch program replicated through an inline single-replica
+    {!Spp_shard.Replica} group while the primary is tortured. At every
+    crash point the oracle promotes the replica and differentials it
+    against cold recovery of the primary: both serve a valid whole-op
+    prefix, the replica never leads (k_r <= k_p), and — when the channel
+    is lossless ([drop_rate = 0], the default) — the lag is bounded by
+    one commit and no acked op is missing from the replica. *)
+
+val kvfailover_drop :
+  ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** [kvfailover] over a lossy channel (25% drops, 2 attempts): the
+    replica may die mid-run, so only the prefix shape and k_r <= k_p are
+    required to survive. *)
+
 val all : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload list
 
 val by_name :
   ?variant:Spp_access.variant -> ?ops:int -> string -> Torture.workload option
-(** ["kvstore"], ["pmemlog"], ["counter"] or ["kvbatch"]. *)
+(** ["kvstore"], ["pmemlog"], ["counter"], ["kvbatch"], ["kvfailover"]
+    or ["kvfailover-drop"]. *)

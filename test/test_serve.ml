@@ -582,6 +582,266 @@ let test_explain_divergence () =
   check_bool "count mismatch detected" true
     (Shard_bench.explain_divergence r1 truncated <> None)
 
+(* --- Histogram properties (QCheck) ----------------------------------- *)
+
+(* A histogram as the multiset of values fed into it: merge must be an
+   exact elementwise sum (commutative, associative, order-invariant),
+   and percentiles of any merge must stay conservative against the
+   exact quantile of the combined multiset, monotone in p. *)
+
+let gen_values = QCheck.(list_of_size Gen.(int_range 0 40) (int_bound 2_000_000))
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) values;
+  h
+
+let full_state h =
+  (Histogram.to_alist h, Histogram.count h, Histogram.max_value h,
+   Histogram.mean h)
+
+let qtest_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative" ~count:300
+    QCheck.(pair gen_values gen_values)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      full_state (Histogram.merge a b) = full_state (Histogram.merge b a))
+
+let qtest_merge_associative =
+  QCheck.Test.make ~name:"merge associative" ~count:300
+    QCheck.(triple gen_values gen_values gen_values)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      full_state (Histogram.merge (Histogram.merge a b) c)
+      = full_state (Histogram.merge a (Histogram.merge b c)))
+
+let exact_quantile values p =
+  let arr = Array.of_list values in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank =
+    min (max (int_of_float (ceil (p /. 100. *. float_of_int n))) 1) n
+  in
+  arr.(rank - 1)
+
+let qtest_percentiles_after_merges =
+  (* fold a random list of value lists in two different merge orders:
+     percentiles must agree between orders, sit at or above the exact
+     quantile of the union, never exceed the exact maximum, and be
+     monotone in p *)
+  QCheck.Test.make ~name:"percentiles conservative after arbitrary merges"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 6) gen_values)
+    (fun lists ->
+      let all = List.concat lists in
+      QCheck.assume (all <> []);
+      let hs = List.map hist_of lists in
+      let fwd =
+        List.fold_left Histogram.merge (Histogram.create ()) hs
+      in
+      let rev =
+        List.fold_left Histogram.merge (Histogram.create ()) (List.rev hs)
+      in
+      let ps = [ 1.; 25.; 50.; 90.; 95.; 99.; 100. ] in
+      List.for_all
+        (fun p ->
+          Histogram.percentile fwd p = Histogram.percentile rev p)
+        ps
+      && List.for_all
+           (fun p ->
+             let est = Histogram.percentile fwd p in
+             est >= exact_quantile all p && est <= Histogram.max_value fwd)
+           ps
+      && fst
+           (List.fold_left
+              (fun (ok, prev) p ->
+                let v = Histogram.percentile fwd p in
+                (ok && v >= prev, v))
+              (true, 0) ps))
+
+(* --- Worker failure propagation -------------------------------------- *)
+
+(* An op that raises mid-batch must fail its drain's tickets with a
+   typed [Op_raised] — not strand every later ticket in the mailbox —
+   and the shard must keep serving afterwards. Driven for real: a pool
+   small enough that big puts exhaust it ([Heap.Out_of_pm] escapes
+   [run_batch]). *)
+let test_worker_failure_propagation () =
+  let t =
+    Shard.create ~nbuckets:16 ~pool_size:(1 lsl 16) ~nshards:1 Spp_access.Spp
+  in
+  let serve = Serve.create ~batch_cap:4 t in
+  let big = String.make 2048 'x' in
+  let rec fill i =
+    if i > 200 then Alcotest.fail "pool never filled"
+    else
+      match
+        Serve.await serve
+          (Serve.submit serve
+             (Serve.Put { key = Printf.sprintf "big-%d" i; value = big }))
+      with
+      | Serve.Done -> fill (i + 1)
+      | Serve.Failed (Serve.Op_raised msg) ->
+        check_bool
+          (Printf.sprintf "failure names the exception: %s" msg)
+          true
+          (String.length msg > 0);
+        i
+      | _ -> Alcotest.fail "unexpected reply while filling"
+  in
+  let failed_at = fill 0 in
+  check_bool "needed several puts to fill the pool" true (failed_at > 0);
+  (* the shard still serves: reads work, and freeing space lets a small
+     put through on the same worker *)
+  (match Serve.await serve (Serve.submit serve (Serve.Get "big-0")) with
+   | Serve.Value (Some v) -> check_int "survivor intact" 2048 (String.length v)
+   | _ -> Alcotest.fail "get after failure did not serve");
+  (match Serve.await serve (Serve.submit serve (Serve.Remove "big-0")) with
+   | Serve.Removed true -> ()
+   | _ -> Alcotest.fail "remove after failure did not serve");
+  (match
+     Serve.await serve
+       (Serve.submit serve (Serve.Put { key = "small"; value = "fits" }))
+   with
+   | Serve.Done -> ()
+   | _ -> Alcotest.fail "put after free did not serve");
+  Serve.stop serve;
+  check_bool "failed tickets counted" true (Serve.total_failed serve >= 1)
+
+(* --- Failover: kill + promote ---------------------------------------- *)
+
+(* End-to-end: replicate through the pipeline, kill the primary's
+   device, watch queued tickets fail typed, promote the replica on the
+   worker, and keep serving every acked pre-kill op from the promoted
+   stack. Inline sync replication keeps it deterministic. *)
+let test_serve_kill_promote () =
+  let t =
+    Shard.create ~nbuckets:32 ~pool_size:(1 lsl 20) ~nshards:1 Spp_access.Spp
+  in
+  let cfg =
+    { Replica.default_config with
+      replicas = 2; policy = Replica.Sync; threaded = false }
+  in
+  let serve = Serve.create ~batch_cap:8 ~replication:cfg t in
+  let key i = Printf.sprintf "key-%03d" i
+  and value i = Printf.sprintf "value-%05d" i in
+  for i = 1 to 50 do
+    match
+      Serve.await serve
+        (Serve.submit serve (Serve.Put { key = key i; value = value i }))
+    with
+    | Serve.Done -> ()
+    | _ -> Alcotest.fail "preload put failed"
+  done;
+  let rs = Serve.replication_stats serve in
+  check_int "one group" 1 (List.length rs);
+  let r0 = List.hd rs in
+  check_int "both replicas live" 2 r0.Replica.rs_live;
+  check_bool "commits shipped" true (r0.Replica.rs_seq > 0);
+  check_int "sync acked everything shipped" r0.Replica.rs_seq
+    r0.Replica.rs_acked_seq;
+  (* kill the primary: stores silently discard from here on *)
+  Spp_sim.Memdev.power_off
+    (Spp_pmdk.Pool.dev (Shard.shard_access (Shard.shard t 0)).Spp_access.pool);
+  (match
+     Serve.await serve
+       (Serve.submit serve (Serve.Put { key = "late"; value = "lost" }))
+   with
+   | Serve.Failed Serve.Failed_over -> ()
+   | _ -> Alcotest.fail "put on dead primary not failed over");
+  check_bool "shard marked failed" true (Serve.shard_failed serve 0);
+  (* everything queued before promotion keeps failing typed, not hanging *)
+  (match
+     Serve.await serve (Serve.submit serve (Serve.Get (key 1)))
+   with
+   | Serve.Failed Serve.Failed_over -> ()
+   | _ -> Alcotest.fail "get on dead primary not failed over");
+  let p = Serve.promote serve 0 in
+  check_int "promotions counted" 1 (Serve.promotions serve);
+  check_bool "shard serving again" true (not (Serve.shard_failed serve 0));
+  check_bool "sealed prefix covers the acked ops" true
+    (p.Replica.pr_ops >= 50);
+  (* every acked op survives the failover on the promoted stack *)
+  for i = 1 to 50 do
+    match Serve.await serve (Serve.submit serve (Serve.Get (key i))) with
+    | Serve.Value (Some v) when v = value i -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "acked op %d lost in failover" i)
+  done;
+  (* the unacked post-kill put is gone — its ticket said so *)
+  (match Serve.await serve (Serve.submit serve (Serve.Get "late")) with
+   | Serve.Value None -> ()
+   | _ -> Alcotest.fail "unacked op resurrected");
+  (* and the promoted stack accepts new writes *)
+  (match
+     Serve.await serve
+       (Serve.submit serve (Serve.Put { key = "after"; value = "alive" }))
+   with
+   | Serve.Done -> ()
+   | _ -> Alcotest.fail "put after promotion failed");
+  (match Serve.promote serve 0 with
+   | exception Replica.Promotion_failed _ -> ()
+   | _ -> Alcotest.fail "second promotion not rejected");
+  Serve.stop serve;
+  check_bool "failed tickets counted" true (Serve.total_failed serve >= 2)
+
+(* Threaded appliers + semi-sync acks under concurrent submitters, with
+   a planned (no-kill) switchover at the end: the promoted stack must
+   hold every acked key. *)
+let test_serve_threaded_replication () =
+  let nshards = 2 in
+  let t =
+    Shard.create ~nbuckets:64 ~pool_size:(1 lsl 21) ~nshards Spp_access.Spp
+  in
+  let cfg =
+    { Replica.default_config with
+      replicas = 1; policy = Replica.Semi_sync; threaded = true }
+  in
+  let serve = Serve.create ~batch_cap:8 ~replication:cfg t in
+  let key i = Printf.sprintf "key-%03d" i in
+  let doms =
+    Array.init 2 (fun d ->
+      Domain.spawn (fun () ->
+        for i = 0 to 99 do
+          if i mod 2 = d then
+            ignore
+              (Serve.await serve
+                 (Serve.submit serve
+                    (Serve.Put { key = key i; value = string_of_int i })))
+        done))
+  in
+  Array.iter Domain.join doms;
+  (* planned switchover of shard 0 to its replica *)
+  let p = Serve.promote serve 0 in
+  check_int "switched the requested shard" 0 p.Replica.pr_shard;
+  for i = 0 to 99 do
+    match Serve.await serve (Serve.submit serve (Serve.Get (key i))) with
+    | Serve.Value (Some v) when v = string_of_int i -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "key %d lost across switchover" i)
+  done;
+  Serve.stop serve;
+  check_int "no ticket failed" 0 (Serve.total_failed serve);
+  let lag = Serve.replication_lag serve in
+  check_bool "lag recorded per commit" true (Histogram.count lag > 0);
+  (* promote on the unreplicated... both shards are replicated; an
+     out-of-range index is rejected, as is promoting after stop *)
+  (match Serve.promote serve 5 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range promote not rejected")
+
+let test_replication_exn_printers () =
+  let printed ex needle =
+    let s = Printexc.to_string ex in
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "Promotion_failed printer" true
+    (printed
+       (Replica.Promotion_failed { shard = 3; reason = "no quorum" })
+       "shard 3: no quorum");
+  check_bool "Not_replicated printer" true
+    (printed (Serve.Not_replicated 2) "shard 2")
+
 let () =
   Alcotest.run "spp_serve"
     [
@@ -593,6 +853,9 @@ let () =
           Alcotest.test_case "merge associative" `Quick test_histogram_merge;
           Alcotest.test_case "count and mean (incl. empty)" `Quick
             test_histogram_mean;
+          QCheck_alcotest.to_alcotest qtest_merge_commutative;
+          QCheck_alcotest.to_alcotest qtest_merge_associative;
+          QCheck_alcotest.to_alcotest qtest_percentiles_after_merges;
         ] );
       ( "run_batch",
         [
@@ -627,6 +890,20 @@ let () =
             test_serve_bypass_fast_path;
           Alcotest.test_case "deterministic mode ignores the cache" `Quick
             test_cache_deterministic_mode;
+        ] );
+      ( "failure propagation",
+        [
+          Alcotest.test_case "raising op fails its drain, shard survives"
+            `Quick test_worker_failure_propagation;
+          Alcotest.test_case "exception printers registered" `Quick
+            test_replication_exn_printers;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "kill primary, fail typed, promote, serve"
+            `Quick test_serve_kill_promote;
+          Alcotest.test_case "threaded semi-sync + planned switchover"
+            `Quick test_serve_threaded_replication;
         ] );
       ( "diagnostics",
         [

@@ -35,6 +35,22 @@ let test_kvbatch_native_full () =
 let test_native_variant () =
   full_enum (Workloads.counter ~variant:Spp_access.Pmdk ~ops:4 ())
 
+(* Failover differential under the same full enumeration: at every
+   durability event of the replicated batch program, the promoted
+   replica must serve a whole-op prefix that never leads cold recovery
+   of the primary, lags it by at most one commit on a lossless channel,
+   and holds every acked op — the promotion-equivalence oracle. *)
+let test_kvfailover_full () = full_enum (Workloads.kvfailover ~ops:8 ())
+
+let test_kvfailover_native_full () =
+  full_enum (Workloads.kvfailover ~variant:Spp_access.Pmdk ~ops:6 ())
+
+(* Same enumeration over a lossy channel with a tiny retry budget: the
+   replica may be declared dead mid-run, after which only the structural
+   half of the oracle (valid prefix, never leading) is required. *)
+let test_kvfailover_drop_full () =
+  full_enum (Workloads.kvfailover_drop ~ops:8 ())
+
 let test_budget_sampling () =
   let r = Torture.run ~budget:10 (Workloads.counter ~ops:8 ()) in
   check_bool "within budget" true (r.Torture.r_crash_points <= 10);
@@ -53,7 +69,8 @@ let test_torn_crashes () =
       check_int
         ("torn zero failures: " ^ r.Torture.r_workload)
         0 r.Torture.r_invariant_failures)
-    [ Workloads.pmemlog ~ops:6 (); Workloads.counter ~ops:6 () ]
+    [ Workloads.pmemlog ~ops:6 (); Workloads.counter ~ops:6 ();
+      Workloads.kvfailover ~ops:6 () ]
 
 let test_bitflips_accounted () =
   (* Media rot may corrupt live data (the harness's job is to report it),
@@ -201,6 +218,12 @@ let () =
           Alcotest.test_case "group commit, native variant" `Quick
             test_kvbatch_native_full;
           Alcotest.test_case "native variant too" `Quick test_native_variant;
+          Alcotest.test_case "promoted replica equals primary recovery" `Quick
+            test_kvfailover_full;
+          Alcotest.test_case "failover differential, native variant" `Quick
+            test_kvfailover_native_full;
+          Alcotest.test_case "failover under channel loss" `Quick
+            test_kvfailover_drop_full;
           Alcotest.test_case "budget sampling" `Quick test_budget_sampling;
         ] );
       ( "engine differential",
