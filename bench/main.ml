@@ -1215,13 +1215,13 @@ let cache () =
       | Ok (pool', _report) ->
         let a' = Spp_access.attach (Pool.space pool') pool' in
         let map' =
-          Spp_pmemkv.Cmap.attach a'
-            ~buckets:(Spp_pmemkv.Cmap.buckets_oid live_kv)
+          Spp_pmemkv.Engine.attach (Shard.engine t) a'
+            ~root:(Spp_pmemkv.Engine.root_oid live_kv)
         in
         Some
-          ( Spp_pmemkv.Cmap.count_all map',
+          ( Spp_pmemkv.Engine.count_all map',
             List.init universe (fun k ->
-              Spp_pmemkv.Cmap.get map' (Spp_pmemkv.Db_bench.key_of_int k)) ))
+              Spp_pmemkv.Engine.get map' (Spp_pmemkv.Db_bench.key_of_int k)) ))
   in
   let c_on = durable_contents t_on and c_off = durable_contents t_off in
   let durable_equal =
@@ -1553,6 +1553,201 @@ let failover () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Scan: ordered ranges through the engine seam                        *)
+(* ------------------------------------------------------------------ *)
+
+(* YCSB-E-shaped range scans against both engines behind the serve
+   pipeline: 95% short scans (16-key spans through [Serve.scan]'s
+   scatter-gather) and 5% inserts, against a point-get baseline on an
+   identically built store. Per engine, no number is reported until the
+   async pipeline is bit-identical to the sequential baseline over
+   scan-bearing streams — the same differential the tier-1 tests pin,
+   re-run here at bench scale. *)
+let scan_bench () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  print_title "Scan: ordered ranges through the engine seam (YCSB-E shape)";
+  let nshards = 4 in
+  let universe = sc 8_000 in
+  let total_ops = sc 6_000 in
+  let span = 16 and lim = 16 in
+  let value = String.make 256 'v' in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  Printf.printf
+    "(%d keys preloaded, %d ops, 95%% scans of %d-key spans / 5%% inserts, \
+     %d shards)\n"
+    universe total_ops span nshards;
+  let engines =
+    [ ("cmap", Spp_pmemkv.Engines.cmap); ("btree", Spp_pmemkv.Engines.btree) ]
+  in
+  let build engine =
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~engine ~nshards
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  (* -- gate: async = sequential over scan-bearing streams -- *)
+  let gate engine =
+    let ops = sc 4_000 in
+    let st = Random.State.make [| 0x5CA7 |] in
+    let reqs =
+      Array.init ops (fun _ ->
+        let k = key_of (Random.State.int st universe) in
+        match Random.State.int st 10 with
+        | 0 | 1 -> Serve.Put { key = k; value }
+        | 2 -> Serve.Remove k
+        | _ -> Serve.Get k)
+    in
+    let buckets = Array.make nshards [] in
+    Array.iter
+      (fun r ->
+        let sh = Shard.shard_of_key ~nshards (Serve.request_key r) in
+        buckets.(sh) <- r :: buckets.(sh))
+      reqs;
+    (* scans carry no routing key: splice one into each shard stream
+       every 40 requests, windows sliding deterministically *)
+    let streams =
+      Array.map
+        (fun l ->
+          let arr = Array.of_list (List.rev l) in
+          let out = ref [] in
+          Array.iteri
+            (fun i r ->
+              if i mod 40 = 39 then begin
+                let lo = i * 37 mod (universe - span) in
+                out :=
+                  Serve.Scan
+                    { lo = key_of lo; hi = key_of (lo + span - 1);
+                      limit = lim }
+                  :: !out
+              end;
+              out := r :: !out)
+            arr;
+          Array.of_list (List.rev !out))
+        buckets
+    in
+    let t_seq = build engine and t_par = build engine in
+    let seq = Serve.run_sequential t_seq ~batch_cap:16 streams in
+    let sv = Serve.create ~batch_cap:16 ~adaptive:false ~autostart:false t_par in
+    let tickets =
+      Array.mapi
+        (fun i stream -> Array.map (fun r -> Serve.submit_to sv i r) stream)
+        streams
+    in
+    Serve.start sv;
+    let par = Array.map (Array.map (fun tk -> Serve.await sv tk)) tickets in
+    Serve.stop sv;
+    let digests_ok = ref true in
+    Array.iteri
+      (fun i sr ->
+        if Serve.digest_replies sr <> Serve.digest_replies par.(i) then
+          digests_ok := false)
+      seq;
+    !digests_ok && Shard.merged_counters t_seq = Shard.merged_counters t_par
+  in
+  print_subtitle "gate: async = sequential over scan-bearing streams";
+  let gated =
+    List.map
+      (fun (nm, engine) ->
+        let ok = gate engine in
+        Printf.printf "  %-8s %s\n" nm
+          (if ok then "bit-identical (replies + Memdev counters)"
+           else "!! DIVERGENCE -- engine skipped");
+        jemit ~experiment:"scan" ~name:(nm ^ "/differential")
+          ~metric:"identical"
+          (if ok then 1. else 0.);
+        (nm, engine, ok))
+      engines
+  in
+  (* -- measurement -- *)
+  print_subtitle
+    (Printf.sprintf "YCSB-E (95%% scans, span %d) vs point-get baseline" span);
+  if quick then
+    print_endline
+      "(note: latency percentiles are meaningless under --quick; use a full \
+       run)";
+  print_row ~w:13
+    [ "engine"; "scans/s"; "p50 us"; "p99 us"; "ns/entry"; "base get/s" ];
+  List.iter
+    (fun (nm, engine, ok) ->
+      if ok then begin
+        Gc.compact ();
+        let t = build engine in
+        let sv = Serve.create ~batch_cap:32 t in
+        let st = Random.State.make [| 0xE5CA |] in
+        let hist = Histogram.create () in
+        let nscans = ref 0 and entries = ref 0 and t_scan = ref 0. in
+        let wall, () =
+          time (fun () ->
+            for _ = 1 to total_ops do
+              if Random.State.int st 100 < 5 then
+                ignore
+                  (Serve.await sv
+                     (Serve.submit sv
+                        (Serve.Put
+                           { key = key_of (Random.State.int st universe);
+                             value })))
+              else begin
+                let lo = Random.State.int st (universe - span) in
+                let s0 = now_mono () in
+                (match
+                   Serve.scan sv ~lo:(key_of lo) ~hi:(key_of (lo + span - 1))
+                     ~limit:lim
+                 with
+                 | Ok kvs ->
+                   incr nscans;
+                   entries := !entries + List.length kvs
+                 | Error _ -> ());
+                let dt = now_mono () -. s0 in
+                t_scan := !t_scan +. dt;
+                Histogram.add hist (int_of_float (dt *. 1e9))
+              end
+            done)
+        in
+        Serve.stop sv;
+        (* point-get baseline: the same request count, all point gets,
+           on a fresh identically preloaded store *)
+        let tb = build engine in
+        let svb = Serve.create ~batch_cap:32 tb in
+        let stb = Random.State.make [| 0xE5CB |] in
+        let wall_b, () =
+          time (fun () ->
+            for _ = 1 to !nscans do
+              ignore
+                (Serve.await svb
+                   (Serve.submit svb
+                      (Serve.Get (key_of (Random.State.int stb universe)))))
+            done)
+        in
+        Serve.stop svb;
+        ignore wall;
+        let scans_s = float_of_int !nscans /. Float.max !t_scan 1e-9 in
+        let ns_entry =
+          if !entries = 0 then 0.
+          else !t_scan *. 1e9 /. float_of_int !entries
+        in
+        let gets_s = float_of_int !nscans /. Float.max wall_b 1e-9 in
+        let us p = float_of_int (Histogram.percentile hist p) /. 1e3 in
+        print_row ~w:13
+          [ nm; Printf.sprintf "%.0f" scans_s;
+            Printf.sprintf "%.1f" (us 50.); Printf.sprintf "%.1f" (us 99.);
+            Printf.sprintf "%.0f" ns_entry; Printf.sprintf "%.0f" gets_s ];
+        jemit ~experiment:"scan" ~name:(nm ^ "/ycsb_e")
+          ~metric:"scans_per_s" ~unit_:"scan/s"
+          ~extra:
+            [ ("p50_us", Json_out.J_float (us 50.));
+              ("p99_us", Json_out.J_float (us 99.));
+              ("ns_per_scanned_entry", Json_out.J_float ns_entry);
+              ("scanned_entries", Json_out.J_int !entries);
+              ("scans", Json_out.J_int !nscans) ]
+          scans_s;
+        jemit ~experiment:"scan" ~name:(nm ^ "/point_get_baseline")
+          ~metric:"ops_per_s" ~unit_:"op/s" gets_s
+      end)
+    gated
+
 let experiments =
   [
     ("fig4", fig4);
@@ -1572,6 +1767,7 @@ let experiments =
     ("serve", serve);
     ("cache", cache);
     ("failover", failover);
+    ("scan", scan_bench);
   ]
 
 let () =

@@ -34,6 +34,23 @@ let variant_arg =
   Arg.(value & opt variant_conv Spp_access.Spp
        & info [ "variant" ] ~docv:"VARIANT" ~doc)
 
+let engine_conv =
+  let parse s =
+    match Spp_pmemkv.Engines.of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected cmap | btree")
+  in
+  Arg.conv (parse, fun ppf e ->
+    Format.pp_print_string ppf (Spp_pmemkv.Engine.spec_name e))
+
+let engine_arg =
+  let doc =
+    "KV engine behind the shards: cmap (concurrent hashmap, O(n) scans) \
+     or btree (ordered COW B-tree, O(log n + k) scans)."
+  in
+  Arg.(value & opt engine_conv Spp_pmemkv.Engines.cmap
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 (* info *)
 
 let info_cmd =
@@ -266,7 +283,9 @@ let torture_cmd =
       "Workload to torture: kvstore, pmemlog, counter, kvbatch \
        (group-committed multi-put), kvfailover (replicated batch with \
        promotion differential), kvfailover-drop (same over a lossy \
-       channel), or all."
+       channel), kvscan (interleaved puts/removes/ordered scans with a \
+       whole-op-prefix snapshot oracle), kvscan-btree (kvscan pinned to \
+       the B-tree engine), or all. kvfailover and kvscan honor --engine."
     in
     Arg.(value & opt string "all" & info [ "workload" ] ~docv:"NAME" ~doc)
   in
@@ -299,20 +318,21 @@ let torture_cmd =
     let doc = "Operations per workload run." in
     Arg.(value & opt int 24 & info [ "ops" ] ~docv:"N" ~doc)
   in
-  let run variant workload budget seed torn bitflips ops =
+  let run variant engine workload budget seed torn bitflips ops =
     let open Spp_torture in
     let faults = { Torture.torn; bitflips } in
     let workloads =
       match workload with
-      | "all" -> Workloads.all ~variant ~ops ()
+      | "all" -> Workloads.all ~variant ~ops ~engine ()
       | name ->
-        (match Workloads.by_name ~variant ~ops name with
+        (match Workloads.by_name ~variant ~ops ~engine name with
          | Some w -> [ w ]
          | None ->
            prerr_endline
              ("unknown workload " ^ name
               ^ " (expected kvstore | pmemlog | counter | kvbatch | \
-                 kvfailover | kvfailover-drop | all)");
+                 kvfailover | kvfailover-drop | kvscan | kvscan-btree | \
+                 all)");
            exit 2)
     in
     let failed = ref false in
@@ -330,8 +350,8 @@ let torture_cmd =
          "Enumerate crash points of a recovery workload: replay it once \
           per durability event, cut the power there, reopen, recover, \
           and check the acknowledgement invariant")
-    Term.(const run $ variant_arg $ workload_arg $ budget_arg $ seed_arg
-          $ torn_arg $ bitflips_arg $ tops_arg)
+    Term.(const run $ variant_arg $ engine_arg $ workload_arg $ budget_arg
+          $ seed_arg $ torn_arg $ bitflips_arg $ tops_arg)
 
 (* serve *)
 
@@ -385,8 +405,8 @@ let serve_cmd =
     Arg.(value & opt string "semi-sync"
          & info [ "ack-policy" ] ~docv:"POLICY" ~doc)
   in
-  let run variant nshards batch_cap ops window cache_cap no_cache replicas
-      ack_policy =
+  let run variant engine nshards batch_cap ops window cache_cap no_cache
+      replicas ack_policy =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards and window = max 1 window in
@@ -405,8 +425,8 @@ let serve_cmd =
       else Some { Replica.default_config with replicas; policy }
     in
     let t =
-      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~nshards
-        variant
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~engine
+        ~nshards variant
     in
     for i = 0 to nshards - 1 do
       Spp_sim.Memdev.set_tracking
@@ -432,9 +452,10 @@ let serve_cmd =
     let wall = Bench_util.now_mono () -. t0 in
     Serve.stop sv;
     Printf.printf
-      "%d requests on %d shard(s), batch cap %d, window %d (%s): %.3f s \
-       (%.0f op/s)\n"
-      ops nshards batch_cap window (Spp_access.variant_name variant) wall
+      "%d requests on %d shard(s), batch cap %d, window %d (%s, %s \
+       engine): %.3f s (%.0f op/s)\n"
+      ops nshards batch_cap window (Spp_access.variant_name variant)
+      (Shard.engine_name t) wall
       (float_of_int ops /. Float.max wall 1e-9);
     let batches = max 1 (Serve.total_batches sv) in
     Printf.printf "batches: %d (avg %.1f ops/batch)\n" batches
@@ -499,7 +520,7 @@ let serve_cmd =
           hot gets on the submitting thread, bypassing the queue. With \
           --replicas N every batch is also shipped to N warm standbys \
           per shard and acknowledged per --ack-policy")
-    Term.(const run $ variant_arg $ shards_arg $ batch_cap_arg
+    Term.(const run $ variant_arg $ engine_arg $ shards_arg $ batch_cap_arg
           $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg
           $ replicas_arg $ ack_policy_arg)
 
@@ -527,7 +548,7 @@ let failover_cmd =
     let doc = "Replication channel loss rate in [0, 1) (seeded, reproducible)." in
     Arg.(value & opt float 0. & info [ "drop-rate" ] ~docv:"RATE" ~doc)
   in
-  let run variant nshards replicas ack_policy ops drop_rate =
+  let run variant engine nshards replicas ack_policy ops drop_rate =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards in
@@ -545,7 +566,8 @@ let failover_cmd =
         replicas = max 1 replicas; policy; drop_rate }
     in
     let t =
-      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 22) ~nshards variant
+      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 22) ~engine ~nshards
+        variant
     in
     let sv = Serve.create ~batch_cap:32 ~replication:cfg t in
     let st = Random.State.make [| 0xFA11 |] in
@@ -567,8 +589,9 @@ let failover_cmd =
     in
     let half = ops / 2 in
     Printf.printf
-      "%d shard(s), %d replica(s)/shard, %s acks, %.0f%% channel loss\n"
-      nshards cfg.Replica.replicas
+      "%d shard(s), %d replica(s)/shard, %s engine, %s acks, %.0f%% \
+       channel loss\n"
+      nshards cfg.Replica.replicas (Shard.engine_name t)
       (Replica.ack_policy_to_string policy)
       (drop_rate *. 100.);
     for _ = 1 to half do submit (fresh_req ()) done;
@@ -624,7 +647,7 @@ let failover_cmd =
           mid-run, show in-flight tickets failing with a typed \
           Failed_over, promote the shard's warm replica and finish the \
           run on the new primary")
-    Term.(const run $ variant_arg $ shards_arg $ replicas_arg
+    Term.(const run $ variant_arg $ engine_arg $ shards_arg $ replicas_arg
           $ ack_policy_arg $ fo_ops_arg $ drop_rate_arg)
 
 let () =

@@ -43,6 +43,13 @@ let create ?(buggy = false) a =
   in
   { a; map_oid; buggy }
 
+let attach ?(buggy = false) a ~root =
+  if Pool.alloc_size a.Spp_access.pool root < a.Spp_access.oid_size then
+    invalid_arg "Btree_map.attach: root slot too small";
+  { a; map_oid = root; buggy }
+
+let map_oid t = t.map_oid
+
 let root_slot_ptr t = t.a.Spp_access.direct t.map_oid
 
 let n_of t p = t.a.Spp_access.load_word (t.a.Spp_access.gep p f_n)
@@ -366,3 +373,35 @@ let remove t key =
         a.Spp_access.tx_pfree root
       end;
       v)
+
+(* Ordered range [lo, hi], ascending: in-order traversal pruned at both
+   ends. At each node, [search_node] skips straight to the first item
+   >= lo; a subtree right of a separator > hi can only hold larger keys
+   and is never entered. *)
+let range t ~lo ~hi =
+  let a = t.a in
+  let acc = ref [] in
+  let rec go oid =
+    if not (Oid.is_null oid) then begin
+      let p = a.Spp_access.direct oid in
+      let n = n_of t p in
+      let i0 = search_node t p lo n in
+      if is_leaf t p then
+        for i = i0 to n - 1 do
+          let k = item_key t p i in
+          if k <= hi then acc := (k, item_value t p i) :: !acc
+        done
+      else begin
+        go (child t p i0);
+        for i = i0 to n - 1 do
+          let k = item_key t p i in
+          if k <= hi then begin
+            acc := (k, item_value t p i) :: !acc;
+            go (child t p (i + 1))
+          end
+        done
+      end
+    end
+  in
+  go (a.Spp_access.load_oid_at (root_slot_ptr t));
+  List.rev !acc

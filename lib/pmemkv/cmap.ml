@@ -21,6 +21,8 @@ type t = {
   mutable cache : Rcache.t option; (* volatile DRAM read cache *)
 }
 
+let name = "cmap"
+
 let nstripes = 256
 
 (* Snapshot [len] bytes behind an application pointer. *)
@@ -49,6 +51,7 @@ let create ?(nbuckets = 4096) (a : Spp_access.t) =
     cache = None }
 
 let buckets_oid t = t.buckets
+let root_oid = buckets_oid
 
 let attach (a : Spp_access.t) ~buckets =
   (* The bucket count is recovered from the array object's durable
@@ -181,6 +184,41 @@ let remove t key =
         t.a.tx_pfree oid);
       true)
 
+(* Clip an unordered (key, value) accumulation to the scan contract:
+   ascending by key, at most [limit] pairs. *)
+let clip_scan ~limit acc =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) acc in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  take limit sorted
+
+(* Ordered range scan over a hash layout: walk every bucket chain,
+   keep the in-range pairs, sort. O(total entries) regardless of the
+   range width — the price of scanning an unordered engine, and the
+   baseline the ordered [Bmap] engine exists to beat. Cache-bypassing
+   by contract: scans neither probe nor fill the read cache. *)
+let scan t ~lo ~hi ~limit =
+  if limit <= 0 || hi < lo then []
+  else begin
+    let acc = ref [] in
+    for b = 0 to t.nbuckets - 1 do
+      with_bucket t b (fun () ->
+        let rec go slot_ptr =
+          let oid = t.a.load_oid_at slot_ptr in
+          if not (Oid.is_null oid) then begin
+            let p = t.a.direct oid in
+            let k = entry_key t p in
+            if lo <= k && k <= hi then acc := (k, entry_value t p) :: !acc;
+            go (t.a.gep p f_next)
+          end
+        in
+        go (bucket_slot_ptr t b))
+    done;
+    clip_scan ~limit !acc
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Group-committed multi-op entry point                                 *)
 (* ------------------------------------------------------------------ *)
@@ -207,18 +245,19 @@ let remove t key =
    the per-op critical sections — which is exactly what the per-shard
    serve queue provides. *)
 
-type batch_op =
+type batch_op = Engine.batch_op =
   | B_put of { key : string; value : string }
   | B_get of string
   | B_remove of string
+  | B_scan of { lo : string; hi : string; limit : int }
 
-type batch_reply =
+type batch_reply = Engine.batch_reply =
   | R_put
   | R_get of string option
   | R_removed of bool
+  | R_scan of (string * string) list
 
-let batch_key_of = function
-  | B_put { key; _ } | B_get key | B_remove key -> key
+let batch_key_of = Engine.batch_key_of
 
 (* Entry field reads through the overlay. Key/value bytes are never
    staged (fresh entries write them directly while unreachable), so byte
@@ -312,6 +351,35 @@ let b_get t bt key =
   Redo.batch_op_end bt;
   r
 
+(* Batched scan: the same full-chain walk as [scan] but through the
+   batch overlay, so a scan placed after a put/remove in the same
+   batch observes it. Read-only — stages nothing, touches no cache. *)
+let b_scan t bt ~lo ~hi ~limit =
+  Redo.batch_op_begin bt;
+  let r =
+    if limit <= 0 || hi < lo then []
+    else begin
+      let p = t.a.pool in
+      let acc = ref [] in
+      for b = 0 to t.nbuckets - 1 do
+        let rec go slot_off =
+          let oid = Pool.batch_load_oid p bt ~off:slot_off in
+          if not (Oid.is_null oid) then begin
+            let eoff = oid.Oid.off in
+            let k = b_entry_key t bt eoff in
+            if lo <= k && k <= hi then
+              acc := (k, b_entry_value t bt eoff) :: !acc;
+            go (eoff + f_next)
+          end
+        in
+        go (bucket_slot_off t b)
+      done;
+      clip_scan ~limit !acc
+    end
+  in
+  Redo.batch_op_end bt;
+  r
+
 let b_remove t bt key =
   let p = t.a.pool in
   let slot = bucket_slot_off t (bucket_of t key) in
@@ -336,7 +404,8 @@ let run_batch t ops =
         (function
           | B_put { key; value } -> b_put t bt ~key ~value; R_put
           | B_get key -> R_get (b_get t bt key)
-          | B_remove key -> R_removed (b_remove t bt key))
+          | B_remove key -> R_removed (b_remove t bt key)
+          | B_scan { lo; hi; limit } -> R_scan (b_scan t bt ~lo ~hi ~limit))
         ops)
   in
   (* The batch is committed: everything the ops read or wrote is durable
@@ -355,7 +424,8 @@ let run_batch t ops =
          | B_get key, R_get (Some v) -> Rcache.insert rc key v
          | B_get _, _ -> ()
          | B_put { key; value }, _ -> Rcache.insert rc key value
-         | B_remove key, _ -> Rcache.invalidate rc key)
+         | B_remove key, _ -> Rcache.invalidate rc key
+         | B_scan _, _ -> ())
        ops);
   replies
 

@@ -9,6 +9,9 @@
 
 type t
 
+val name : string
+(** ["cmap"] — the engine's registry name (see {!Engines}). *)
+
 val create : ?nbuckets:int -> Spp_access.t -> t
 (** Default 4096 buckets. *)
 
@@ -46,6 +49,9 @@ val buckets_oid : t -> Spp_pmdk.Oid.t
 (** The bucket-array oid — store it in a durable slot (e.g. the pool
     root) so the map survives a restart. *)
 
+val root_oid : t -> Spp_pmdk.Oid.t
+(** Alias of {!buckets_oid} under the {!Engine.S} contract. *)
+
 val put : t -> key:string -> value:string -> unit
 (** Same-size overwrites happen in place (one snapshot); size changes
     allocate a replacement entry and free the old one, transactionally. *)
@@ -53,6 +59,12 @@ val put : t -> key:string -> value:string -> unit
 val get : t -> string -> string option
 val remove : t -> string -> bool
 val count_all : t -> int
+
+val scan : t -> lo:string -> hi:string -> limit:int -> (string * string) list
+(** Ordered range scan per the {!Engine.S} contract: at most [limit]
+    pairs with [lo <= key <= hi], ascending. On this hash layout every
+    bucket chain is walked and the survivors sorted — O(total entries)
+    whatever the range width. Cache-bypassing. *)
 
 (** {1 Group-committed batches}
 
@@ -65,15 +77,17 @@ val count_all : t -> int
     serve queue does — since stripe locks cannot cover the deferred
     commit. Batched puts always replace entries out of place. *)
 
-type batch_op =
+type batch_op = Engine.batch_op =
   | B_put of { key : string; value : string }
   | B_get of string
   | B_remove of string
+  | B_scan of { lo : string; hi : string; limit : int }
 
-type batch_reply =
+type batch_reply = Engine.batch_reply =
   | R_put
   | R_get of string option
   | R_removed of bool
+  | R_scan of (string * string) list
 
 val batch_key_of : batch_op -> string
 

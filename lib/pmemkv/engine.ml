@@ -1,0 +1,109 @@
+(* engine — the first-class engine abstraction behind the serving stack.
+
+   pmemkv ships interchangeable storage engines behind one API; this
+   module is our version of that seam. An engine owns a durable
+   key/value structure inside one pool and exposes point ops, an
+   ordered range scan, group-committed batches (the PR-4 redo batch
+   discipline: one fence schedule per sub-batch, crash recovery lands
+   on a whole-op prefix), a durable re-attach handle (a single root
+   oid parked by the caller, e.g. in the pool root), and the volatile
+   read-cache hooks the serve fast path relies on.
+
+   The shard/serve/replica stack is written against [packed] values —
+   an existential pairing of a module implementing [S] with its state —
+   so a shard's engine is chosen at [Shard.create] time and everything
+   above it stays engine-agnostic. *)
+
+open Spp_pmdk
+
+(* Batch programs are shared across engines so the serving layer can
+   build them without knowing which engine executes them. *)
+
+type batch_op =
+  | B_put of { key : string; value : string }
+  | B_get of string
+  | B_remove of string
+  | B_scan of { lo : string; hi : string; limit : int }
+
+type batch_reply =
+  | R_put
+  | R_get of string option
+  | R_removed of bool
+  | R_scan of (string * string) list
+
+let batch_key_of = function
+  | B_put { key; _ } | B_get key | B_remove key -> key
+  | B_scan { lo; _ } -> lo
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : ?nbuckets:int -> Spp_access.t -> t
+  (** Build a fresh map in the access layer's pool. [nbuckets] sizes
+      hash engines; ordered engines ignore it. *)
+
+  val attach : Spp_access.t -> root:Oid.t -> t
+  (** Re-attach to an existing map after a pool reopen given its root
+      oid ({!root_oid} of the original). Caches start cold. *)
+
+  val root_oid : t -> Oid.t
+  (** The single durable handle — park it in the pool root so the map
+      survives a restart. *)
+
+  val set_cache : t -> Rcache.t option -> unit
+  val cache : t -> Rcache.t option
+  val cache_probe : t -> string -> string option
+  val cache_invalidate : t -> string -> unit
+
+  val put : t -> key:string -> value:string -> unit
+  val get : t -> string -> string option
+  val remove : t -> string -> bool
+  val count_all : t -> int
+
+  val scan : t -> lo:string -> hi:string -> limit:int -> (string * string) list
+  (** Ordered range scan: at most [limit] pairs with [lo <= key <= hi],
+      ascending by key. Cache-bypassing — never probes nor fills. *)
+
+  val run_batch : t -> batch_op array -> batch_reply array
+  (** Group-committed batch; replies align with ops by index. Each op
+      individually atomic on crash (whole-op-prefix recovery); the
+      caller holds the map exclusively for the call. *)
+end
+
+type spec = (module S)
+(** An engine module, before it is given state — what [Shard.create]
+    and the registries in {!Engines} traffic in. *)
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** An engine module paired with one live map. *)
+
+let create ?nbuckets (module E : S) a = Packed ((module E), E.create ?nbuckets a)
+let attach (module E : S) a ~root = Packed ((module E), E.attach a ~root)
+
+let spec_name (module E : S) = E.name
+let name (Packed ((module E), _)) = E.name
+let root_oid (Packed ((module E), t)) = E.root_oid t
+let set_cache (Packed ((module E), t)) c = E.set_cache t c
+let cache (Packed ((module E), t)) = E.cache t
+let cache_probe (Packed ((module E), t)) key = E.cache_probe t key
+let cache_invalidate (Packed ((module E), t)) key = E.cache_invalidate t key
+let put (Packed ((module E), t)) ~key ~value = E.put t ~key ~value
+let get (Packed ((module E), t)) key = E.get t key
+let remove (Packed ((module E), t)) key = E.remove t key
+let count_all (Packed ((module E), t)) = E.count_all t
+let scan (Packed ((module E), t)) ~lo ~hi ~limit = E.scan t ~lo ~hi ~limit
+let run_batch (Packed ((module E), t)) ops = E.run_batch t ops
+
+(* Merge per-shard scan results (each already ascending and unique —
+   shards partition the key space by hash, so no key appears twice)
+   into one ascending list of at most [limit] pairs. *)
+let merge_scans ~limit lists =
+  let cmp (a, _) (b, _) = String.compare a b in
+  let merged = List.fold_left (fun acc l -> List.merge cmp acc l) [] lists in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  take limit merged

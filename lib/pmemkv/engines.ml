@@ -1,0 +1,22 @@
+(* engines — the registry of engine modules behind {!Engine.S}.
+
+   Lives apart from [Engine] so the interface module never depends on
+   its implementations (Cmap and Bmap both depend on Engine for the
+   shared batch types). *)
+
+(* Cmap predates the engine seam; only its attach label differs. *)
+module Cmap_engine : Engine.S with type t = Cmap.t = struct
+  include Cmap
+
+  let attach a ~root = Cmap.attach a ~buckets:root
+end
+
+let cmap : Engine.spec = (module Cmap_engine)
+let btree : Engine.spec = (module Bmap)
+
+let names = [ "cmap"; "btree" ]
+
+let of_name = function
+  | "cmap" -> Some cmap
+  | "btree" | "bmap" -> Some btree
+  | _ -> None

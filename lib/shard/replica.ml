@@ -1,6 +1,6 @@
 (* Batch replication and failover for the shard stack.
 
-   Each primary shard (Memdev/Space/Pool/Cmap) gains replica stacks
+   Each primary shard (Memdev/Space/Pool/engine) gains replica stacks
    built from the primary's durable image ([Memdev.durable_snapshot] +
    [Memdev.of_image] + [Pool.open_dev]): same uuid, same base, byte-
    identical starting state. The primary's pool carries a batch
@@ -99,6 +99,7 @@ type link = {
 type t = {
   g_shard : int;
   g_cfg : config;
+  g_engine : Spp_pmemkv.Engine.spec;   (* how promote re-attaches the map *)
   g_net : Netfault.t;
   g_links : link array;
   mutable g_seq : int;            (* commits shipped *)
@@ -189,7 +190,8 @@ let on_commit g payload =
 
 (* --- construction ----------------------------------------------------- *)
 
-let create ?(cfg = default_config) ~shard (primary : Pool.t) =
+let create ?(cfg = default_config) ?(engine = Spp_pmemkv.Engines.cmap) ~shard
+    (primary : Pool.t) =
   if cfg.replicas <= 0 then
     invalid_arg "Replica.create: need at least one replica";
   if cfg.send_retries <= 0 then
@@ -219,7 +221,7 @@ let create ?(cfg = default_config) ~shard (primary : Pool.t) =
           l_lag = Spp_benchlib.Histogram.create () })
   in
   let g =
-    { g_shard = shard; g_cfg = cfg;
+    { g_shard = shard; g_cfg = cfg; g_engine = engine;
       g_net =
         Netfault.create ~seed:(cfg.seed + (31 * shard))
           ~drop_rate:cfg.drop_rate ();
@@ -346,7 +348,7 @@ type promoted = {
   pr_seq : int;    (* sealed commit prefix, in sequence numbers *)
   pr_ops : int;    (* whole operations that prefix covers *)
   pr_access : Spp_access.t;
-  pr_kv : Spp_pmemkv.Cmap.t;
+  pr_kv : Spp_pmemkv.Engine.packed;
 }
 
 let seal g =
@@ -416,11 +418,11 @@ let promote ?(cache_cap = 0) ?replica g =
       raise
         (Promotion_failed
            { shard = g.g_shard; reason = "replica pool has no root object" });
-    let buckets = Pool.load_oid pool ~off:root.Oid.off in
-    let kv = Spp_pmemkv.Cmap.attach access ~buckets in
+    let map_root = Pool.load_oid pool ~off:root.Oid.off in
+    let kv = Spp_pmemkv.Engine.attach g.g_engine access ~root:map_root in
     (* The read cache never fails over: a promoted stack starts cold. *)
     if cache_cap > 0 then
-      Spp_pmemkv.Cmap.set_cache kv
+      Spp_pmemkv.Engine.set_cache kv
         (Some (Spp_pmemkv.Rcache.create ~cap:cache_cap));
     { pr_shard = g.g_shard; pr_replica = pick.l_replica;
       pr_seq = pick.l_applied_seq; pr_ops = pick.l_applied_ops;

@@ -57,12 +57,18 @@ val default_config : config
 
 type t
 
-val create : ?cfg:config -> shard:int -> Spp_pmdk.Pool.t -> t
+val create :
+  ?cfg:config -> ?engine:Spp_pmemkv.Engine.spec -> shard:int ->
+  Spp_pmdk.Pool.t -> t
 (** [create ~shard primary] snapshots the primary pool's durable image
     [cfg.replicas] times, opens each as an independent replica stack,
     spawns applier domains when [cfg.threaded], and installs the batch
     observer on [primary]. The primary must be quiesced (no batch in
-    flight, stores fenced) at the call. *)
+    flight, stores fenced) at the call. [engine] (default
+    {!Spp_pmemkv.Engines.cmap}) is the engine module {!promote} uses to
+    re-attach the map through the pool root — replication itself is
+    engine-agnostic (payloads are redo entries plus raw bytes), so it
+    must simply match what the primary runs. *)
 
 val shard : t -> int
 val config : t -> config
@@ -106,7 +112,7 @@ type promoted = {
   pr_seq : int;       (** sealed commit prefix, in sequence numbers *)
   pr_ops : int;       (** whole operations that prefix covers *)
   pr_access : Spp_access.t;
-  pr_kv : Spp_pmemkv.Cmap.t;
+  pr_kv : Spp_pmemkv.Engine.packed;
 }
 
 val promote : ?cache_cap:int -> ?replica:int -> t -> promoted

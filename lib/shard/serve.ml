@@ -49,6 +49,7 @@ type request =
   | Put of { key : string; value : string }
   | Get of string
   | Remove of string
+  | Scan of { lo : string; hi : string; limit : int }
 
 type failure =
   | Op_raised of string   (* an op raised; outcome of the drain unknown *)
@@ -58,7 +59,13 @@ type reply =
   | Done                     (* put committed *)
   | Value of string option   (* get result *)
   | Removed of bool
+  | Scanned of (string * string) list   (* ordered, <= the clamped limit *)
   | Failed of failure        (* op not acked; outcome unknown *)
+
+(* Every scan reply is clamped to this many pairs, whatever limit the
+   client asked for — the reply is a materialized list and the worker
+   holds the shard for the whole batch. *)
+let scan_limit_cap = 4096
 
 exception Not_replicated of int
 
@@ -72,6 +79,10 @@ let () =
 
 let request_key = function
   | Put { key; _ } | Get key | Remove key -> key
+  | Scan _ ->
+    (* a range spans every shard; route scans with [scan] or target one
+       shard with [submit_to] *)
+    invalid_arg "Serve.request_key: Scan has no routing key"
 
 type ticket = {
   tk_shard : int;
@@ -113,15 +124,19 @@ type t = {
   mutable stopped : bool;
 }
 
-let to_cmap_op = function
-  | Put { key; value } -> Spp_pmemkv.Cmap.B_put { key; value }
-  | Get key -> Spp_pmemkv.Cmap.B_get key
-  | Remove key -> Spp_pmemkv.Cmap.B_remove key
+let to_engine_op = function
+  | Put { key; value } -> Spp_pmemkv.Engine.B_put { key; value }
+  | Get key -> Spp_pmemkv.Engine.B_get key
+  | Remove key -> Spp_pmemkv.Engine.B_remove key
+  | Scan { lo; hi; limit } ->
+    Spp_pmemkv.Engine.B_scan
+      { lo; hi; limit = max 0 (min limit scan_limit_cap) }
 
-let of_cmap_reply = function
-  | Spp_pmemkv.Cmap.R_put -> Done
-  | Spp_pmemkv.Cmap.R_get v -> Value v
-  | Spp_pmemkv.Cmap.R_removed b -> Removed b
+let of_engine_reply = function
+  | Spp_pmemkv.Engine.R_put -> Done
+  | Spp_pmemkv.Engine.R_get v -> Value v
+  | Spp_pmemkv.Engine.R_removed b -> Removed b
+  | Spp_pmemkv.Engine.R_scan kvs -> Scanned kvs
 
 (* Resolve a drain's tickets. [Failed] still records latency — a failed
    op occupied the pipeline for that long. *)
@@ -209,8 +224,8 @@ let worker t i =
             Spp_pmdk.Pool.dev (Shard.shard_access sh).Spp_access.pool
           in
           match
-            Spp_pmemkv.Cmap.run_batch kv
-              (Array.map (fun (r, _) -> to_cmap_op r) items)
+            Spp_pmemkv.Engine.run_batch kv
+              (Array.map (fun (r, _) -> to_engine_op r) items)
           with
           | exception e ->
             if Spp_sim.Memdev.is_powered_off dev then begin
@@ -242,7 +257,7 @@ let worker t i =
                  Replica.wait_acks g
                | _ -> ());
               resolve box hist nfailed items
-                (fun j -> of_cmap_reply replies.(j));
+                (fun j -> of_engine_reply replies.(j));
               ops := !ops + n;
               incr batches;
               if n > !max_batch then max_batch := n
@@ -284,7 +299,9 @@ let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true)
              let pool =
                (Shard.shard_access (Shard.shard store i)).Spp_access.pool
              in
-             Some (Replica.create ~cfg ~shard:i pool)));
+             Some
+               (Replica.create ~cfg ~engine:(Shard.engine store) ~shard:i
+                  pool)));
       batch_cap; adaptive;
       (* The read fast path answers a cache-hit [Get] on the submitting
          thread, skipping the mailbox and the worker domain. It is safe
@@ -324,23 +341,23 @@ let submit_queued t i req =
   Mutex.unlock box.mu;
   tk
 
-let submit t req =
-  let i = shard_of t req in
+let submit_prepared t i req =
   let kv = Shard.shard_kv (Shard.shard t.store i) in
   (* Submission-time invalidation: by the time a mutation is visible in
      the mailbox, no later probe — from this client or any other — can
      hit the value it is about to replace. Combined with the stage-time
      invalidation inside the batch, this gives read-your-writes to a
-     client that pipelines a put and then a bypassed get. *)
+     client that pipelines a put and then a bypassed get. Scans are
+     cache-bypassing and touch nothing here. *)
   (match req with
-   | Put { key; _ } | Remove key -> Spp_pmemkv.Cmap.cache_invalidate kv key
-   | Get _ -> ());
+   | Put { key; _ } | Remove key -> Spp_pmemkv.Engine.cache_invalidate kv key
+   | Get _ | Scan _ -> ());
   (* Read fast path: a cache hit is already durable data (fills only
      come from committed batches), so answer on the submitting thread
      with a pre-fulfilled ticket and never touch the mailbox. *)
   match req with
   | Get key when t.bypass ->
-    (match Spp_pmemkv.Cmap.cache_probe kv key with
+    (match Spp_pmemkv.Engine.cache_probe kv key with
      | Some v ->
        Atomic.incr t.bypassed;
        { tk_shard = i;
@@ -348,6 +365,16 @@ let submit t req =
          tk_reply = Some (Value (Some v)) }
      | None -> submit_queued t i req)
   | _ -> submit_queued t i req
+
+let submit t req = submit_prepared t (shard_of t req) req
+
+(* Target one shard explicitly — how a [Scan] (which has no routing
+   key: the hash router spreads every range over all shards) enters a
+   specific worker's batch stream. *)
+let submit_to t i req =
+  if i < 0 || i >= Shard.nshards t.store then
+    invalid_arg "Serve.submit_to: shard index out of range";
+  submit_prepared t i req
 
 let await t tk =
   match tk.tk_reply with
@@ -364,6 +391,30 @@ let await t tk =
     (match tk.tk_reply with Some r -> r | None -> assert false)
 
 let peek tk = tk.tk_reply
+
+(* Scatter-gather ordered scan: one [Scan] request per shard rides the
+   normal mailbox/batch path (so it group-commits with the writes
+   around it and observes exactly the committed prefix), then the
+   per-shard sorted slices merge on the calling domain. A shard that
+   failed over mid-scan surfaces as [Error]. *)
+let scan t ~lo ~hi ~limit =
+  let limit = max 0 (min limit scan_limit_cap) in
+  let req = Scan { lo; hi; limit } in
+  let tks =
+    Array.init (Shard.nshards t.store) (fun i -> submit_to t i req)
+  in
+  let slices = Array.map (fun tk -> await t tk) tks in
+  let ok = ref [] and failed = ref None in
+  Array.iter
+    (fun r ->
+      match r with
+      | Scanned kvs -> ok := kvs :: !ok
+      | Failed f -> if !failed = None then failed := Some f
+      | _ -> ())
+    slices;
+  match !failed with
+  | Some f -> Error f
+  | None -> Ok (Spp_pmemkv.Engine.merge_scans ~limit !ok)
 
 let bypassed_gets t = Atomic.get t.bypassed
 
@@ -475,7 +526,7 @@ let run_sequential ?(use_cache = true) store ~batch_cap streams =
   Array.mapi
     (fun i reqs ->
       let kv = Shard.shard_kv (Shard.shard store i) in
-      let cached = use_cache && Spp_pmemkv.Cmap.cache kv <> None in
+      let cached = use_cache && Spp_pmemkv.Engine.cache kv <> None in
       let n = Array.length reqs in
       let out = Array.make n Done in
       let pos = ref 0 in
@@ -488,9 +539,11 @@ let run_sequential ?(use_cache = true) store ~batch_cap streams =
            entries, so peeling them changes no fence schedule either.) *)
         let len = min batch_cap (n - !pos) in
         if not cached then begin
-          let chunk = Array.init len (fun j -> to_cmap_op reqs.(!pos + j)) in
-          let replies = Spp_pmemkv.Cmap.run_batch kv chunk in
-          Array.iteri (fun j r -> out.(!pos + j) <- of_cmap_reply r) replies
+          let chunk =
+            Array.init len (fun j -> to_engine_op reqs.(!pos + j))
+          in
+          let replies = Spp_pmemkv.Engine.run_batch kv chunk in
+          Array.iteri (fun j r -> out.(!pos + j) <- of_engine_reply r) replies
         end
         else begin
           (* Peel cache-hit gets in request order. A mutation must
@@ -502,20 +555,23 @@ let run_sequential ?(use_cache = true) store ~batch_cap streams =
             let idx = !pos + j in
             match reqs.(idx) with
             | Get key as r ->
-              (match Spp_pmemkv.Cmap.cache_probe kv key with
+              (match Spp_pmemkv.Engine.cache_probe kv key with
                | Some v -> out.(idx) <- Value (Some v)
-               | None -> kept := (idx, to_cmap_op r) :: !kept; incr nkept)
+               | None -> kept := (idx, to_engine_op r) :: !kept; incr nkept)
             | (Put { key; _ } | Remove key) as r ->
-              Spp_pmemkv.Cmap.cache_invalidate kv key;
-              kept := (idx, to_cmap_op r) :: !kept; incr nkept
+              Spp_pmemkv.Engine.cache_invalidate kv key;
+              kept := (idx, to_engine_op r) :: !kept; incr nkept
+            | Scan _ as r ->
+              (* cache-bypassing: always executes in the batch *)
+              kept := (idx, to_engine_op r) :: !kept; incr nkept
           done;
           if !nkept > 0 then begin
             let kept = Array.of_list (List.rev !kept) in
             let replies =
-              Spp_pmemkv.Cmap.run_batch kv (Array.map snd kept)
+              Spp_pmemkv.Engine.run_batch kv (Array.map snd kept)
             in
             Array.iteri
-              (fun j r -> out.(fst kept.(j)) <- of_cmap_reply r)
+              (fun j r -> out.(fst kept.(j)) <- of_engine_reply r)
               replies
           end
         end;
@@ -538,7 +594,40 @@ let digest_replies replies =
       | Value None -> mix 0x7F
       | Removed true -> mix 3
       | Removed false -> mix 0x3F
+      | Scanned kvs ->
+        mix 0x5C;
+        List.iter
+          (fun (k, v) ->
+            mix (String.length k + Char.code k.[0]);
+            mix (String.length v + (if v = "" then 0 else Char.code v.[0])))
+          kvs
       | Failed (Op_raised _) -> mix 0x11
       | Failed Failed_over -> mix 0x13)
     replies;
   !d land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (divergence reports, sppctl)                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_request ppf = function
+  | Put { key; value } ->
+    Format.fprintf ppf "Put(%s, %dB)" key (String.length value)
+  | Get key -> Format.fprintf ppf "Get(%s)" key
+  | Remove key -> Format.fprintf ppf "Remove(%s)" key
+  | Scan { lo; hi; limit } ->
+    Format.fprintf ppf "Scan(%s..%s, limit %d)" lo hi limit
+
+let pp_reply ppf = function
+  | Done -> Format.pp_print_string ppf "Done"
+  | Value (Some v) -> Format.fprintf ppf "Value(%dB)" (String.length v)
+  | Value None -> Format.pp_print_string ppf "Value(none)"
+  | Removed b -> Format.fprintf ppf "Removed(%b)" b
+  | Scanned kvs ->
+    (match (kvs, List.rev kvs) with
+     | [], _ | _, [] -> Format.pp_print_string ppf "Scanned(0 entries)"
+     | (first, _) :: _, (last, _) :: _ ->
+       Format.fprintf ppf "Scanned(%d entries, %s..%s)" (List.length kvs)
+         first last)
+  | Failed (Op_raised e) -> Format.fprintf ppf "Failed(op raised: %s)" e
+  | Failed Failed_over -> Format.pp_print_string ppf "Failed(failed over)"

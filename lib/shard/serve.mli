@@ -43,6 +43,9 @@ type request =
   | Put of { key : string; value : string }
   | Get of string
   | Remove of string
+  | Scan of { lo : string; hi : string; limit : int }
+      (** ordered range over one shard's slice; cache-bypassing,
+          executed inside the worker batch *)
 
 (** Why a ticket could not be acked. *)
 type failure =
@@ -55,13 +58,22 @@ type reply =
   | Done
   | Value of string option
   | Removed of bool
+  | Scanned of (string * string) list
+      (** ascending by key, at most the clamped limit *)
   | Failed of failure
+
+val scan_limit_cap : int
+(** Every scan's limit is clamped to this many pairs (4096) on entry —
+    replies are materialized lists built while the worker holds the
+    shard. *)
 
 exception Not_replicated of int
 (** {!promote} on a shard created without a replication group.
     Registered with [Printexc]. *)
 
 val request_key : request -> string
+(** The routing key. Raises [Invalid_argument] on [Scan] — a range
+    spans every shard; use {!scan} or {!submit_to}. *)
 
 type ticket
 
@@ -99,13 +111,28 @@ val submit : t -> request -> ticket
     pre-fulfilled ticket. Mutations invalidate their key in the shard's
     read cache before enqueueing. Callable from any domain. Raises once
     {!stop} has begun (a bypassed get may still succeed: it is
-    read-only and touches no queue). *)
+    read-only and touches no queue), and on [Scan] (no routing key —
+    use {!scan} or {!submit_to}). *)
+
+val submit_to : t -> int -> request -> ticket
+(** [submit_to t i req] bypasses the router and enqueues on shard [i] —
+    how a [Scan] targets one shard's slice, and how the differential
+    tests drive predetermined per-shard streams. Same cache discipline
+    as {!submit}. *)
 
 val await : t -> ticket -> reply
 (** Block until the ticket's batch has committed (immediate for a
     bypassed get). *)
 
 val peek : ticket -> reply option
+
+val scan :
+  t -> lo:string -> hi:string -> limit:int ->
+  ((string * string) list, failure) result
+(** Whole-store ordered scan: submits one [Scan] per shard (each rides
+    that shard's batch stream), awaits all slices and merges them into
+    one ascending list of at most [limit] (clamped) pairs. [Error] if
+    any shard failed over mid-scan. *)
 
 val bypassed_gets : t -> int
 (** Gets answered on the submitting thread without entering a mailbox. *)
@@ -171,4 +198,10 @@ val run_sequential :
 
 val digest_replies : reply array -> int
 (** Order-sensitive digest; two executions agree only if every reply
-    matched in order and shape. *)
+    matched in order and shape. Scan replies digest every (key, value)
+    pair in order. *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_reply : Format.formatter -> reply -> unit
+(** Compact printers for divergence reports and sppctl: values print as
+    lengths, scans as entry count and key span. *)

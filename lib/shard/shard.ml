@@ -2,7 +2,7 @@
 
    The unit of parallelism is the pool, exactly PMDK's per-pool
    concurrency model: one shard owns one full simulator stack — a
-   persistent Memdev, a Space, a Pool and a Cmap engine over it — so no
+   persistent Memdev, a Space, a Pool and a KV engine over it — so no
    simulator state is ever mutated from two domains. A hash router
    partitions the key space across shards; after the driving domains
    join, per-shard [Space]/[Memdev] stats are snapshotted and merged
@@ -19,16 +19,19 @@ open Spp_pmdk
 type shard = {
   index : int;
   access : Spp_access.t;
-  kv : Spp_pmemkv.Cmap.t;
+  kv : Spp_pmemkv.Engine.packed;
 }
 
 type t = {
   shards : shard array;
   variant : Spp_access.variant;
+  engine : Spp_pmemkv.Engine.spec;
 }
 
 let nshards t = Array.length t.shards
 let variant t = t.variant
+let engine t = t.engine
+let engine_name t = Spp_pmemkv.Engine.spec_name t.engine
 let shard t i = t.shards.(i)
 let shard_index (s : shard) = s.index
 let shard_access (s : shard) = s.access
@@ -54,7 +57,7 @@ let shard_of_key ~nshards key =
 let route t key = shard_of_key ~nshards:(Array.length t.shards) key
 
 let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
-    ~nshards variant =
+    ?(engine = Spp_pmemkv.Engines.cmap) ~nshards variant =
   if nshards <= 0 then invalid_arg "Shard.create: nshards must be positive";
   let shards =
     Array.init nshards (fun index ->
@@ -65,24 +68,24 @@ let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
                index)
           variant
       in
-      let kv = Spp_pmemkv.Cmap.create ~nbuckets access in
-      (* Park the bucket array's oid in the pool root: the durable
+      let kv = Spp_pmemkv.Engine.create ~nbuckets engine access in
+      (* Park the engine's root oid in the pool root: the durable
          handle a reopening process — or a replica promoted after a
          primary failure — needs to re-attach the map without any
          volatile state from this stack. Same discipline as the torture
          workloads. *)
       let pool = access.Spp_access.pool in
       let root = access.Spp_access.root access.Spp_access.oid_size in
-      Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid kv);
+      Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Engine.root_oid kv);
       Pool.persist pool ~off:root.Oid.off ~len:access.Spp_access.oid_size;
       (* One DRAM read cache per shard: single worker-domain writer on
          the serving path, lock-free readers from any submitting domain. *)
       if cache_cap > 0 then
-        Spp_pmemkv.Cmap.set_cache kv
+        Spp_pmemkv.Engine.set_cache kv
           (Some (Spp_pmemkv.Rcache.create ~cap:cache_cap));
       { index; access; kv })
   in
-  { shards; variant }
+  { shards; variant; engine }
 
 (* Failover repoint: swap a shard's stack for a promoted replica's. The
    router is pure (key -> index), so the swap changes which stack an
@@ -97,16 +100,28 @@ let set_shard t i ~access ~kv =
 (* Routed single-key operations — the serving interface. *)
 
 let put t ~key ~value =
-  Spp_pmemkv.Cmap.put t.shards.(route t key).kv ~key ~value
+  Spp_pmemkv.Engine.put t.shards.(route t key).kv ~key ~value
 
-let get t key = Spp_pmemkv.Cmap.get t.shards.(route t key).kv key
+let get t key = Spp_pmemkv.Engine.get t.shards.(route t key).kv key
 
-let remove t key = Spp_pmemkv.Cmap.remove t.shards.(route t key).kv key
+let remove t key = Spp_pmemkv.Engine.remove t.shards.(route t key).kv key
 
 let count_all t =
   Array.fold_left
-    (fun acc s -> acc + Spp_pmemkv.Cmap.count_all s.kv)
+    (fun acc s -> acc + Spp_pmemkv.Engine.count_all s.kv)
     0 t.shards
+
+(* Scatter-gather ordered scan: the hash router spreads any key range
+   over every shard, so each shard scans its slice (bounded by the same
+   limit) and the sorted slices are merged and clipped. *)
+let scan t ~lo ~hi ~limit =
+  if limit <= 0 || hi < lo then []
+  else
+    Spp_pmemkv.Engine.merge_scans ~limit
+      (Array.to_list
+         (Array.map
+            (fun s -> Spp_pmemkv.Engine.scan s.kv ~lo ~hi ~limit)
+            t.shards))
 
 (* Merged accounting. Reading a shard's stats is only race-free once the
    domain driving it has joined; callers sequence that, we just sum. *)
@@ -130,20 +145,20 @@ let merged_cache_stats t =
     (Array.to_list
        (Array.map
           (fun s ->
-            match Spp_pmemkv.Cmap.cache s.kv with
+            match Spp_pmemkv.Engine.cache s.kv with
             | Some rc -> Spp_pmemkv.Rcache.stats rc
             | None -> Spp_pmemkv.Rcache.zero_stats)
           t.shards))
 
 let cache_enabled t =
-  Array.exists (fun s -> Spp_pmemkv.Cmap.cache s.kv <> None) t.shards
+  Array.exists (fun s -> Spp_pmemkv.Engine.cache s.kv <> None) t.shards
 
 let reset_stats t =
   Array.iter
     (fun s ->
       Spp_sim.Space.reset_stats s.access.Spp_access.space;
       Spp_sim.Memdev.reset_counters (Pool.dev s.access.Spp_access.pool);
-      match Spp_pmemkv.Cmap.cache s.kv with
+      match Spp_pmemkv.Engine.cache s.kv with
       | Some rc -> Spp_pmemkv.Rcache.reset_stats rc
       | None -> ())
     t.shards

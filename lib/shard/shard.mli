@@ -1,7 +1,7 @@
 (** Domain-parallel sharded KV serving path.
 
     A shard owns one fully independent simulator stack (persistent
-    {!Spp_sim.Memdev} + {!Spp_sim.Space} + pool + cmap engine), so
+    {!Spp_sim.Memdev} + {!Spp_sim.Space} + pool + KV engine), so
     driving different shards from different domains never mutates
     shared simulator state — the pool is the unit of parallelism, as in
     PMDK's per-pool concurrency model. A hash router partitions the key
@@ -13,18 +13,20 @@ type shard
 type t
 
 val create :
-  ?nbuckets:int -> ?pool_size:int -> ?cache_cap:int -> nshards:int ->
-  Spp_access.variant -> t
+  ?nbuckets:int -> ?pool_size:int -> ?cache_cap:int ->
+  ?engine:Spp_pmemkv.Engine.spec -> nshards:int -> Spp_access.variant -> t
 (** [create ~nshards variant] builds [nshards] independent shards, each
-    with its own pool ([pool_size] bytes, default 8 MiB) and cmap engine
-    ([nbuckets] buckets per shard, default 1024). The bucket array's oid
-    is parked in each pool's root object, so a reopened image — or a
-    promoted replica — can re-attach the map from durable state alone.
-    [cache_cap > 0] additionally attaches a volatile
-    {!Spp_pmemkv.Rcache} of that many entries to every shard (default
-    0: no cache). *)
+    with its own pool ([pool_size] bytes, default 8 MiB) and an engine
+    over it — [engine] defaults to {!Spp_pmemkv.Engines.cmap}
+    ([nbuckets] buckets per shard, default 1024; ordered engines ignore
+    it). Each engine's root oid is parked in its pool's root object, so
+    a reopened image — or a promoted replica — can re-attach the map
+    from durable state alone. [cache_cap > 0] additionally attaches a
+    volatile {!Spp_pmemkv.Rcache} of that many entries to every shard
+    (default 0: no cache). *)
 
-val set_shard : t -> int -> access:Spp_access.t -> kv:Spp_pmemkv.Cmap.t -> unit
+val set_shard :
+  t -> int -> access:Spp_access.t -> kv:Spp_pmemkv.Engine.packed -> unit
 (** Failover repoint: make index [i] resolve to a different stack (a
     promoted replica's). The router is a pure function of the key and
     shard count, so no key moves. The caller must guarantee no other
@@ -34,10 +36,15 @@ val set_shard : t -> int -> access:Spp_access.t -> kv:Spp_pmemkv.Cmap.t -> unit
 val nshards : t -> int
 val variant : t -> Spp_access.variant
 
+val engine : t -> Spp_pmemkv.Engine.spec
+(** The engine module every shard of this store runs. *)
+
+val engine_name : t -> string
+
 val shard : t -> int -> shard
 val shard_index : shard -> int
 val shard_access : shard -> Spp_access.t
-val shard_kv : shard -> Spp_pmemkv.Cmap.t
+val shard_kv : shard -> Spp_pmemkv.Engine.packed
 
 (** {1 Routing} *)
 
@@ -56,6 +63,11 @@ val put : t -> key:string -> value:string -> unit
 val get : t -> string -> string option
 val remove : t -> string -> bool
 val count_all : t -> int
+
+val scan : t -> lo:string -> hi:string -> limit:int -> (string * string) list
+(** Ordered range scan across the whole store: every shard scans its
+    hash-partitioned slice and the sorted slices are merged and clipped
+    to [limit]. Cache-bypassing, like the per-engine scans. *)
 
 (** {1 Merged accounting}
 

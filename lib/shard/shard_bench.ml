@@ -18,9 +18,15 @@ let dist_name = function
   | Uniform -> "uniform"
   | Zipfian theta -> Printf.sprintf "zipfian%.2f" theta
 
+type op_kind =
+  | O_get
+  | O_put
+  | O_scan of { span : int; limit : int }
+      (* ordered range of [span] consecutive keys upward from o_key *)
+
 type op = {
   o_key : string;
-  o_write : bool;
+  o_kind : op_kind;
 }
 
 let write_pct (w : Spp_pmemkv.Db_bench.workload) =
@@ -29,14 +35,15 @@ let write_pct (w : Spp_pmemkv.Db_bench.workload) =
   | Spp_pmemkv.Db_bench.Read_heavy -> 5
   | Spp_pmemkv.Db_bench.Random_reads | Spp_pmemkv.Db_bench.Seq_reads -> 0
 
-let gen_ops ~seed ~ops ~universe ~dist workload =
+let gen_ops ?(scan_pct = 0) ?(scan_span = 16) ?(scan_limit = 16) ~seed ~ops
+    ~universe ~dist workload =
   let pct = write_pct workload in
   let gen =
     match dist with
     | Uniform -> Keygen.uniform ~seed ~universe
     | Zipfian theta -> Keygen.zipfian ~theta ~seed ~universe ()
   in
-  (* separate stream for the read/write coin so changing the key
+  (* separate stream for the op-mix coin so changing the key
      distribution never changes the op mix *)
   let coin = Random.State.make [| seed; 0x11C9 |] in
   Array.init ops (fun i ->
@@ -45,8 +52,15 @@ let gen_ops ~seed ~ops ~universe ~dist workload =
       | Spp_pmemkv.Db_bench.Seq_reads -> (seed + i) mod universe
       | _ -> Keygen.next gen
     in
-    { o_key = Spp_pmemkv.Db_bench.key_of_int idx;
-      o_write = pct > 0 && Random.State.int coin 100 < pct })
+    (* one coin draw per op whatever the kind, so adding scans to a mix
+       leaves the put/get decisions of the remaining ops untouched *)
+    let roll = Random.State.int coin 100 in
+    let kind =
+      if roll < scan_pct then O_scan { span = scan_span; limit = scan_limit }
+      else if pct > 0 && roll - scan_pct < pct then O_put
+      else O_get
+    in
+    { o_key = Spp_pmemkv.Db_bench.key_of_int idx; o_kind = kind })
 
 (* Route a global stream into per-shard streams, preserving program
    order within each shard. Partitioning depends only on the shard
@@ -76,36 +90,70 @@ type shard_result = {
   sr_ops : int;
   sr_hits : int;
   sr_puts : int;
+  sr_scans : int;
+  sr_scan_entries : int;       (* pairs returned across all scans *)
+  sr_scan_digests : int array; (* one digest per scan, in op order *)
   sr_digest : int;
   sr_elapsed : float;
 }
 
-let signature r = (r.sr_shard, r.sr_ops, r.sr_hits, r.sr_puts, r.sr_digest)
+let signature r =
+  ( r.sr_shard, r.sr_ops, r.sr_hits, r.sr_puts, r.sr_scans,
+    r.sr_scan_entries, r.sr_scan_digests, r.sr_digest )
+
+(* A scan op covers [o_key, o_key + span) in key-of-int order — the
+   string encoding is zero-padded, so lexicographic equals numeric
+   order and the upper bound is the key one past the span. *)
+let scan_hi_of ~key ~span =
+  let n = String.length "key" in
+  let idx = int_of_string (String.sub key n (String.length key - n)) in
+  Spp_pmemkv.Db_bench.key_of_int (idx + span - 1)
 
 let exec_shard (s : Shard.shard) ops =
   let kv = Shard.shard_kv s in
   let digest = ref 0x1505 in
   let mix v = digest := (!digest * 0x01000193) lxor v in
   let hits = ref 0 and puts = ref 0 in
+  let scans = ref 0 and scan_entries = ref 0 in
+  let scan_digests = ref [] in
   let t0 = Bench_util.now_mono () in
   Array.iter
     (fun op ->
-      if op.o_write then begin
-        Spp_pmemkv.Cmap.put kv ~key:op.o_key
+      match op.o_kind with
+      | O_put ->
+        Spp_pmemkv.Engine.put kv ~key:op.o_key
           ~value:Spp_pmemkv.Db_bench.value_block;
         incr puts;
         mix 1
-      end
-      else
-        match Spp_pmemkv.Cmap.get kv op.o_key with
-        | Some v ->
-          incr hits;
-          mix (String.length v + Char.code v.[0])
-        | None -> mix 0x7F)
+      | O_get ->
+        (match Spp_pmemkv.Engine.get kv op.o_key with
+         | Some v ->
+           incr hits;
+           mix (String.length v + Char.code v.[0])
+         | None -> mix 0x7F)
+      | O_scan { span; limit } ->
+        let hi = scan_hi_of ~key:op.o_key ~span in
+        let kvs = Spp_pmemkv.Engine.scan kv ~lo:op.o_key ~hi ~limit in
+        incr scans;
+        (* per-scan digest so a divergence report can name the exact
+           scan reply that differed, not just "some scan" *)
+        let sd = ref 0x1505 in
+        let smix v = sd := (!sd * 0x01000193) lxor v in
+        List.iter
+          (fun (k, v) ->
+            incr scan_entries;
+            smix (String.length k + Char.code k.[0]);
+            smix (String.length v + Char.code v.[0]))
+          kvs;
+        scan_digests := (!sd land max_int) :: !scan_digests;
+        mix !sd)
     ops;
   let elapsed = Bench_util.now_mono () -. t0 in
   { sr_shard = Shard.shard_index s; sr_ops = Array.length ops;
-    sr_hits = !hits; sr_puts = !puts; sr_digest = !digest land max_int;
+    sr_hits = !hits; sr_puts = !puts; sr_scans = !scans;
+    sr_scan_entries = !scan_entries;
+    sr_scan_digests = Array.of_list (List.rev !scan_digests);
+    sr_digest = !digest land max_int;
     sr_elapsed = elapsed }
 
 type mode =
@@ -168,6 +216,16 @@ let explain_divergence a b =
       let x = a.r_shards.(i) and y = b.r_shards.(i) in
       if signature x = signature y then None
       else
+        let first_scan_diff () =
+          let n = min (Array.length x.sr_scan_digests)
+                    (Array.length y.sr_scan_digests) in
+          let rec go j =
+            if j >= n then None
+            else if x.sr_scan_digests.(j) <> y.sr_scan_digests.(j) then Some j
+            else go (j + 1)
+          in
+          go 0
+        in
         let field =
           if x.sr_shard <> y.sr_shard then
             Printf.sprintf "sr_shard %d vs %d" x.sr_shard y.sr_shard
@@ -177,8 +235,19 @@ let explain_divergence a b =
             Printf.sprintf "sr_puts %d vs %d" x.sr_puts y.sr_puts
           else if x.sr_hits <> y.sr_hits then
             Printf.sprintf "sr_hits %d vs %d" x.sr_hits y.sr_hits
+          else if x.sr_scans <> y.sr_scans then
+            Printf.sprintf "sr_scans %d vs %d" x.sr_scans y.sr_scans
+          else if x.sr_scan_entries <> y.sr_scan_entries then
+            Printf.sprintf "sr_scan_entries %d vs %d" x.sr_scan_entries
+              y.sr_scan_entries
           else
-            Printf.sprintf "sr_digest 0x%x vs 0x%x" x.sr_digest y.sr_digest
+            match first_scan_diff () with
+            | Some j ->
+              Printf.sprintf
+                "scan reply %d (of %d) digest 0x%x vs 0x%x" j x.sr_scans
+                x.sr_scan_digests.(j) y.sr_scan_digests.(j)
+            | None ->
+              Printf.sprintf "sr_digest 0x%x vs 0x%x" x.sr_digest y.sr_digest
         in
         Some
           (Printf.sprintf "first divergence at shard %d: %s (%s vs %s)" i

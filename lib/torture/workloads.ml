@@ -309,18 +309,21 @@ let kvbatch ?(variant = Spp_access.Spp) ?(ops = 12) () =
    longer hold — but the prefix shape and k_r <= k_p must survive
    arbitrary loss. *)
 let kvfailover ?(variant = Spp_access.Spp) ?(ops = 12) ?(drop_rate = 0.)
-    ?(send_retries = 4) ?(name = "kvfailover") () =
+    ?(send_retries = 4) ?(engine = Spp_pmemkv.Engines.cmap)
+    ?(name = "kvfailover") () =
   let ops = max 3 ops in
   let half = ops / 2 in
   let updated_value = "value-redux" in
-  (* valid whole-op prefix length of the program, or the shape violation *)
-  let scan_prefix map' =
+  (* valid whole-op prefix length of the program, or the shape violation;
+     [get] abstracts over which side (recovered primary / promoted
+     replica) and which engine is being scanned *)
+  let scan_prefix get =
     let err = ref None in
     let fail msg = if !err = None then err := Some msg in
-    let v1 = Spp_pmemkv.Cmap.get map' (kv_key 1) in
+    let v1 = get (kv_key 1) in
     let k = ref (if v1 = None then 0 else 1) in
     for i = 2 to ops - 1 do
-      match Spp_pmemkv.Cmap.get map' (kv_key i) with
+      match get (kv_key i) with
       | Some v ->
         if v <> kv_value i then fail (Printf.sprintf "op %d torn: %S" i v)
         else if !k <> i - 1 then
@@ -346,9 +349,9 @@ let kvfailover ?(variant = Spp_access.Spp) ?(ops = 12) ?(drop_rate = 0.)
       Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-kvfo" variant
     in
     let pool = a.Spp_access.pool in
-    let map = Spp_pmemkv.Cmap.create ~nbuckets:16 a in
+    let map = Spp_pmemkv.Engine.create ~nbuckets:16 engine a in
     let root = a.Spp_access.root a.Spp_access.oid_size in
-    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Cmap.buckets_oid map);
+    Pool.store_oid pool ~off:root.Oid.off (Spp_pmemkv.Engine.root_oid map);
     Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
     (* Inline, lossless-or-not single replica: apply happens on the
        committing domain (deterministic — replica-device writes fire no
@@ -361,18 +364,18 @@ let kvfailover ?(variant = Spp_access.Spp) ?(ops = 12) ?(drop_rate = 0.)
             replicas = 1; policy = Spp_shard.Replica.Sync;
             threaded = false; send_retries; drop_rate;
             seed = 0x4f56 }
-        ~shard:0 pool
+        ~engine ~shard:0 pool
     in
     let lossless = drop_rate = 0. in
     let op_of i =
       if i < ops then
-        Spp_pmemkv.Cmap.B_put { key = kv_key i; value = kv_value i }
-      else Spp_pmemkv.Cmap.B_put { key = kv_key 1; value = updated_value }
+        Spp_pmemkv.Engine.B_put { key = kv_key i; value = kv_value i }
+      else Spp_pmemkv.Engine.B_put { key = kv_key 1; value = updated_value }
     in
     let mutate ~ack =
       let batch lo hi =
         ignore
-          (Spp_pmemkv.Cmap.run_batch map
+          (Spp_pmemkv.Engine.run_batch map
              (Array.init (hi - lo + 1) (fun j -> op_of (lo + j))));
         (* sync-policy gate before the acks; immediate in inline mode *)
         Spp_shard.Replica.wait_acks g;
@@ -385,17 +388,19 @@ let kvfailover ?(variant = Spp_access.Spp) ?(ops = 12) ?(drop_rate = 0.)
       (* Side A: cold recovery of the primary's crashed image. *)
       let a' = Spp_access.attach (Pool.space pool') pool' in
       let root' = Pool.root_oid pool' in
-      let buckets = Pool.load_oid pool' ~off:root'.Oid.off in
-      let map' = Spp_pmemkv.Cmap.attach a' ~buckets in
-      match scan_prefix map' with
+      let map_root = Pool.load_oid pool' ~off:root'.Oid.off in
+      let map' = Spp_pmemkv.Engine.attach engine a' ~root:map_root in
+      match scan_prefix (Spp_pmemkv.Engine.get map') with
       | Error msg -> Error ("primary: " ^ msg)
       | Ok k_p ->
         (* Side B: promote the replica — seal, cold-reopen its image. *)
         let p = Spp_shard.Replica.promote g in
-        (match scan_prefix p.Spp_shard.Replica.pr_kv with
+        (match
+           scan_prefix (Spp_pmemkv.Engine.get p.Spp_shard.Replica.pr_kv)
+         with
          | Error msg -> Error ("promoted replica: " ^ msg)
          | Ok k_r ->
-           if Spp_pmemkv.Cmap.cache p.Spp_shard.Replica.pr_kv <> None then
+           if Spp_pmemkv.Engine.cache p.Spp_shard.Replica.pr_kv <> None then
              Error "promoted replica did not start with a cold cache"
            else if k_r > k_p then
              Error
@@ -423,16 +428,117 @@ let kvfailover_drop ?variant ?ops () =
   kvfailover ?variant ?ops ~drop_rate:0.25 ~send_retries:2
     ~name:"kvfailover-drop" ()
 
-let all ?variant ?ops () =
+(* Ordered-scan torture: a deterministic interleaving of puts, removes
+   and range scans, group-committed as two batches over a pluggable
+   engine. The program is simulated up front in DRAM, snapshotting the
+   expected sorted contents after every whole-op prefix; the oracle
+   re-attaches the recovered image through the engine seam, runs a
+   full-range scan, and requires the result to be strictly ascending
+   AND byte-equal to the model snapshot of some whole-op prefix at or
+   past the acked count. A torn op, a hole, a resurrected removed key,
+   or an unordered/duplicated scan all fail the snapshot match. In-run
+   scan replies are additionally checked for strict ordering before
+   their ops are acked. *)
+let kvscan ?(variant = Spp_access.Spp) ?(ops = 12)
+    ?(engine = Spp_pmemkv.Engines.cmap) ?(name = "kvscan") () =
+  let ops = max 6 ops in
+  let module E = Spp_pmemkv.Engine in
+  let full_lo = kv_key 0 and full_hi = kv_key 999 in
+  let op_of i =
+    (* every third op (from 6) removes the key put two ops earlier;
+       every fifth is a full-range scan; the rest are fresh puts *)
+    if i mod 3 = 0 && i >= 6 then E.B_remove (kv_key (i - 2))
+    else if i mod 5 = 0 then E.B_scan { lo = full_lo; hi = full_hi; limit = ops + 1 }
+    else E.B_put { key = kv_key i; value = kv_value i }
+  in
+  (* DRAM model: expected sorted contents after each whole-op prefix *)
+  let module M = Map.Make (String) in
+  let models = Array.make (ops + 1) [] in
+  let () =
+    let m = ref M.empty in
+    for i = 1 to ops do
+      (match op_of i with
+       | E.B_put { key; value } -> m := M.add key value !m
+       | E.B_remove key -> m := M.remove key !m
+       | E.B_get _ | E.B_scan _ -> ());
+      models.(i) <- M.bindings !m
+    done
+  in
+  let rec ascending = function
+    | (k1, _) :: ((k2, _) :: _ as tl) ->
+      String.compare k1 k2 < 0 && ascending tl
+    | _ -> true
+  in
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 17) ~name:"torture-kvscan" variant
+    in
+    let pool = a.Spp_access.pool in
+    let kv = E.create ~nbuckets:16 engine a in
+    let root = a.Spp_access.root a.Spp_access.oid_size in
+    Pool.store_oid pool ~off:root.Oid.off (E.root_oid kv);
+    Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
+    let mutate ~ack =
+      let half = ops / 2 in
+      let batch lo hi =
+        let replies =
+          E.run_batch kv (Array.init (hi - lo + 1) (fun j -> op_of (lo + j)))
+        in
+        Array.iter
+          (function
+            | E.R_scan kvs ->
+              if not (ascending kvs) then
+                failwith "in-batch scan reply not strictly ascending"
+            | _ -> ())
+          replies;
+        for _ = lo to hi do ack () done
+      in
+      batch 1 half;
+      batch (half + 1) ops
+    in
+    let check ~pool:pool' ~acked =
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let root' = Pool.root_oid pool' in
+      let map_root = Pool.load_oid pool' ~off:root'.Oid.off in
+      let kv' = E.attach engine a' ~root:map_root in
+      let got = E.scan kv' ~lo:full_lo ~hi:full_hi ~limit:(ops + 1) in
+      if not (ascending got) then
+        Error "recovered scan not strictly ascending"
+      else begin
+        (* scans and no-op prefixes can share a snapshot, so accept any
+           matching prefix — but one at or past acked must exist *)
+        let matches k = models.(k) = got in
+        let rec exists_in lo hi =
+          lo <= hi && (matches lo || exists_in (lo + 1) hi)
+        in
+        if exists_in acked ops then Ok ()
+        else if exists_in 0 (acked - 1) then
+          Error
+            (Printf.sprintf
+               "recovered scan is a pre-ack snapshot (acked %d)" acked)
+        else Error "recovered scan matches no whole-op prefix"
+      end
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = name; w_make }
+
+let kvscan_btree ?variant ?ops () =
+  kvscan ?variant ?ops ~engine:Spp_pmemkv.Engines.btree ~name:"kvscan-btree" ()
+
+let all ?variant ?ops ?engine () =
   [ kvstore ?variant ?ops (); pmemlog ?variant ?ops ();
     counter ?variant ?ops (); kvbatch ?variant ?ops ();
-    kvfailover ?variant ?ops (); kvfailover_drop ?variant ?ops () ]
+    kvfailover ?variant ?ops ?engine (); kvfailover_drop ?variant ?ops ();
+    kvscan ?variant ?ops ?engine (); kvscan_btree ?variant ?ops () ]
 
-let by_name ?variant ?ops = function
+let by_name ?variant ?ops ?engine = function
   | "kvstore" -> Some (kvstore ?variant ?ops ())
   | "pmemlog" -> Some (pmemlog ?variant ?ops ())
   | "counter" -> Some (counter ?variant ?ops ())
   | "kvbatch" -> Some (kvbatch ?variant ?ops ())
-  | "kvfailover" -> Some (kvfailover ?variant ?ops ())
+  | "kvfailover" -> Some (kvfailover ?variant ?ops ?engine ())
   | "kvfailover-drop" -> Some (kvfailover_drop ?variant ?ops ())
+  | "kvscan" -> Some (kvscan ?variant ?ops ?engine ())
+  | "kvscan-btree" -> Some (kvscan_btree ?variant ?ops ())
   | _ -> None

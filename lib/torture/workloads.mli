@@ -27,7 +27,8 @@ val kvbatch : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workloa
 
 val kvfailover :
   ?variant:Spp_access.variant -> ?ops:int -> ?drop_rate:float ->
-  ?send_retries:int -> ?name:string -> unit -> Torture.workload
+  ?send_retries:int -> ?engine:Spp_pmemkv.Engine.spec -> ?name:string ->
+  unit -> Torture.workload
 (** The kvbatch program replicated through an inline single-replica
     {!Spp_shard.Replica} group while the primary is tortured. At every
     crash point the oracle promotes the replica and differentials it
@@ -42,9 +43,30 @@ val kvfailover_drop :
     replica may die mid-run, so only the prefix shape and k_r <= k_p are
     required to survive. *)
 
-val all : ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload list
+val kvscan :
+  ?variant:Spp_access.variant -> ?ops:int ->
+  ?engine:Spp_pmemkv.Engine.spec -> ?name:string -> unit ->
+  Torture.workload
+(** Interleaved group-committed puts, removes and ordered range scans
+    over a pluggable engine (default cmap). Oracle: the recovered
+    full-range scan is strictly ascending and byte-equal to the DRAM
+    model of some whole-op prefix at or past the acked count — torn
+    ops, holes, resurrected removes and unordered scans all break the
+    snapshot match. *)
+
+val kvscan_btree :
+  ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** [kvscan] over the B-tree engine (registered as ["kvscan-btree"]). *)
+
+val all :
+  ?variant:Spp_access.variant -> ?ops:int ->
+  ?engine:Spp_pmemkv.Engine.spec -> unit -> Torture.workload list
+(** [engine] overrides the KV engine of the engine-polymorphic
+    workloads ([kvfailover], [kvscan]); the rest are engine-fixed. *)
 
 val by_name :
-  ?variant:Spp_access.variant -> ?ops:int -> string -> Torture.workload option
-(** ["kvstore"], ["pmemlog"], ["counter"], ["kvbatch"], ["kvfailover"]
-    or ["kvfailover-drop"]. *)
+  ?variant:Spp_access.variant -> ?ops:int ->
+  ?engine:Spp_pmemkv.Engine.spec -> string -> Torture.workload option
+(** ["kvstore"], ["pmemlog"], ["counter"], ["kvbatch"], ["kvfailover"],
+    ["kvfailover-drop"], ["kvscan"] or ["kvscan-btree"]. [engine] as in
+    {!all}. *)

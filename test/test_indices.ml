@@ -137,6 +137,59 @@ let test_btree_fixed_variant_clean () =
   | Spp_access.Ok_completed -> ()
   | Prevented r -> Alcotest.failf "fixed btree must be clean under SPP: %s" r
 
+(* Ordered range + reattach on the btree: a remove-heavy churn forces
+   the full rebalance repertoire (borrows, merges, root shrink), after
+   which [range] must agree with the sorted model on windows and on the
+   full sweep, and an [attach] through the parked root-slot oid must
+   read the same tree back after a reopen. *)
+
+let test_btree_range_after_rebalance () =
+  let a = mk Spp_access.Spp in
+  let t = Btree_map.create a in
+  let pool = a.Spp_access.pool in
+  let root = a.Spp_access.root a.Spp_access.oid_size in
+  Pool.store_oid pool ~off:root.Oid.off (Btree_map.map_oid t);
+  Pool.persist pool ~off:root.Oid.off ~len:a.Spp_access.oid_size;
+  let model = Hashtbl.create 256 in
+  let st = Random.State.make [| 5333 |] in
+  (* grow a few levels deep, then delete most of it *)
+  for _ = 1 to 800 do
+    let key = Random.State.int st 400 in
+    Btree_map.insert t ~key ~value:(key * 7);
+    Hashtbl.replace model key (key * 7)
+  done;
+  for _ = 1 to 1400 do
+    let key = Random.State.int st 400 in
+    let expected = Hashtbl.find_opt model key in
+    let got = Btree_map.remove t key in
+    if expected <> got then Alcotest.fail "remove disagrees with model";
+    Hashtbl.remove model key
+  done;
+  let sorted lo hi =
+    Hashtbl.fold (fun k v acc -> if lo <= k && k <= hi then (k, v) :: acc
+                   else acc) model []
+    |> List.sort compare
+  in
+  let pairs = Alcotest.(list (pair int int)) in
+  Alcotest.check pairs "full range ordered" (sorted min_int max_int)
+    (Btree_map.range t ~lo:min_int ~hi:max_int);
+  Alcotest.check pairs "window [50,150]" (sorted 50 150)
+    (Btree_map.range t ~lo:50 ~hi:150);
+  Alcotest.check pairs "empty window" [] (Btree_map.range t ~lo:401 ~hi:900);
+  Alcotest.check pairs "inverted bounds" [] (Btree_map.range t ~lo:10 ~hi:5);
+  (* reopen from the durable snapshot and reattach through the root *)
+  let img = Spp_sim.Memdev.durable_snapshot (Pool.dev pool) in
+  let dev' = Spp_sim.Memdev.of_image ~name:"btree-reopen" img in
+  let space' = Spp_sim.Space.create () in
+  match Pool.open_dev space' ~base:Spp_access.default_pool_base dev' with
+  | Error e -> Alcotest.failf "reopen failed: %s" (Pool.pool_error_to_string e)
+  | Ok (pool', _report) ->
+    let a' = Spp_access.attach (Pool.space pool') pool' in
+    let slot = Pool.load_oid pool' ~off:(Pool.root_oid pool').Oid.off in
+    let t' = Btree_map.attach a' ~root:slot in
+    Alcotest.check pairs "range survives reattach" (sorted min_int max_int)
+      (Btree_map.range t' ~lo:min_int ~hi:max_int)
+
 (* Space accounting: rtree with many oid-bearing nodes must show SPP
    overhead; ctree/rbtree barely any (Table III shape). *)
 
@@ -198,6 +251,11 @@ let () =
             test_btree_bug_silent_on_native;
           Alcotest.test_case "fixed code clean under SPP" `Quick
             test_btree_fixed_variant_clean;
+        ] );
+      ( "btree-range",
+        [
+          Alcotest.test_case "range + attach after rebalance churn" `Quick
+            test_btree_range_after_rebalance;
         ] );
       ( "space",
         [

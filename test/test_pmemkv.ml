@@ -156,6 +156,185 @@ let test_db_bench_runs () =
         (r.Spp_pmemkv.Db_bench.throughput > 0.))
     Spp_pmemkv.Db_bench.all_workloads
 
+(* --- B-tree engine (Bmap) --- *)
+
+let sorted_bindings model =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Sync put/get/remove (which route through single-op redo batches on
+   this engine) against a DRAM model, on every access variant; the
+   full-range scan must equal the model's sorted bindings exactly. *)
+let test_bmap_oracle_random_ops () =
+  List.iter
+    (fun variant ->
+      let a = mk variant in
+      let kv = Spp_pmemkv.Bmap.create a in
+      let model = Hashtbl.create 64 in
+      let st = Random.State.make [| 11 |] in
+      for _ = 1 to 1200 do
+        let key = Printf.sprintf "key-%03d" (Random.State.int st 150) in
+        match Random.State.int st 3 with
+        | 0 ->
+          let value = Printf.sprintf "val-%d" (Random.State.int st 10000) in
+          Spp_pmemkv.Bmap.put kv ~key ~value;
+          Hashtbl.replace model key value
+        | 1 ->
+          let expected = Hashtbl.mem model key in
+          check_bool "remove agrees" expected (Spp_pmemkv.Bmap.remove kv key);
+          Hashtbl.remove model key
+        | _ ->
+          Alcotest.(check (option string)) "get agrees"
+            (Hashtbl.find_opt model key)
+            (Spp_pmemkv.Bmap.get kv key)
+      done;
+      check_int
+        (Spp_access.variant_name variant ^ " final count")
+        (Hashtbl.length model)
+        (Spp_pmemkv.Bmap.count_all kv);
+      Alcotest.(check (list (pair string string)))
+        (Spp_access.variant_name variant ^ " full scan = sorted model")
+        (sorted_bindings model)
+        (Spp_pmemkv.Bmap.scan kv ~lo:"" ~hi:"~" ~limit:1000))
+    Spp_access.all_variants
+
+(* Inclusive bounds, ascending order, limit clipping, empty windows. *)
+let test_bmap_scan_semantics () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Bmap.create a in
+  for i = 0 to 49 do
+    Spp_pmemkv.Bmap.put kv
+      ~key:(Printf.sprintf "k%02d" i)
+      ~value:(Printf.sprintf "v%02d" i)
+  done;
+  let expect lo hi =
+    List.init 50 (fun i -> i)
+    |> List.filter_map (fun i ->
+         let k = Printf.sprintf "k%02d" i in
+         if lo <= k && k <= hi then Some (k, Printf.sprintf "v%02d" i)
+         else None)
+  in
+  Alcotest.(check (list (pair string string)))
+    "inclusive window" (expect "k10" "k19")
+    (Spp_pmemkv.Bmap.scan kv ~lo:"k10" ~hi:"k19" ~limit:100);
+  Alcotest.(check (list (pair string string)))
+    "limit clips the head"
+    [ ("k10", "v10"); ("k11", "v11"); ("k12", "v12") ]
+    (Spp_pmemkv.Bmap.scan kv ~lo:"k10" ~hi:"k19" ~limit:3);
+  check_int "empty window" 0
+    (List.length (Spp_pmemkv.Bmap.scan kv ~lo:"k90" ~hi:"k99" ~limit:10));
+  check_int "inverted bounds" 0
+    (List.length (Spp_pmemkv.Bmap.scan kv ~lo:"k19" ~hi:"k10" ~limit:10));
+  check_int "limit 0" 0
+    (List.length (Spp_pmemkv.Bmap.scan kv ~lo:"" ~hi:"~" ~limit:0))
+
+(* A scan op inside a batch sees every earlier op of the same batch
+   (puts and removes staged ahead of it), matching Cmap's read-your-
+   batched-writes contract. *)
+let test_bmap_batch_scan_visibility () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Bmap.create a in
+  Spp_pmemkv.Bmap.put kv ~key:"b" ~value:"old";
+  Spp_pmemkv.Bmap.put kv ~key:"d" ~value:"dead";
+  let replies =
+    Spp_pmemkv.Bmap.run_batch kv
+      [| Spp_pmemkv.Engine.B_put { key = "a"; value = "1" };
+         Spp_pmemkv.Engine.B_put { key = "b"; value = "new" };
+         Spp_pmemkv.Engine.B_remove "d";
+         Spp_pmemkv.Engine.B_scan { lo = ""; hi = "~"; limit = 10 };
+         Spp_pmemkv.Engine.B_get "a";
+      |]
+  in
+  (match replies.(3) with
+   | Spp_pmemkv.Engine.R_scan kvs ->
+     Alcotest.(check (list (pair string string)))
+       "mid-batch scan sees staged ops"
+       [ ("a", "1"); ("b", "new") ] kvs
+   | _ -> Alcotest.fail "expected R_scan");
+  match replies.(4) with
+  | Spp_pmemkv.Engine.R_get v ->
+    Alcotest.(check (option string)) "read-your-batched-writes" (Some "1") v
+  | _ -> Alcotest.fail "expected R_get"
+
+(* The COW churn stress: heavy mixed batches, then reopen from the
+   durable snapshot in a fresh space and require count, survivors and
+   scan order to read back exactly. This is the test that catches a
+   node or item freed while still reachable, or a root staged to a torn
+   subtree. *)
+let test_bmap_attach_after_churn () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Bmap.create a in
+  Spp_pmemkv.Bmap.set_cache kv (Some (Spp_pmemkv.Rcache.create ~cap:64));
+  let pool = a.Spp_access.pool in
+  let root = a.Spp_access.root a.Spp_access.oid_size in
+  Pool.store_oid pool ~off:root.Spp_pmdk.Oid.off
+    (Spp_pmemkv.Bmap.root_oid kv);
+  Pool.persist pool ~off:root.Spp_pmdk.Oid.off ~len:a.Spp_access.oid_size;
+  let model = Hashtbl.create 64 in
+  let st = Random.State.make [| 4242 |] in
+  let key i = Printf.sprintf "churn-%03d" i in
+  for _round = 1 to 6 do
+    let batch =
+      Array.init 40 (fun _ ->
+        let k = key (Random.State.int st 120) in
+        if Random.State.int st 4 < 3 then begin
+          let v = Printf.sprintf "v%d" (Random.State.int st 100000) in
+          Hashtbl.replace model k v;
+          Spp_pmemkv.Engine.B_put { key = k; value = v }
+        end
+        else begin
+          Hashtbl.remove model k;
+          Spp_pmemkv.Engine.B_remove k
+        end)
+    in
+    ignore (Spp_pmemkv.Bmap.run_batch kv batch)
+  done;
+  check_int "live count before reopen" (Hashtbl.length model)
+    (Spp_pmemkv.Bmap.count_all kv);
+  let img = Spp_sim.Memdev.durable_snapshot (Pool.dev pool) in
+  let dev' = Spp_sim.Memdev.of_image ~name:"bmap-reopen" img in
+  let space' = Spp_sim.Space.create () in
+  match Pool.open_dev space' ~base:Spp_access.default_pool_base dev' with
+  | Error e -> Alcotest.failf "reopen failed: %s" (Pool.pool_error_to_string e)
+  | Ok (pool', _report) ->
+    let a' = Spp_access.attach (Pool.space pool') pool' in
+    let map_root =
+      Pool.load_oid pool' ~off:(Pool.root_oid pool').Spp_pmdk.Oid.off
+    in
+    let kv' = Spp_pmemkv.Bmap.attach a' ~root:map_root in
+    check_bool "reattached tree starts cold" true
+      (Spp_pmemkv.Bmap.cache kv' = None);
+    check_int "count survives reopen" (Hashtbl.length model)
+      (Spp_pmemkv.Bmap.count_all kv');
+    Alcotest.(check (list (pair string string)))
+      "scan survives reopen in order" (sorted_bindings model)
+      (Spp_pmemkv.Bmap.scan kv' ~lo:"" ~hi:"~" ~limit:1000)
+
+(* Cmap's scan obeys the same Engine.S contract even though it sorts a
+   hash walk; and the registry resolves both engines by name. *)
+let test_cmap_scan_and_registry () =
+  let a = mk Spp_access.Spp in
+  let kv = Spp_pmemkv.Cmap.create ~nbuckets:8 a in
+  for i = 0 to 29 do
+    Spp_pmemkv.Cmap.put kv
+      ~key:(Printf.sprintf "k%02d" i)
+      ~value:(Printf.sprintf "v%02d" i)
+  done;
+  Alcotest.(check (list (pair string string)))
+    "cmap scan is ordered and bounded"
+    [ ("k05", "v05"); ("k06", "v06"); ("k07", "v07") ]
+    (Spp_pmemkv.Cmap.scan kv ~lo:"k05" ~hi:"k95" ~limit:3);
+  check_bool "registry: cmap" true
+    (match Spp_pmemkv.Engines.of_name "cmap" with
+     | Some e -> Spp_pmemkv.Engine.spec_name e = "cmap"
+     | None -> false);
+  check_bool "registry: btree" true
+    (match Spp_pmemkv.Engines.of_name "btree" with
+     | Some e -> Spp_pmemkv.Engine.spec_name e = "btree"
+     | None -> false);
+  check_bool "registry: unknown" true
+    (Spp_pmemkv.Engines.of_name "lsm" = None)
+
 let () =
   Alcotest.run "spp_pmemkv"
     [
@@ -170,6 +349,22 @@ let () =
           Alcotest.test_case "attach after remove-heavy churn" `Quick
             test_attach_after_remove_churn;
           Alcotest.test_case "1 KiB values" `Quick test_large_values;
+        ] );
+      ( "bmap",
+        [
+          Alcotest.test_case "oracle random ops + full scan" `Quick
+            test_bmap_oracle_random_ops;
+          Alcotest.test_case "scan bounds, order, limit" `Quick
+            test_bmap_scan_semantics;
+          Alcotest.test_case "mid-batch scan visibility" `Quick
+            test_bmap_batch_scan_visibility;
+          Alcotest.test_case "attach after batched churn" `Quick
+            test_bmap_attach_after_churn;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "cmap scan + registry" `Quick
+            test_cmap_scan_and_registry;
         ] );
       ( "db_bench",
         [ Alcotest.test_case "all workloads run" `Quick test_db_bench_runs ] );

@@ -231,9 +231,10 @@ let serve_streams ~nshards ~ops =
     reqs;
   Array.map (fun l -> Array.of_list (List.rev l)) streams
 
-let build_serve_store ?(nshards = 2) ?(tracking = false) ?(cache_cap = 0) () =
-  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 22) ~cache_cap ~nshards
-      Spp_access.Spp in
+let build_serve_store ?(nshards = 2) ?(tracking = false) ?(cache_cap = 0)
+    ?engine () =
+  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 22) ~cache_cap ?engine
+      ~nshards Spp_access.Spp in
   if tracking then
     for i = 0 to nshards - 1 do
       Spp_sim.Memdev.set_tracking
@@ -322,19 +323,43 @@ let test_serve_pipeline_oracle () =
       check_bool "batch sizes within cap" true (s.Serve.ss_max_batch <= 8))
     stats
 
-(* The differential the tentpole must preserve: the async pipeline
-   (pre-enqueued, fixed batching) against the sequential baseline on
-   identically built stores — replies, merged Space stats and merged
-   Memdev counters all bit-identical. *)
-let test_serve_differential () =
+(* Interleave a bounded full-window Scan every [every] requests into
+   each per-shard stream. Scans carry no routing key, so they are mixed
+   in after partitioning and submitted per shard. *)
+let mix_scans ~every streams =
+  Array.map
+    (fun stream ->
+      let out = ref [] in
+      Array.iteri
+        (fun i r ->
+          if i mod every = every - 1 then
+            out :=
+              Serve.Scan
+                { lo = Spp_pmemkv.Db_bench.key_of_int 0;
+                  hi = Spp_pmemkv.Db_bench.key_of_int 9_999; limit = 24 }
+              :: !out;
+          out := r :: !out)
+        stream;
+      Array.of_list (List.rev !out))
+    streams
+
+(* The differential the tentpole must preserve, on either engine: the
+   async pipeline (pre-enqueued, fixed batching) against the sequential
+   baseline on identically built stores — replies (ordered scan slices
+   included), merged Space stats and merged Memdev counters all
+   bit-identical. *)
+let serve_differential engine () =
   let nshards = 4 and ops = 1_200 and batch_cap = 16 in
-  let streams = serve_streams ~nshards ~ops in
-  let t_seq = build_serve_store ~nshards () in
-  let t_par = build_serve_store ~nshards () in
+  let streams = mix_scans ~every:60 (serve_streams ~nshards ~ops) in
+  let t_seq = build_serve_store ~nshards ~engine () in
+  let t_par = build_serve_store ~nshards ~engine () in
   let seq_replies = Serve.run_sequential t_seq ~batch_cap streams in
   let serve = Serve.create ~batch_cap ~adaptive:false ~autostart:false t_par in
   let tickets =
-    Array.map (Array.map (fun req -> (req, Serve.submit serve req))) streams
+    Array.mapi
+      (fun i stream ->
+        Array.map (fun req -> (req, Serve.submit_to serve i req)) stream)
+      streams
   in
   Serve.start serve;
   let par_replies =
@@ -354,6 +379,11 @@ let test_serve_differential () =
     (Shard.merged_counters t_seq = Shard.merged_counters t_par);
   check_int "same surviving entries" (Shard.count_all t_seq)
     (Shard.count_all t_par)
+
+let test_serve_differential () = serve_differential Spp_pmemkv.Engines.cmap ()
+
+let test_serve_differential_btree () =
+  serve_differential Spp_pmemkv.Engines.btree ()
 
 let test_serve_adaptive_batching () =
   (* pre-enqueue a big backlog: the adaptive drain must actually grow
@@ -405,11 +435,13 @@ let cache_streams ~nshards ~ops =
    bit-identical to a cache-off run of the same streams — every reply,
    every Memdev counter (loads are not simulated events and fills stage
    nothing), and the recovered durable image. *)
-let test_cache_sequential_differential () =
+let cache_differential engine () =
   let nshards = 2 and ops = 1_600 and batch_cap = 16 in
-  let streams = cache_streams ~nshards ~ops in
-  let t_on = build_serve_store ~nshards ~tracking:true ~cache_cap:256 () in
-  let t_off = build_serve_store ~nshards ~tracking:true () in
+  let streams = mix_scans ~every:80 (cache_streams ~nshards ~ops) in
+  let t_on =
+    build_serve_store ~nshards ~tracking:true ~cache_cap:256 ~engine ()
+  in
+  let t_off = build_serve_store ~nshards ~tracking:true ~engine () in
   check_bool "cache attached" true (Shard.cache_enabled t_on);
   check_bool "cache absent" false (Shard.cache_enabled t_off);
   let r_on = Serve.run_sequential t_on ~batch_cap streams in
@@ -444,17 +476,23 @@ let test_cache_sequential_differential () =
     Array.init nshards (fun i ->
       let sh = Shard.shard t i in
       let pool = (Shard.shard_access sh).Spp_access.pool in
-      let buckets = Cmap.buckets_oid (Shard.shard_kv sh) in
+      let root = Engine.root_oid (Shard.shard_kv sh) in
       ignore (Spp_pmdk.Pool.crash_and_recover pool);
       let a' = Spp_access.attach (Spp_pmdk.Pool.space pool) pool in
-      let kv' = Cmap.attach a' ~buckets in
-      check_bool "recovered map starts cold" true (Cmap.cache kv' = None);
-      ( Cmap.count_all kv',
+      let kv' = Engine.attach (Shard.engine t) a' ~root in
+      check_bool "recovered map starts cold" true (Engine.cache kv' = None);
+      ( Engine.count_all kv',
         List.init 48 (fun k ->
-          Cmap.get kv' (Spp_pmemkv.Db_bench.key_of_int k)) ))
+          Engine.get kv' (Spp_pmemkv.Db_bench.key_of_int k)) ))
   in
   let img_on = recovered t_on and img_off = recovered t_off in
   check_bool "recovered durable contents identical" true (img_on = img_off)
+
+let test_cache_sequential_differential () =
+  cache_differential Spp_pmemkv.Engines.cmap ()
+
+let test_cache_sequential_differential_btree () =
+  cache_differential Spp_pmemkv.Engines.btree ()
 
 (* use_cache:false on a cached store must take the pure PM path. *)
 let test_run_sequential_use_cache_off () =
@@ -533,6 +571,55 @@ let test_cache_deterministic_mode () =
   check_bool "merged Memdev counters identical" true
     (Shard.merged_counters t_seq = Shard.merged_counters t_par)
 
+(* Client-facing scans: scatter per shard through the worker batches,
+   gather into one globally ordered limit-clipped window; a scan queued
+   behind an un-awaited put of an in-range key must observe it
+   (same-shard FIFO), and the result is identical on both engines. *)
+let test_serve_scan_api () =
+  List.iter
+    (fun engine ->
+      let nshards = 3 in
+      let t = build_serve_store ~nshards ~cache_cap:256 ~engine () in
+      let serve = Serve.create ~batch_cap:8 t in
+      for i = 0 to 99 do
+        let key = Spp_pmemkv.Db_bench.key_of_int i in
+        ignore
+          (Serve.await serve
+             (Serve.submit serve
+                (Serve.Put { key; value = Printf.sprintf "s%03d" i })))
+      done;
+      let key_of = Spp_pmemkv.Db_bench.key_of_int in
+      let expect =
+        List.init 50 (fun i -> (key_of (10 + i), Printf.sprintf "s%03d" (10 + i)))
+      in
+      (match Serve.scan serve ~lo:(key_of 10) ~hi:(key_of 59) ~limit:1000 with
+       | Ok kvs ->
+         Alcotest.(check (list (pair string string)))
+           (Spp_pmemkv.Engine.spec_name engine ^ ": gathered window")
+           expect kvs
+       | Error _ -> Alcotest.fail "scan failed");
+      (match Serve.scan serve ~lo:(key_of 10) ~hi:(key_of 59) ~limit:5 with
+       | Ok kvs ->
+         Alcotest.(check (list (pair string string)))
+           "global limit clips the merge"
+           (List.filteri (fun i _ -> i < 5) expect)
+           kvs
+       | Error _ -> Alcotest.fail "scan failed");
+      (* read-your-writes: un-awaited put, then scan — FIFO per shard *)
+      let tk =
+        Serve.submit serve
+          (Serve.Put { key = key_of 30; value = "fresh" })
+      in
+      (match Serve.scan serve ~lo:(key_of 30) ~hi:(key_of 30) ~limit:4 with
+       | Ok [ (k, v) ] ->
+         check_bool "scan sees the queued put" true
+           (k = key_of 30 && v = "fresh")
+       | Ok _ -> Alcotest.fail "wrong scan width"
+       | Error _ -> Alcotest.fail "scan failed");
+      ignore (Serve.await serve tk);
+      Serve.stop serve)
+    [ Spp_pmemkv.Engines.cmap; Spp_pmemkv.Engines.btree ]
+
 (* --- Divergence diagnostics ------------------------------------------- *)
 
 let test_explain_divergence () =
@@ -581,6 +668,60 @@ let test_explain_divergence () =
   in
   check_bool "count mismatch detected" true
     (Shard_bench.explain_divergence r1 truncated <> None)
+
+(* Scan-bearing streams: a doctored scan-reply digest must be named by
+   index in the divergence report, and the request/reply printers must
+   render Scan/Scanned. *)
+let test_explain_divergence_scan () =
+  let ops =
+    Shard_bench.gen_ops ~scan_pct:25 ~seed:3 ~ops:400 ~universe:100
+      ~dist:Shard_bench.Uniform Spp_pmemkv.Db_bench.Update_heavy
+  in
+  let streams = Shard_bench.partition ~nshards:2 ops in
+  let build () =
+    let t = Shard.create ~nbuckets:32 ~pool_size:(1 lsl 21) ~nshards:2
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:50;
+    t
+  in
+  let r1 = Shard_bench.run (build ()) ~mode:Shard_bench.Sequential streams in
+  let r2 = Shard_bench.run (build ()) ~mode:Shard_bench.Parallel streams in
+  check_bool "scan-bearing runs agree" true
+    (Shard_bench.explain_divergence r1 r2 = None);
+  check_bool "scans ran" true
+    (Array.exists (fun sr -> sr.Shard_bench.sr_scans > 2)
+       r1.Shard_bench.r_shards);
+  let has msg needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let broken =
+    { r2 with
+      Shard_bench.r_shards =
+        Array.map
+          (fun sr ->
+            if sr.Shard_bench.sr_shard = 0 then begin
+              let d = Array.copy sr.Shard_bench.sr_scan_digests in
+              d.(2) <- d.(2) lxor 0xBEEF;
+              { sr with Shard_bench.sr_scan_digests = d }
+            end
+            else sr)
+          r2.Shard_bench.r_shards }
+  in
+  (match Shard_bench.explain_divergence r1 broken with
+   | None -> Alcotest.fail "scan divergence not detected"
+   | Some msg ->
+     check_bool (Printf.sprintf "names the scan reply: %s" msg) true
+       (has msg "scan reply 2"));
+  let pp pp_v v = Format.asprintf "%a" pp_v v in
+  check_bool "pp_request renders Scan" true
+    (has
+       (pp Serve.pp_request (Serve.Scan { lo = "a"; hi = "z"; limit = 9 }))
+       "Scan");
+  check_bool "pp_reply renders Scanned" true
+    (has (pp Serve.pp_reply (Serve.Scanned [ ("a", "1"); ("b", "2") ]))
+       "Scanned")
 
 (* --- Histogram properties (QCheck) ----------------------------------- *)
 
@@ -875,6 +1016,8 @@ let () =
         [
           Alcotest.test_case "async serve vs model" `Quick
             test_serve_pipeline_oracle;
+          Alcotest.test_case "async = sequential differential (btree)" `Quick
+            test_serve_differential_btree;
           Alcotest.test_case "async = sequential differential" `Quick
             test_serve_differential;
           Alcotest.test_case "adaptive batch sizing" `Quick
@@ -882,6 +1025,10 @@ let () =
         ] );
       ( "read cache",
         [
+          Alcotest.test_case "cache-on = cache-off differential (btree)"
+            `Quick test_cache_sequential_differential_btree;
+          Alcotest.test_case "scan scatter-gather API (both engines)" `Quick
+            test_serve_scan_api;
           Alcotest.test_case "cache-on = cache-off differential" `Quick
             test_cache_sequential_differential;
           Alcotest.test_case "use_cache:false takes the PM path" `Quick
@@ -907,6 +1054,8 @@ let () =
         ] );
       ( "diagnostics",
         [
+          Alcotest.test_case "explain_divergence names scan replies" `Quick
+            test_explain_divergence_scan;
           Alcotest.test_case "explain_divergence" `Quick
             test_explain_divergence;
         ] );

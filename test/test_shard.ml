@@ -109,28 +109,39 @@ let test_routed_ops_oracle () =
 
 (* --- Parallel-vs-sequential differential ------------------------------ *)
 
-let build_store nshards =
-  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 21) ~nshards
+let build_store ?engine nshards =
+  let t = Shard.create ~nbuckets:64 ~pool_size:(1 lsl 21) ?engine ~nshards
       Spp_access.Spp in
   Shard_bench.preload t ~keys:300;
   Shard.reset_stats t;
   t
 
+(* The parallel = sequential differential over both engines, with range
+   scans mixed into the streams: per-shard signatures (including every
+   individual scan-reply digest), merged Space stats and merged Memdev
+   counters must all be bit-identical. *)
 let test_parallel_sequential_differential () =
   List.iter
-    (fun (dist, workload) ->
+    (fun (engine, dist, workload) ->
       let nshards = 4 in
       let ops =
-        Shard_bench.gen_ops ~seed:99 ~ops:2_000 ~universe:300 ~dist workload
+        Shard_bench.gen_ops ~scan_pct:10 ~seed:99 ~ops:2_000 ~universe:300
+          ~dist workload
       in
       let streams = Shard_bench.partition ~nshards ops in
       check_int "partition preserves every op" 2_000
         (Array.fold_left (fun a s -> a + Array.length s) 0 streams);
-      let t_seq = build_store nshards and t_par = build_store nshards in
+      let t_seq = build_store ~engine nshards
+      and t_par = build_store ~engine nshards in
       let rs = Shard_bench.run t_seq ~mode:Shard_bench.Sequential streams in
       let rp = Shard_bench.run t_par ~mode:Shard_bench.Parallel streams in
-      check_bool "per-shard results bit-identical" true
+      check_bool
+        (Spp_pmemkv.Engine.spec_name engine
+         ^ ": per-shard results bit-identical")
+        true
         (Shard_bench.results_agree rs rp);
+      check_bool "some scans actually ran" true
+        (Array.exists (fun sr -> sr.Shard_bench.sr_scans > 0) rs.Shard_bench.r_shards);
       check_bool "merged Space stats identical" true
         (Shard.merged_stats t_seq = Shard.merged_stats t_par);
       check_bool "merged Memdev counters identical" true
@@ -138,8 +149,48 @@ let test_parallel_sequential_differential () =
       check_int "same surviving entries" (Shard.count_all t_seq)
         (Shard.count_all t_par);
       check_int "all ops executed" 2_000 rs.Shard_bench.r_total_ops)
-    [ (Shard_bench.Uniform, Spp_pmemkv.Db_bench.Update_heavy);
-      (Shard_bench.Zipfian 0.99, Spp_pmemkv.Db_bench.Read_heavy) ]
+    [ (Spp_pmemkv.Engines.cmap, Shard_bench.Uniform,
+       Spp_pmemkv.Db_bench.Update_heavy);
+      (Spp_pmemkv.Engines.cmap, Shard_bench.Zipfian 0.99,
+       Spp_pmemkv.Db_bench.Read_heavy);
+      (Spp_pmemkv.Engines.btree, Shard_bench.Uniform,
+       Spp_pmemkv.Db_bench.Update_heavy);
+      (Spp_pmemkv.Engines.btree, Shard_bench.Zipfian 0.99,
+       Spp_pmemkv.Db_bench.Read_heavy) ]
+
+(* Scatter-gather scans through the store facade: per-shard slices must
+   merge into one globally ordered, limit-clipped window, identically on
+   the hash engine (sorting bucket walks) and the B-tree (native
+   in-order traversal). *)
+let test_store_scan_scatter_gather () =
+  List.iter
+    (fun engine ->
+      let nshards = 3 in
+      let t = Shard.create ~nbuckets:32 ~pool_size:(1 lsl 21) ~engine
+          ~nshards Spp_access.Spp in
+      for i = 0 to 199 do
+        Shard.put t ~key:(Spp_pmemkv.Db_bench.key_of_int i)
+          ~value:(Printf.sprintf "v%03d" i)
+      done;
+      let lo = Spp_pmemkv.Db_bench.key_of_int 20
+      and hi = Spp_pmemkv.Db_bench.key_of_int 119 in
+      let got = Shard.scan t ~lo ~hi ~limit:1000 in
+      let expect =
+        List.init 100 (fun i ->
+          (Spp_pmemkv.Db_bench.key_of_int (20 + i),
+           Printf.sprintf "v%03d" (20 + i)))
+      in
+      Alcotest.(check (list (pair string string)))
+        (Spp_pmemkv.Engine.spec_name engine ^ ": merged window ordered")
+        expect got;
+      Alcotest.(check (list (pair string string)))
+        (Spp_pmemkv.Engine.spec_name engine ^ ": limit clips globally")
+        (List.filteri (fun i _ -> i < 7) expect)
+        (Shard.scan t ~lo ~hi ~limit:7);
+      check_int "empty window" 0
+        (List.length
+           (Shard.scan t ~lo:"zzz" ~hi:"zzzz" ~limit:10)))
+    [ Spp_pmemkv.Engines.cmap; Spp_pmemkv.Engines.btree ]
 
 (* A second run over the same parallel store must also be deterministic:
    shard state after run 1 is a pure function of the stream. *)
@@ -181,6 +232,8 @@ let () =
         ] );
       ( "parallel",
         [
+          Alcotest.test_case "store scan scatter-gather (both engines)"
+            `Quick test_store_scan_scatter_gather;
           Alcotest.test_case "parallel = sequential (fixed seed)" `Quick
             test_parallel_sequential_differential;
           Alcotest.test_case "parallel reruns deterministic" `Quick

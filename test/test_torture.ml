@@ -51,6 +51,28 @@ let test_kvfailover_native_full () =
 let test_kvfailover_drop_full () =
   full_enum (Workloads.kvfailover_drop ~ops:8 ())
 
+(* Failover with the B-tree engine behind the same seam: the
+   promotion-equivalence oracle must hold unchanged — replication ships
+   redo payloads and never looks inside the engine. *)
+let test_kvfailover_btree_full () =
+  full_enum
+    (Workloads.kvfailover ~ops:8 ~engine:Spp_pmemkv.Engines.btree
+       ~name:"kvfailover-btree" ())
+
+(* Ordered-scan torture, full enumeration on both engines and both
+   access-variant extremes: every durability event of the interleaved
+   put/remove/scan batch program must recover onto a whole-op-prefix
+   snapshot whose full-range scan is strictly ascending. *)
+let test_kvscan_full () = full_enum (Workloads.kvscan ~ops:9 ())
+
+let test_kvscan_native_full () =
+  full_enum (Workloads.kvscan ~variant:Spp_access.Pmdk ~ops:8 ())
+
+let test_kvscan_btree_full () = full_enum (Workloads.kvscan_btree ~ops:9 ())
+
+let test_kvscan_btree_native_full () =
+  full_enum (Workloads.kvscan_btree ~variant:Spp_access.Pmdk ~ops:8 ())
+
 let test_budget_sampling () =
   let r = Torture.run ~budget:10 (Workloads.counter ~ops:8 ()) in
   check_bool "within budget" true (r.Torture.r_crash_points <= 10);
@@ -112,7 +134,8 @@ let test_engine_differential_clean () =
       let r = engine_differential w in
       check_int "zero invariant failures" 0 r.Torture.r_invariant_failures)
     [ Workloads.kvstore ~ops:5 (); Workloads.pmemlog ~ops:5 ();
-      Workloads.counter ~ops:5 (); Workloads.kvbatch ~ops:5 () ]
+      Workloads.counter ~ops:5 (); Workloads.kvbatch ~ops:5 ();
+      Workloads.kvscan ~ops:7 (); Workloads.kvscan_btree ~ops:7 () ]
 
 let test_engine_differential_faults () =
   ignore
@@ -224,6 +247,16 @@ let () =
             test_kvfailover_native_full;
           Alcotest.test_case "failover under channel loss" `Quick
             test_kvfailover_drop_full;
+          Alcotest.test_case "failover promotion, btree engine" `Quick
+            test_kvfailover_btree_full;
+          Alcotest.test_case "scans land on ordered whole-op prefixes (cmap)"
+            `Quick test_kvscan_full;
+          Alcotest.test_case "kvscan, native variant" `Quick
+            test_kvscan_native_full;
+          Alcotest.test_case "scans land on ordered whole-op prefixes (btree)"
+            `Quick test_kvscan_btree_full;
+          Alcotest.test_case "kvscan-btree, native variant" `Quick
+            test_kvscan_btree_native_full;
           Alcotest.test_case "budget sampling" `Quick test_budget_sampling;
         ] );
       ( "engine differential",
