@@ -463,18 +463,18 @@ let serve_cmd =
     Array.iter
       (fun s ->
         Printf.printf
-          "  shard %d: %d ops in %d batches (largest %d), p50 %.1f us\n"
+          "  shard %d: %d ops in %d batches (largest %d), p50 %s\n"
           s.Serve.ss_shard s.Serve.ss_ops s.Serve.ss_batches
           s.Serve.ss_max_batch
-          (float_of_int (Histogram.percentile s.Serve.ss_hist 50.) /. 1e3))
+          (Bench_util.fmt_lat_ns (Histogram.percentile s.Serve.ss_hist 50.)))
       (Serve.stats sv);
     let h = Serve.merged_hist sv in
     Printf.printf
-      "latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, max %.1f us\n"
-      (float_of_int (Histogram.p50 h) /. 1e3)
-      (float_of_int (Histogram.p95 h) /. 1e3)
-      (float_of_int (Histogram.p99 h) /. 1e3)
-      (float_of_int (Histogram.max_value h) /. 1e3);
+      "latency: p50 %s, p95 %s, p99 %s, max %s\n"
+      (Bench_util.fmt_lat_ns (Histogram.p50 h))
+      (Bench_util.fmt_lat_ns (Histogram.p95 h))
+      (Bench_util.fmt_lat_ns (Histogram.p99 h))
+      (Bench_util.fmt_lat_ns (Histogram.max_value h));
     let c = Shard.merged_counters t in
     Printf.printf
       "merged counters: %d stores, %d flushes, %d fences (%.3f fences/op), \
@@ -504,10 +504,10 @@ let serve_cmd =
       let lag = Serve.replication_lag sv in
       if Histogram.count lag > 0 then
         Printf.printf
-          "replication lag (%s): p50 %.1f us, p99 %.1f us over %d commits\n"
+          "replication lag (%s): p50 %s, p99 %s over %d commits\n"
           (Replica.ack_policy_to_string policy)
-          (float_of_int (Histogram.p50 lag) /. 1e3)
-          (float_of_int (Histogram.p99 lag) /. 1e3)
+          (Bench_util.fmt_lat_ns (Histogram.p50 lag))
+          (Bench_util.fmt_lat_ns (Histogram.p99 lag))
           (Histogram.count lag)
   in
   Cmd.v
@@ -633,11 +633,11 @@ let failover_cmd =
     Serve.stop sv;
     let h = Serve.merged_hist sv in
     Printf.printf
-      "whole run: %d requests, %d failed typed, %d promotion(s); p50 %.1f \
-       us, p99 %.1f us\n"
+      "whole run: %d requests, %d failed typed, %d promotion(s); p50 %s, \
+       p99 %s\n"
       ops (Serve.total_failed sv) (Serve.promotions sv)
-      (float_of_int (Histogram.p50 h) /. 1e3)
-      (float_of_int (Histogram.p99 h) /. 1e3)
+      (Bench_util.fmt_lat_ns (Histogram.p50 h))
+      (Bench_util.fmt_lat_ns (Histogram.p99 h))
   in
   Cmd.v
     (Cmd.info "failover"

@@ -55,8 +55,16 @@ type t = {
   load_u8 : int -> int;
   store_u8 : int -> int -> unit;
   read_bytes : int -> int -> Bytes.t;
+  read_into : int -> len:int -> dst:Bytes.t -> dst_off:int -> unit;
+  read_sub : int -> int -> string;
   write_bytes : int -> Bytes.t -> unit;
   write_string : int -> string -> unit;
+  (* hoisted-check read windows: the variant's whole-range check runs
+     once at acquisition, reads through the lease skip it *)
+  lease : int -> int -> Space.lease;
+  (* one-shot view: the variant check, translation and media check all
+     paid at acquisition; reads through the view are raw *)
+  view : int -> int -> Space.view;
   (* interposed intrinsics *)
   memcpy : dst:int -> src:int -> len:int -> unit;
   memmove : dst:int -> src:int -> len:int -> unit;
@@ -99,8 +107,12 @@ let make_pmdk ~space ~pool ~vheap ~name =
     load_u8 = Space.load_u8 space;
     store_u8 = Space.store_u8 space;
     read_bytes = Space.read_bytes space;
+    read_into = Space.read_into space;
+    read_sub = Space.read_sub space;
     write_bytes = Space.write_bytes space;
     write_string = Space.write_string space;
+    lease = Space.lease space;
+    view = Space.read_view space;
     memcpy = (fun ~dst ~src ~len -> Space.blit space ~src ~dst ~len);
     memmove = (fun ~dst ~src ~len -> Space.blit space ~src ~dst ~len);
     memset = (fun p c len -> Space.fill space p len c);
@@ -161,10 +173,27 @@ let make_spp ?(variant = Spp) ?tag_volatile ~space ~pool ~cfg ~name () =
     load_u8 = (fun p -> Space.load_u8 space (checked_ptr p 1));
     store_u8 = (fun p v -> Space.store_u8 space (checked_ptr p 1) v);
     read_bytes = (fun p len -> Space.read_bytes space (block_ptr p len) len);
+    read_into =
+      (fun p ~len ~dst ~dst_off ->
+        Space.read_into space (block_ptr p len) ~len ~dst ~dst_off);
+    read_sub = (fun p len -> Space.read_sub space (block_ptr p len) len);
     write_bytes =
       (fun p b -> Space.write_bytes space (block_ptr p (Bytes.length b)) b);
     write_string =
       (fun p s -> Space.write_string space (block_ptr p (String.length s)) s);
+    lease =
+      (fun p len ->
+        (* The SPP bound check hoisted to acquisition: one
+           [spp_memintr_check] masks the tag and validates the furthest
+           byte of the window — jhc-style single-mask dispatch — and the
+           lease hands back an untagged window, so reads through it never
+           decode the tag again. *)
+        Space.lease space (block_ptr p len) len);
+    view =
+      (fun p len ->
+        (* same hoist, fused: the masked-tag check covers the window and
+           the view is opened on the untagged address in one step *)
+        Space.read_view space (block_ptr p len) len);
     memcpy = (fun ~dst ~src ~len -> Wrappers.wrap_memcpy cfg space ~dst ~src ~len);
     memmove =
       (fun ~dst ~src ~len -> Wrappers.wrap_memmove cfg space ~dst ~src ~len);
@@ -209,12 +238,19 @@ let make_safepm ~space ~pool ~shadow ~vheap ~name =
     load_u8 = (fun p -> ck p 1 (fun () -> Space.load_u8 space p));
     store_u8 = (fun p v -> ck p 1 (fun () -> Space.store_u8 space p v));
     read_bytes = (fun p len -> ck p len (fun () -> Space.read_bytes space p len));
+    read_into =
+      (fun p ~len ~dst ~dst_off ->
+        ck p len (fun () -> Space.read_into space p ~len ~dst ~dst_off));
+    read_sub = (fun p len -> ck p len (fun () -> Space.read_sub space p len));
     write_bytes =
       (fun p b ->
         ck p (Bytes.length b) (fun () -> Space.write_bytes space p b));
     write_string =
       (fun p s ->
         ck p (String.length s) (fun () -> Space.write_string space p s));
+    (* one shadow lookup at acquisition covers the whole window *)
+    lease = (fun p len -> ck p len (fun () -> Space.lease space p len));
+    view = (fun p len -> ck p len (fun () -> Space.read_view space p len));
     memcpy =
       (fun ~dst ~src ~len ->
         Spp_safepm.check shadow src len;
@@ -302,12 +338,19 @@ let make_memcheck ~space ~pool ~table ~vheap ~name =
     load_u8 = (fun p -> ck p 1 (fun () -> Space.load_u8 space p));
     store_u8 = (fun p v -> ck p 1 (fun () -> Space.store_u8 space p v));
     read_bytes = (fun p len -> ck p len (fun () -> Space.read_bytes space p len));
+    read_into =
+      (fun p ~len ~dst ~dst_off ->
+        ck p len (fun () -> Space.read_into space p ~len ~dst ~dst_off));
+    read_sub = (fun p len -> ck p len (fun () -> Space.read_sub space p len));
     write_bytes =
       (fun p b ->
         ck p (Bytes.length b) (fun () -> Space.write_bytes space p b));
     write_string =
       (fun p s ->
         ck p (String.length s) (fun () -> Space.write_string space p s));
+    (* one interval lookup at acquisition covers the whole window *)
+    lease = (fun p len -> ck p len (fun () -> Space.lease space p len));
+    view = (fun p len -> ck p len (fun () -> Space.read_view space p len));
     memcpy =
       (fun ~dst ~src ~len ->
         Spp_memcheck.check table src len;

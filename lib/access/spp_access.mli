@@ -49,8 +49,23 @@ type t = {
   load_u8 : int -> int;
   store_u8 : int -> int -> unit;
   read_bytes : int -> int -> Bytes.t;
+  read_into : int -> len:int -> dst:Bytes.t -> dst_off:int -> unit;
+  read_sub : int -> int -> string;   (** single-copy substring read *)
   write_bytes : int -> Bytes.t -> unit;
   write_string : int -> string -> unit;
+  lease : int -> int -> Space.lease;
+  (** Validated read window with the variant's pointer/bounds check
+      hoisted to acquisition: one check and one translation for the
+      whole window, then {!Space.lease_load_word}-style reads skip both.
+      Under {!Spp} this is a single [spp_memintr_check] — one masked tag
+      decode — instead of one hook per access. *)
+
+  view : int -> int -> Space.view;
+  (** One-shot read window: the variant's check, the translation {e and}
+      the media check are all paid at acquisition, and
+      {!Space.view_word}-style reads through it are raw. The fused form
+      of [lease]+{!Space.lease_view} for hot paths that read a window
+      exactly once. *)
   (* interposed intrinsics *)
   memcpy : dst:int -> src:int -> len:int -> unit;
   memmove : dst:int -> src:int -> len:int -> unit;

@@ -48,6 +48,14 @@ let fmt_ops x = Printf.sprintf "%.0f op/s" x
 let fmt_mb bytes = Printf.sprintf "%.1f MB" (float_of_int bytes /. 1048576.)
 let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)
 
+(* Latency in nanoseconds, unit-scaled: sub-microsecond values print in
+   whole ns instead of truncating to "0.0 us". *)
+let fmt_lat_ns ns =
+  if ns < 1_000 then Printf.sprintf "%d ns" ns
+  else if ns < 1_000_000 then
+    Printf.sprintf "%.1f us" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%.2f ms" (float_of_int ns /. 1e6)
+
 (* Deterministic uniform key stream. *)
 let keys ~seed ~universe n =
   let st = Random.State.make [| seed |] in

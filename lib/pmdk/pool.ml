@@ -374,6 +374,31 @@ let batch_free (t : Rep.t) b (oid : Oid.t) =
 
 (* Oid slots in PM (pool offsets). *)
 
+let lease_load_oid (t : Rep.t) l ~off : Oid.t =
+  (* Decode a stored oid through a [Space.lease] window — the mode-aware
+     field layout (Rep.load_oid) read with pinned-translation loads, for
+     hot read paths that leased a whole object. *)
+  match t.Rep.mode with
+  | Mode.Native ->
+    { Oid.uuid = Space.lease_load_word l off;
+      off = Space.lease_load_word l (off + 8); size = 0 }
+  | Mode.Spp _ ->
+    { Oid.size = Space.lease_load_word l off;
+      uuid = Space.lease_load_word l (off + 8);
+      off = Space.lease_load_word l (off + 16) }
+
+let view_load_oid (t : Rep.t) v ~off : Oid.t =
+  (* Same mode-aware layout, read raw through an opened [Space.view] —
+     the caller already paid the window's checks at acquisition. *)
+  match t.Rep.mode with
+  | Mode.Native ->
+    { Oid.uuid = Space.view_word v off;
+      off = Space.view_word v (off + 8); size = 0 }
+  | Mode.Spp _ ->
+    { Oid.size = Space.view_word v off;
+      uuid = Space.view_word v (off + 8);
+      off = Space.view_word v (off + 16) }
+
 let load_oid (t : Rep.t) ~off = Rep.load_oid t off
 let store_oid (t : Rep.t) ~off oid = Rep.store_oid t off oid
 

@@ -12,6 +12,7 @@
 
 open Spp_pmdk
 open Spp_access
+module Space = Spp_sim.Space
 
 type t = {
   a : Spp_access.t;
@@ -86,18 +87,51 @@ let with_bucket t b f =
 let bucket_slot_ptr t b =
   t.a.gep (t.a.direct t.buckets) (b * t.a.oid_size)
 
-let entry_key t p =
+(* Entry readers exist in two forms selected by [Engine.read_path]:
+
+   - the lease path (default): single-copy reads ([read_sub] /
+     [Space.lease_string] freeze a fresh buffer) and device-side key
+     comparison — no candidate key is ever materialized on a chain walk;
+   - the copying path: the pre-lease reference — [read_bytes] +
+     [Bytes.to_string] double copies, one pointer check per access —
+     kept selectable for before/after benchmarking. *)
+
+let entry_key_copying t p =
   let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
   Bytes.to_string (t.a.read_bytes (t.a.gep p (f_key t.a)) klen)
 
-let entry_value t p =
+let entry_value_copying t p =
   let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
   let vlen = t.a.load_word (t.a.gep p (f_vlen t.a)) in
   Bytes.to_string (t.a.read_bytes (t.a.gep p (f_value t.a klen)) vlen)
 
+let entry_key t p =
+  match Engine.read_path () with
+  | Engine.Copying -> entry_key_copying t p
+  | Engine.Lease ->
+    let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
+    t.a.read_sub (t.a.gep p (f_key t.a)) klen
+
+let entry_value t p =
+  match Engine.read_path () with
+  | Engine.Copying -> entry_value_copying t p
+  | Engine.Lease ->
+    let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
+    let vlen = t.a.load_word (t.a.gep p (f_vlen t.a)) in
+    t.a.read_sub (t.a.gep p (f_value t.a klen)) vlen
+
 let key_matches t p key =
   let klen = t.a.load_word (t.a.gep p (f_klen t.a)) in
-  klen = String.length key && entry_key t p = key
+  klen = String.length key
+  && (match Engine.read_path () with
+      | Engine.Copying -> entry_key_copying t p = key
+      | Engine.Lease ->
+        (* compare against the device view through a leased window:
+           one hoisted check, no materialized candidate *)
+        klen = 0
+        || Space.view_equal_string
+             (t.a.view (t.a.gep p (f_key t.a)) klen)
+             ~off:0 key)
 
 (* Find the slot pointer referencing the entry for [key] plus the entry
    itself, starting from the bucket slot. *)
@@ -112,6 +146,57 @@ let find_slot t slot key =
     end
   in
   go slot
+
+(* The zero-copy get walk: per entry one leased view over the header
+   (next oid + lengths, read raw after one hoisted check) and — only
+   when the key length matches — one leased view over key+value, which
+   serves both the device-side compare and the single-copy value read.
+   Under SPP that is two masked-tag checks per matching entry instead
+   of one hook per access, and within each window the reads are bare
+   offsets into the pinned device view. *)
+let find_value_lease t slot key =
+  let hdr_len = t.a.oid_size + 16 in
+  let klen_q = String.length key in
+  let rec go oid =
+    if Oid.is_null oid then None
+    else begin
+      let p = t.a.direct oid in
+      let size = oid.Oid.size in
+      if size > 0 then begin
+        (* SPP-mode fast path: the oid's durable size field (paper
+           §IV-B) bounds the whole object, so one hoisted check opens a
+           window over the entire entry — header, key and value — and
+           every read of the visit is raw. *)
+        let ev = t.a.view p size in
+        let klen = Space.view_word ev (f_klen t.a) in
+        if klen = klen_q && Space.view_equal_string ev ~off:(f_key t.a) key
+        then
+          let vlen = Space.view_word ev (f_vlen t.a) in
+          Some (Space.view_string ev ~off:(f_value t.a klen) ~len:vlen)
+        else go (Pool.view_load_oid t.a.pool ev ~off:f_next)
+      end
+      else begin
+        (* Native-mode oids carry no size: two windows per visit —
+           header first, then key+value once the length is known.
+           ([f_next] is 0, so the entry pointer doubles as the header
+           window base.) *)
+        let hdr = t.a.view p hdr_len in
+        let klen = Space.view_word hdr (f_klen t.a) in
+        if klen <> klen_q then go (Pool.view_load_oid t.a.pool hdr ~off:f_next)
+        else begin
+          let vlen = Space.view_word hdr (f_vlen t.a) in
+          if klen + vlen = 0 then Some "" (* empty key matched, empty value *)
+          else begin
+            let kv = t.a.view (t.a.gep p (f_key t.a)) (klen + vlen) in
+            if Space.view_equal_string kv ~off:0 key then
+              Some (Space.view_string kv ~off:klen ~len:vlen)
+            else go (Pool.view_load_oid t.a.pool hdr ~off:f_next)
+          end
+        end
+      end
+    end
+  in
+  go (t.a.load_oid_at slot)
 
 let mk_entry t ~key ~value ~next =
   let klen = String.length key and vlen = String.length value in
@@ -130,15 +215,21 @@ let get t key =
   | None ->
     let b = bucket_of t key in
     with_bucket t b (fun () ->
-      match find_slot t (bucket_slot_ptr t b) key with
-      | None -> None
-      | Some (_, _, p) ->
-        let v = entry_value t p in
-        (* Fill while still holding the bucket stripe: a same-key writer
-           serializes on it, so a stale value can never be resurrected
-           over a newer put. *)
-        (match t.cache with Some rc -> Rcache.insert rc key v | None -> ());
-        Some v)
+      let v =
+        match Engine.read_path () with
+        | Engine.Lease -> find_value_lease t (bucket_slot_ptr t b) key
+        | Engine.Copying ->
+          (match find_slot t (bucket_slot_ptr t b) key with
+           | None -> None
+           | Some (_, _, p) -> Some (entry_value_copying t p))
+      in
+      (* Fill while still holding the bucket stripe: a same-key writer
+         serializes on it, so a stale value can never be resurrected
+         over a newer put. *)
+      (match (v, t.cache) with
+       | Some v, Some rc -> Rcache.insert rc key v
+       | _ -> ());
+      v)
 
 let put t ~key ~value =
   let b = bucket_of t key in
@@ -203,18 +294,48 @@ let scan t ~lo ~hi ~limit =
   if limit <= 0 || hi < lo then []
   else begin
     let acc = ref [] in
+    (* Lease walk: one whole-entry window per chain link (the SPP oid's
+       durable size bounds it), range-tested against the device view so
+       out-of-range entries are never materialized. *)
+    let rec go_lease oid =
+      if not (Oid.is_null oid) then begin
+        let p = t.a.direct oid in
+        if oid.Oid.size > 0 then begin
+          let ev = t.a.view p oid.Oid.size in
+          let klen = Space.view_word ev (f_klen t.a) in
+          let koff = f_key t.a in
+          if
+            Space.view_compare_string ev ~off:koff ~len:klen lo >= 0
+            && Space.view_compare_string ev ~off:koff ~len:klen hi <= 0
+          then begin
+            let vlen = Space.view_word ev (f_vlen t.a) in
+            let k = Space.view_string ev ~off:koff ~len:klen in
+            let v = Space.view_string ev ~off:(f_value t.a klen) ~len:vlen in
+            acc := (k, v) :: !acc
+          end;
+          go_lease (Pool.view_load_oid t.a.pool ev ~off:f_next)
+        end
+        else begin
+          let k = entry_key t p in
+          if lo <= k && k <= hi then acc := (k, entry_value t p) :: !acc;
+          go_lease (t.a.load_oid_at (t.a.gep p f_next))
+        end
+      end
+    in
+    let rec go slot_ptr =
+      let oid = t.a.load_oid_at slot_ptr in
+      if not (Oid.is_null oid) then begin
+        let p = t.a.direct oid in
+        let k = entry_key t p in
+        if lo <= k && k <= hi then acc := (k, entry_value t p) :: !acc;
+        go (t.a.gep p f_next)
+      end
+    in
     for b = 0 to t.nbuckets - 1 do
       with_bucket t b (fun () ->
-        let rec go slot_ptr =
-          let oid = t.a.load_oid_at slot_ptr in
-          if not (Oid.is_null oid) then begin
-            let p = t.a.direct oid in
-            let k = entry_key t p in
-            if lo <= k && k <= hi then acc := (k, entry_value t p) :: !acc;
-            go (t.a.gep p f_next)
-          end
-        in
-        go (bucket_slot_ptr t b))
+        match Engine.read_path () with
+        | Engine.Lease -> go_lease (t.a.load_oid_at (bucket_slot_ptr t b))
+        | Engine.Copying -> go (bucket_slot_ptr t b))
     done;
     clip_scan ~limit !acc
   end
@@ -261,27 +382,38 @@ let batch_key_of = Engine.batch_key_of
 
 (* Entry field reads through the overlay. Key/value bytes are never
    staged (fresh entries write them directly while unreachable), so byte
-   reads go straight to the space. *)
+   reads go straight to the space — single-copy [Space.read_sub] on the
+   lease path, with the key compared against the device view instead of
+   materialized (the pre-lease double-copy reads survive only behind
+   [Engine.Copying], as the before/after reference). *)
 
 let b_entry_key t bt eoff =
   let p = t.a.pool in
   let klen = Pool.batch_load_word p bt ~off:(eoff + f_klen t.a) in
-  Bytes.to_string
-    (Spp_sim.Space.read_bytes (Pool.space p)
-       (Pool.addr_of_off p (eoff + f_key t.a)) klen)
+  let addr = Pool.addr_of_off p (eoff + f_key t.a) in
+  match Engine.read_path () with
+  | Engine.Copying ->
+    Bytes.to_string (Space.read_bytes (Pool.space p) addr klen)
+  | Engine.Lease -> Space.read_sub (Pool.space p) addr klen
 
 let b_entry_value t bt eoff =
   let p = t.a.pool in
   let klen = Pool.batch_load_word p bt ~off:(eoff + f_klen t.a) in
   let vlen = Pool.batch_load_word p bt ~off:(eoff + f_vlen t.a) in
-  Bytes.to_string
-    (Spp_sim.Space.read_bytes (Pool.space p)
-       (Pool.addr_of_off p (eoff + f_value t.a klen)) vlen)
+  let addr = Pool.addr_of_off p (eoff + f_value t.a klen) in
+  match Engine.read_path () with
+  | Engine.Copying ->
+    Bytes.to_string (Space.read_bytes (Pool.space p) addr vlen)
+  | Engine.Lease -> Space.read_sub (Pool.space p) addr vlen
 
 let b_key_matches t bt eoff key =
   Pool.batch_load_word t.a.pool bt ~off:(eoff + f_klen t.a)
   = String.length key
-  && b_entry_key t bt eoff = key
+  && (match Engine.read_path () with
+      | Engine.Copying -> b_entry_key t bt eoff = key
+      | Engine.Lease ->
+        Space.equal_string (Pool.space t.a.pool)
+          (Pool.addr_of_off t.a.pool (eoff + f_key t.a)) key)
 
 (* Slot offset (pool offset of the oid slot pointing at the entry) plus
    the entry's oid, walking the chain as the batch sees it. *)

@@ -138,19 +138,20 @@ let of_engine_reply = function
   | Spp_pmemkv.Engine.R_removed b -> Removed b
   | Spp_pmemkv.Engine.R_scan kvs -> Scanned kvs
 
-(* Resolve a drain's tickets. [Failed] still records latency — a failed
-   op occupied the pipeline for that long. *)
-let resolve box hist nfailed items replies =
+(* Resolve a drain's tickets — the first [n] slots of the worker's
+   scratch buffer. [Failed] still records latency — a failed op occupied
+   the pipeline for that long. *)
+let resolve box hist nfailed items n replies =
   let now = Spp_benchlib.Bench_util.now_mono () in
   Mutex.lock box.mu;
-  Array.iteri
-    (fun j (_, tk) ->
-      let r = replies j in
-      (match r with Failed _ -> incr nfailed | _ -> ());
-      tk.tk_reply <- Some r;
-      Spp_benchlib.Histogram.add hist
-        (int_of_float ((now -. tk.tk_submitted) *. 1e9)))
-    items;
+  for j = 0 to n - 1 do
+    let (_, tk) = items.(j) in
+    let r = replies j in
+    (match r with Failed _ -> incr nfailed | _ -> ());
+    tk.tk_reply <- Some r;
+    Spp_benchlib.Histogram.add hist
+      (int_of_float ((now -. tk.tk_submitted) *. 1e9))
+  done;
   Condition.broadcast box.done_;
   Mutex.unlock box.mu
 
@@ -186,6 +187,14 @@ let worker t i =
   let ops = ref 0 and batches = ref 0 and max_batch = ref 0 in
   let nfailed = ref 0 in
   let cur = ref 1 in
+  (* Per-domain scratch, reused across every drain this worker runs: the
+     (request, ticket) buffer is allocated once at [batch_cap] and only
+     its first [n] slots are live per drain; slots are reset to [idle]
+     after resolution so fulfilled tickets don't outlive their drain. *)
+  let idle =
+    (Get "", { tk_shard = i; tk_submitted = 0.; tk_reply = None })
+  in
+  let items = Array.make t.batch_cap idle in
   let running = ref true in
   while !running do
     Mutex.lock box.mu;
@@ -205,17 +214,19 @@ let worker t i =
       else begin
         let want = if t.adaptive then !cur else t.batch_cap in
         let n = min (Queue.length box.q) (min want t.batch_cap) in
-        let items = Array.init n (fun _ -> Queue.pop box.q) in
+        for j = 0 to n - 1 do
+          items.(j) <- Queue.pop box.q
+        done;
         let backlog = Queue.length box.q in
         let already_failed = box.failed in
         Mutex.unlock box.mu;
         if t.adaptive then
           cur := if backlog > 0 then min (max (2 * !cur) 2) t.batch_cap
                  else max 1 (!cur / 2);
-        if already_failed then
-          (* dead primary, not yet promoted: nothing to execute on *)
-          resolve box hist nfailed items (fun _ -> Failed Failed_over)
-        else begin
+        (if already_failed then
+           (* dead primary, not yet promoted: nothing to execute on *)
+           resolve box hist nfailed items n (fun _ -> Failed Failed_over)
+         else begin
           (* re-resolve the stack each drain: [promote] may have swapped
              it since the last one *)
           let sh = Shard.shard t.store i in
@@ -225,19 +236,19 @@ let worker t i =
           in
           match
             Spp_pmemkv.Engine.run_batch kv
-              (Array.map (fun (r, _) -> to_engine_op r) items)
+              (Array.init n (fun j -> to_engine_op (fst items.(j))))
           with
           | exception e ->
             if Spp_sim.Memdev.is_powered_off dev then begin
               Mutex.lock box.mu;
               box.failed <- true;
               Mutex.unlock box.mu;
-              resolve box hist nfailed items (fun _ -> Failed Failed_over)
+              resolve box hist nfailed items n (fun _ -> Failed Failed_over)
             end
             else
               (* the op's own failure: the abandoned batch staged only
                  volatile state, so the shard keeps serving *)
-              resolve box hist nfailed items
+              resolve box hist nfailed items n
                 (fun _ -> Failed (Op_raised (Printexc.to_string e)))
           | replies ->
             if Spp_sim.Memdev.is_powered_off dev then begin
@@ -247,7 +258,7 @@ let worker t i =
               Mutex.lock box.mu;
               box.failed <- true;
               Mutex.unlock box.mu;
-              resolve box hist nfailed items (fun _ -> Failed Failed_over)
+              resolve box hist nfailed items n (fun _ -> Failed Failed_over)
             end
             else begin
               (* gate the acks on the replication policy *)
@@ -256,13 +267,15 @@ let worker t i =
                  Replica.heartbeat g;
                  Replica.wait_acks g
                | _ -> ());
-              resolve box hist nfailed items
+              resolve box hist nfailed items n
                 (fun j -> of_engine_reply replies.(j));
               ops := !ops + n;
               incr batches;
               if n > !max_batch then max_batch := n
             end
-        end
+        end);
+        (* release resolved tickets to the GC before the next drain *)
+        Array.fill items 0 n idle
       end
   done;
   t.results.(i) <-

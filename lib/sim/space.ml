@@ -45,6 +45,7 @@ type t = {
   tlb_pages : int array;            (* page tag per slot; -1 = invalid *)
   tlb_regs : region option array;
   stats : stats;
+  mutable epoch : int;              (* bumped on map/unmap; stales leases *)
 }
 
 let create () =
@@ -53,7 +54,8 @@ let create () =
     tlb_regs = Array.make tlb_size None;
     stats = { pm_loads = 0; pm_stores = 0; vol_loads = 0; vol_stores = 0;
               pm_bytes_loaded = 0; pm_bytes_stored = 0;
-              tlb_hits = 0; tlb_misses = 0 } }
+              tlb_hits = 0; tlb_misses = 0 };
+    epoch = 0 }
 
 let stats t = t.stats
 
@@ -114,10 +116,12 @@ let map t ~base ~size ?(dev_off = 0) ~kind ~name dev =
   let arr = Array.append t.regions [| r |] in
   Array.sort (fun a b -> compare a.base b.base) arr;
   t.regions <- arr;
-  tlb_invalidate t
+  tlb_invalidate t;
+  t.epoch <- t.epoch + 1
 
 let unmap t ~base =
   tlb_invalidate t;
+  t.epoch <- t.epoch + 1;
   let keep =
     Array.of_list
       (List.filter (fun r -> r.base <> base) (Array.to_list t.regions))
@@ -252,6 +256,66 @@ let read_bytes t addr len =
     Memdev.load_bytes r.dev ~off ~len
   end
 
+(* Caller-buffer read: the region is resolved once and the device view
+   copied out in chunks. Each chunk is bad-block-checked before it is
+   copied and counted, so a fault mid-range — region boundary or
+   poisoned media — leaves exactly the clean prefix in [dst] and in the
+   counters, like a hardware memcpy dying partway. Event accounting
+   matches [read_bytes]: one load event for the whole block, with the
+   bytes that were actually moved in [pm_bytes_loaded]. *)
+
+let read_chunk = 256
+
+(* Longest clean prefix of [off, off+len) on [dev]: a Bus_error names
+   the first poisoned byte of the overlapping bad block, but an earlier
+   bad block may still precede it in the list, so narrow until clean. *)
+let rec clean_prefix dev ~off ~len =
+  match Memdev.check_load dev ~off ~len with
+  | () -> len
+  | exception Fault.Fault (Fault.Bus_error, boff) ->
+    if boff <= off then 0 else clean_prefix dev ~off ~len:(boff - off)
+
+let read_into t addr ~len ~dst ~dst_off =
+  if len < 0 || dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Space.read_into: bad destination range";
+  if len > 0 then begin
+    let r = find_region t addr in
+    let limit = r.base + r.rsize in
+    let count copied chunk =
+      match r.kind with
+      | Persistent ->
+        if copied = 0 then t.stats.pm_loads <- t.stats.pm_loads + 1;
+        t.stats.pm_bytes_loaded <- t.stats.pm_bytes_loaded + chunk
+      | Volatile ->
+        if copied = 0 then t.stats.vol_loads <- t.stats.vol_loads + 1
+    in
+    let rec go a copied =
+      if copied < len then begin
+        if a >= limit then Fault.segfault limit;
+        let chunk = min read_chunk (min (len - copied) (limit - a)) in
+        let off = r.dev_off + (a - r.base) in
+        let ok = clean_prefix r.dev ~off ~len:chunk in
+        if ok > 0 then begin
+          count copied ok;
+          Memdev.load_into r.dev ~off ~len:ok ~dst ~dst_off:(dst_off + copied)
+        end;
+        if ok < chunk then Fault.bus_error (off + ok)
+        else go (a + chunk) (copied + chunk)
+      end
+    in
+    go addr 0
+  end
+
+let read_sub t addr len =
+  (* Single-copy string read: one fresh buffer, filled in place, frozen.
+     The buffer never escapes mutable, so the unsafe freeze is sound. *)
+  if len = 0 then ""
+  else begin
+    let b = Bytes.create len in
+    read_into t addr ~len ~dst:b ~dst_off:0;
+    Bytes.unsafe_to_string b
+  end
+
 let write_bytes t addr b =
   let len = Bytes.length b in
   if len > 0 then begin
@@ -307,6 +371,52 @@ let memcmp t a b len =
     in
     go 0
   end
+
+(* Device-side compare of a mapped byte range against an OCaml string —
+   [String.compare (read_sub t addr len) s] without materializing the
+   device side. Accounting mirrors [memcmp]: the whole range counts as
+   one load event (the comparison instruction touched it), bad blocks
+   checked up front. *)
+
+(* The comparison loops live at toplevel: a local recursive function
+   closes over the device view and candidate and costs an allocation per
+   call without flambda — these run once per probed entry on hot paths. *)
+let rec cmp_loop b base s i n =
+  if i = n then 0
+  else
+    let ca = Char.code (Bytes.unsafe_get b (base + i))
+    and cb = Char.code (String.unsafe_get s i) in
+    if ca < cb then -1
+    else if ca > cb then 1
+    else cmp_loop b base s (i + 1) n
+
+let rec eq_loop b base s i slen =
+  i = slen
+  || Bytes.unsafe_get b (base + i) = String.unsafe_get s i
+     && eq_loop b base s (i + 1) slen
+
+let compare_string t addr ~len s =
+  let slen = String.length s in
+  if len = 0 && slen = 0 then 0
+  else begin
+    let view, off =
+      if len = 0 then (Bytes.empty, 0)
+      else begin
+        let r, off = translate t addr len in
+        count_load t r len;
+        Memdev.check_load r.dev ~off ~len;
+        (Memdev.unsafe_view r.dev, off)
+      end
+    in
+    let c = cmp_loop view off s 0 (min len slen) in
+    if c <> 0 then c
+    else if len < slen then -1
+    else if len > slen then 1
+    else 0
+  end
+
+let equal_string t addr s =
+  compare_string t addr ~len:(String.length s) s = 0
 
 (* C-string helpers: the region is resolved once and the device view is
    scanned in chunks — not one full translation per byte — still faulting
@@ -395,3 +505,217 @@ let is_mapped t addr =
   match find_region t addr with
   | (_ : region) -> true
   | exception Fault.Fault _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Leases — validated read windows                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A lease pins one region resolution (and with it one TLB translation)
+   over a byte window: acquisition walks the translation pipeline and
+   bounds-checks the whole window once, after which every read through
+   the lease is a bare offset into the pinned device view — no region
+   search, no TLB probe, no per-access pointer check. This is the
+   runtime half of the check-preemption story the [spp_instr] passes
+   prove on the miniature IR: hoist the check out of the loop, let the
+   body run unchecked.
+
+   Safety is preserved by two guards every access still pays:
+   - window bounds: an offset outside the leased window raises the
+     typed [Lease_out_of_window] (the misuse analogue of a hoisted
+     check being applied to the wrong pointer);
+   - staleness: [map]/[unmap] bump the space epoch (they already
+     invalidate the TLB — a lease is a pinned TLB entry, so the same
+     shootdown must kill it); a lease from an older epoch raises
+     [Stale_lease] instead of reading through a dead mapping.
+
+   Bad blocks stay exact: every lease read still runs
+   [Memdev.check_load] over exactly the accessed range. *)
+
+type lease = {
+  l_space : t;
+  l_reg : region;
+  l_addr : int;    (* window base (simulated address) *)
+  l_len : int;     (* window length, bytes *)
+  l_off : int;     (* device offset of the window base *)
+  l_epoch : int;   (* space epoch at acquisition *)
+}
+
+exception Stale_lease of { addr : int; len : int }
+
+exception Lease_out_of_window of {
+  addr : int;      (* window base *)
+  window : int;    (* window length *)
+  off : int;       (* offending access offset within the window *)
+  len : int;       (* offending access length *)
+}
+
+let () =
+  Printexc.register_printer (function
+    | Stale_lease { addr; len } ->
+      Some
+        (Printf.sprintf
+           "Space.Stale_lease: window [0x%x, +%d) acquired before a \
+            map/unmap invalidated the translation"
+           addr len)
+    | Lease_out_of_window { addr; window; off; len } ->
+      Some
+        (Printf.sprintf
+           "Space.Lease_out_of_window: access (+%d, %d bytes) outside \
+            window [0x%x, +%d)"
+           off len addr window)
+    | _ -> None)
+
+let lease t addr len =
+  if len <= 0 then invalid_arg "Space.lease: window must be non-empty";
+  let r, off = translate t addr len in
+  { l_space = t; l_reg = r; l_addr = addr; l_len = len; l_off = off;
+    l_epoch = t.epoch }
+
+let lease_addr l = l.l_addr
+let lease_len l = l.l_len
+let lease_valid l = l.l_epoch = l.l_space.epoch
+
+(* Every access: epoch then window, both typed. *)
+let lease_check l off len =
+  if l.l_epoch <> l.l_space.epoch then
+    raise (Stale_lease { addr = l.l_addr; len = l.l_len });
+  if off < 0 || len < 0 || off + len > l.l_len then
+    raise
+      (Lease_out_of_window { addr = l.l_addr; window = l.l_len; off; len })
+
+let lease_load_u8 l off =
+  lease_check l off 1;
+  let r = l.l_reg in
+  count_load l.l_space r 1;
+  Memdev.check_load r.dev ~off:(l.l_off + off) ~len:1;
+  Char.code (Bytes.get (Memdev.unsafe_view r.dev) (l.l_off + off))
+
+let lease_load_word l off =
+  lease_check l off 8;
+  let r = l.l_reg in
+  count_load l.l_space r 8;
+  Memdev.check_load r.dev ~off:(l.l_off + off) ~len:8;
+  Int64.to_int (Bytes.get_int64_le (Memdev.unsafe_view r.dev) (l.l_off + off))
+
+let lease_read_into l ~off ~len ~dst ~dst_off =
+  lease_check l off len;
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Space.lease_read_into: bad destination range";
+  if len > 0 then begin
+    let r = l.l_reg in
+    count_load l.l_space r len;
+    Memdev.check_load r.dev ~off:(l.l_off + off) ~len;
+    Memdev.load_into r.dev ~off:(l.l_off + off) ~len ~dst ~dst_off
+  end
+
+let lease_string l ~off ~len =
+  (* single copy: fresh buffer filled in place, then frozen *)
+  if len = 0 then (lease_check l off 0; "")
+  else begin
+    let b = Bytes.create len in
+    lease_read_into l ~off ~len ~dst:b ~dst_off:0;
+    Bytes.unsafe_to_string b
+  end
+
+let lease_compare_string l ~off s =
+  (* [String.compare (lease_string l ~off ~len:|s|) s] without the copy *)
+  let slen = String.length s in
+  lease_check l off slen;
+  let r = l.l_reg in
+  if slen > 0 then begin
+    count_load l.l_space r slen;
+    Memdev.check_load r.dev ~off:(l.l_off + off) ~len:slen
+  end;
+  cmp_loop (Memdev.unsafe_view r.dev) (l.l_off + off) s 0 slen
+
+let lease_equal_string l ~off s = lease_compare_string l ~off s = 0
+
+(* ------------------------------------------------------------------ *)
+(* Views — a window opened for raw reads                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [lease_view] pays all three guards — staleness, window bounds, media
+   — ONCE for a sub-window; every read through the resulting view is a
+   bare access into the device backing store plus a window-bounds check:
+   no epoch probe, no stats update, no media re-check. That is the full
+   hoisting the SPP memintrinsic hook models (check the furthest byte
+   once, run the body unchecked), applied to the simulator's own read
+   pipeline. A view is transient by contract: it must not be held
+   across anything that could remap the space or poison the device —
+   acquire, read, drop (cmap holds one per entry visit, under the
+   bucket stripe). Accounting is block-op style: the window counts as
+   one load event for [len] bytes at acquisition, however many reads
+   follow — the same accounting a block read of the window would pay. *)
+
+type view = {
+  v_bytes : Bytes.t;   (* device backing store *)
+  v_base : int;        (* device offset of the view base *)
+  v_addr : int;        (* simulated address of the view base (errors) *)
+  v_len : int;         (* view length, bytes *)
+}
+
+let lease_view l ~off ~len =
+  if len <= 0 then invalid_arg "Space.lease_view: window must be non-empty";
+  lease_check l off len;
+  let r = l.l_reg in
+  count_load l.l_space r len;
+  Memdev.check_load r.dev ~off:(l.l_off + off) ~len;
+  { v_bytes = Memdev.unsafe_view r.dev; v_base = l.l_off + off;
+    v_addr = l.l_addr + off; v_len = len }
+
+(* A view straight off the translation pipeline — for engine-internal
+   pool-offset IO that has no lease to scope it (bmap's node reads). *)
+let read_view t addr len =
+  if len <= 0 then invalid_arg "Space.read_view: window must be non-empty";
+  (* [translate] inlined to skip its result pair — this is the hot
+     acquisition of every engine read window *)
+  let r = find_region t addr in
+  if addr + len > r.base + r.rsize then Fault.segfault (r.base + r.rsize);
+  let off = r.dev_off + (addr - r.base) in
+  count_load t r len;
+  Memdev.check_load r.dev ~off ~len;
+  { v_bytes = Memdev.unsafe_view r.dev; v_base = off; v_addr = addr;
+    v_len = len }
+
+let view_len v = v.v_len
+
+let view_check v off len =
+  if off < 0 || len < 0 || off + len > v.v_len then
+    raise
+      (Lease_out_of_window { addr = v.v_addr; window = v.v_len; off; len })
+
+let view_u8 v off =
+  view_check v off 1;
+  Char.code (Bytes.unsafe_get v.v_bytes (v.v_base + off))
+
+let view_word v off =
+  view_check v off 8;
+  (* manual LE assembly: [Bytes.get_int64_le] boxes an [Int64] per call,
+     and word reads are the inner loop of every node/entry decode. The
+     top bit is always zero on store (words are 63-bit ints), so the
+     eight raw bytes reassemble exactly. *)
+  let b = v.v_bytes and i = v.v_base + off in
+  Char.code (Bytes.unsafe_get b i)
+  lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (i + 3)) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (i + 4)) lsl 32)
+  lor (Char.code (Bytes.unsafe_get b (i + 5)) lsl 40)
+  lor (Char.code (Bytes.unsafe_get b (i + 6)) lsl 48)
+  lor (Char.code (Bytes.unsafe_get b (i + 7)) lsl 56)
+
+let view_string v ~off ~len =
+  view_check v off len;
+  Bytes.sub_string v.v_bytes (v.v_base + off) len
+
+let view_compare_string v ~off ~len s =
+  (* [String.compare (view_string v ~off ~len) s] without the copy *)
+  view_check v off len;
+  let slen = String.length s in
+  let c = cmp_loop v.v_bytes (v.v_base + off) s 0 (min len slen) in
+  if c <> 0 then c else if len < slen then -1 else if len > slen then 1 else 0
+
+let view_equal_string v ~off s =
+  let slen = String.length s in
+  view_check v off slen;
+  eq_loop v.v_bytes (v.v_base + off) s 0 slen

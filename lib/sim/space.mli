@@ -62,6 +62,20 @@ val store_word : t -> int -> int -> unit
     the bytes moved are accounted in [pm_bytes_loaded]/[pm_bytes_stored]. *)
 
 val read_bytes : t -> int -> int -> Bytes.t
+
+val read_into : t -> int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Copy [len] bytes at the address into [dst] at [dst_off]. The region
+    is resolved once and the device view copied out in chunks; a fault
+    mid-range (region boundary or bad block) leaves exactly the clean
+    prefix in [dst] and in the counters. One load event total, like
+    {!read_bytes}. Raises [Invalid_argument] on a bad destination
+    range. *)
+
+val read_sub : t -> int -> int -> string
+(** [read_sub t addr len] — the [len]-byte substring at [addr] as a
+    string, in a single copy (fresh buffer filled in place and frozen):
+    no intermediate [read_bytes] + [Bytes.to_string] double copy. *)
+
 val write_bytes : t -> int -> Bytes.t -> unit
 val write_string : t -> int -> string -> unit
 val fill : t -> int -> int -> char -> unit
@@ -73,6 +87,15 @@ val blit : t -> src:int -> dst:int -> len:int -> unit
 val memcmp : t -> int -> int -> int -> int
 (** [memcmp t a b len] — lexicographic byte compare without materializing
     either side. Negative, zero or positive like C [memcmp]. *)
+
+val compare_string : t -> int -> len:int -> string -> int
+(** [compare_string t addr ~len s] — [String.compare] of the [len]-byte
+    device range at [addr] against [s], without materializing the device
+    side. Accounting mirrors {!memcmp}: one load event over the range. *)
+
+val equal_string : t -> int -> string -> bool
+(** [equal_string t addr s] — device bytes at [addr] equal [s]
+    ([compare_string] over [String.length s] bytes). *)
 
 (** {1 C-string helpers} *)
 
@@ -129,3 +152,96 @@ val merge_stats : stats list -> stats
     after their driving domains have joined. *)
 
 val reset_stats : t -> unit
+
+(** {1 Leases — validated read windows}
+
+    A lease pins one region resolution + one TLB translation over a byte
+    window: acquisition bounds-checks and translates the whole window
+    once, after which reads through the lease are bare offsets into the
+    pinned device view — no region search, TLB probe, or per-access
+    pointer check. Two guards remain on every access: window bounds
+    (typed {!Lease_out_of_window}) and staleness — [map]/[unmap] bump an
+    internal epoch (the TLB-shootdown analogue), and a lease from an
+    older epoch raises {!Stale_lease} instead of reading through a dead
+    mapping. Bad blocks stay exact: every read still checks the accessed
+    range against poisoned media. *)
+
+type lease
+
+exception Stale_lease of { addr : int; len : int }
+(** The space was remapped ([map]/[unmap]) after this lease was
+    acquired; the pinned translation is dead. *)
+
+exception Lease_out_of_window of {
+  addr : int;      (** window base *)
+  window : int;    (** window length *)
+  off : int;       (** offending access offset within the window *)
+  len : int;       (** offending access length *)
+}
+(** An access through the lease fell outside the window it validated. *)
+
+val lease : t -> int -> int -> lease
+(** [lease t addr len] — validate and pin the window [addr, addr+len).
+    Faults like {!read_bytes} would (unmapped / region-crossing);
+    [Invalid_argument] on an empty window. Acquisition itself counts no
+    load: it is the hoisted check, not an access. *)
+
+val lease_addr : lease -> int
+val lease_len : lease -> int
+
+val lease_valid : lease -> bool
+(** False once [map]/[unmap] ran after acquisition. *)
+
+val lease_load_u8 : lease -> int -> int
+val lease_load_word : lease -> int -> int
+(** Word/byte reads at an offset within the window. *)
+
+val lease_read_into :
+  lease -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+
+val lease_string : lease -> off:int -> len:int -> string
+(** Single-copy string read of [off, off+len) within the window. *)
+
+val lease_compare_string : lease -> off:int -> string -> int
+(** [String.compare] of the window bytes at [off] against the string,
+    without materializing the device side. *)
+
+val lease_equal_string : lease -> off:int -> string -> bool
+
+(** {1 Views — a window opened for raw reads}
+
+    {!lease_view} pays all three lease guards — staleness, window
+    bounds, poisoned media — once for a sub-window; every read through
+    the resulting view is a bare access into the device backing store
+    plus a window-bounds check. This is the full hoisting the SPP
+    memintrinsic hook models: check the furthest byte once, run the
+    body unchecked. A view is transient by contract — acquire, read,
+    drop — and must not be held across anything that could remap the
+    space or poison the device; staleness and media are only guaranteed
+    as of acquisition time. Accounting is block-op style: the window
+    counts as one load event for its full length at acquisition. *)
+
+type view
+
+val lease_view : lease -> off:int -> len:int -> view
+(** Open [off, off+len) of the lease for raw reads. Raises the lease's
+    typed errors ({!Stale_lease} / {!Lease_out_of_window}) and checks
+    the whole window against bad blocks up front. *)
+
+val read_view : t -> int -> int -> view
+(** [read_view t addr len] — a view straight off the translation
+    pipeline, for engine-internal pool-offset IO that has no lease to
+    scope it. Faults like {!read_bytes} would. *)
+
+val view_len : view -> int
+val view_u8 : view -> int -> int
+val view_word : view -> int -> int
+
+val view_string : view -> off:int -> len:int -> string
+(** Single-copy string read of [off, off+len) within the view. *)
+
+val view_compare_string : view -> off:int -> len:int -> string -> int
+(** [String.compare] of the [len] view bytes at [off] against the
+    string, device side never materialized. *)
+
+val view_equal_string : view -> off:int -> string -> bool

@@ -413,6 +413,159 @@ let test_tlb_unmap_remap_no_stale () =
   Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"r2" d2;
   check_int "remap serves the new device" 2 (Space.load_u8 s 4096)
 
+(* Caller-buffer reads and leases — the zero-copy read path's substrate. *)
+
+let test_read_into_roundtrip_and_counters () =
+  let s = mk_space () in
+  Space.write_string s 4200 "zero-copy payload";
+  Space.reset_stats s;
+  let dst = Bytes.make 24 '.' in
+  Space.read_into s 4200 ~len:17 ~dst ~dst_off:3;
+  Alcotest.(check string) "payload landed at dst_off"
+    "...zero-copy payload...." (Bytes.to_string dst);
+  let st = Space.stats s in
+  check_int "one load event" 1 st.Space.pm_loads;
+  check_int "bytes loaded" 17 st.Space.pm_bytes_loaded;
+  Alcotest.(check string) "read_sub agrees" "zero-copy payload"
+    (Space.read_sub s 4200 17);
+  Alcotest.check_raises "bad destination range"
+    (Invalid_argument "Space.read_into: bad destination range")
+    (fun () -> Space.read_into s 4200 ~len:17 ~dst ~dst_off:10)
+
+let test_read_into_region_boundary () =
+  let s = mk_space () in
+  let end_ = 4096 + 65536 in
+  Space.fill s (end_ - 8) 8 'e';
+  (* a read ending exactly at the region's last byte succeeds *)
+  Alcotest.(check string) "flush against region end" "eeeeeeee"
+    (Space.read_sub s (end_ - 8) 8);
+  (* one byte further raises SIGSEGV naming the first unmapped address *)
+  (match Space.read_sub s (end_ - 8) 9 with
+   | _ -> Alcotest.fail "expected SIGSEGV past region end"
+   | exception Fault.Fault (Fault.Segfault, addr) ->
+     check_int "faulting address is the region limit" end_ addr);
+  (* reads longer than one copy chunk still roundtrip *)
+  Space.fill s 4096 5000 'k';
+  Alcotest.(check string) "multi-chunk read" (String.make 5000 'k')
+    (Space.read_sub s 4096 5000)
+
+let test_read_into_bad_block_exact () =
+  let s = Space.create () in
+  let d = Memdev.create_persistent ~name:"p" 8192 in
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"p" d;
+  Space.fill s 4096 600 'g';
+  Memdev.add_bad_block d ~off:500 ~len:8;
+  let dst = Bytes.make 600 '.' in
+  (* the clean prefix must land in [dst] byte-exactly before the SIGBUS,
+     even though the bad block sits mid-chunk *)
+  (match Space.read_into s 4096 ~len:600 ~dst ~dst_off:0 with
+   | () -> Alcotest.fail "expected SIGBUS on the bad block"
+   | exception Fault.Fault (Fault.Bus_error, off) ->
+     check_int "fault names the first bad device byte" 500 off);
+  Alcotest.(check string) "clean prefix copied exactly"
+    (String.make 500 'g' ^ String.make 100 '.')
+    (Bytes.to_string dst)
+
+let test_compare_string_device_side () =
+  let s = mk_space () in
+  Space.write_string s 4100 "apple";
+  check_int "equal" 0 (Space.compare_string s 4100 ~len:5 "apple");
+  check_bool "device lt" true (Space.compare_string s 4100 ~len:5 "apples" < 0);
+  check_bool "device gt" true (Space.compare_string s 4100 ~len:5 "appld" > 0);
+  check_bool "equal_string" true (Space.equal_string s 4100 "apple");
+  check_bool "same-length mismatch" false (Space.equal_string s 4100 "appla");
+  (* equal_string only sizes its window by the candidate: a shorter
+     candidate matching a device prefix is the caller's length check *)
+  check_bool "prefix matches by design" true (Space.equal_string s 4100 "appl");
+  Space.reset_stats s;
+  ignore (Space.compare_string s 4100 ~len:5 "zzzzz");
+  let st = Space.stats s in
+  check_int "compare is one load event" 1 st.Space.pm_loads
+
+let test_lease_reads_and_stats () =
+  let s = mk_space () in
+  Space.write_string s 4200 "KKKKVVVVVV";
+  Space.store_word s 4264 0xFEED;
+  let l = Space.lease s 4200 128 in
+  check_int "lease addr" 4200 (Space.lease_addr l);
+  check_int "lease len" 128 (Space.lease_len l);
+  check_bool "fresh lease valid" true (Space.lease_valid l);
+  check_int "word through lease" 0xFEED (Space.lease_load_word l 64);
+  check_int "u8 through lease" (Char.code 'K') (Space.lease_load_u8 l 0);
+  Alcotest.(check string) "string through lease" "VVVVVV"
+    (Space.lease_string l ~off:4 ~len:6);
+  check_bool "device compare through lease" true
+    (Space.lease_equal_string l ~off:0 "KKKK");
+  check_bool "compare mismatch" false
+    (Space.lease_equal_string l ~off:0 "KKKX");
+  (* lease reads still count: the hoisting removes translations, not
+     device accounting *)
+  Space.reset_stats s;
+  ignore (Space.lease_string l ~off:0 ~len:10);
+  let st = Space.stats s in
+  check_int "lease read is one load event" 1 st.Space.pm_loads;
+  check_int "lease read bytes" 10 st.Space.pm_bytes_loaded
+
+let test_lease_misuse_typed () =
+  let s = mk_space () in
+  let l = Space.lease s 4200 64 in
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument "Space.lease: window must be non-empty")
+    (fun () -> ignore (Space.lease s 4200 0));
+  (match Space.lease_load_word l 60 with
+   | _ -> Alcotest.fail "expected Lease_out_of_window"
+   | exception Space.Lease_out_of_window { addr; window; off; len } ->
+     check_int "window base" 4200 addr;
+     check_int "window size" 64 window;
+     check_int "bad offset" 60 off;
+     check_int "bad len" 8 len);
+  (match Space.lease_string l ~off:(-1) ~len:4 with
+   | _ -> Alcotest.fail "expected Lease_out_of_window"
+   | exception Space.Lease_out_of_window _ -> ())
+
+let test_lease_stale_after_remap () =
+  let s = Space.create () in
+  let d1 = Memdev.create_persistent ~name:"d1" 8192 in
+  let d2 = Memdev.create_persistent ~name:"d2" 8192 in
+  Memdev.store_string d1 ~off:104 "old!";
+  Memdev.store_string d2 ~off:104 "new!";
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"r1" d1;
+  let l = Space.lease s 4200 16 in
+  Alcotest.(check string) "live lease reads d1" "old!"
+    (Space.lease_string l ~off:0 ~len:4);
+  Space.unmap s ~base:4096;
+  check_bool "stale after unmap" false (Space.lease_valid l);
+  (match Space.lease_load_u8 l 0 with
+   | _ -> Alcotest.fail "expected Stale_lease"
+   | exception Space.Stale_lease { addr; len } ->
+     check_int "stale addr" 4200 addr;
+     check_int "stale len" 16 len);
+  (* remapping the same range must NOT revive the old lease — it would
+     read through the dead device's translation *)
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"r2" d2;
+  (match Space.lease_string l ~off:0 ~len:4 with
+   | _ -> Alcotest.fail "expected Stale_lease after remap"
+   | exception Space.Stale_lease _ -> ());
+  let l2 = Space.lease s 4200 16 in
+  Alcotest.(check string) "fresh lease reads d2" "new!"
+    (Space.lease_string l2 ~off:0 ~len:4)
+
+let test_lease_bad_block_still_faults () =
+  (* The hoisted check covers mapping and bounds, never media health:
+     a bad block grown after acquisition must still SIGBUS exactly. *)
+  let s = Space.create () in
+  let d = Memdev.create_persistent ~name:"p" 8192 in
+  Space.map s ~base:4096 ~size:8192 ~kind:Space.Persistent ~name:"p" d;
+  Space.fill s 4096 64 'q';
+  let l = Space.lease s 4096 64 in
+  Alcotest.(check string) "healthy read" (String.make 8 'q')
+    (Space.lease_string l ~off:0 ~len:8);
+  Memdev.add_bad_block d ~off:32 ~len:4;
+  (match Space.lease_string l ~off:0 ~len:64 with
+   | _ -> Alcotest.fail "expected SIGBUS through lease"
+   | exception Fault.Fault (Fault.Bus_error, off) ->
+     check_int "exact bad device byte" 32 off)
+
 let prop_tlb_never_stale =
   QCheck.Test.make
     ~name:"tlb never serves a stale translation across map/unmap" ~count:300
@@ -623,6 +776,22 @@ let () =
             test_strlen_bad_block_semantics;
           Alcotest.test_case "tlb unmap/remap not stale" `Quick
             test_tlb_unmap_remap_no_stale;
+          Alcotest.test_case "read_into roundtrip and counters" `Quick
+            test_read_into_roundtrip_and_counters;
+          Alcotest.test_case "read_into region boundary" `Quick
+            test_read_into_region_boundary;
+          Alcotest.test_case "read_into bad-block exactness" `Quick
+            test_read_into_bad_block_exact;
+          Alcotest.test_case "device-side compare_string" `Quick
+            test_compare_string_device_side;
+          Alcotest.test_case "lease reads and stats" `Quick
+            test_lease_reads_and_stats;
+          Alcotest.test_case "lease misuse typed errors" `Quick
+            test_lease_misuse_typed;
+          Alcotest.test_case "lease stale after unmap/remap" `Quick
+            test_lease_stale_after_remap;
+          Alcotest.test_case "lease bad block still faults" `Quick
+            test_lease_bad_block_still_faults;
         ] );
       ( "vheap",
         [
