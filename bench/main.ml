@@ -1889,6 +1889,235 @@ let scan_bench () =
       end)
     gated
 
+(* ------------------------------------------------------------------ *)
+(* Reshard (ours): slot migration + rebalancer under a moving hotspot  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two parts. (1) Correctness gate, deterministic and timing-free: one
+   key-routed request stream executed on a static slot table and again
+   with slot migrations forced mid-stream must produce bit-identical
+   replies and the same surviving store. (2) Migration storm: a
+   rotating-hotspot Zipfian read-heavy stream served in windows, static
+   router vs rebalancer ticking between windows (with traffic still
+   queued, so migrations run under load). Aggregate throughput is
+   modelled as total ops over the summed per-window critical path
+   (max over shards of that window's [run_batch] seconds) — the wall
+   clock a host with >= nshards cores would see, measurable even on one
+   core; the wall clock of this host is reported alongside. *)
+let reshard () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  print_title "Reshard: live slot migration + hot-slot rebalancer";
+  let nshards = 4 in
+  let universe = 256 in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  let value = String.make 256 'v' in
+  let build () =
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  (* -- part 1: migration differential gate -- *)
+  let gate_ops = sc 6_000 in
+  let gen_gate () =
+    let st = Random.State.make [| 0x7E5A |] in
+    Array.init gate_ops (fun i ->
+      let key = key_of (Random.State.int st universe) in
+      match i mod 5 with
+      | 0 | 1 -> Serve.Put { key; value = Printf.sprintf "g%06d" i }
+      | 2 -> Serve.Remove key
+      | _ -> Serve.Get key)
+  in
+  let hot_keys = [ key_of 1; key_of 17; key_of 33 ] in
+  let run_gate ~migrate =
+    let t = build () in
+    let sv = Serve.create ~batch_cap:16 ~adaptive:false t in
+    let reqs = gen_gate () in
+    let tks = Array.make gate_ops None in
+    let submit_range lo hi =
+      for i = lo to hi - 1 do
+        tks.(i) <- Some (Serve.submit sv reqs.(i))
+      done
+    in
+    let move k =
+      let slot = Shard.slot_of t k in
+      ignore
+        (Serve.migrate_slot sv ~slot
+           ~dst:((Shard.route t k + 1) mod nshards))
+    in
+    submit_range 0 (gate_ops / 3);
+    if migrate then List.iter move hot_keys;
+    submit_range (gate_ops / 3) (2 * gate_ops / 3);
+    if migrate then List.iter move hot_keys;
+    submit_range (2 * gate_ops / 3) gate_ops;
+    let replies = Array.map (fun tk -> Serve.await sv (Option.get tk)) tks in
+    Serve.stop sv;
+    (t, Serve.digest_replies replies, Serve.migrations sv)
+  in
+  let (t_st, d_st, _) = run_gate ~migrate:false in
+  let (t_mg, d_mg, nmig) = run_gate ~migrate:true in
+  let identical =
+    d_st = d_mg && Shard.count_all t_st = Shard.count_all t_mg
+  in
+  Printf.printf
+    "migration differential (%d ops, %d forced migrations): %s\n" gate_ops
+    nmig
+    (if identical then "bit-identical replies, same surviving store"
+     else "!! DIVERGENCE — results invalid");
+  jemit ~experiment:"reshard" ~name:"differential" ~metric:"identical"
+    (if identical then 1. else 0.);
+  (* -- part 2: migration storm under a rotating hotspot -- *)
+  let total_ops = sc 48_000 in
+  (* quick mode keeps windows large enough (~480 ops) for the load
+     signal to rise above sampling noise; the full run gets 8 epochs of
+     6 windows, quick a 2-epoch smoke *)
+  let nwindows = if quick then 10 else 48 in
+  let nepochs = if quick then 2 else 8 in
+  let window_ops = total_ops / nwindows in
+  let period = total_ops / nepochs in
+  let theta = 0.9 and storm_universe = 64 in
+  let gen_storm () =
+    let gen =
+      Keygen.rotating ~theta ~seed:31 ~universe:storm_universe ~period ()
+    in
+    let coin = Random.State.make [| 31; 0x0A1D |] in
+    Array.init total_ops (fun _ ->
+      let key = key_of (Keygen.next gen) in
+      if Random.State.int coin 10 = 0 then Serve.Put { key; value }
+      else Serve.Get key)
+  in
+  Printf.printf
+    "(storm: %d ops in %d windows, rotating zipfian %.2f over %d keys, \
+     period %d, 9:1 get:put; 1-core hosts: model throughput = ops / summed \
+     per-window critical path)\n"
+    total_ops nwindows theta storm_universe period;
+  let run_storm ~nshards ~rebalance =
+    Gc.compact ();
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~nshards
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:storm_universe;
+    Shard.reset_stats t;
+    let sv = Serve.create ~batch_cap:32 t in
+    let rb =
+      if rebalance then
+        let cfg =
+          { Rebalance.min_ratio = 1.3;
+            min_ops = max 16 (window_ops / 16);
+            persist = 1; cooldown = 0; moves_per_tick = 16 }
+        in
+        Some (Rebalance.create ~cfg sv)
+      else None
+    in
+    let reqs = gen_storm () in
+    (* Critical path in op units: per window, the bottleneck shard's
+       executed-op delta (which includes any migration copy traffic it
+       absorbed). Op counts are immune to the scheduler noise a 1-core
+       host injects into wall-clock busy sampling — with more domains
+       than cores, a preempted drain charges a whole timeslice to a
+       microsecond batch. Time conversion happens later with one per-op
+       cost calibrated from the static run, identical for both routers. *)
+    let critical_ops = ref 0 in
+    let t0 = now_mono () in
+    for w = 0 to nwindows - 1 do
+      let ops0 = Serve.ops_counts sv in
+      (* The control loop ticks at 4x the measurement window: submit in
+         sub-chunks with a tick after each, so the rebalancer reacts to
+         a hotspot rotation a quarter-window in — with the chunk still
+         queued, its migrations run under load. *)
+      let nchunks = 8 in
+      let chunk = window_ops / nchunks in
+      let tks =
+        List.init nchunks (fun c ->
+          let base = c * chunk in
+          let len =
+            if c = nchunks - 1 then window_ops - base else chunk
+          in
+          let part =
+            Array.init len (fun j ->
+              Serve.submit sv reqs.((w * window_ops) + base + j))
+          in
+          (match rb with
+           | Some rb -> ignore (Rebalance.tick rb)
+           | None -> ());
+          part)
+      in
+      List.iter
+        (fun part ->
+          Array.iter (fun tk -> ignore (Serve.await sv tk)) part)
+        tks;
+      (* and once more on the drained pipeline: full slot deltas, empty
+         queues — the clean signal that preps the next window *)
+      (match rb with Some rb -> ignore (Rebalance.tick rb) | None -> ());
+      let ops1 = Serve.ops_counts sv in
+      let peak = ref 0 in
+      Array.iteri (fun i o1 -> peak := max !peak (o1 - ops0.(i))) ops1;
+      critical_ops := !critical_ops + !peak
+    done;
+    let wall = now_mono () -. t0 in
+    Serve.stop sv;
+    let st = Serve.stats sv in
+    let tot_busy = Array.fold_left (fun a s -> a +. s.Serve.ss_busy) 0. st in
+    let tot_ops = Array.fold_left (fun a s -> a + s.Serve.ss_ops) 0 st in
+    let h = Serve.merged_hist sv in
+    let p99 = float_of_int (Histogram.percentile h 99.) /. 1e3 in
+    (!critical_ops, tot_busy, tot_ops, wall, p99, Serve.migrations sv,
+     Serve.keys_moved sv)
+  in
+  print_row ~w:13
+    [ "shards"; "router"; "model op/s"; "wall s"; "p99 us"; "migrations";
+      "keys moved" ];
+  List.iter
+    (fun nshards ->
+      let (crit_st, busy_st, ops_st, wall_st, p99_st, _, _) =
+        run_storm ~nshards ~rebalance:false
+      in
+      let (crit_rb, _, _, wall_rb, p99_rb, migs, keys) =
+        run_storm ~nshards ~rebalance:true
+      in
+      (* one per-op cost for both routers, from the static run *)
+      let per_op = busy_st /. float_of_int (max 1 ops_st) in
+      let thr_of crit =
+        1. /. (per_op *. float_of_int (max 1 crit))
+        *. float_of_int total_ops
+      in
+      let thr_st = thr_of crit_st and thr_rb = thr_of crit_rb in
+      let speedup = thr_rb /. Float.max thr_st 1e-9 in
+      let p99_bounded = p99_rb <= Float.max (5. *. p99_st) 1e3 in
+      print_row ~w:13
+        [ string_of_int nshards; "static"; fmt_ops thr_st;
+          Printf.sprintf "%.2f" wall_st; Printf.sprintf "%.1f" p99_st;
+          "0"; "0" ];
+      print_row ~w:13
+        [ string_of_int nshards; "rebalanced"; fmt_ops thr_rb;
+          Printf.sprintf "%.2f" wall_rb; Printf.sprintf "%.1f" p99_rb;
+          string_of_int migs; string_of_int keys ];
+      Printf.printf
+        "  %d shards: rebalancer speedup %.2fx (critical-path model) %s; \
+         p99 %s under the storm\n"
+        nshards speedup
+        (if speedup >= 1.5 then "(>= 1.5x: OK)" else "(below the 1.5x bar)")
+        (if p99_bounded then "bounded" else "UNBOUNDED");
+      let nm what = Printf.sprintf "storm/%d/%s" nshards what in
+      jemit ~experiment:"reshard" ~name:(nm "static") ~metric:"ops_per_s"
+        ~unit_:"op/s"
+        ~extra:[ ("p99_us", Json_out.J_float p99_st);
+                 ("wall_s", Json_out.J_float wall_st) ]
+        thr_st;
+      jemit ~experiment:"reshard" ~name:(nm "rebalanced") ~metric:"ops_per_s"
+        ~unit_:"op/s"
+        ~extra:
+          [ ("p99_us", Json_out.J_float p99_rb);
+            ("wall_s", Json_out.J_float wall_rb);
+            ("migrations", Json_out.J_int migs);
+            ("keys_moved", Json_out.J_int keys);
+            ("p99_bounded", Json_out.J_bool p99_bounded) ]
+        thr_rb;
+      jemit ~experiment:"reshard" ~name:(nm "speedup") ~metric:"speedup"
+        speedup)
+    [ 4; 8 ]
+
 let experiments =
   [
     ("fig4", fig4);
@@ -1909,6 +2138,7 @@ let experiments =
     ("cache", cache);
     ("failover", failover);
     ("scan", scan_bench);
+    ("reshard", reshard);
   ]
 
 let () =

@@ -285,7 +285,9 @@ let torture_cmd =
        promotion differential), kvfailover-drop (same over a lossy \
        channel), kvscan (interleaved puts/removes/ordered scans with a \
        whole-op-prefix snapshot oracle), kvscan-btree (kvscan pinned to \
-       the B-tree engine), or all. kvfailover and kvscan honor --engine."
+       the B-tree engine), kvreshard (slot migration copy/claim/delete \
+       with a single-owner oracle), kvreshard-btree, or all. kvfailover, \
+       kvscan and kvreshard honor --engine."
     in
     Arg.(value & opt string "all" & info [ "workload" ] ~docv:"NAME" ~doc)
   in
@@ -332,7 +334,7 @@ let torture_cmd =
              ("unknown workload " ^ name
               ^ " (expected kvstore | pmemlog | counter | kvbatch | \
                  kvfailover | kvfailover-drop | kvscan | kvscan-btree | \
-                 all)");
+                 kvreshard | kvreshard-btree | all)");
            exit 2)
     in
     let failed = ref false in
@@ -405,8 +407,39 @@ let serve_cmd =
     Arg.(value & opt string "semi-sync"
          & info [ "ack-policy" ] ~docv:"POLICY" ~doc)
   in
+  let slots_arg =
+    let doc =
+      "Slot-space size for the versioned slot router (a power of two; \
+       0 keeps the default). Every key hashes to one slot and slots — \
+       not keys — are what migrate between shards."
+    in
+    Arg.(value & opt int 0 & info [ "slots" ] ~docv:"N" ~doc)
+  in
+  let rebalance_arg =
+    let doc =
+      "Run the hot-slot rebalancer: every 512 submissions it compares \
+       per-shard load (owned-slot op deltas plus queue depths) and \
+       live-migrates hot slots from the hottest shard to the coldest \
+       (default hysteresis)."
+    in
+    Arg.(value & flag & info [ "rebalance" ] ~doc)
+  in
+  let zipf_arg =
+    let doc =
+      "Zipfian skew of the synthetic key stream, in (0, 1); 0 keeps it \
+       uniform. Skewed streams give --rebalance hotspots to chase."
+    in
+    Arg.(value & opt float 0. & info [ "zipf" ] ~docv:"THETA" ~doc)
+  in
+  let stats_table_arg =
+    let doc =
+      "Print a per-shard table after the run: executed ops, peak queue \
+       depth, read-cache hit rate and owned-slot count."
+    in
+    Arg.(value & flag & info [ "stats-table" ] ~doc)
+  in
   let run variant engine nshards batch_cap ops window cache_cap no_cache
-      replicas ack_policy =
+      replicas ack_policy slots rebalance zipf stats_table =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards and window = max 1 window in
@@ -425,8 +458,12 @@ let serve_cmd =
       else Some { Replica.default_config with replicas; policy }
     in
     let t =
-      Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~engine
-        ~nshards variant
+      if slots > 0 then
+        Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~engine
+          ~nslots:slots ~nshards variant
+      else
+        Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~cache_cap ~engine
+          ~nshards variant
     in
     for i = 0 to nshards - 1 do
       Spp_sim.Memdev.set_tracking
@@ -435,18 +472,31 @@ let serve_cmd =
     done;
     Shard.reset_stats t;
     let sv = Serve.create ~batch_cap ?replication t in
+    let rb = if rebalance then Some (Rebalance.create sv) else None in
     let st = Random.State.make [| 0x5E12 |] in
+    let next_key =
+      if zipf > 0. then begin
+        let gen =
+          Keygen.zipfian ~theta:zipf ~seed:0x5E12 ~universe:512 ()
+        in
+        fun () -> Keygen.next gen
+      end
+      else fun () -> Random.State.int st 512
+    in
     let value = String.make 256 'v' in
     let q = Queue.create () in
     let t0 = Bench_util.now_mono () in
-    for _ = 1 to ops do
+    for n = 1 to ops do
       if Queue.length q >= window then ignore (Serve.await sv (Queue.pop q));
-      let key = Printf.sprintf "key-%04d" (Random.State.int st 512) in
+      let key = Printf.sprintf "key-%04d" (next_key ()) in
       let req =
         if Random.State.int st 4 = 3 then Serve.Get key
         else Serve.Put { key; value }
       in
-      Queue.push (Serve.submit sv req) q
+      Queue.push (Serve.submit sv req) q;
+      match rb with
+      | Some rb when n mod 512 = 0 -> ignore (Rebalance.tick rb)
+      | _ -> ()
     done;
     Queue.iter (fun tk -> ignore (Serve.await sv tk)) q;
     let wall = Bench_util.now_mono () -. t0 in
@@ -488,6 +538,41 @@ let serve_cmd =
         cache_cap Spp_pmemkv.Rcache.pp_stats rc (Serve.bypassed_gets sv)
     end
     else print_endline "read cache: disabled";
+    (match rb with
+     | Some rb ->
+       let s = Rebalance.stats rb in
+       Printf.printf
+         "rebalancer: %d ticks (%d armed), %d slot moves, %d keys \
+          migrated, %d requests forwarded\n"
+         s.Rebalance.rb_ticks s.Rebalance.rb_armed s.Rebalance.rb_moves
+         s.Rebalance.rb_keys_moved (Serve.forwarded sv)
+     | None -> ());
+    if stats_table then begin
+      let ops_c = Serve.ops_counts sv in
+      let peaks = Serve.peak_queue_depths sv in
+      Printf.printf "%-6s %-10s %-8s %-10s %s\n"
+        "shard" "ops" "peak-q" "cache-hit" "slots";
+      for i = 0 to nshards - 1 do
+        let hit =
+          match Spp_pmemkv.Engine.cache (Shard.shard_kv (Shard.shard t i)) with
+          | Some rc ->
+            let s = Spp_pmemkv.Rcache.stats rc in
+            let probes =
+              s.Spp_pmemkv.Rcache.rc_hits + s.Spp_pmemkv.Rcache.rc_misses
+            in
+            if probes = 0 then "-"
+            else
+              Printf.sprintf "%.1f%%"
+                (100.
+                 *. float_of_int s.Spp_pmemkv.Rcache.rc_hits
+                 /. float_of_int probes)
+          | None -> "-"
+        in
+        Printf.printf "%-6d %-10d %-8d %-10s %d\n" i ops_c.(i) peaks.(i)
+          hit
+          (Shard.owned_slots t i)
+      done
+    end;
     match Serve.replication_stats sv with
     | [] -> ()
     | rs ->
@@ -519,10 +604,13 @@ let serve_cmd =
           schedule. A per-shard DRAM read cache (--cache-cap) answers \
           hot gets on the submitting thread, bypassing the queue. With \
           --replicas N every batch is also shipped to N warm standbys \
-          per shard and acknowledged per --ack-policy")
+          per shard and acknowledged per --ack-policy. Keys route \
+          through a versioned slot table (--slots); --rebalance \
+          live-migrates hot slots between shards while serving")
     Term.(const run $ variant_arg $ engine_arg $ shards_arg $ batch_cap_arg
           $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg
-          $ replicas_arg $ ack_policy_arg)
+          $ replicas_arg $ ack_policy_arg $ slots_arg $ rebalance_arg
+          $ zipf_arg $ stats_table_arg)
 
 (* failover *)
 

@@ -60,6 +60,30 @@ let zipfian ?(theta = 0.99) ~seed ~universe () =
   in
   { g_name = Printf.sprintf "zipfian(%.2f)" theta; g_universe = universe; next }
 
+(* Rotating-hotspot Zipfian: the same bounded-Zipfian rank stream, but
+   rank r maps to key (r + epoch * stride) mod universe where the epoch
+   advances every [period] draws. The hot set (the low Zipfian ranks)
+   therefore jumps to a fresh region of the key space every [period]
+   draws — the moving-hot-set workload a static router cannot chase and
+   a rebalancer must. [stride] is derived from the seed and forced odd,
+   so successive epochs' hot sets are disjoint for any power-of-two-ish
+   universe while the mapping stays a bijection per epoch; everything
+   is a pure function of (seed, universe, theta, period), preserving
+   the determinism contract of the other generators. *)
+let rotating ?(theta = 0.99) ~seed ~universe ~period () =
+  if period <= 0 then invalid_arg "Keygen.rotating: period must be positive";
+  let z = zipfian ~theta ~seed ~universe () in
+  let st = Random.State.make [| seed; 0x5E17; universe; period |] in
+  let stride = (Random.State.int st (max 1 (universe / 2)) * 2) + 1 in
+  let draws = ref 0 in
+  let next () =
+    let epoch = !draws / period in
+    incr draws;
+    (z.next () + (epoch * stride)) mod universe
+  in
+  { g_name = Printf.sprintf "rotating(%.2f,%d)" theta period;
+    g_universe = universe; next }
+
 (* Empirical head mass: the fraction of [samples] draws that land on the
    hottest [hot_fraction] of the universe (ranks [0, universe *
    hot_fraction)). Used by the skew acceptance test and handy for

@@ -655,33 +655,39 @@ let b_scan t bt ~lo ~hi ~limit =
   Redo.batch_op_end bt;
   r
 
-let run_batch t ops =
+let run_batch ?len t ops =
+  let n =
+    match len with
+    | None -> Array.length ops
+    | Some l ->
+      if l < 0 || l > Array.length ops then
+        invalid_arg "Bmap.run_batch: len out of range";
+      l
+  in
   with_lock t (fun () ->
     let replies =
       Pool.with_batch (pool t) (fun bt ->
-        Array.map
-          (function
-            | Engine.B_put { key; value } -> b_put t bt ~key ~value; Engine.R_put
-            | Engine.B_get key -> Engine.R_get (b_get t bt key)
-            | Engine.B_remove key -> Engine.R_removed (b_remove t bt key)
-            | Engine.B_scan { lo; hi; limit } ->
-              Engine.R_scan (b_scan t bt ~lo ~hi ~limit))
-          ops)
+        Array.init n (fun i ->
+          match ops.(i) with
+          | Engine.B_put { key; value } -> b_put t bt ~key ~value; Engine.R_put
+          | Engine.B_get key -> Engine.R_get (b_get t bt key)
+          | Engine.B_remove key -> Engine.R_removed (b_remove t bt key)
+          | Engine.B_scan { lo; hi; limit } ->
+            Engine.R_scan (b_scan t bt ~lo ~hi ~limit)))
     in
     (* committed: replay cache effects in op order (see Cmap.run_batch;
        scans have none by contract) *)
     (match t.cache with
      | None -> ()
      | Some rc ->
-       Array.iteri
-         (fun i op ->
-           match (op, replies.(i)) with
-           | Engine.B_get key, Engine.R_get (Some v) -> Rcache.insert rc key v
-           | Engine.B_get _, _ -> ()
-           | Engine.B_put { key; value }, _ -> Rcache.insert rc key value
-           | Engine.B_remove key, _ -> Rcache.invalidate rc key
-           | Engine.B_scan _, _ -> ())
-         ops);
+       for i = 0 to n - 1 do
+         match (ops.(i), replies.(i)) with
+         | Engine.B_get key, Engine.R_get (Some v) -> Rcache.insert rc key v
+         | Engine.B_get _, _ -> ()
+         | Engine.B_put { key; value }, _ -> Rcache.insert rc key value
+         | Engine.B_remove key, _ -> Rcache.invalidate rc key
+         | Engine.B_scan _, _ -> ()
+       done);
     replies)
 
 (* ------------------------------------------------------------------ *)

@@ -47,7 +47,9 @@ val scan : t -> lo:string -> hi:string -> limit:int -> (string * string) list
     at [hi]/[limit] — O(log n + k), the workload this engine exists
     for. Cache-bypassing. *)
 
-val run_batch : t -> Engine.batch_op array -> Engine.batch_reply array
+val run_batch : ?len:int -> t -> Engine.batch_op array -> Engine.batch_reply array
+(** [?len] restricts execution to the first [len] ops, so a reusable
+    op buffer can feed every drain without per-batch re-allocation. *)
 
 val order : int
 (** Node fanout (8), shared with [lib/indices/btree_map]. *)

@@ -499,14 +499,27 @@ let b_scan t bt ~lo ~hi ~limit =
           if not (Oid.is_null oid) then begin
             let eoff = oid.Oid.off in
             let k = b_entry_key t bt eoff in
-            if lo <= k && k <= hi then
-              acc := (k, b_entry_value t bt eoff) :: !acc;
+            if lo <= k && k <= hi then acc := (k, eoff) :: !acc;
             go (eoff + f_next)
           end
         in
         go (bucket_slot_off t b)
       done;
-      clip_scan ~limit !acc
+      (* Deferred value assembly: sort and clip on keys alone, then
+         materialize values only for the surviving entries — a clipped
+         scan no longer pays a value-string allocation per in-range
+         entry it will never return. Safe to defer because the caller
+         holds the map exclusively for the batch, so no entry can be
+         freed between the walk and the assembly. *)
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+      in
+      let rec take n = function
+        | (k, eoff) :: tl when n > 0 ->
+          (k, b_entry_value t bt eoff) :: take (n - 1) tl
+        | _ -> []
+      in
+      take limit sorted
     end
   in
   Redo.batch_op_end bt;
@@ -529,16 +542,23 @@ let b_remove t bt key =
   Redo.batch_op_end bt;
   r
 
-let run_batch t ops =
+let run_batch ?len t ops =
+  let n =
+    match len with
+    | None -> Array.length ops
+    | Some l ->
+      if l < 0 || l > Array.length ops then
+        invalid_arg "Cmap.run_batch: len out of range";
+      l
+  in
   let replies =
     Pool.with_batch t.a.pool (fun bt ->
-      Array.map
-        (function
-          | B_put { key; value } -> b_put t bt ~key ~value; R_put
-          | B_get key -> R_get (b_get t bt key)
-          | B_remove key -> R_removed (b_remove t bt key)
-          | B_scan { lo; hi; limit } -> R_scan (b_scan t bt ~lo ~hi ~limit))
-        ops)
+      Array.init n (fun i ->
+        match ops.(i) with
+        | B_put { key; value } -> b_put t bt ~key ~value; R_put
+        | B_get key -> R_get (b_get t bt key)
+        | B_remove key -> R_removed (b_remove t bt key)
+        | B_scan { lo; hi; limit } -> R_scan (b_scan t bt ~lo ~hi ~limit)))
   in
   (* The batch is committed: everything the ops read or wrote is durable
      now, so replay their cache effects in op order — a get fills the
@@ -550,15 +570,14 @@ let run_batch t ops =
   (match t.cache with
    | None -> ()
    | Some rc ->
-     Array.iteri
-       (fun i op ->
-         match (op, replies.(i)) with
-         | B_get key, R_get (Some v) -> Rcache.insert rc key v
-         | B_get _, _ -> ()
-         | B_put { key; value }, _ -> Rcache.insert rc key value
-         | B_remove key, _ -> Rcache.invalidate rc key
-         | B_scan _, _ -> ())
-       ops);
+     for i = 0 to n - 1 do
+       match (ops.(i), replies.(i)) with
+       | B_get key, R_get (Some v) -> Rcache.insert rc key v
+       | B_get _, _ -> ()
+       | B_put { key; value }, _ -> Rcache.insert rc key value
+       | B_remove key, _ -> Rcache.invalidate rc key
+       | B_scan _, _ -> ()
+     done);
   replies
 
 let count_all t =

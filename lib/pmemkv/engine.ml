@@ -91,10 +91,14 @@ module type S = sig
   (** Ordered range scan: at most [limit] pairs with [lo <= key <= hi],
       ascending by key. Cache-bypassing — never probes nor fills. *)
 
-  val run_batch : t -> batch_op array -> batch_reply array
+  val run_batch : ?len:int -> t -> batch_op array -> batch_reply array
   (** Group-committed batch; replies align with ops by index. Each op
       individually atomic on crash (whole-op-prefix recovery); the
-      caller holds the map exclusively for the call. *)
+      caller holds the map exclusively for the call. [?len] restricts
+      the batch to the first [len] ops — so a caller can reuse one
+      grow-only op buffer across drains instead of allocating a fresh
+      exactly-sized array per batch (the reply array has [len]
+      entries). Defaults to the whole array. *)
 end
 
 type spec = (module S)
@@ -119,7 +123,7 @@ let get (Packed ((module E), t)) key = E.get t key
 let remove (Packed ((module E), t)) key = E.remove t key
 let count_all (Packed ((module E), t)) = E.count_all t
 let scan (Packed ((module E), t)) ~lo ~hi ~limit = E.scan t ~lo ~hi ~limit
-let run_batch (Packed ((module E), t)) ops = E.run_batch t ops
+let run_batch ?len (Packed ((module E), t)) ops = E.run_batch ?len t ops
 
 (* Merge per-shard scan results (each already ascending and unique —
    shards partition the key space by hash, so no key appears twice)

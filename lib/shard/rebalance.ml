@@ -1,0 +1,162 @@
+(* Hot-slot rebalancer over the serve pipeline's migration protocol.
+
+   Tick-driven, no background domain: the caller (the bench's driving
+   loop, sppctl's window loop, or a test) calls [tick] between
+   submission windows and the rebalancer decides from two signals it
+   samples out of [Serve] — the per-slot routed-op histogram
+   ([Serve.slot_op_counts], deltas since the previous tick) and the
+   per-shard mailbox depths ([Serve.queue_depths]). Per-shard load is
+   the sum of its owned slots' op deltas plus a queue-depth term, so a
+   shard that is both hot and backlogged ranks hottest.
+
+   Hysteresis keeps it from thrashing: a move is proposed only when the
+   hottest shard carries at least [min_ratio] times the coldest's load
+   and at least [min_ops] ops this tick, the imbalance must persist for
+   [persist] consecutive ticks before the first migration fires, and
+   after firing the rebalancer goes quiet for [cooldown] ticks — a slot
+   that just moved needs a tick or two before its op counts justify
+   moving anything else. Each firing migrates at most [moves_per_tick]
+   of the hottest shard's hottest slots to the coldest shard, never
+   moving a slot that carried no traffic and never letting one move
+   invert the imbalance it is fixing (the candidate's own delta is
+   re-checked against the gap). *)
+
+type config = {
+  min_ratio : float;     (* hottest/coldest load ratio that arms a move *)
+  min_ops : int;         (* ticks with fewer hot-shard ops are ignored *)
+  persist : int;         (* consecutive armed ticks before the first move *)
+  cooldown : int;        (* quiet ticks after a firing *)
+  moves_per_tick : int;  (* max slots migrated per firing *)
+}
+
+let default_config =
+  { min_ratio = 1.5; min_ops = 64; persist = 2; cooldown = 2;
+    moves_per_tick = 4 }
+
+type stats = {
+  rb_ticks : int;
+  rb_armed : int;       (* ticks whose imbalance exceeded the threshold *)
+  rb_moves : int;       (* migrations performed *)
+  rb_keys_moved : int;
+}
+
+type t = {
+  serve : Serve.t;
+  cfg : config;
+  mutable prev : int array;    (* slot op counts at the last tick *)
+  mutable streak : int;        (* consecutive armed ticks *)
+  mutable quiet : int;         (* cooldown ticks remaining *)
+  mutable ticks : int;
+  mutable armed : int;
+  mutable moves : int;
+  mutable keys : int;
+}
+
+let create ?(cfg = default_config) serve =
+  if cfg.min_ratio < 1.0 then
+    invalid_arg "Rebalance.create: min_ratio must be >= 1";
+  if cfg.moves_per_tick <= 0 then
+    invalid_arg "Rebalance.create: moves_per_tick must be positive";
+  { serve; cfg;
+    prev = Serve.slot_op_counts serve;
+    streak = 0; quiet = 0; ticks = 0; armed = 0; moves = 0; keys = 0 }
+
+let stats t =
+  { rb_ticks = t.ticks; rb_armed = t.armed; rb_moves = t.moves;
+    rb_keys_moved = t.keys }
+
+(* One observation + decision round. Returns the number of migrations
+   performed (0 almost always). *)
+let tick t =
+  t.ticks <- t.ticks + 1;
+  let store = Serve.store t.serve in
+  let nshards = Shard.nshards store in
+  let cur = Serve.slot_op_counts t.serve in
+  let nslots = Array.length cur in
+  let delta = Array.init nslots (fun s -> cur.(s) - t.prev.(s)) in
+  t.prev <- cur;
+  if nshards < 2 then 0
+  else begin
+    let assign = Shard.assignment store in
+    let depths = Serve.queue_depths t.serve in
+    (* Load per shard: owned slots' op deltas, plus the current backlog
+       (ops counted at submit may still be queued; the depth term keeps
+       a drowning shard hot even if submitters stalled on it). *)
+    let load = Array.make nshards 0 in
+    Array.iteri (fun s d -> load.(assign.(s)) <- load.(assign.(s)) + d) delta;
+    Array.iteri (fun i d -> load.(i) <- load.(i) + d) depths;
+    let hot = ref 0 and cold = ref 0 in
+    for i = 1 to nshards - 1 do
+      if load.(i) > load.(!hot) then hot := i;
+      if load.(i) < load.(!cold) then cold := i
+    done;
+    let hot = !hot and cold = !cold in
+    let imbalance =
+      load.(hot) >= t.cfg.min_ops
+      && float_of_int load.(hot)
+         >= t.cfg.min_ratio *. float_of_int (max 1 load.(cold))
+    in
+    if t.quiet > 0 then begin
+      t.quiet <- t.quiet - 1;
+      if imbalance then t.armed <- t.armed + 1;
+      0
+    end
+    else if not imbalance then begin
+      t.streak <- 0;
+      0
+    end
+    else begin
+      t.armed <- t.armed + 1;
+      t.streak <- t.streak + 1;
+      if t.streak < t.cfg.persist then 0
+      else begin
+        (* Greedy repack: re-pick the hottest/coldest pair after every
+           move — one firing can drain several hot shards, not just the
+           one that armed the tick. Each move takes the current hottest
+           shard's hottest slot, and fires only while it strictly
+           narrows that pair's gap (moving d shrinks it by 2d as long
+           as d < gap) — a move that would just swap which shard is hot
+           is the thrash hysteresis exists to prevent. A source always
+           keeps at least one slot. *)
+        let loads = Array.copy load in
+        let moved = ref 0 and stop = ref false in
+        while !moved < t.cfg.moves_per_tick && not !stop do
+          let hot = ref 0 and cold = ref 0 in
+          for i = 1 to nshards - 1 do
+            if loads.(i) > loads.(!hot) then hot := i;
+            if loads.(i) < loads.(!cold) then cold := i
+          done;
+          let hot = !hot and cold = !cold in
+          let gap = loads.(hot) - loads.(cold) in
+          if
+            float_of_int loads.(hot)
+            < t.cfg.min_ratio *. float_of_int (max 1 loads.(cold))
+            || Shard.owned_slots store hot <= 1
+          then stop := true
+          else begin
+            let mine =
+              List.filter (fun s -> delta.(s) > 0 && delta.(s) < gap)
+                (Shard.slots_of_shard store hot)
+              |> List.sort (fun a b -> compare delta.(b) delta.(a))
+            in
+            match mine with
+            | [] -> stop := true
+            | s :: _ -> (
+              match Serve.migrate_slot t.serve ~slot:s ~dst:cold with
+              | r ->
+                t.moves <- t.moves + 1;
+                t.keys <- t.keys + r.Serve.mig_keys;
+                loads.(hot) <- loads.(hot) - delta.(s);
+                loads.(cold) <- loads.(cold) + delta.(s);
+                incr moved
+              | exception Serve.Migration_failed _ -> stop := true)
+          end
+        done;
+        if !moved > 0 then begin
+          t.quiet <- t.cfg.cooldown;
+          t.streak <- 0
+        end;
+        !moved
+      end
+    end
+  end

@@ -1,0 +1,47 @@
+(** Hot-slot rebalancer over {!Serve.migrate_slot}.
+
+    Tick-driven — no background domain. Call {!tick} between
+    submission windows; it samples the per-slot routed-op histogram
+    ({!Serve.slot_op_counts}, as deltas since the previous tick) and
+    the per-shard mailbox depths ({!Serve.queue_depths}), ranks shards
+    by load (owned slots' op deltas plus backlog), and migrates the
+    hottest shard's hottest slots to the coldest shard when the
+    imbalance clears a hysteresis policy: ratio threshold, minimum
+    traffic, persistence across consecutive ticks, cooldown after a
+    firing, strict gap improvement per move. *)
+
+type config = {
+  min_ratio : float;
+      (** hottest/coldest load ratio that arms a move (>= 1) *)
+  min_ops : int;
+      (** ticks where the hottest shard saw fewer ops are ignored *)
+  persist : int;
+      (** consecutive armed ticks required before the first move *)
+  cooldown : int;
+      (** quiet ticks after a firing *)
+  moves_per_tick : int;
+      (** max slots migrated per firing *)
+}
+
+val default_config : config
+(** ratio 1.5, min_ops 64, persist 2, cooldown 2, moves 4. *)
+
+type stats = {
+  rb_ticks : int;
+  rb_armed : int;       (** ticks whose imbalance exceeded the threshold *)
+  rb_moves : int;       (** migrations performed *)
+  rb_keys_moved : int;
+}
+
+type t
+
+val create : ?cfg:config -> Serve.t -> t
+(** Snapshots the current slot-op counts as the first tick's baseline. *)
+
+val tick : t -> int
+(** One observation + decision round; returns migrations performed
+    (usually 0). Call from one domain at a time — typically the driver
+    between submission windows. Migrations run synchronously inside the
+    call via {!Serve.migrate_slot}. *)
+
+val stats : t -> stats

@@ -43,7 +43,31 @@
    [Replica.wait_acks] per the configured policy and run one heartbeat
    round per drain; [promote] executes on the failed shard's own worker
    domain — the only domain allowed inside the old stack — then repoints
-   the router via [Shard.set_shard]. *)
+   the router via [Shard.set_shard].
+
+   Live slot migration ([migrate_slot]) also executes on the source
+   shard's own worker domain, between drains — the migration is a
+   mailbox control request like promotion, so the source stack is never
+   entered from a second domain. The protocol is copy -> flip -> delete:
+   (1) the worker drains the slot's keys out of its own engine through
+   paginated ordered scans and replays them into the target shard as
+   ordinary batched [Put]s via the target's mailbox — so the copy rides
+   the target's group commit and its redo payloads reach the target's
+   replica; during the copy the source queue is frozen (its worker is
+   the one copying), so the scanned values cannot go stale; (2) the
+   flip takes both mailbox locks, re-points every queued request on the
+   migrating slot at the target (tickets chase their requests across
+   mailboxes), invalidates the source cache for the moved keys and
+   swaps in the new slot table — submitters re-check the table under
+   the mailbox lock, so no slot request can land on the source after
+   the swap; (3) the worker deletes the moved keys from its own engine
+   in group-committed remove batches. A crash between (1) and (2)
+   leaves the slot on the source (the copy is garbage the target never
+   owns); after (2) the slot is served by the target, which has every
+   key — exactly-once either way, which the [kvreshard] torture
+   workload enumerates. One migration runs at a time ([mig_mu]);
+   whole-store scans serialize against it so a range never observes a
+   slot in neither (or both) shards. *)
 
 type request =
   | Put of { key : string; value : string }
@@ -85,20 +109,36 @@ let request_key = function
     invalid_arg "Serve.request_key: Scan has no routing key"
 
 type ticket = {
-  tk_shard : int;
+  mutable tk_shard : int;            (* re-pointed when a flip forwards *)
   tk_submitted : float;              (* monotonic seconds *)
   mutable tk_reply : reply option;   (* written under the mailbox lock *)
+  tk_pinned : bool;
+      (* the caller chose the shard explicitly ([submit_to]) — the
+         drain-time ownership double-check must not re-route it; the
+         migration copy deliberately targets the not-yet-owner *)
+}
+
+type migration_report = {
+  mig_slot : int;
+  mig_from : int;
+  mig_to : int;
+  mig_keys : int;        (* entries copied (and later deleted) *)
+  mig_batches : int;     (* copy batches group-committed on the target *)
+  mig_forwarded : int;   (* queued requests re-pointed at the flip *)
 }
 
 type mailbox = {
   mu : Mutex.t;
-  work : Condition.t;   (* signaled on submit, stop, promote *)
+  work : Condition.t;   (* signaled on submit, stop, promote, migrate *)
   done_ : Condition.t;  (* broadcast on fulfilment; awaiters wait *)
   q : (request * ticket) Queue.t;
+  mutable peak_q : int;    (* high-water queue depth, under [mu] *)
   mutable stop : bool;
   mutable failed : bool;   (* device died: fail drains until promotion *)
   mutable promote_req : int option;   (* Some cache_cap: promote now *)
   mutable promoted : (Replica.promoted, string) result option;
+  mutable migrate_req : (int * int) option;   (* (slot, target shard) *)
+  mutable migrated : (migration_report, string) result option;
 }
 
 type shard_stats = {
@@ -107,6 +147,7 @@ type shard_stats = {
   ss_batches : int;
   ss_max_batch : int;
   ss_failed : int;                      (* tickets resolved [Failed] *)
+  ss_busy : float;                      (* seconds inside [run_batch] *)
   ss_hist : Spp_benchlib.Histogram.t;   (* latency, ns *)
 }
 
@@ -119,6 +160,13 @@ type t = {
   bypass : bool;            (* answer cache-hit gets on the submitter *)
   bypassed : int Atomic.t;  (* gets that never saw a mailbox *)
   promotions : int Atomic.t;
+  mig_mu : Mutex.t;         (* one migration at a time; scans serialize *)
+  slot_ops : int Atomic.t array;   (* per-slot routed-op histogram *)
+  live_ops : int Atomic.t array;   (* per-shard executed ops, live *)
+  live_busy : float Atomic.t array;   (* per-shard run_batch seconds, live *)
+  migrations : int Atomic.t;
+  forwarded : int Atomic.t;        (* requests re-pointed across boxes *)
+  keys_moved : int Atomic.t;
   mutable workers : unit Domain.t array;
   mutable results : shard_stats array;   (* valid after [stop] *)
   mutable stopped : bool;
@@ -181,31 +229,276 @@ let do_promote t i box cache_cap =
   Condition.broadcast box.done_;
   Mutex.unlock box.mu
 
+(* Keys above this sentinel never occur in practice; the paginated copy
+   scan uses it as its open upper bound. *)
+let scan_hi_sentinel = String.make 32 '\xff'
+
+let started t = Array.length t.workers > 0
+
+(* Push under the mailbox lock, re-checking the slot table for keyed
+   requests: a migration flip that completed between routing and this
+   lock acquisition moved the key — and the flip holds this same lock
+   while swapping the table, so re-checking under it is race-free. The
+   re-route loop terminates because [mig_mu] admits one migration at a
+   time and each flip moves exactly one slot. *)
+let rec submit_queued t i ?key req =
+  let box = t.boxes.(i) in
+  Mutex.lock box.mu;
+  let owner =
+    match key with None -> i | Some k -> Shard.route t.store k
+  in
+  if owner <> i then begin
+    Mutex.unlock box.mu;
+    submit_queued t owner ?key req
+  end
+  else if box.stop then begin
+    Mutex.unlock box.mu;
+    invalid_arg "Serve.submit: pipeline is stopping"
+  end
+  else begin
+    let tk =
+      { tk_shard = i; tk_submitted = Spp_benchlib.Bench_util.now_mono ();
+        tk_reply = None; tk_pinned = (key = None) }
+    in
+    Queue.push (req, tk) box.q;
+    let d = Queue.length box.q in
+    if d > box.peak_q then box.peak_q <- d;
+    Condition.signal box.work;
+    Mutex.unlock box.mu;
+    tk
+  end
+
+let submit_prepared t i ?key req =
+  let kv = Shard.shard_kv (Shard.shard t.store i) in
+  (* Submission-time invalidation: by the time a mutation is visible in
+     the mailbox, no later probe — from this client or any other — can
+     hit the value it is about to replace. Combined with the stage-time
+     invalidation inside the batch, this gives read-your-writes to a
+     client that pipelines a put and then a bypassed get. Scans are
+     cache-bypassing and touch nothing here. (If the submit re-routes
+     after a flip, this invalidated a non-owner's cache — harmless; the
+     flip itself invalidated the moved keys there.) *)
+  (match req with
+   | Put { key; _ } | Remove key -> Spp_pmemkv.Engine.cache_invalidate kv key
+   | Get _ | Scan _ -> ());
+  (* Read fast path: a cache hit is already durable data (fills only
+     come from committed batches), so answer on the submitting thread
+     with a pre-fulfilled ticket and never touch the mailbox. *)
+  match req with
+  | Get gkey when t.bypass ->
+    (match Spp_pmemkv.Engine.cache_probe kv gkey with
+     | Some v ->
+       Atomic.incr t.bypassed;
+       { tk_shard = i;
+         tk_submitted = Spp_benchlib.Bench_util.now_mono ();
+         tk_reply = Some (Value (Some v)); tk_pinned = false }
+     | None -> submit_queued t i ?key req)
+  | _ -> submit_queued t i ?key req
+
+let submit t req =
+  let key = request_key req in
+  Atomic.incr t.slot_ops.(Shard.slot_of t.store key);
+  submit_prepared t (Shard.route t.store key) ~key req
+
+(* Target one shard explicitly — how a [Scan] (which has no routing
+   key: the hash router spreads every range over all shards) enters a
+   specific worker's batch stream. No table re-check: the caller chose
+   the shard. *)
+let submit_to t i req =
+  if i < 0 || i >= Shard.nshards t.store then
+    invalid_arg "Serve.submit_to: shard index out of range";
+  submit_prepared t i req
+
+(* A ticket may be re-pointed at another shard by a migration flip
+   while we wait; the flip broadcasts the old box's [done_], so we wake,
+   notice the move and chase the ticket to its new box. *)
+let await t tk =
+  match tk.tk_reply with
+  | Some r -> r   (* bypassed get: fulfilled at submission *)
+  | None ->
+    if not (started t) then
+      invalid_arg "Serve.await: pipeline not started (autostart:false)";
+    let rec chase () =
+      let i = tk.tk_shard in
+      let box = t.boxes.(i) in
+      Mutex.lock box.mu;
+      while tk.tk_reply = None && tk.tk_shard = i do
+        Condition.wait box.done_ box.mu
+      done;
+      let r = tk.tk_reply in
+      Mutex.unlock box.mu;
+      match r with Some r -> r | None -> chase ()
+    in
+    chase ()
+
+let peek tk = tk.tk_reply
+
+(* Live slot migration, executed here on the source shard's own worker
+   domain between drains (see the module header for the protocol and
+   why each phase is race-free). [mig_mu] is held by the initiator for
+   the whole call, so at most one migration is in flight. *)
+let do_migrate t i box (slot, dst) =
+  let res =
+    try
+      if dst = i then failwith "target is the source shard";
+      let sh = Shard.shard t.store i in
+      let kv = Shard.shard_kv sh in
+      (* Phase 1 — copy: paginate the source engine in key order and
+         replay the slot's entries into the target through its normal
+         mailbox/batch path. The source queue is frozen (this domain is
+         its only consumer), so no copied value can be overwritten on
+         the source mid-copy. *)
+      let moved = ref [] and nmoved = ref 0 and nbatches = ref 0 in
+      let flush chunk =
+        match chunk with
+        | [] -> ()
+        | chunk ->
+          let tks =
+            List.rev_map
+              (fun (key, value) -> submit_to t dst (Put { key; value }))
+              chunk
+          in
+          List.iter
+            (fun tk ->
+              match await t tk with
+              | Done -> ()
+              | Failed _ -> failwith "copy batch failed on the target"
+              | _ -> assert false)
+            tks;
+          incr nbatches
+      in
+      let lo = ref "" and more = ref true in
+      while !more do
+        let page =
+          Spp_pmemkv.Engine.scan kv ~lo:!lo ~hi:scan_hi_sentinel
+            ~limit:scan_limit_cap
+        in
+        (match List.rev page with
+         | [] -> more := false
+         | (last, _) :: _ ->
+           lo := last ^ "\x00";
+           if List.length page < scan_limit_cap then more := false);
+        let chunk = ref [] and len = ref 0 in
+        List.iter
+          (fun (k, v) ->
+            if Shard.slot_of t.store k = slot then begin
+              moved := k :: !moved;
+              incr nmoved;
+              chunk := (k, v) :: !chunk;
+              incr len;
+              if !len >= t.batch_cap then begin
+                flush !chunk; chunk := []; len := 0
+              end
+            end)
+          page;
+        flush !chunk
+      done;
+      (* Phase 2 — flip: under both mailbox locks, re-point queued
+         requests on the slot at the target (in queue order, ahead of
+         nothing the target has not already committed — the copy was
+         fully acked above), drop the moved keys from the source cache,
+         and swap in the new table. Submitters re-check the table under
+         the mailbox lock, so after the unlock no slot request can land
+         here. *)
+      let dbox = t.boxes.(dst) in
+      Mutex.lock box.mu;
+      Mutex.lock dbox.mu;
+      let keep = Queue.create () in
+      let nfwd = ref 0 in
+      while not (Queue.is_empty box.q) do
+        let ((req, tk) as item) = Queue.pop box.q in
+        let goes =
+          match req with
+          | Put { key; _ } | Get key | Remove key ->
+            Shard.slot_of t.store key = slot
+          | Scan _ -> false
+        in
+        if goes then begin
+          tk.tk_shard <- dst;
+          Queue.push item dbox.q;
+          incr nfwd
+        end
+        else Queue.push item keep
+      done;
+      Queue.transfer keep box.q;
+      List.iter (fun k -> Spp_pmemkv.Engine.cache_invalidate kv k) !moved;
+      Shard.set_slot_owner t.store ~slot ~shard:dst;
+      if !nfwd > 0 then begin
+        Condition.signal dbox.work;
+        (* wake awaiters parked on this box so they chase their
+           forwarded tickets to the target *)
+        Condition.broadcast box.done_
+      end;
+      Mutex.unlock dbox.mu;
+      Mutex.unlock box.mu;
+      Atomic.set t.forwarded (Atomic.get t.forwarded + !nfwd);
+      (* Phase 3 — delete: group-committed remove batches on our own
+         engine (this domain owns it). The batch observer fires, so the
+         source's replica sees the departures too. The slot already
+         routes to the target, so nothing can read these keys here. *)
+      let rec delete = function
+        | [] -> ()
+        | keys ->
+          let n = min t.batch_cap (List.length keys) in
+          let chunk = Array.make n (Spp_pmemkv.Engine.B_get "") in
+          let rest = ref keys in
+          for j = 0 to n - 1 do
+            (match !rest with
+             | k :: tl -> chunk.(j) <- Spp_pmemkv.Engine.B_remove k; rest := tl
+             | [] -> assert false)
+          done;
+          ignore (Spp_pmemkv.Engine.run_batch kv chunk);
+          delete !rest
+      in
+      delete !moved;
+      Atomic.incr t.migrations;
+      Atomic.set t.keys_moved (Atomic.get t.keys_moved + !nmoved);
+      Ok
+        { mig_slot = slot; mig_from = i; mig_to = dst; mig_keys = !nmoved;
+          mig_batches = !nbatches; mig_forwarded = !nfwd }
+    with e -> Error (Printexc.to_string e)
+  in
+  Mutex.lock box.mu;
+  box.migrate_req <- None;
+  box.migrated <- Some res;
+  Condition.broadcast box.done_;
+  Mutex.unlock box.mu
+
 let worker t i =
   let box = t.boxes.(i) in
   let hist = Spp_benchlib.Histogram.create () in
   let ops = ref 0 and batches = ref 0 and max_batch = ref 0 in
   let nfailed = ref 0 in
+  let busy = ref 0. in
   let cur = ref 1 in
   (* Per-domain scratch, reused across every drain this worker runs: the
-     (request, ticket) buffer is allocated once at [batch_cap] and only
-     its first [n] slots are live per drain; slots are reset to [idle]
-     after resolution so fulfilled tickets don't outlive their drain. *)
+     (request, ticket) buffer and the engine-op buffer are allocated
+     once at [batch_cap] and only their first [n] slots are live per
+     drain; item slots are reset to [idle] after resolution so
+     fulfilled tickets don't outlive their drain. *)
   let idle =
-    (Get "", { tk_shard = i; tk_submitted = 0.; tk_reply = None })
+    (Get "",
+     { tk_shard = i; tk_submitted = 0.; tk_reply = None; tk_pinned = true })
   in
   let items = Array.make t.batch_cap idle in
+  let opbuf = Array.make t.batch_cap (Spp_pmemkv.Engine.B_get "") in
   let running = ref true in
   while !running do
     Mutex.lock box.mu;
-    while Queue.is_empty box.q && not box.stop && box.promote_req = None do
+    while
+      Queue.is_empty box.q && not box.stop && box.promote_req = None
+      && box.migrate_req = None
+    do
       Condition.wait box.work box.mu
     done;
-    match box.promote_req with
-    | Some cap ->
+    match (box.promote_req, box.migrate_req) with
+    | Some cap, _ ->
       Mutex.unlock box.mu;
       do_promote t i box cap
-    | None ->
+    | None, Some mig ->
+      Mutex.unlock box.mu;
+      do_migrate t i box mig
+    | None, None ->
       if Queue.is_empty box.q then begin
         (* stop requested and the queue is drained *)
         Mutex.unlock box.mu;
@@ -213,8 +506,8 @@ let worker t i =
       end
       else begin
         let want = if t.adaptive then !cur else t.batch_cap in
-        let n = min (Queue.length box.q) (min want t.batch_cap) in
-        for j = 0 to n - 1 do
+        let n0 = min (Queue.length box.q) (min want t.batch_cap) in
+        for j = 0 to n0 - 1 do
           items.(j) <- Queue.pop box.q
         done;
         let backlog = Queue.length box.q in
@@ -223,7 +516,43 @@ let worker t i =
         if t.adaptive then
           cur := if backlog > 0 then min (max (2 * !cur) 2) t.batch_cap
                  else max 1 (!cur / 2);
-        (if already_failed then
+        (* Double-check the drained router-submitted ops against the
+           live slot table: a keyed request that raced a migration flip
+           is forwarded to its owner's mailbox instead of executing on a
+           shard that no longer holds the key. The flip itself re-points
+           everything still queued under the lock, so this net only
+           catches stragglers. Pinned requests ([submit_to]) are exempt:
+           the caller chose the shard — notably the migration copy,
+           which targets the shard that does not own the slot yet. *)
+        let n =
+          let m = ref 0 in
+          for j = 0 to n0 - 1 do
+            let (req, tk) = items.(j) in
+            let owner =
+              match req with
+              | _ when tk.tk_pinned -> i
+              | Put { key; _ } | Get key | Remove key ->
+                Shard.route t.store key
+              | Scan _ -> i
+            in
+            if owner = i then begin
+              items.(!m) <- items.(j);
+              incr m
+            end
+            else begin
+              let obox = t.boxes.(owner) in
+              Mutex.lock obox.mu;
+              tk.tk_shard <- owner;
+              Queue.push (req, tk) obox.q;
+              Condition.signal obox.work;
+              Mutex.unlock obox.mu;
+              Atomic.incr t.forwarded
+            end
+          done;
+          !m
+        in
+        (if n = 0 then ()
+         else if already_failed then
            (* dead primary, not yet promoted: nothing to execute on *)
            resolve box hist nfailed items n (fun _ -> Failed Failed_over)
          else begin
@@ -234,11 +563,13 @@ let worker t i =
           let dev =
             Spp_pmdk.Pool.dev (Shard.shard_access sh).Spp_access.pool
           in
-          match
-            Spp_pmemkv.Engine.run_batch kv
-              (Array.init n (fun j -> to_engine_op (fst items.(j))))
-          with
+          for j = 0 to n - 1 do
+            opbuf.(j) <- to_engine_op (fst items.(j))
+          done;
+          let t0 = Spp_benchlib.Bench_util.now_mono () in
+          match Spp_pmemkv.Engine.run_batch kv ~len:n opbuf with
           | exception e ->
+            busy := !busy +. (Spp_benchlib.Bench_util.now_mono () -. t0);
             if Spp_sim.Memdev.is_powered_off dev then begin
               Mutex.lock box.mu;
               box.failed <- true;
@@ -251,6 +582,7 @@ let worker t i =
               resolve box hist nfailed items n
                 (fun _ -> Failed (Op_raised (Printexc.to_string e)))
           | replies ->
+            busy := !busy +. (Spp_benchlib.Bench_util.now_mono () -. t0);
             if Spp_sim.Memdev.is_powered_off dev then begin
               (* the device died under the batch: its stores were
                  silently discarded, so the "commit" is not durable —
@@ -275,19 +607,23 @@ let worker t i =
             end
         end);
         (* release resolved tickets to the GC before the next drain *)
-        Array.fill items 0 n idle
+        Array.fill items 0 n0 idle;
+        (* publish live accounting (monotone snapshots for observers:
+           the rebalancer's busy windows, sppctl's stats table) *)
+        Atomic.set t.live_ops.(i) !ops;
+        Atomic.set t.live_busy.(i) !busy
       end
   done;
   t.results.(i) <-
     { ss_shard = i; ss_ops = !ops; ss_batches = !batches;
-      ss_max_batch = !max_batch; ss_failed = !nfailed; ss_hist = hist }
+      ss_max_batch = !max_batch; ss_failed = !nfailed; ss_busy = !busy;
+      ss_hist = hist }
 
 let mk_box () =
   { mu = Mutex.create (); work = Condition.create ();
-    done_ = Condition.create (); q = Queue.create (); stop = false;
-    failed = false; promote_req = None; promoted = None }
-
-let started t = Array.length t.workers > 0
+    done_ = Condition.create (); q = Queue.create (); peak_q = 0;
+    stop = false; failed = false; promote_req = None; promoted = None;
+    migrate_req = None; migrated = None }
 
 let start t =
   if t.stopped then invalid_arg "Serve.start: pipeline already stopped";
@@ -326,102 +662,51 @@ let create ?(batch_cap = 32) ?(adaptive = true) ?(autostart = true)
       bypass = adaptive && Shard.cache_enabled store;
       bypassed = Atomic.make 0;
       promotions = Atomic.make 0;
+      mig_mu = Mutex.create ();
+      slot_ops = Array.init (Shard.nslots store) (fun _ -> Atomic.make 0);
+      live_ops = Array.init n (fun _ -> Atomic.make 0);
+      live_busy = Array.init n (fun _ -> Atomic.make 0.);
+      migrations = Atomic.make 0;
+      forwarded = Atomic.make 0;
+      keys_moved = Atomic.make 0;
       workers = [||];
       results =
         Array.init n (fun i ->
           { ss_shard = i; ss_ops = 0; ss_batches = 0; ss_max_batch = 0;
-            ss_failed = 0; ss_hist = Spp_benchlib.Histogram.create () });
+            ss_failed = 0; ss_busy = 0.;
+            ss_hist = Spp_benchlib.Histogram.create () });
       stopped = false }
   in
   if autostart then start t;
   t
 
-let shard_of t req = Shard.route t.store (request_key req)
-
-let submit_queued t i req =
-  let box = t.boxes.(i) in
-  let tk =
-    { tk_shard = i; tk_submitted = Spp_benchlib.Bench_util.now_mono ();
-      tk_reply = None }
-  in
-  Mutex.lock box.mu;
-  if box.stop then begin
-    Mutex.unlock box.mu;
-    invalid_arg "Serve.submit: pipeline is stopping"
-  end;
-  Queue.push (req, tk) box.q;
-  Condition.signal box.work;
-  Mutex.unlock box.mu;
-  tk
-
-let submit_prepared t i req =
-  let kv = Shard.shard_kv (Shard.shard t.store i) in
-  (* Submission-time invalidation: by the time a mutation is visible in
-     the mailbox, no later probe — from this client or any other — can
-     hit the value it is about to replace. Combined with the stage-time
-     invalidation inside the batch, this gives read-your-writes to a
-     client that pipelines a put and then a bypassed get. Scans are
-     cache-bypassing and touch nothing here. *)
-  (match req with
-   | Put { key; _ } | Remove key -> Spp_pmemkv.Engine.cache_invalidate kv key
-   | Get _ | Scan _ -> ());
-  (* Read fast path: a cache hit is already durable data (fills only
-     come from committed batches), so answer on the submitting thread
-     with a pre-fulfilled ticket and never touch the mailbox. *)
-  match req with
-  | Get key when t.bypass ->
-    (match Spp_pmemkv.Engine.cache_probe kv key with
-     | Some v ->
-       Atomic.incr t.bypassed;
-       { tk_shard = i;
-         tk_submitted = Spp_benchlib.Bench_util.now_mono ();
-         tk_reply = Some (Value (Some v)) }
-     | None -> submit_queued t i req)
-  | _ -> submit_queued t i req
-
-let submit t req = submit_prepared t (shard_of t req) req
-
-(* Target one shard explicitly — how a [Scan] (which has no routing
-   key: the hash router spreads every range over all shards) enters a
-   specific worker's batch stream. *)
-let submit_to t i req =
-  if i < 0 || i >= Shard.nshards t.store then
-    invalid_arg "Serve.submit_to: shard index out of range";
-  submit_prepared t i req
-
-let await t tk =
-  match tk.tk_reply with
-  | Some r -> r   (* bypassed get: fulfilled at submission *)
-  | None ->
-    if not (started t) then
-      invalid_arg "Serve.await: pipeline not started (autostart:false)";
-    let box = t.boxes.(tk.tk_shard) in
-    Mutex.lock box.mu;
-    while tk.tk_reply = None do
-      Condition.wait box.done_ box.mu
-    done;
-    Mutex.unlock box.mu;
-    (match tk.tk_reply with Some r -> r | None -> assert false)
-
-let peek tk = tk.tk_reply
-
 (* Scatter-gather ordered scan: one [Scan] request per shard rides the
    normal mailbox/batch path (so it group-commits with the writes
    around it and observes exactly the committed prefix), then the
-   per-shard sorted slices merge on the calling domain. A shard that
-   failed over mid-scan surfaces as [Error]. *)
+   per-shard sorted slices merge on the calling domain. The whole scan
+   holds [mig_mu], so no flip can move a slot between the slices — a
+   key is reported by exactly the shard that owns it for the whole
+   scan; slices are ownership-filtered anyway so leftover copies from
+   a failed migration can never double-report. A shard that failed
+   over mid-scan surfaces as [Error]. *)
 let scan t ~lo ~hi ~limit =
   let limit = max 0 (min limit scan_limit_cap) in
   let req = Scan { lo; hi; limit } in
+  Mutex.lock t.mig_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mig_mu) @@ fun () ->
   let tks =
     Array.init (Shard.nshards t.store) (fun i -> submit_to t i req)
   in
   let slices = Array.map (fun tk -> await t tk) tks in
+  let assign = Shard.assignment t.store in
   let ok = ref [] and failed = ref None in
-  Array.iter
-    (fun r ->
+  Array.iteri
+    (fun i r ->
       match r with
-      | Scanned kvs -> ok := kvs :: !ok
+      | Scanned kvs ->
+        ok :=
+          List.filter (fun (k, _) -> assign.(Shard.slot_of t.store k) = i) kvs
+          :: !ok
       | Failed f -> if !failed = None then failed := Some f
       | _ -> ())
     slices;
@@ -432,6 +717,81 @@ let scan t ~lo ~hi ~limit =
 let bypassed_gets t = Atomic.get t.bypassed
 
 let cache_stats t = Shard.merged_cache_stats t.store
+
+(* ------------------------------------------------------------------ *)
+(* Resharding                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Migration_failed of { slot : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Migration_failed { slot; reason } ->
+      Some
+        (Printf.sprintf "Serve.Migration_failed: slot %d: %s" slot reason)
+    | _ -> None)
+
+(* Ask the slot's current owner to migrate it to [dst], and wait. The
+   owner's worker performs copy -> flip -> delete between drains (see
+   [do_migrate]); [mig_mu] is held across the whole call, so migrations
+   are serialized and whole-store scans never straddle a flip. *)
+let migrate_slot t ~slot ~dst =
+  if slot < 0 || slot >= Shard.nslots t.store then
+    invalid_arg "Serve.migrate_slot: slot out of range";
+  if dst < 0 || dst >= Shard.nshards t.store then
+    invalid_arg "Serve.migrate_slot: target shard out of range";
+  if not (started t) then
+    invalid_arg "Serve.migrate_slot: pipeline not started";
+  if t.stopped then invalid_arg "Serve.migrate_slot: pipeline stopped";
+  Mutex.lock t.mig_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mig_mu) @@ fun () ->
+  let src = Shard.owner t.store slot in
+  if src = dst then
+    { mig_slot = slot; mig_from = src; mig_to = dst; mig_keys = 0;
+      mig_batches = 0; mig_forwarded = 0 }
+  else begin
+    let box = t.boxes.(src) in
+    Mutex.lock box.mu;
+    box.migrated <- None;
+    box.migrate_req <- Some (slot, dst);
+    Condition.signal box.work;
+    while box.migrated = None do
+      Condition.wait box.done_ box.mu
+    done;
+    let res = box.migrated in
+    box.migrated <- None;
+    Mutex.unlock box.mu;
+    match res with
+    | Some (Ok r) -> r
+    | Some (Error reason) -> raise (Migration_failed { slot; reason })
+    | None -> assert false
+  end
+
+let migrations t = Atomic.get t.migrations
+let forwarded t = Atomic.get t.forwarded
+let keys_moved t = Atomic.get t.keys_moved
+
+let slot_op_counts t = Array.map Atomic.get t.slot_ops
+let ops_counts t = Array.map Atomic.get t.live_ops
+let busy_times t = Array.map Atomic.get t.live_busy
+
+let queue_depths t =
+  Array.map
+    (fun b ->
+      Mutex.lock b.mu;
+      let d = Queue.length b.q in
+      Mutex.unlock b.mu;
+      d)
+    t.boxes
+
+let peak_queue_depths t =
+  Array.map
+    (fun b ->
+      Mutex.lock b.mu;
+      let d = b.peak_q in
+      Mutex.unlock b.mu;
+      d)
+    t.boxes
 
 (* ------------------------------------------------------------------ *)
 (* Failover                                                            *)

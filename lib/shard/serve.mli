@@ -37,7 +37,22 @@
     committed before the failure are durable and replicated, later ones
     are not. Replication observes the group-commit stream, so with
     [?replication] all mutations must flow through this pipeline — the
-    synchronous [Shard.put] tx path is invisible to replicas. *)
+    synchronous [Shard.put] tx path is invisible to replicas.
+
+    {b Live slot migration.} {!migrate_slot} moves one slot of the
+    store's slot map (see {!Shard}) to another shard while traffic
+    flows: the slot's current owner drains the slot's keys out of its
+    own engine through paginated ordered scans and replays them into
+    the target as ordinary batched puts (so the copy group-commits on
+    the target and its redo payloads reach the target's replica), then
+    flips the slot table under both mailbox locks — re-pointing every
+    queued request on the slot at the target, whose ticket an awaiter
+    transparently chases — and finally deletes the moved keys from
+    itself in group-committed remove batches. Submitters re-check the
+    table under the mailbox lock and workers double-check drained ops
+    against it, so replies are identical to a no-migration run. One
+    migration runs at a time; {!scan} serializes against it, so a
+    whole-store scan always reports every key exactly once. *)
 
 type request =
   | Put of { key : string; value : string }
@@ -77,12 +92,25 @@ val request_key : request -> string
 
 type ticket
 
+type migration_report = {
+  mig_slot : int;
+  mig_from : int;
+  mig_to : int;
+  mig_keys : int;        (** entries copied (and then deleted) *)
+  mig_batches : int;     (** copy batches group-committed on the target *)
+  mig_forwarded : int;   (** queued requests re-pointed at the flip *)
+}
+
 type shard_stats = {
   ss_shard : int;
   ss_ops : int;
   ss_batches : int;
   ss_max_batch : int;
   ss_failed : int;                      (** tickets resolved [Failed] *)
+  ss_busy : float;
+      (** seconds this worker spent inside [run_batch] — the per-shard
+          critical-path cost, meaningful even when the host has fewer
+          cores than shards *)
   ss_hist : Spp_benchlib.Histogram.t;   (** latency, ns *)
 }
 
@@ -139,6 +167,55 @@ val bypassed_gets : t -> int
 
 val cache_stats : t -> Spp_pmemkv.Rcache.stats
 (** [Shard.merged_cache_stats] of the underlying store. *)
+
+(** {1 Resharding} *)
+
+exception Migration_failed of { slot : int; reason : string }
+(** A migration aborted before its flip: the slot still routes to the
+    source, which still holds every key — nothing was lost, copied
+    leftovers on the target are ownership-filtered out of scans.
+    Registered with [Printexc]. *)
+
+val migrate_slot : t -> slot:int -> dst:int -> migration_report
+(** [migrate_slot t ~slot ~dst] asks the slot's current owner to move
+    it to shard [dst] (copy → flip → delete, on the owner's worker
+    domain, between drains) and blocks until done. Serialized: one
+    migration at a time, mutually exclusive with whole-store {!scan}s.
+    A no-op report if [dst] already owns the slot. Requests queued or
+    submitted during the migration are answered exactly as without it —
+    queued slot traffic is re-pointed at the flip, and awaiters chase
+    their tickets. Raises {!Migration_failed} if the copy aborted (the
+    slot then still routes to the source). *)
+
+val migrations : t -> int
+(** Completed migrations. *)
+
+val forwarded : t -> int
+(** Requests re-pointed to another shard's mailbox — at a flip, or by a
+    worker's drain-time ownership double-check. *)
+
+val keys_moved : t -> int
+(** Entries copied (and deleted from their source) across migrations. *)
+
+val slot_op_counts : t -> int array
+(** Per-slot routed-op histogram (indexed by slot), accumulated at
+    {!submit}. The rebalancer's load signal. *)
+
+val queue_depths : t -> int array
+(** Instantaneous mailbox depth per shard. *)
+
+val ops_counts : t -> int array
+(** Per-shard executed-op counts, readable while the pipeline runs
+    (monotone snapshot, published after each drain). *)
+
+val busy_times : t -> float array
+(** Per-shard seconds spent inside [run_batch] so far — the live
+    counterpart of [ss_busy]. Sampling it around a submission window
+    yields the window's critical-path cost per shard, which is how the
+    reshard bench models multi-core wall clock on any host. *)
+
+val peak_queue_depths : t -> int array
+(** High-water mailbox depth per shard since creation. *)
 
 (** {1 Failover} *)
 

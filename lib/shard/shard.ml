@@ -22,10 +22,21 @@ type shard = {
   kv : Spp_pmemkv.Engine.packed;
 }
 
+(* Slot map: keys hash into a fixed power-of-two slot space and a
+   versioned slot->shard table routes ops. The table is an immutable
+   snapshot behind an [Atomic.t]: readers grab one coherent assignment
+   with a single load, writers (the serve layer's migration protocol,
+   serialized by its migration lock) install a fresh copy with a bumped
+   version. Moving a slot between shards is therefore one atomic
+   pointer swap — no reader ever observes a half-updated table. *)
+type slot_table = { st_version : int; st_assign : int array }
+
 type t = {
   shards : shard array;
   variant : Spp_access.variant;
   engine : Spp_pmemkv.Engine.spec;
+  nslots : int;
+  table : slot_table Atomic.t;
 }
 
 let nshards t = Array.length t.shards
@@ -50,15 +61,59 @@ let route_hash key =
   let h = h lxor (h lsr 27) in
   h land max_int
 
+let default_nslots = 1024
+
+let slot_of_key ~nslots key = route_hash key land (nslots - 1)
+
+(* The static default assignment: slot [s] lives on shard [s mod
+   nshards]. [shard_of_key] stays a pure function of key and shard
+   count — it is the no-migration routing every differential baseline
+   partitions by, and it agrees with [route] on any freshly created
+   store with the default slot count. *)
 let shard_of_key ~nshards key =
   if nshards <= 0 then invalid_arg "Shard.shard_of_key: no shards";
-  route_hash key mod nshards
+  slot_of_key ~nslots:default_nslots key mod nshards
 
-let route t key = shard_of_key ~nshards:(Array.length t.shards) key
+let nslots t = t.nslots
+let slot_of t key = slot_of_key ~nslots:t.nslots key
+let table_version t = (Atomic.get t.table).st_version
+let owner t slot = (Atomic.get t.table).st_assign.(slot)
+let assignment t = Array.copy (Atomic.get t.table).st_assign
+let route t key = (Atomic.get t.table).st_assign.(slot_of t key)
+
+(* Single-writer: callers (the serve layer's migration flip, under its
+   migration lock) serialize table updates; readers always see either
+   the old or the new immutable snapshot. *)
+let set_slot_owner t ~slot ~shard =
+  if slot < 0 || slot >= t.nslots then
+    invalid_arg "Shard.set_slot_owner: slot out of range";
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Shard.set_slot_owner: shard out of range";
+  let cur = Atomic.get t.table in
+  let assign = Array.copy cur.st_assign in
+  assign.(slot) <- shard;
+  Atomic.set t.table { st_version = cur.st_version + 1; st_assign = assign }
+
+let owned_slots t i =
+  let a = (Atomic.get t.table).st_assign in
+  let n = ref 0 in
+  Array.iter (fun s -> if s = i then incr n) a;
+  !n
+
+let slots_of_shard t i =
+  let a = (Atomic.get t.table).st_assign in
+  let acc = ref [] in
+  for s = t.nslots - 1 downto 0 do
+    if a.(s) = i then acc := s :: !acc
+  done;
+  !acc
 
 let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
-    ?(engine = Spp_pmemkv.Engines.cmap) ~nshards variant =
+    ?(engine = Spp_pmemkv.Engines.cmap) ?(nslots = default_nslots) ~nshards
+    variant =
   if nshards <= 0 then invalid_arg "Shard.create: nshards must be positive";
+  if nslots <= 0 || nslots land (nslots - 1) <> 0 then
+    invalid_arg "Shard.create: nslots must be a positive power of two";
   let shards =
     Array.init nshards (fun index ->
       let access =
@@ -85,7 +140,14 @@ let create ?(nbuckets = 1024) ?(pool_size = 1 lsl 23) ?(cache_cap = 0)
           (Some (Spp_pmemkv.Rcache.create ~cap:cache_cap));
       { index; access; kv })
   in
-  { shards; variant; engine }
+  let assign = Array.init nslots (fun s -> s mod nshards) in
+  {
+    shards;
+    variant;
+    engine;
+    nslots;
+    table = Atomic.make { st_version = 0; st_assign = assign };
+  }
 
 (* Failover repoint: swap a shard's stack for a promoted replica's. The
    router is pure (key -> index), so the swap changes which stack an
@@ -113,14 +175,22 @@ let count_all t =
 
 (* Scatter-gather ordered scan: the hash router spreads any key range
    over every shard, so each shard scans its slice (bounded by the same
-   limit) and the sorted slices are merged and clipped. *)
+   limit) and the sorted slices are merged and clipped. Each slice is
+   ownership-filtered against one table snapshot: a key answered from a
+   shard that no longer owns its slot (a leftover copy from an aborted
+   or in-flight migration) is dropped, so every key appears exactly
+   once — from its owner. *)
 let scan t ~lo ~hi ~limit =
   if limit <= 0 || hi < lo then []
   else
+    let assign = (Atomic.get t.table).st_assign in
     Spp_pmemkv.Engine.merge_scans ~limit
       (Array.to_list
          (Array.map
-            (fun s -> Spp_pmemkv.Engine.scan s.kv ~lo ~hi ~limit)
+            (fun s ->
+              List.filter
+                (fun (k, _) -> assign.(slot_of t k) = s.index)
+                (Spp_pmemkv.Engine.scan s.kv ~lo ~hi ~limit))
             t.shards))
 
 (* Merged accounting. Reading a shard's stats is only race-free once the

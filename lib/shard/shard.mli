@@ -14,7 +14,8 @@ type t
 
 val create :
   ?nbuckets:int -> ?pool_size:int -> ?cache_cap:int ->
-  ?engine:Spp_pmemkv.Engine.spec -> nshards:int -> Spp_access.variant -> t
+  ?engine:Spp_pmemkv.Engine.spec -> ?nslots:int -> nshards:int ->
+  Spp_access.variant -> t
 (** [create ~nshards variant] builds [nshards] independent shards, each
     with its own pool ([pool_size] bytes, default 8 MiB) and an engine
     over it — [engine] defaults to {!Spp_pmemkv.Engines.cmap}
@@ -23,7 +24,9 @@ val create :
     a reopened image — or a promoted replica — can re-attach the map
     from durable state alone. [cache_cap > 0] additionally attaches a
     volatile {!Spp_pmemkv.Rcache} of that many entries to every shard
-    (default 0: no cache). *)
+    (default 0: no cache). [nslots] sizes the slot space (a power of
+    two, default {!default_nslots}); the initial slot table is the
+    static assignment [slot mod nshards]. *)
 
 val set_shard :
   t -> int -> access:Spp_access.t -> kv:Spp_pmemkv.Engine.packed -> unit
@@ -46,16 +49,56 @@ val shard_index : shard -> int
 val shard_access : shard -> Spp_access.t
 val shard_kv : shard -> Spp_pmemkv.Engine.packed
 
-(** {1 Routing} *)
+(** {1 Routing}
+
+    Keys hash into a fixed power-of-two slot space; a versioned
+    slot->shard table (an immutable snapshot behind an atomic, swapped
+    whole by the serve layer's migration protocol) maps slots to
+    shards. The static default assignment is [slot mod nshards]. *)
+
+val default_nslots : int
+(** Default slot-space size (1024). *)
 
 val route_hash : string -> int
 (** Stable non-negative key hash, decorrelated from cmap's bucket hash. *)
 
+val slot_of_key : nslots:int -> string -> int
+(** The slot in [\[0, nslots)] this key hashes to; [nslots] must be a
+    power of two. A pure function of the key and the slot count. *)
+
 val shard_of_key : nshards:int -> string -> int
-(** The unique shard index in [\[0, nshards)] serving this key; a pure
-    function of the key and the shard count. *)
+(** The shard index in [\[0, nshards)] serving this key under the
+    static default slot assignment; a pure function of the key and the
+    shard count. Agrees with {!route} on any store created with the
+    default slot count whose table has not been rewritten. *)
 
 val route : t -> string -> int
+(** The shard currently owning this key's slot, per one coherent
+    snapshot of the live slot table. *)
+
+val nslots : t -> int
+val slot_of : t -> string -> int
+
+val table_version : t -> int
+(** Monotonic version of the live slot table; bumped by every
+    {!set_slot_owner}. *)
+
+val owner : t -> int -> int
+(** [owner t slot] is the shard currently assigned that slot. *)
+
+val assignment : t -> int array
+(** A copy of the live slot->shard assignment, one coherent snapshot. *)
+
+val set_slot_owner : t -> slot:int -> shard:int -> unit
+(** Install a new table snapshot with [slot] reassigned and the version
+    bumped. Single-writer: callers must serialize updates (the serve
+    layer holds its migration lock); readers are never blocked. *)
+
+val owned_slots : t -> int -> int
+(** How many slots the live table assigns to shard [i]. *)
+
+val slots_of_shard : t -> int -> int list
+(** The slots the live table assigns to shard [i], ascending. *)
 
 (** {1 Routed operations} *)
 
@@ -67,7 +110,9 @@ val count_all : t -> int
 val scan : t -> lo:string -> hi:string -> limit:int -> (string * string) list
 (** Ordered range scan across the whole store: every shard scans its
     hash-partitioned slice and the sorted slices are merged and clipped
-    to [limit]. Cache-bypassing, like the per-engine scans. *)
+    to [limit]. Each slice is ownership-filtered against one slot-table
+    snapshot, so leftover copies on a slot's previous owner are never
+    double-reported. Cache-bypassing, like the per-engine scans. *)
 
 (** {1 Merged accounting}
 

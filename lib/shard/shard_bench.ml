@@ -13,10 +13,16 @@ open Spp_benchlib
 type dist =
   | Uniform
   | Zipfian of float   (* theta in (0, 1); YCSB default 0.99 *)
+  | Rotating of { theta : float; period : int }
+      (* Zipfian whose hot set jumps to a fresh key region every
+         [period] draws — the moving-hotspot workload the rebalancer
+         chases; deterministic under the seed like the others *)
 
 let dist_name = function
   | Uniform -> "uniform"
   | Zipfian theta -> Printf.sprintf "zipfian%.2f" theta
+  | Rotating { theta; period } ->
+    Printf.sprintf "rotating%.2f-%d" theta period
 
 type op_kind =
   | O_get
@@ -42,6 +48,8 @@ let gen_ops ?(scan_pct = 0) ?(scan_span = 16) ?(scan_limit = 16) ~seed ~ops
     match dist with
     | Uniform -> Keygen.uniform ~seed ~universe
     | Zipfian theta -> Keygen.zipfian ~theta ~seed ~universe ()
+    | Rotating { theta; period } ->
+      Keygen.rotating ~theta ~seed ~universe ~period ()
   in
   (* separate stream for the op-mix coin so changing the key
      distribution never changes the op mix *)

@@ -526,11 +526,156 @@ let kvscan ?(variant = Spp_access.Spp) ?(ops = 12)
 let kvscan_btree ?variant ?ops () =
   kvscan ?variant ?ops ~engine:Spp_pmemkv.Engines.btree ~name:"kvscan-btree" ()
 
+(* Mid-migration crash torture: the serve layer's slot-migration
+   durability protocol (copy -> durable claim flip -> delete) compressed
+   onto one device, which is what the harness tortures. One pool hosts
+   two engine instances — the "source" and "target" shards of one
+   migrating slot — plus a one-word claim: 0 = the source owns the
+   slot, 1 = the target does. Untracked setup preloads the keys into
+   the source; the even-indexed ones form the migrating slot, the odd
+   ones are bystanders that never move. The tortured program then
+   replays a migration: group-committed copy batches of the migrating
+   keys into the target, one transactional claim flip, group-committed
+   remove batches on the source. The oracle reattaches both maps from
+   their parked roots and requires every key served exactly once by the
+   owner the durable claim names: bystanders always on the source with
+   exact values; claim 0 -> the source still holds every migrating key
+   (a partial copy on the target is unreachable garbage, not service);
+   claim 1 -> the target holds every migrating key (the flip
+   transaction began only after every copy batch committed) and the
+   source's leftovers form a whole-op prefix of the deletes — no key
+   may ever be in neither map, and post-claim the source may only
+   shrink toward empty in delete order. Acks cross-check the claim: an
+   ack count past the copy batches forces claim 1, and a fully acked
+   run forces a clean source. *)
+let kvreshard ?(variant = Spp_access.Spp) ?(ops = 12)
+    ?(engine = Spp_pmemkv.Engines.cmap) ?(name = "kvreshard") () =
+  let nkeys = max 6 ops in
+  let module E = Spp_pmemkv.Engine in
+  let migrating = List.filter (fun i -> i mod 2 = 0) (List.init nkeys Fun.id) in
+  let bystanders = List.filter (fun i -> i mod 2 = 1) (List.init nkeys Fun.id) in
+  let chunk_size = 4 in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+      let rec split n acc = function
+        | x :: tl when n > 0 -> split (n - 1) (x :: acc) tl
+        | rest -> (List.rev acc, rest)
+      in
+      let (c, rest) = split chunk_size [] l in
+      c :: chunks rest
+  in
+  let copy_batches = chunks migrating in
+  let ncopy = List.length copy_batches in
+  let total_steps = ncopy + 1 + ncopy in   (* copies, claim, deletes *)
+  let w_make () =
+    let a =
+      Spp_access.create ~pool_size:(1 lsl 18) ~name:"torture-kvreshard"
+        variant
+    in
+    let pool = a.Spp_access.pool in
+    let src = E.create ~nbuckets:16 engine a in
+    let dst = E.create ~nbuckets:16 engine a in
+    let osz = a.Spp_access.oid_size in
+    let root = a.Spp_access.root ((2 * osz) + 8) in
+    let claim_off = root.Oid.off + (2 * osz) in
+    Pool.store_oid pool ~off:root.Oid.off (E.root_oid src);
+    Pool.store_oid pool ~off:(root.Oid.off + osz) (E.root_oid dst);
+    Pool.store_word pool ~off:claim_off 0;
+    Pool.persist pool ~off:root.Oid.off ~len:((2 * osz) + 8);
+    (* untracked preload: the pre-migration world *)
+    List.iter
+      (fun i -> E.put src ~key:(kv_key i) ~value:(kv_value i))
+      (migrating @ bystanders);
+    let mutate ~ack =
+      List.iter
+        (fun batch ->
+          ignore
+            (E.run_batch dst
+               (Array.of_list
+                  (List.map
+                     (fun i ->
+                       E.B_put { key = kv_key i; value = kv_value i })
+                     batch)));
+          ack ())
+        copy_batches;
+      Pool.with_tx pool (fun () ->
+        Pool.tx_add_range pool ~off:claim_off ~len:8;
+        Pool.store_word pool ~off:claim_off 1);
+      ack ();
+      List.iter
+        (fun batch ->
+          ignore
+            (E.run_batch src
+               (Array.of_list
+                  (List.map (fun i -> E.B_remove (kv_key i)) batch)));
+          ack ())
+        copy_batches
+    in
+    let check ~pool:pool' ~acked =
+      let a' = Spp_access.attach (Pool.space pool') pool' in
+      let root' = Pool.root_oid pool' in
+      let src' = E.attach engine a' ~root:(Pool.load_oid pool' ~off:root'.Oid.off) in
+      let dst' =
+        E.attach engine a' ~root:(Pool.load_oid pool' ~off:(root'.Oid.off + osz))
+      in
+      let claim = Pool.load_word pool' ~off:(root'.Oid.off + (2 * osz)) in
+      let checks = ref [] in
+      let add ok msg = checks := (ok, msg) :: !checks in
+      add (claim = 0 || claim = 1)
+        (Printf.sprintf "claim word is 0 or 1 (got %d)" claim);
+      (* acks never run ahead of durability *)
+      add (not (acked > ncopy) || claim = 1)
+        (Printf.sprintf "acked %d past the copies but claim is %d" acked claim);
+      (* bystanders: always served by the source, exact bytes *)
+      List.iter
+        (fun i ->
+          add (E.get src' (kv_key i) = Some (kv_value i))
+            (Printf.sprintf "bystander %s intact on source" (kv_key i)))
+        bystanders;
+      let owner = if claim = 1 then dst' else src' in
+      let owner_name = if claim = 1 then "target" else "source" in
+      (* exactly-once: whoever the claim names serves every migrating
+         key — never neither *)
+      List.iter
+        (fun i ->
+          add (E.get owner (kv_key i) = Some (kv_value i))
+            (Printf.sprintf "migrating %s served by %s" (kv_key i) owner_name))
+        migrating;
+      if claim = 1 then begin
+        (* the source may only shrink in delete order, whole ops at a
+           time: present keys must be exactly a suffix of the program *)
+        let present =
+          List.map (fun i -> E.get src' (kv_key i) <> None) migrating
+        in
+        let rec is_prefix_of_deletes seen_present = function
+          | [] -> true
+          | p :: tl ->
+            if p then is_prefix_of_deletes true tl
+            else (not seen_present) && is_prefix_of_deletes false tl
+        in
+        add (is_prefix_of_deletes false present)
+          "source leftovers form a whole-op prefix of the deletes";
+        add (not (acked >= total_steps)
+             || List.for_all (fun p -> not p) present)
+          "fully acked migration left keys on the source"
+      end;
+      check_all (List.rev !checks)
+    in
+    { Torture.access = a; mutate; check }
+  in
+  { Torture.w_name = name; w_make }
+
+let kvreshard_btree ?variant ?ops () =
+  kvreshard ?variant ?ops ~engine:Spp_pmemkv.Engines.btree
+    ~name:"kvreshard-btree" ()
+
 let all ?variant ?ops ?engine () =
   [ kvstore ?variant ?ops (); pmemlog ?variant ?ops ();
     counter ?variant ?ops (); kvbatch ?variant ?ops ();
     kvfailover ?variant ?ops ?engine (); kvfailover_drop ?variant ?ops ();
-    kvscan ?variant ?ops ?engine (); kvscan_btree ?variant ?ops () ]
+    kvscan ?variant ?ops ?engine (); kvscan_btree ?variant ?ops ();
+    kvreshard ?variant ?ops ?engine (); kvreshard_btree ?variant ?ops () ]
 
 let by_name ?variant ?ops ?engine = function
   | "kvstore" -> Some (kvstore ?variant ?ops ())
@@ -541,4 +686,6 @@ let by_name ?variant ?ops ?engine = function
   | "kvfailover-drop" -> Some (kvfailover_drop ?variant ?ops ())
   | "kvscan" -> Some (kvscan ?variant ?ops ?engine ())
   | "kvscan-btree" -> Some (kvscan_btree ?variant ?ops ())
+  | "kvreshard" -> Some (kvreshard ?variant ?ops ?engine ())
+  | "kvreshard-btree" -> Some (kvreshard_btree ?variant ?ops ())
   | _ -> None

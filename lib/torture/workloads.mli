@@ -58,6 +58,26 @@ val kvscan_btree :
   ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
 (** [kvscan] over the B-tree engine (registered as ["kvscan-btree"]). *)
 
+val kvreshard :
+  ?variant:Spp_access.variant -> ?ops:int ->
+  ?engine:Spp_pmemkv.Engine.spec -> ?name:string -> unit ->
+  Torture.workload
+(** The slot-migration durability protocol (copy, durable claim flip,
+    delete) on one device: two engine instances play the source and
+    target shards of a migrating slot, a root claim word names the
+    owner. The tortured program copies the migrating keys to the target
+    in group-committed batches, flips the claim in one transaction, then
+    deletes from the source in batches. Oracle: every key served
+    exactly once by the claim-named owner — bystanders always on the
+    source, migrating keys all on whichever side the durable claim
+    names, source leftovers after the flip a whole-op prefix of the
+    deletes, and acks never ahead of durability. *)
+
+val kvreshard_btree :
+  ?variant:Spp_access.variant -> ?ops:int -> unit -> Torture.workload
+(** [kvreshard] over the B-tree engine (registered as
+    ["kvreshard-btree"]). *)
+
 val all :
   ?variant:Spp_access.variant -> ?ops:int ->
   ?engine:Spp_pmemkv.Engine.spec -> unit -> Torture.workload list
@@ -68,5 +88,5 @@ val by_name :
   ?variant:Spp_access.variant -> ?ops:int ->
   ?engine:Spp_pmemkv.Engine.spec -> string -> Torture.workload option
 (** ["kvstore"], ["pmemlog"], ["counter"], ["kvbatch"], ["kvfailover"],
-    ["kvfailover-drop"], ["kvscan"] or ["kvscan-btree"]. [engine] as in
-    {!all}. *)
+    ["kvfailover-drop"], ["kvscan"], ["kvscan-btree"], ["kvreshard"] or
+    ["kvreshard-btree"]. [engine] as in {!all}. *)

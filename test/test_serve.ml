@@ -620,6 +620,266 @@ let test_serve_scan_api () =
       Serve.stop serve)
     [ Spp_pmemkv.Engines.cmap; Spp_pmemkv.Engines.btree ]
 
+(* --- Live slot migration ---------------------------------------------- *)
+
+(* The migration differential: one key-routed op stream executed twice
+   on identically built stores — once on the static slot table, once
+   with slot migrations forced mid-stream (including one slot moved and
+   later moved back) — must produce bit-identical replies in submission
+   order, and the recovered durable contents (each shard's durable image
+   reopened through recovery and reattached) must merge to the same
+   key-value map with every key served by exactly one shard. *)
+let migration_differential engine () =
+  let nshards = 4 and nops = 1_200 in
+  let universe = 96 in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  let ops =
+    Array.init nops (fun i ->
+      let key = key_of (i * 7 mod universe) in
+      match i mod 5 with
+      | 0 | 1 -> Serve.Put { key; value = Printf.sprintf "mv-%06d" i }
+      | 2 -> Serve.Remove key
+      | _ -> Serve.Get key)
+  in
+  let hot_keys = [ key_of 0; key_of 7; key_of 13 ] in
+  let run ~migrate =
+    let t = build_serve_store ~nshards ~engine () in
+    let serve = Serve.create ~batch_cap:8 ~adaptive:false t in
+    let tickets = Array.make nops None in
+    let submit_range lo hi =
+      for i = lo to hi - 1 do
+        tickets.(i) <- Some (Serve.submit serve ops.(i))
+      done
+    in
+    let move key =
+      let slot = Shard.slot_of t key in
+      let src = Shard.route t key in
+      let r = Serve.migrate_slot serve ~slot ~dst:((src + 1) mod nshards) in
+      check_int "migration moved the slot" ((src + 1) mod nshards)
+        (Shard.route t key);
+      check_int "report names the slot" slot r.Serve.mig_slot
+    in
+    submit_range 0 (nops / 3);
+    if migrate then List.iter move hot_keys;
+    submit_range (nops / 3) (2 * nops / 3);
+    if migrate then List.iter move hot_keys;   (* second hop, live again *)
+    submit_range (2 * nops / 3) nops;
+    let replies =
+      Array.map
+        (fun tk -> Serve.await serve (Option.get tk))
+        tickets
+    in
+    Serve.stop serve;
+    (t, replies)
+  in
+  let (t_static, r_static) = run ~migrate:false in
+  let (t_mig, r_mig) = run ~migrate:true in
+  check_int "replies bit-identical to the no-migration run"
+    (Serve.digest_replies r_static) (Serve.digest_replies r_mig);
+  check_int "same surviving entries" (Shard.count_all t_static)
+    (Shard.count_all t_mig);
+  (* recovered durable contents: reopen every shard's durable image
+     through recovery and merge — each key on exactly one shard, and the
+     merged map equal across the two runs *)
+  let recovered t =
+    let per_shard =
+      Array.init nshards (fun i ->
+        let sh = Shard.shard t i in
+        let img =
+          Spp_sim.Memdev.durable_snapshot
+            (Spp_pmdk.Pool.dev (Shard.shard_access sh).Spp_access.pool)
+        in
+        let dev =
+          Spp_sim.Memdev.of_image ~name:(Printf.sprintf "mig-diff%d" i) img
+        in
+        let space = Spp_sim.Space.create () in
+        match Spp_pmdk.Pool.open_dev space ~base:4096 dev with
+        | Error _ -> Alcotest.fail "durable image failed recovery"
+        | Ok (pool', _) ->
+          let a' = Spp_access.attach (Spp_pmdk.Pool.space pool') pool' in
+          let map' =
+            Spp_pmemkv.Engine.attach (Shard.engine t) a'
+              ~root:(Spp_pmemkv.Engine.root_oid (Shard.shard_kv sh))
+          in
+          Array.init universe (fun k ->
+            Spp_pmemkv.Engine.get map' (key_of k)))
+    in
+    Array.init universe (fun k ->
+      let holders =
+        Array.to_list per_shard
+        |> List.filter_map (fun contents -> contents.(k))
+      in
+      check_bool
+        (Printf.sprintf "key %d durable on at most one shard" k)
+        true (List.length holders <= 1);
+      holders)
+  in
+  Alcotest.(check (array (list string)))
+    "recovered durable contents equivalent" (recovered t_static)
+    (recovered t_mig);
+  ignore (Serve.forwarded : Serve.t -> int)
+
+let test_migration_differential () =
+  migration_differential Spp_pmemkv.Engines.cmap ()
+
+let test_migration_differential_btree () =
+  migration_differential Spp_pmemkv.Engines.btree ()
+
+(* Migration accounting and edge cases on a settled store: reports count
+   the copied keys, a no-op migration reports zero, invalid arguments
+   are rejected, Migration_failed has a printer, and a whole-store scan
+   right after a migration still serves every key exactly once. *)
+let test_migration_report_and_scan () =
+  let nshards = 3 in
+  let t = build_serve_store ~nshards () in
+  let serve = Serve.create ~batch_cap:8 t in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  for i = 0 to 63 do
+    ignore
+      (Serve.await serve
+         (Serve.submit serve
+            (Serve.Put { key = key_of i; value = Printf.sprintf "r%02d" i })))
+  done;
+  let slot = Shard.slot_of t (key_of 5) in
+  let src = Shard.route t (key_of 5) in
+  let dst = (src + 1) mod nshards in
+  let r = Serve.migrate_slot serve ~slot ~dst in
+  check_bool "copied at least the probe key" true (r.Serve.mig_keys >= 1);
+  check_int "from" src r.Serve.mig_from;
+  check_int "to" dst r.Serve.mig_to;
+  check_int "migrations counted" 1 (Serve.migrations serve);
+  check_bool "keys_moved accumulates" true (Serve.keys_moved serve >= 1);
+  let r2 = Serve.migrate_slot serve ~slot ~dst in
+  check_int "no-op migration copies nothing" 0 r2.Serve.mig_keys;
+  Alcotest.(check (option string))
+    "migrated key served from the new owner" (Some "r05")
+    (Shard.get t (key_of 5));
+  (match Serve.scan serve ~lo:(key_of 0) ~hi:(key_of 63) ~limit:1000 with
+   | Ok kvs ->
+     check_int "post-migration scan serves every key once" 64
+       (List.length kvs);
+     check_bool "scan ordered" true
+       (List.for_all2
+          (fun (k, _) i -> k = key_of i)
+          kvs
+          (List.init 64 Fun.id))
+   | Error _ -> Alcotest.fail "scan failed");
+  check_bool "bad slot rejected" true
+    (try ignore (Serve.migrate_slot serve ~slot:(-1) ~dst); false
+     with Invalid_argument _ -> true);
+  check_bool "bad dst rejected" true
+    (try ignore (Serve.migrate_slot serve ~slot ~dst:nshards); false
+     with Invalid_argument _ -> true);
+  let printed =
+    Printexc.to_string (Serve.Migration_failed { slot = 3; reason = "x" })
+  in
+  check_bool "Migration_failed printer registered" true
+    (let sub = "slot 3" in
+     let n = String.length printed and m = String.length sub in
+     let rec hit i = i + m <= n && (String.sub printed i m = sub || hit (i + 1)) in
+     hit 0);
+  Serve.stop serve
+
+(* The rebalancer chases a forced hotspot: hammer two co-owned slots of
+   shard 0, tick until the hysteresis fires, and the hot slots must land
+   on another shard while every reply stays correct. *)
+let test_rebalancer_moves_hot_slots () =
+  let nshards = 2 in
+  let t = build_serve_store ~nshards () in
+  let serve = Serve.create ~batch_cap:8 ~adaptive:false t in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  (* find keys owned by shard 0 *)
+  let hot =
+    List.filteri (fun i _ -> i < 4)
+      (List.filter
+         (fun k -> Shard.route t k = 0)
+         (List.init 64 (fun i -> key_of i)))
+  in
+  List.iter
+    (fun k ->
+      ignore
+        (Serve.await serve
+           (Serve.submit serve (Serve.Put { key = k; value = "hot-" ^ k }))))
+    hot;
+  let cfg =
+    { Rebalance.default_config with
+      Rebalance.min_ops = 8; persist = 1; cooldown = 0 }
+  in
+  let rb = Rebalance.create ~cfg serve in
+  let fired = ref 0 in
+  for _tick = 1 to 6 do
+    List.iter
+      (fun k ->
+        for _ = 1 to 16 do
+          ignore (Serve.await serve (Serve.submit serve (Serve.Get k)))
+        done)
+      hot;
+    fired := !fired + Rebalance.tick rb
+  done;
+  check_bool "rebalancer fired" true (!fired > 0);
+  check_bool "a hot slot moved off shard 0" true
+    (List.exists (fun k -> Shard.route t k <> 0) hot);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "value survives the move" (Some ("hot-" ^ k)) (Shard.get t k))
+    hot;
+  let s = Rebalance.stats rb in
+  check_int "stats count the ticks" 6 s.Rebalance.rb_ticks;
+  check_bool "stats count the moves" true (s.Rebalance.rb_moves = !fired);
+  Serve.stop serve
+
+(* Reply-byte stability under the reusable per-worker drain buffers:
+   distinct value lengths and bytes interleaved through one worker's
+   batches must come back exact — a scratch buffer aliasing replies
+   across a drain would corrupt earlier replies in the same batch. *)
+let test_reply_bytes_unchanged () =
+  let t = build_serve_store ~nshards:1 () in
+  let serve = Serve.create ~batch_cap:32 ~adaptive:false ~autostart:false t in
+  let value i = String.init (1 + (i * 37 mod 300)) (fun j ->
+    Char.chr (32 + ((i + j) mod 95)))
+  in
+  let n = 128 in
+  for i = 0 to n - 1 do
+    ignore (Serve.submit_to serve 0
+              (Serve.Put { key = Printf.sprintf "rb-%03d" i; value = value i }))
+  done;
+  (* gets of every key plus full scans ride the same drains *)
+  let gets =
+    Array.init n (fun i ->
+      Serve.submit_to serve 0 (Serve.Get (Printf.sprintf "rb-%03d" i)))
+  in
+  let scan_all =
+    Serve.submit_to serve 0
+      (Serve.Scan { lo = "rb-"; hi = "rb-999"; limit = 4096 })
+  in
+  let scan_limited =
+    Serve.submit_to serve 0
+      (Serve.Scan { lo = "rb-"; hi = "rb-999"; limit = 7 })
+  in
+  Serve.start serve;
+  Array.iteri
+    (fun i tk ->
+      match Serve.await serve tk with
+      | Serve.Value (Some v) ->
+        check_bool (Printf.sprintf "get %d bytes exact" i) true (v = value i)
+      | _ -> Alcotest.fail "get reply shape")
+    gets;
+  (match (Serve.await serve scan_all, Serve.await serve scan_limited) with
+   | Serve.Scanned all, Serve.Scanned limited ->
+     check_int "scan width" n (List.length all);
+     List.iteri
+       (fun i (k, v) ->
+         check_bool "scan key exact" true (k = Printf.sprintf "rb-%03d" i);
+         check_bool "scan value bytes exact" true (v = value i))
+       all;
+     Alcotest.(check (list (pair string string)))
+       "limited scan = prefix of full scan, byte-equal"
+       (List.filteri (fun i _ -> i < 7) all)
+       limited
+   | _ -> Alcotest.fail "scan reply shape");
+  Serve.stop serve
+
 (* --- Divergence diagnostics ------------------------------------------- *)
 
 let test_explain_divergence () =
@@ -1037,6 +1297,19 @@ let () =
             test_serve_bypass_fast_path;
           Alcotest.test_case "deterministic mode ignores the cache" `Quick
             test_cache_deterministic_mode;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "migration = static differential" `Quick
+            test_migration_differential;
+          Alcotest.test_case "migration = static differential (btree)"
+            `Quick test_migration_differential_btree;
+          Alcotest.test_case "report, no-op, scan exactly-once" `Quick
+            test_migration_report_and_scan;
+          Alcotest.test_case "rebalancer chases a hotspot" `Quick
+            test_rebalancer_moves_hot_slots;
+          Alcotest.test_case "reply bytes exact through drain buffers"
+            `Quick test_reply_bytes_unchanged;
         ] );
       ( "failure propagation",
         [

@@ -59,6 +59,34 @@ let test_uniform_deterministic_range () =
   check_bool "deterministic" true (a = draws (mk ()) 3000);
   Array.iter (fun v -> check_bool "in range" true (v >= 0 && v < 333)) a
 
+(* Rotating hotspot: deterministic under the seed like the others, stays
+   in range, and the hot region actually moves — the modal key of one
+   epoch's draws must differ from the next epoch's. *)
+let test_rotating_deterministic_moves () =
+  let universe = 1000 and period = 500 in
+  let mk seed = Keygen.rotating ~theta:0.99 ~seed ~universe ~period () in
+  let a = draws (mk 7) 3000 in
+  check_bool "same seed, same stream" true (a = draws (mk 7) 3000);
+  check_bool "different seed, different stream" false (a = draws (mk 8) 3000);
+  Array.iter
+    (fun v -> check_bool "in range" true (v >= 0 && v < universe))
+    a;
+  let modal lo hi =
+    let counts = Hashtbl.create 64 in
+    for i = lo to hi - 1 do
+      Hashtbl.replace counts a.(i)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts a.(i)))
+    done;
+    Hashtbl.fold
+      (fun k n (bk, bn) -> if n > bn then (k, n) else (bk, bn))
+      counts (-1, 0)
+  in
+  let (m0, n0) = modal 0 period and (m1, n1) = modal period (2 * period) in
+  check_bool "epochs are skewed" true (n0 > period / 10 && n1 > period / 10);
+  check_bool
+    (Printf.sprintf "hot key moved across epochs (%d vs %d)" m0 m1)
+    true (m0 <> m1)
+
 (* --- Router ----------------------------------------------------------- *)
 
 let test_router_consistency () =
@@ -106,6 +134,73 @@ let test_routed_ops_oracle () =
         "get agrees" (Hashtbl.find_opt model key) (Shard.get t key)
   done;
   check_int "count" (Hashtbl.length model) (Shard.count_all t)
+
+(* --- Slot map ---------------------------------------------------------- *)
+
+(* The versioned slot table: key->slot hashing is pure and stable, the
+   fresh table reproduces the static modulo router, reassignment bumps
+   the version and is visible through every accessor, and the store scan
+   ownership-filters so a reassigned slot is served exactly once. *)
+let test_slot_map () =
+  let nslots = Shard.default_nslots in
+  for i = 0 to 499 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    let s = Shard.slot_of_key ~nslots key in
+    check_bool "slot in range" true (s >= 0 && s < nslots);
+    check_int "slot hashing stable" s (Shard.slot_of_key ~nslots key)
+  done;
+  let nshards = 4 in
+  let t = Shard.create ~nbuckets:16 ~pool_size:(1 lsl 21) ~nshards
+      Spp_access.Spp in
+  check_int "default slot count" nslots (Shard.nslots t);
+  let v0 = Shard.table_version t in
+  for i = 0 to 199 do
+    let key = Spp_pmemkv.Db_bench.key_of_int i in
+    check_int "fresh table = static modulo router"
+      (Shard.shard_of_key ~nshards key) (Shard.route t key);
+    check_int "route = owner of slot"
+      (Shard.owner t (Shard.slot_of t key)) (Shard.route t key)
+  done;
+  let counts = Array.init nshards (fun i -> Shard.owned_slots t i) in
+  check_int "slots partitioned" nslots (Array.fold_left ( + ) 0 counts);
+  (* pick a real key, move its slot, and watch everything update *)
+  let key = Spp_pmemkv.Db_bench.key_of_int 0 in
+  Shard.put t ~key ~value:"v0";
+  let slot = Shard.slot_of t key in
+  let src = Shard.route t key in
+  let dst = (src + 1) mod nshards in
+  Shard.set_slot_owner t ~slot ~shard:dst;
+  check_bool "version bumped" true (Shard.table_version t > v0);
+  check_int "route follows the table" dst (Shard.route t key);
+  check_int "owner agrees" dst (Shard.owner t slot);
+  check_int "owned_slots src shrank" (counts.(src) - 1)
+    (Shard.owned_slots t src);
+  check_int "owned_slots dst grew" (counts.(dst) + 1)
+    (Shard.owned_slots t dst);
+  check_bool "slots_of_shard dst lists the slot" true
+    (List.mem slot (Shard.slots_of_shard t dst));
+  check_bool "slots_of_shard src dropped it" false
+    (List.mem slot (Shard.slots_of_shard t src));
+  (* the assignment snapshot is a copy — mutating it must not route *)
+  let a = Shard.assignment t in
+  a.(slot) <- src;
+  check_int "assignment returns a copy" dst (Shard.route t key);
+  (* ownership filter: the key's value lives only on src's engine (we
+     reassigned without copying), so a store scan must not serve it —
+     the slot's owner is dst and dst has no copy *)
+  let window = Shard.scan t ~lo:key ~hi:key ~limit:10 in
+  check_int "reassigned slot not served from old owner" 0
+    (List.length window);
+  Shard.set_slot_owner t ~slot ~shard:src;
+  Alcotest.(check (list (pair string string)))
+    "restored owner serves it again" [ (key, "v0") ]
+    (Shard.scan t ~lo:key ~hi:key ~limit:10);
+  check_bool "invalid slot rejected" true
+    (try ignore (Shard.set_slot_owner t ~slot:nslots ~shard:0); false
+     with Invalid_argument _ -> true);
+  check_bool "invalid shard rejected" true
+    (try ignore (Shard.set_slot_owner t ~slot:0 ~shard:nshards); false
+     with Invalid_argument _ -> true)
 
 (* --- Parallel-vs-sequential differential ------------------------------ *)
 
@@ -222,6 +317,8 @@ let () =
             test_zipfian_skew;
           Alcotest.test_case "uniform deterministic + range" `Quick
             test_uniform_deterministic_range;
+          Alcotest.test_case "rotating hotspot deterministic + moves" `Quick
+            test_rotating_deterministic_moves;
         ] );
       ( "router",
         [
@@ -229,6 +326,8 @@ let () =
             test_router_consistency;
           Alcotest.test_case "routed ops vs oracle" `Quick
             test_routed_ops_oracle;
+          Alcotest.test_case "slot map versioned reassignment" `Quick
+            test_slot_map;
         ] );
       ( "parallel",
         [

@@ -73,6 +73,14 @@ let test_kvscan_btree_full () = full_enum (Workloads.kvscan_btree ~ops:9 ())
 let test_kvscan_btree_native_full () =
   full_enum (Workloads.kvscan_btree ~variant:Spp_access.Pmdk ~ops:8 ())
 
+(* Mid-migration crash torture: the slot-migration protocol's
+   copy -> claim flip -> delete must serve every key exactly once from
+   the claim-designated owner at every crash point, on both engines. *)
+let test_kvreshard_full () = full_enum (Workloads.kvreshard ~ops:8 ())
+
+let test_kvreshard_btree_full () =
+  full_enum (Workloads.kvreshard_btree ~ops:8 ())
+
 let test_budget_sampling () =
   let r = Torture.run ~budget:10 (Workloads.counter ~ops:8 ()) in
   check_bool "within budget" true (r.Torture.r_crash_points <= 10);
@@ -257,6 +265,10 @@ let () =
             `Quick test_kvscan_btree_full;
           Alcotest.test_case "kvscan-btree, native variant" `Quick
             test_kvscan_btree_native_full;
+          Alcotest.test_case "mid-migration crashes serve keys exactly once"
+            `Quick test_kvreshard_full;
+          Alcotest.test_case "kvreshard, btree engine" `Quick
+            test_kvreshard_btree_full;
           Alcotest.test_case "budget sampling" `Quick test_budget_sampling;
         ] );
       ( "engine differential",
