@@ -2118,6 +2118,303 @@ let reshard () =
         speedup)
     [ 4; 8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Net: wire-protocol front end + open-loop YCSB macrobenchmark        *)
+(* ------------------------------------------------------------------ *)
+
+(* Four parts over a unix-domain loopback (no port collisions in CI).
+   (1) Correctness gate: the same point-op stream through one wire
+   connection and through [run_sequential] on an identically built
+   store must produce bit-identical reply digests, both engines.
+   (2) Closed-loop ceiling: loopback throughput vs the in-process
+   pipeline at equal shard count — the wire must keep >= 0.5x.
+   (3) Open-loop arrival-rate sweep (YCSB-B): latency measured from the
+   *intended* send time of a pre-drawn schedule, i.e. coordinated-
+   omission-safe; the service-time p99 is printed alongside so the gap
+   (the omission a closed-loop driver hides) is visible in the output.
+   (4) The YCSB letter suite A-F against the btree engine (E needs
+   ordered scans), each letter open-loop at a fixed fraction of the
+   measured ceiling. *)
+let net () =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  let open Spp_net in
+  print_title "Net: wire front end, open-loop (CO-safe) YCSB macrobenchmark";
+  let nshards = 2 in
+  let universe = sc 2_000 in
+  let value = String.make 256 'v' in
+  let key_of = Spp_pmemkv.Db_bench.key_of_int in
+  let sock tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spp-net-%d-%s.sock" (Unix.getpid ()) tag)
+  in
+  let engines =
+    [ ("cmap", Spp_pmemkv.Engines.cmap); ("btree", Spp_pmemkv.Engines.btree) ]
+  in
+  let build engine =
+    let t = Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~engine ~nshards
+        Spp_access.Spp in
+    Shard_bench.preload t ~keys:universe;
+    Shard.reset_stats t;
+    t
+  in
+  let with_wire ~tag engine f =
+    let t = build engine in
+    let sv = Serve.create ~batch_cap:32 t in
+    let srv = Net_server.create sv (Unix.ADDR_UNIX (sock tag)) in
+    Fun.protect
+      ~finally:(fun () ->
+        Net_server.stop srv;
+        Serve.stop sv)
+      (fun () -> f (Net_server.addr srv))
+  in
+  Printf.printf
+    "(%d shards, %d-key universe preloaded, 256 B values, unix-domain \
+     loopback)\n"
+    nshards universe;
+  (* -- part 1: wire vs in-process differential, both engines -- *)
+  print_subtitle "wire vs in-process differential (reply digests, per engine)";
+  let diff_ops = sc 4_000 in
+  List.iter
+    (fun (ename, engine) ->
+      (* point ops only: the wire executes a scan the moment it is
+         decoded, while [run_sequential] orders it within its shard
+         stream — routed ops are order-identical on both paths, scans
+         are pinned by the tier-1 net tests instead *)
+      let st = Random.State.make [| 0xE77; diff_ops |] in
+      let reqs =
+        Array.init diff_ops (fun _ ->
+          let key = key_of (Random.State.int st universe) in
+          match Random.State.int st 10 with
+          | 0 | 1 | 2 | 3 -> Serve.Put { key; value }
+          | 4 -> Serve.Remove key
+          | _ -> Serve.Get key)
+      in
+      let wire_digest =
+        with_wire ~tag:("diff-" ^ ename) engine (fun addr ->
+          let cl = Net_client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Net_client.close cl)
+            (fun () ->
+              let futs = Array.map (Net_client.send cl) reqs in
+              Serve.digest_replies (Array.map (Net_client.await cl) futs)))
+      in
+      let seq_digest =
+        (* identically built store; partition by shard, run sequentially,
+           reassemble the replies into send order *)
+        let t = build engine in
+        let buckets = Array.make nshards [] in
+        Array.iter
+          (fun r ->
+            let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+            buckets.(s) <- r :: buckets.(s))
+          reqs;
+        let streams = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+        let per_shard = Serve.run_sequential t ~batch_cap:32 streams in
+        let cursors = Array.make nshards 0 in
+        Serve.digest_replies
+          (Array.map
+             (fun r ->
+               let s = Shard.shard_of_key ~nshards (Serve.request_key r) in
+               let reply = per_shard.(s).(cursors.(s)) in
+               cursors.(s) <- cursors.(s) + 1;
+               reply)
+             reqs)
+      in
+      let identical = wire_digest = seq_digest in
+      Printf.printf "  %-6s %d ops: %s\n" ename diff_ops
+        (if identical then "bit-identical reply digests"
+         else "!! DIVERGENCE — results invalid");
+      jemit ~experiment:"net" ~name:("differential/" ^ ename)
+        ~metric:"identical"
+        (if identical then 1. else 0.);
+      if not identical then
+        failwith ("net: wire vs in-process divergence on " ^ ename))
+    engines;
+  (* -- part 2: closed-loop throughput ceiling -- *)
+  print_subtitle "closed-loop ceiling: loopback wire vs in-process pipeline";
+  let ceil_ops = sc 24_000 in
+  let window = 128 and nclients = 2 in
+  let gen_reqs ~seed n =
+    let st = Random.State.make [| seed; 0xB0A7 |] in
+    Array.init n (fun _ ->
+      let key = key_of (Random.State.int st universe) in
+      if Random.State.int st 4 = 3 then Serve.Get key
+      else Serve.Put { key; value })
+  in
+  let inproc_thr =
+    let t = build Spp_pmemkv.Engines.cmap in
+    let sv = Serve.create ~batch_cap:32 t in
+    let per_client =
+      Array.init nclients (fun c ->
+        gen_reqs ~seed:(50 + c) (ceil_ops / nclients))
+    in
+    let t0 = now_mono () in
+    let feeders =
+      Array.map
+        (fun reqs ->
+          Domain.spawn (fun () ->
+            let q = Queue.create () in
+            Array.iter
+              (fun r ->
+                if Queue.length q >= window then
+                  ignore (Serve.await sv (Queue.pop q));
+                Queue.push (Serve.submit sv r) q)
+              reqs;
+            Queue.iter (fun tk -> ignore (Serve.await sv tk)) q))
+        per_client
+    in
+    Array.iter Domain.join feeders;
+    let wall = now_mono () -. t0 in
+    Serve.stop sv;
+    float_of_int (nclients * (ceil_ops / nclients)) /. Float.max wall 1e-9
+  in
+  let wire_thr =
+    with_wire ~tag:"ceiling" Spp_pmemkv.Engines.cmap (fun addr ->
+      let per_client =
+        Array.init nclients (fun c ->
+          gen_reqs ~seed:(50 + c) (ceil_ops / nclients))
+      in
+      let t0 = now_mono () in
+      let drivers =
+        Array.map
+          (fun reqs ->
+            Domain.spawn (fun () ->
+              (* corked: the ceiling is a throughput number, so batching
+                 request frames into ~8 KiB writes is fair game *)
+              let cl = Net_client.connect ~cork:true addr in
+              Fun.protect
+                ~finally:(fun () -> Net_client.close cl)
+                (fun () ->
+                  Loadgen.closed_loop cl ~window ~ops:(Array.length reqs)
+                    ~next:(fun i -> [| reqs.(i) |]))))
+          per_client
+      in
+      let results = Array.map Domain.join drivers in
+      let wall = now_mono () -. t0 in
+      let ops = Array.fold_left (fun a r -> a + r.Loadgen.lg_ops) 0 results in
+      float_of_int ops /. Float.max wall 1e-9)
+  in
+  let ratio = wire_thr /. Float.max inproc_thr 1e-9 in
+  Printf.printf "  in-process %s | loopback %s | ratio %.2fx %s\n"
+    (fmt_ops inproc_thr) (fmt_ops wire_thr) ratio
+    (if ratio >= 0.5 then "(>= 0.5x: OK)" else "(below the 0.5x bar!)");
+  jemit ~experiment:"net" ~name:"ceiling/inproc" ~metric:"ops_per_s"
+    ~unit_:"op/s" inproc_thr;
+  jemit ~experiment:"net" ~name:"ceiling/loopback" ~metric:"ops_per_s"
+    ~unit_:"op/s"
+    ~extra:[ ("ratio_vs_inproc", Json_out.J_float ratio) ]
+    wire_thr;
+  if (not quick) && ratio < 0.5 then
+    failwith "net: loopback throughput below 0.5x of in-process";
+  (* -- part 3: open-loop arrival-rate sweep (YCSB-B) -- *)
+  print_subtitle "open-loop sweep (YCSB-B, latency from intended send time)";
+  if quick then
+    Printf.printf
+      "(note: percentiles are meaningless under --quick; use a full run)\n";
+  print_row ~w:12
+    [ "rate frac"; "target/s"; "achieved/s"; "p50 us"; "p99 us"; "p999 us";
+      "svc p99 us"; "failed" ];
+  let sweep_ops = sc 20_000 in
+  let us h p = float_of_int (Histogram.percentile h p) /. 1e3 in
+  List.iter
+    (fun frac ->
+      Gc.compact ();
+      with_wire ~tag:(Printf.sprintf "open%02.0f" (frac *. 100.))
+        Spp_pmemkv.Engines.cmap (fun addr ->
+          let cl = Net_client.connect ~pool:2 addr in
+          Fun.protect
+            ~finally:(fun () -> Net_client.close cl)
+            (fun () ->
+              let y = Ycsb.create ~letter:Ycsb.B ~seed:11 ~universe () in
+              let rate = Float.max 1. (frac *. wire_thr) in
+              let r =
+                Loadgen.open_loop cl ~rate ~ops:sweep_ops
+                  ~next:
+                    (Loadgen.ycsb_next y ~key:key_of ~value:(fun _ -> value))
+              in
+              print_row ~w:12
+                [ Printf.sprintf "%.1f" frac;
+                  Printf.sprintf "%.0f" r.Loadgen.lg_target;
+                  Printf.sprintf "%.0f" r.Loadgen.lg_achieved;
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 50.);
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 99.);
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 99.9);
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_service 99.);
+                  string_of_int r.Loadgen.lg_failed ];
+              let nm what = Printf.sprintf "open/frac%.0f/%s" (frac *. 100.) what in
+              jemit ~experiment:"net" ~name:(nm "throughput")
+                ~metric:"ops_per_s" ~unit_:"op/s"
+                ~extra:
+                  [ ("target_ops_per_s", Json_out.J_float r.Loadgen.lg_target);
+                    ("failed", Json_out.J_int r.Loadgen.lg_failed) ]
+                r.Loadgen.lg_achieved;
+              List.iter
+                (fun p ->
+                  jemit ~experiment:"net" ~name:(nm (Printf.sprintf "p%g" p))
+                    ~metric:"latency_us" ~unit_:"us"
+                    ~extra:
+                      [ ("service_us",
+                         Json_out.J_float (us r.Loadgen.lg_service p)) ]
+                    (us r.Loadgen.lg_hist p))
+                [ 50.; 99.; 99.9 ])))
+    [ 0.3; 0.6; 0.9 ];
+  (* -- part 4: YCSB letter suite A-F (btree engine, ordered scans) -- *)
+  print_subtitle "YCSB A-F (btree engine, open loop at 0.25x cmap ceiling)";
+  let short = function
+    | Ycsb.A -> "A upd-heavy"
+    | Ycsb.B -> "B read-heavy"
+    | Ycsb.C -> "C read-only"
+    | Ycsb.D -> "D read-latest"
+    | Ycsb.E -> "E scan-heavy"
+    | Ycsb.F -> "F rmw"
+  in
+  print_row ~w:14
+    [ "workload"; "target/s"; "achieved/s"; "p50 us"; "p99 us"; "p999 us";
+      "failed" ];
+  let letter_ops = sc 8_000 in
+  let letter_rate = Float.max 1. (0.25 *. wire_thr) in
+  List.iter
+    (fun letter ->
+      Gc.compact ();
+      let lc = Ycsb.char_of_letter letter in
+      with_wire ~tag:(Printf.sprintf "ycsb-%c" lc) Spp_pmemkv.Engines.btree
+        (fun addr ->
+          let cl = Net_client.connect ~pool:2 addr in
+          Fun.protect
+            ~finally:(fun () -> Net_client.close cl)
+            (fun () ->
+              let y =
+                Ycsb.create ~max_span:16 ~letter ~seed:23 ~universe ()
+              in
+              let r =
+                Loadgen.open_loop cl ~rate:letter_rate ~ops:letter_ops
+                  ~next:
+                    (Loadgen.ycsb_next y ~key:key_of ~value:(fun _ -> value))
+              in
+              print_row ~w:14
+                [ short letter;
+                  Printf.sprintf "%.0f" r.Loadgen.lg_target;
+                  Printf.sprintf "%.0f" r.Loadgen.lg_achieved;
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 50.);
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 99.);
+                  Printf.sprintf "%.1f" (us r.Loadgen.lg_hist 99.9);
+                  string_of_int r.Loadgen.lg_failed ];
+              let nm what = Printf.sprintf "ycsb/%c/%s" lc what in
+              jemit ~experiment:"net" ~name:(nm "throughput")
+                ~metric:"ops_per_s" ~unit_:"op/s"
+                ~extra:
+                  [ ("target_ops_per_s", Json_out.J_float r.Loadgen.lg_target);
+                    ("mix", Json_out.J_string (Ycsb.describe letter));
+                    ("failed", Json_out.J_int r.Loadgen.lg_failed) ]
+                r.Loadgen.lg_achieved;
+              List.iter
+                (fun p ->
+                  jemit ~experiment:"net" ~name:(nm (Printf.sprintf "p%g" p))
+                    ~metric:"latency_us" ~unit_:"us" (us r.Loadgen.lg_hist p))
+                [ 50.; 99.; 99.9 ])))
+    [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
+
 let experiments =
   [
     ("fig4", fig4);
@@ -2139,6 +2436,7 @@ let experiments =
     ("failover", failover);
     ("scan", scan_bench);
     ("reshard", reshard);
+    ("net", net);
   ]
 
 let () =

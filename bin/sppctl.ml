@@ -8,8 +8,10 @@
      check     run an index workload under the pmemcheck trace checker
      explore   pmreorder-style crash-state exploration of an index op
      torture   systematic crash-point enumeration with media faults
-     serve     drive the async batched serving pipeline (group commit)
-     failover  kill a shard's primary mid-run and promote its replica *)
+     serve     drive the async batched serving pipeline (group commit),
+               or expose it on a socket with --listen
+     failover  kill a shard's primary mid-run and promote its replica
+     netbench  YCSB suite over the wire front end, open- or closed-loop *)
 
 open Cmdliner
 
@@ -438,8 +440,18 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "stats-table" ] ~doc)
   in
+  let listen_arg =
+    let doc =
+      "Expose the pipeline on a socket (unix:PATH, PORT for loopback \
+       TCP, or HOST:PORT) and serve the wire protocol until killed, \
+       instead of driving synthetic load. Drive it with `sppctl \
+       netbench --connect ADDR`. The synthetic-load flags (--ops, \
+       --window, --zipf, --rebalance, --stats-table) are ignored."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
   let run variant engine nshards batch_cap ops window cache_cap no_cache
-      replicas ack_policy slots rebalance zipf stats_table =
+      replicas ack_policy slots rebalance zipf stats_table listen =
     let open Spp_shard in
     let open Spp_benchlib in
     let nshards = max 1 nshards and window = max 1 window in
@@ -472,6 +484,23 @@ let serve_cmd =
     done;
     Shard.reset_stats t;
     let sv = Serve.create ~batch_cap ?replication t in
+    match listen with
+    | Some addrstr ->
+      let srv =
+        Spp_net.Net_server.create sv (Spp_net.Net_server.parse_addr addrstr)
+      in
+      Format.printf "serving %d shard(s) (%s, %s engine) on %a@." nshards
+        (Spp_access.variant_name variant)
+        (Shard.engine_name t) Spp_net.Net_server.pp_addr
+        (Spp_net.Net_server.addr srv);
+      Format.printf
+        "wire protocol: u32le length-prefixed frames (lib/net/wire.mli); \
+         drive with `sppctl netbench --connect %s`; Ctrl-C stops@."
+        addrstr;
+      while true do
+        Unix.sleep 3600
+      done
+    | None ->
     let rb = if rebalance then Some (Rebalance.create sv) else None in
     let st = Random.State.make [| 0x5E12 |] in
     let next_key =
@@ -610,7 +639,7 @@ let serve_cmd =
     Term.(const run $ variant_arg $ engine_arg $ shards_arg $ batch_cap_arg
           $ serve_ops_arg $ window_arg $ cache_cap_arg $ no_cache_arg
           $ replicas_arg $ ack_policy_arg $ slots_arg $ rebalance_arg
-          $ zipf_arg $ stats_table_arg)
+          $ zipf_arg $ stats_table_arg $ listen_arg)
 
 (* failover *)
 
@@ -738,11 +767,220 @@ let failover_cmd =
     Term.(const run $ variant_arg $ engine_arg $ shards_arg $ replicas_arg
           $ ack_policy_arg $ fo_ops_arg $ drop_rate_arg)
 
+(* netbench *)
+
+let netbench_cmd =
+  let open Spp_shard in
+  let open Spp_benchlib in
+  let open Spp_net in
+  let shards_arg =
+    let doc = "Shards of the self-hosted server (ignored with --connect)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let letter_arg =
+    let doc =
+      "YCSB workload letter: a (50/50 read/update), b (95/5), c (read \
+       only), d (read latest/insert), e (scan/insert — wants --engine \
+       btree), f (read-modify-write), or `all'."
+    in
+    Arg.(value & opt string "b" & info [ "letter" ] ~docv:"LETTER" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Open-loop target arrival rate in ops/s; 0 measures a quick \
+       closed-loop ceiling first and targets half of it."
+    in
+    Arg.(value & opt float 0. & info [ "rate" ] ~docv:"OPS_PER_S" ~doc)
+  in
+  let closed_arg =
+    let doc =
+      "Closed-loop mode (throughput ceiling; tail latencies suffer \
+       coordinated omission) instead of the default open loop."
+    in
+    Arg.(value & flag & info [ "closed" ] ~doc)
+  in
+  let nb_ops_arg =
+    let doc = "Operations per workload letter." in
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let conns_arg =
+    let doc = "Client connections in the pool." in
+    Arg.(value & opt int 2 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let nb_window_arg =
+    let doc = "In-flight window of the closed loop." in
+    Arg.(value & opt int 128 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let universe_arg =
+    let doc = "Keys preloaded (over the wire) before measuring." in
+    Arg.(value & opt int 2_000 & info [ "universe" ] ~docv:"N" ~doc)
+  in
+  let value_size_arg =
+    let doc = "Value payload bytes." in
+    Arg.(value & opt int 256 & info [ "value-size" ] ~docv:"BYTES" ~doc)
+  in
+  let connect_arg =
+    let doc =
+      "Drive an already-running server (e.g. `sppctl serve --listen \
+       ADDR`) at unix:PATH, PORT or HOST:PORT instead of self-hosting \
+       one in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let run variant engine nshards letter rate closed ops conns window universe
+      value_size connect =
+    let letters =
+      match String.lowercase_ascii letter with
+      | "all" -> [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
+      | s when String.length s = 1 ->
+        (try [ Ycsb.letter_of_char s.[0] ]
+         with Invalid_argument _ ->
+           prerr_endline ("unknown workload letter " ^ letter
+                          ^ " (expected a..f or all)");
+           exit 2)
+      | _ ->
+        prerr_endline ("unknown workload letter " ^ letter
+                       ^ " (expected a..f or all)");
+        exit 2
+    in
+    let key_of = Spp_pmemkv.Db_bench.key_of_int in
+    let value = String.make (max 1 value_size) 'v' in
+    let cleanup, addr =
+      match connect with
+      | Some a -> ((fun () -> ()), Net_server.parse_addr a)
+      | None ->
+        let t =
+          Shard.create ~nbuckets:512 ~pool_size:(1 lsl 24) ~engine
+            ~nshards:(max 1 nshards) variant
+        in
+        let sv = Serve.create ~batch_cap:32 t in
+        let sock =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sppctl-netbench-%d.sock" (Unix.getpid ()))
+        in
+        let srv = Net_server.create sv (Unix.ADDR_UNIX sock) in
+        Format.printf "self-hosted %d shard(s) (%s, %s engine) on %a@."
+          (max 1 nshards)
+          (Spp_access.variant_name variant)
+          (Shard.engine_name t) Net_server.pp_addr (Net_server.addr srv);
+        ( (fun () ->
+            Net_server.stop srv;
+            Serve.stop sv),
+          Net_server.addr srv )
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+      (* preload over the wire, corked — both modes exercise it *)
+      let pre = Net_client.connect ~cork:true addr in
+      let futs =
+        Array.init universe (fun i ->
+          Net_client.send pre (Serve.Put { key = key_of i; value }))
+      in
+      Array.iter (fun fu -> ignore (Net_client.await pre fu)) futs;
+      Net_client.close pre;
+      Printf.printf "preloaded %d keys (%d B values)\n%!" universe value_size;
+      let rate =
+        if closed || rate > 0. then rate
+        else begin
+          (* quick corked closed-loop ceiling on uniform point ops *)
+          let cl = Net_client.connect ~pool:conns ~cork:true addr in
+          let st = Random.State.make [| 0xCE11 |] in
+          let probe = max 2_000 (ops / 4) in
+          let r =
+            Loadgen.closed_loop cl ~window ~ops:probe ~next:(fun _ ->
+              let key = key_of (Random.State.int st universe) in
+              if Random.State.int st 4 = 3 then [| Serve.Get key |]
+              else [| Serve.Put { key; value } |])
+          in
+          Net_client.close cl;
+          Printf.printf
+            "measured ceiling: %.0f op/s; open-loop target = half of it\n%!"
+            r.Loadgen.lg_achieved;
+          Float.max 1. (0.5 *. r.Loadgen.lg_achieved)
+        end
+      in
+      Printf.printf "%-14s %-8s %-10s %-11s %-9s %-9s %-9s %s\n" "workload"
+        "mode" "target/s" "achieved/s" "p50 us" "p99 us" "p999 us" "failed";
+      List.iter
+        (fun l ->
+          let y =
+            Ycsb.create ~max_span:16 ~letter:l ~seed:42 ~universe ()
+          in
+          let next = Loadgen.ycsb_next y ~key:key_of ~value:(fun _ -> value) in
+          let r =
+            if closed then begin
+              let cl = Net_client.connect ~pool:conns ~cork:true addr in
+              Fun.protect
+                ~finally:(fun () -> Net_client.close cl)
+                (fun () -> Loadgen.closed_loop cl ~window ~ops ~next)
+            end
+            else begin
+              let cl = Net_client.connect ~pool:conns addr in
+              Fun.protect
+                ~finally:(fun () -> Net_client.close cl)
+                (fun () -> Loadgen.open_loop cl ~rate ~ops ~next)
+            end
+          in
+          let us h p = float_of_int (Histogram.percentile h p) /. 1e3 in
+          Printf.printf "%-14s %-8s %-10.0f %-11.0f %-9.1f %-9.1f %-9.1f %d\n%!"
+            (Printf.sprintf "%c (%s)"
+               (Char.uppercase_ascii (Ycsb.char_of_letter l))
+               (List.hd
+                  (String.split_on_char ',' (Ycsb.describe l))))
+            (if closed then "closed" else "open")
+            r.Loadgen.lg_target r.Loadgen.lg_achieved
+            (us r.Loadgen.lg_hist 50.) (us r.Loadgen.lg_hist 99.)
+            (us r.Loadgen.lg_hist 99.9) r.Loadgen.lg_failed)
+        letters)
+  in
+  Cmd.v
+    (Cmd.info "netbench"
+       ~doc:
+         "Run the YCSB workload suite against the wire front end: \
+          open-loop by default (arrival times drawn from the target \
+          rate before sending; latency measured from the intended send \
+          time, so tail percentiles include the queueing delay that \
+          coordinated omission would hide), or --closed for a \
+          throughput ceiling. Self-hosts a server on a unix socket \
+          unless --connect points at a running `sppctl serve --listen'")
+    Term.(const run $ variant_arg $ engine_arg $ shards_arg $ letter_arg
+          $ rate_arg $ closed_arg $ nb_ops_arg $ conns_arg $ nb_window_arg
+          $ universe_arg $ value_size_arg $ connect_arg)
+
 let () =
   let doc = "Safe Persistent Pointers (SPP) reproduction toolkit" in
+  (* One consolidated matrix so nobody has to assemble it from eleven
+     per-subcommand --help pages. *)
+  let man =
+    [ `S "COMMAND MATRIX";
+      `P "Which subcommand takes which KV engine and drives which \
+          workload. VARIANTS abbreviates pmdk | spp | safepm | memcheck \
+          (--variant); ENGINES abbreviates cmap | btree (--engine); \
+          letters a-f are the YCSB workloads of `netbench --letter'.";
+      `Pre
+        "COMMAND    VARIANTS  ENGINES     WORKLOAD\n\
+         info       -         -           (print pointer-encoding config)\n\
+         decode     -         -           (decode one tagged pointer)\n\
+         attack     yes       -           RIPE buffer-overflow matrix\n\
+         index      yes       -           index ops (ctree|rbtree|rtree|hashmap_tx)\n\
+         check      yes       -           index workload under pmemcheck\n\
+         explore    yes       -           crash-state exploration of one op\n\
+         pool-demo  yes       -           allocate/free demo pool\n\
+         pool-open  yes       -           reopen + verify a pool file\n\
+         torture    yes       cmap|btree  crash-point enumeration + faults\n\
+         serve      yes       cmap|btree  synthetic 3:1 put:get (or --listen ADDR)\n\
+         failover   yes       cmap|btree  replicated run + primary kill\n\
+         netbench   yes       cmap|btree  YCSB a|b|c|d|f (any), e (btree scans)";
+      `P "YCSB letters: a = 50/50 read/update zipfian; b = 95/5 \
+          read/update; c = 100% read; d = 95/5 read-latest/insert; e = \
+          95/5 scan/insert (needs ordered scans, so --engine btree); f \
+          = 50/50 read/read-modify-write.";
+      `P "Wire serving: `sppctl serve --listen unix:/tmp/spp.sock' \
+          exposes the pipeline; `sppctl netbench --connect \
+          unix:/tmp/spp.sock --letter all' drives it open-loop." ]
+  in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc)
+       (Cmd.group (Cmd.info "sppctl" ~version:"1.0.0" ~doc ~man)
           [ info_cmd; decode_cmd; attack_cmd; index_cmd; check_cmd;
             explore_cmd; pool_demo_cmd; pool_open_cmd; torture_cmd;
-            serve_cmd; failover_cmd ]))
+            serve_cmd; failover_cmd; netbench_cmd ]))

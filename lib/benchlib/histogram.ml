@@ -77,7 +77,9 @@ let merge a b =
 (* Value at quantile [p] in [0, 100]: the upper bound of the bucket
    holding the ceil(p/100 * total)-th recorded value, clamped to the
    exact maximum. Monotone in [p] because the cumulative walk and the
-   per-bucket upper bounds both are. *)
+   per-bucket upper bounds both are. An empty recorder answers 0 (like
+   [mean] answers 0.) rather than raising — a bench leg that recorded
+   nothing reports zeros, it doesn't kill the run. *)
 let percentile t p =
   if t.total = 0 then 0
   else begin
@@ -96,6 +98,7 @@ let percentile t p =
 let p50 t = percentile t 50.
 let p95 t = percentile t 95.
 let p99 t = percentile t 99.
+let p999 t = percentile t 99.9
 
 (* Nonempty buckets as [(lo, hi, count)], ascending — the full recorder
    state, used by tests to check merge exactness. *)

@@ -86,6 +86,10 @@ let emit t ~experiment ~name ~metric ?unit_ ?(extra = []) value =
   let u = match unit_ with None -> [] | Some u -> [ ("unit", J_string u) ] in
   t.records <- J_obj (base @ u @ extra) :: t.records
 
+(* Write via a temp file renamed into place: a crash mid-emit (or a
+   failing experiment that aborts the run) leaves either the previous
+   complete file or nothing — never a truncated BENCH_*.json that a CI
+   validator would choke on. *)
 let write t ?(meta = []) path =
   let doc =
     J_obj
@@ -93,9 +97,15 @@ let write t ?(meta = []) path =
        :: meta
        @ [ ("records", J_list (List.rev t.records)) ])
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string doc);
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string doc);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

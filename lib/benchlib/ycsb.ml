@@ -1,0 +1,102 @@
+(* YCSB-style core workload mixes over the Keygen samplers.
+
+   Each generator yields abstract operations on key *indices*; the
+   driver maps indices to concrete keys/values. The six core letters
+   (Cooper et al., SoCC'10) are:
+
+     A  50% read / 50% update          zipfian
+     B  95% read /  5% update          zipfian
+     C  100% read                      zipfian
+     D  95% read-latest / 5% insert    latest
+     E  95% scan / 5% insert           zipfian start, uniform span
+     F  50% read / 50% read-modify-write  zipfian
+
+   D and E grow the key space: [Insert] carries the next fresh index
+   (= the current loaded count) and the read-latest distribution skews
+   toward recently inserted indices. Everything is a pure function of
+   (letter, seed, universe, theta, max_span) — same determinism
+   contract as [Keygen], so a workload can be replayed against two
+   stores and the replies compared. *)
+
+type op =
+  | Read of int
+  | Update of int
+  | Insert of int
+  | Scan of int * int   (* (start index, span >= 1) *)
+  | Rmw of int
+
+type letter = A | B | C | D | E | F
+
+let letter_of_char c =
+  match Char.lowercase_ascii c with
+  | 'a' -> A
+  | 'b' -> B
+  | 'c' -> C
+  | 'd' -> D
+  | 'e' -> E
+  | 'f' -> F
+  | _ -> invalid_arg (Printf.sprintf "Ycsb.letter_of_char: %C" c)
+
+let char_of_letter = function
+  | A -> 'a'
+  | B -> 'b'
+  | C -> 'c'
+  | D -> 'd'
+  | E -> 'e'
+  | F -> 'f'
+
+let describe = function
+  | A -> "50% read / 50% update, zipfian"
+  | B -> "95% read / 5% update, zipfian"
+  | C -> "100% read, zipfian"
+  | D -> "95% read-latest / 5% insert"
+  | E -> "95% scan / 5% insert, zipfian start"
+  | F -> "50% read / 50% read-modify-write, zipfian"
+
+type t = {
+  y_letter : letter;
+  y_mix : Random.State.t;      (* op-choice coin, separate stream *)
+  y_key : Keygen.t;            (* rank sampler over the initial universe *)
+  y_max_span : int;
+  mutable y_loaded : int;      (* indices [0, y_loaded) exist *)
+}
+
+let create ?(theta = 0.99) ?(max_span = 64) ~letter ~seed ~universe () =
+  if universe <= 0 then invalid_arg "Ycsb.create: empty universe";
+  if max_span <= 0 then invalid_arg "Ycsb.create: max_span must be positive";
+  { y_letter = letter;
+    y_mix = Random.State.make [| seed; 0x9C5B; universe |];
+    y_key = Keygen.zipfian ~theta ~seed ~universe ();
+    y_max_span = max_span;
+    y_loaded = universe }
+
+let letter t = t.y_letter
+let loaded t = t.y_loaded
+
+(* Read-latest: reuse the bounded-Zipfian rank stream (rank 0 hottest)
+   but anchor rank 0 at the most recent insert, so the hot set tracks
+   the head of the growing key space. *)
+let latest t =
+  let rank = Keygen.next t.y_key mod t.y_loaded in
+  t.y_loaded - 1 - rank
+
+let insert t =
+  let idx = t.y_loaded in
+  t.y_loaded <- t.y_loaded + 1;
+  Insert idx
+
+let next t =
+  let p = Random.State.float t.y_mix 1. in
+  match t.y_letter with
+  | A -> if p < 0.5 then Read (Keygen.next t.y_key) else Update (Keygen.next t.y_key)
+  | B -> if p < 0.95 then Read (Keygen.next t.y_key) else Update (Keygen.next t.y_key)
+  | C -> Read (Keygen.next t.y_key)
+  | D -> if p < 0.95 then Read (latest t) else insert t
+  | E ->
+    if p < 0.95 then begin
+      let start = Keygen.next t.y_key in
+      let span = 1 + Random.State.int t.y_mix t.y_max_span in
+      Scan (start, span)
+    end
+    else insert t
+  | F -> if p < 0.5 then Read (Keygen.next t.y_key) else Rmw (Keygen.next t.y_key)

@@ -1,0 +1,120 @@
+(* Open- and closed-loop drivers. See the interface for the
+   coordinated-omission story; the mechanics that make it hold:
+
+   - arrival times are a pure function of (t0, rate, i) — the schedule
+     exists independently of how the server behaves;
+   - pacing sleeps to ~1 ms before the slot and spins the rest, so an
+     idle generator hits its slot within microseconds but never burns a
+     core for long waits;
+   - when behind schedule it sends immediately and keeps the original
+     due time as the latency origin — queueing delay lands in the
+     histogram instead of silently stretching the schedule;
+   - completion times come from [Net_client.done_at] (stamped by the
+     reader domain at frame decode), so the post-run await pass only
+     collects numbers, it doesn't produce them. *)
+
+open Spp_shard
+open Spp_benchlib
+
+type result = {
+  lg_ops : int;
+  lg_requests : int;
+  lg_failed : int;
+  lg_wall : float;
+  lg_target : float;
+  lg_achieved : float;
+  lg_hist : Histogram.t;
+  lg_service : Histogram.t;
+}
+
+let ns_of_s s = int_of_float (s *. 1e9)
+
+(* Await every leg of [futs], fold the op's completion (latest leg) into
+   the histograms against both origins. *)
+let collect client hist service ~intended ~actual ~failed futs =
+  let done_t = ref 0. in
+  Array.iter
+    (fun fu ->
+      (match Net_client.await client fu with
+       | Serve.Failed _ -> incr failed
+       | _ -> ());
+      let d = Net_client.done_at fu in
+      if d > !done_t then done_t := d)
+    futs;
+  if Array.length futs > 0 then begin
+    Histogram.add hist (ns_of_s (!done_t -. intended));
+    Histogram.add service (ns_of_s (!done_t -. actual))
+  end
+
+let finish ~ops ~requests ~failed ~target ~t0 ~t_end ~hist ~service =
+  let wall = Float.max 1e-9 (t_end -. t0) in
+  { lg_ops = ops; lg_requests = requests; lg_failed = failed;
+    lg_wall = wall; lg_target = target;
+    lg_achieved = float_of_int ops /. wall;
+    lg_hist = hist; lg_service = service }
+
+let open_loop client ~rate ~ops ~next =
+  if rate <= 0. then invalid_arg "Loadgen.open_loop: rate must be positive";
+  if ops < 0 then invalid_arg "Loadgen.open_loop: negative ops";
+  let hist = Histogram.create () and service = Histogram.create () in
+  let futs = Array.make ops [||] in
+  let intended = Array.make ops 0. and actual = Array.make ops 0. in
+  let requests = ref 0 in
+  let t0 = Bench_util.now_mono () in
+  for i = 0 to ops - 1 do
+    let due = t0 +. (float_of_int i /. rate) in
+    let ahead = due -. Bench_util.now_mono () in
+    if ahead > 0.0015 then Unix.sleepf (ahead -. 0.001);
+    while Bench_util.now_mono () < due do
+      Domain.cpu_relax ()
+    done;
+    let reqs = next i in
+    intended.(i) <- due;
+    actual.(i) <- Bench_util.now_mono ();
+    futs.(i) <- Array.map (Net_client.send client) reqs;
+    requests := !requests + Array.length reqs
+  done;
+  let failed = ref 0 in
+  for i = 0 to ops - 1 do
+    collect client hist service ~intended:intended.(i) ~actual:actual.(i)
+      ~failed futs.(i)
+  done;
+  let t_end = Bench_util.now_mono () in
+  finish ~ops ~requests:!requests ~failed:!failed ~target:rate ~t0 ~t_end ~hist
+    ~service
+
+let closed_loop client ~window ~ops ~next =
+  if window < 1 then invalid_arg "Loadgen.closed_loop: window must be >= 1";
+  if ops < 0 then invalid_arg "Loadgen.closed_loop: negative ops";
+  let hist = Histogram.create () and service = Histogram.create () in
+  let q : (float * Net_client.future array) Queue.t = Queue.create () in
+  let requests = ref 0 and failed = ref 0 in
+  let t0 = Bench_util.now_mono () in
+  for i = 0 to ops - 1 do
+    if Queue.length q >= window then begin
+      let sent, futs = Queue.pop q in
+      collect client hist service ~intended:sent ~actual:sent ~failed futs
+    end;
+    let reqs = next i in
+    let sent = Bench_util.now_mono () in
+    Queue.push (sent, Array.map (Net_client.send client) reqs) q;
+    requests := !requests + Array.length reqs
+  done;
+  Queue.iter
+    (fun (sent, futs) ->
+      collect client hist service ~intended:sent ~actual:sent ~failed futs)
+    q;
+  let t_end = Bench_util.now_mono () in
+  finish ~ops ~requests:!requests ~failed:!failed ~target:0. ~t0 ~t_end ~hist
+    ~service
+
+let ycsb_next y ~key ~value i =
+  match Ycsb.next y with
+  | Ycsb.Read k -> [| Serve.Get (key k) |]
+  | Ycsb.Update k | Ycsb.Insert k ->
+    [| Serve.Put { key = key k; value = value i } |]
+  | Ycsb.Scan (start, span) ->
+    [| Serve.Scan { lo = key start; hi = key (start + span); limit = span } |]
+  | Ycsb.Rmw k ->
+    let k = key k in
+    [| Serve.Get k; Serve.Put { key = k; value = value i } |]

@@ -1,0 +1,68 @@
+(** Open- and closed-loop load generation over {!Net_client}.
+
+    {b Closed loop} keeps a fixed window of operations in flight and
+    sends the next as soon as one completes. It measures the server's
+    throughput ceiling, but its latency numbers suffer {e coordinated
+    omission}: when the server stalls, the generator stops sending, so
+    the stall is recorded once instead of once per request that {e would
+    have} arrived — exactly the requests a real open population of
+    clients would still have issued.
+
+    {b Open loop} models that population: every operation's arrival time
+    is drawn from the target rate schedule {e before} the run starts
+    ([due_i = t0 + i/rate]), the generator paces sends to that schedule
+    (never skipping a slot — if it falls behind it sends immediately,
+    back-to-back), and latency is recorded from the {e intended} send
+    time to reply decode. A stalled server therefore accrues queueing
+    delay on every scheduled arrival it made wait, which is what a tail
+    percentile is supposed to mean. The service-time histogram (actual
+    send → reply) is kept alongside; the gap between the two {e is} the
+    coordinated omission a closed-loop driver would have hidden. *)
+
+type result = {
+  lg_ops : int;            (** logical operations completed *)
+  lg_requests : int;       (** wire requests sent (an RMW op sends 2) *)
+  lg_failed : int;         (** requests answered [Failed _] *)
+  lg_wall : float;         (** seconds, first send to last reply *)
+  lg_target : float;       (** target arrival rate (ops/s); 0. = closed loop *)
+  lg_achieved : float;     (** lg_ops / lg_wall *)
+  lg_hist : Spp_benchlib.Histogram.t;
+      (** latency (ns) from intended send time — CO-safe in open loop;
+          equals service time in closed loop *)
+  lg_service : Spp_benchlib.Histogram.t;
+      (** latency (ns) from actual send time *)
+}
+
+val open_loop :
+  Net_client.t ->
+  rate:float ->
+  ops:int ->
+  next:(int -> Spp_shard.Serve.request array) ->
+  result
+(** Run [ops] operations at a target arrival rate of [rate] ops/s.
+    [next i] yields the wire requests of operation [i] (usually one; an
+    RMW yields two, measured to the last leg's completion). Replies are
+    timestamped by the client's reader domains as they arrive, so
+    awaiting them after the send loop does not distort latency. *)
+
+val closed_loop :
+  Net_client.t ->
+  window:int ->
+  ops:int ->
+  next:(int -> Spp_shard.Serve.request array) ->
+  result
+(** Keep up to [window] operations in flight, sending the next as the
+    oldest completes. Reports the throughput ceiling; see the module
+    comment for why its tail latencies flatter the server. *)
+
+val ycsb_next :
+  Spp_benchlib.Ycsb.t ->
+  key:(int -> string) ->
+  value:(int -> string) ->
+  int ->
+  Spp_shard.Serve.request array
+(** Adapter from {!Spp_benchlib.Ycsb} abstract ops to wire requests:
+    Read → [Get], Update/Insert → [Put], Scan (start, span) →
+    [Serve.Scan] over [[key start, key (start+span)]] with
+    [limit = span], Rmw → [Get] then [Put] (pipelined; the result
+    measures to the later completion). *)

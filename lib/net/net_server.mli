@@ -1,0 +1,64 @@
+(** Socket front end over the serving pipeline.
+
+    Listens on a TCP or Unix-domain socket and multiplexes pipelined
+    {!Wire} requests into {!Spp_shard.Serve}'s per-shard mailboxes. Each
+    accepted connection gets a reader and a writer domain:
+
+    - the {b reader} decodes frames as they arrive and submits each
+      request through [Serve.submit] immediately — requests pipeline
+      into the shard mailboxes without waiting for earlier replies. A
+      cache-hit [Get] (whose ticket [Serve.submit] pre-fulfils on the
+      submitting thread, no worker hop) is written back right away,
+      overtaking queued completions — replies are matched by correlation
+      id, not order. A [Scan] executes as a whole-store
+      [Serve.scan] on the reader (it has no routing key), serializing
+      that one connection's pipeline behind it.
+    - the {b writer} drains a per-connection completion queue of
+      (correlation id, ticket) pairs, awaiting each ticket — tickets
+      resolve in per-shard commit order, so a multi-shard pipeline
+      completes out of submission order — and writes the reply frame.
+
+    A malformed frame closes that connection only: the reader counts it,
+    stops decoding and lets the writer flush the replies already owed;
+    the serving pipeline and its worker domains are untouched. A request
+    that cannot be submitted (e.g. the pipeline is stopping) is answered
+    [Failed (Op_raised _)] instead of killing the connection.
+
+    Lifecycle: {!stop} the server before [Serve.stop] if possible;
+    either order is safe (tickets resolve during the pipeline drain, so
+    writers never hang), but stopping the server first lets clients see
+    every in-flight reply. *)
+
+type t
+
+type stats = {
+  sv_accepted : int;    (** connections accepted *)
+  sv_requests : int;    (** frames decoded and dispatched *)
+  sv_replies : int;     (** reply frames written *)
+  sv_malformed : int;   (** connections dropped on a corrupt frame *)
+}
+
+val parse_addr : string -> Unix.sockaddr
+(** ["unix:PATH"], ["PORT"] (loopback TCP) or ["HOST:PORT"]. Raises
+    [Invalid_argument] on anything else. *)
+
+val pp_addr : Format.formatter -> Unix.sockaddr -> unit
+
+val create : ?backlog:int -> Spp_shard.Serve.t -> Unix.sockaddr -> t
+(** Bind, listen and start the accept domain. A Unix-domain path is
+    unlinked first if stale; TCP sockets set [SO_REUSEADDR] and accept
+    port 0 (see {!addr} for the bound port). [backlog] defaults to 64. *)
+
+val addr : t -> Unix.sockaddr
+(** The actually-bound address — the kernel-chosen port for TCP port 0. *)
+
+val serve : t -> Spp_shard.Serve.t
+
+val stats : t -> stats
+(** Live monotone snapshot. *)
+
+val stop : t -> unit
+(** Close the listening socket, shut down every connection, join the
+    accept/reader/writer domains and unlink a Unix-domain path.
+    Idempotent. In-flight tickets are awaited and their replies flushed
+    before each connection closes. *)

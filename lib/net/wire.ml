@@ -1,0 +1,320 @@
+(* Length-prefixed binary codec for the serving protocol.
+
+   Frame layout (all integers little-endian):
+
+     u32 payload_len | payload
+     payload := u32 corr | u8 tag | fields
+
+   Request tags 0x01-0x04, reply tags 0x81-0x88 — disjoint ranges, so a
+   stream fed to the wrong [next_*] entry point fails loudly instead of
+   misparsing. Strings are length-prefixed: keys/scan bounds/messages
+   with u16, values with u32. The payload length is computed before any
+   byte is written (string lengths are known), so encoding is a single
+   append pass into the caller's reused [Buffer.t] — no patching, no
+   temporary buffer, no per-message allocation beyond what [Buffer]
+   itself amortizes.
+
+   The decoder is a growable flat accumulator with read/write cursors:
+   [feed] appends (compacting consumed bytes first when space is
+   needed), [next_*] parses at the read cursor only when a whole frame
+   has arrived — so frames torn across reads at any byte boundary
+   resume for free — and every field read is bounds-checked against the
+   frame's declared payload, with under- and over-runs both reported as
+   [Corrupt]. Framing carries no resync marker: after [Corrupt] the
+   only safe move is dropping the connection, which is exactly what the
+   server does. *)
+
+open Spp_shard
+
+let max_frame = 1 lsl 24
+let max_key = 0xFFFF
+
+(* Request tags. *)
+let t_put = 0x01
+let t_get = 0x02
+let t_remove = 0x03
+let t_scan = 0x04
+
+(* Reply tags. *)
+let t_done = 0x81
+let t_value_some = 0x82
+let t_value_none = 0x83
+let t_removed_true = 0x84
+let t_removed_false = 0x85
+let t_scanned = 0x86
+let t_failed_raised = 0x87
+let t_failed_over = 0x88
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 b v = Buffer.add_char b (Char.unsafe_chr (v land 0xFF))
+
+let add_u16 b v =
+  add_u8 b v;
+  add_u8 b (v lsr 8)
+
+let add_u32 b v =
+  add_u16 b v;
+  add_u16 b (v lsr 16)
+
+let add_str16 b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let check_key what k =
+  if String.length k > max_key then
+    invalid_arg (Printf.sprintf "Wire: %s exceeds %d bytes" what max_key)
+
+let check_frame n =
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Wire: frame payload %d exceeds %d" n max_frame)
+
+(* corr + tag *)
+let header_size = 5
+
+let start_frame b ~corr psize =
+  check_frame psize;
+  add_u32 b psize;
+  add_u32 b (corr land 0xFFFFFFFF)
+
+let encode_request b ~corr (req : Serve.request) =
+  match req with
+  | Serve.Put { key; value } ->
+    check_key "key" key;
+    let psize =
+      header_size + 2 + String.length key + 4 + String.length value
+    in
+    start_frame b ~corr psize;
+    add_u8 b t_put;
+    add_str16 b key;
+    add_str32 b value
+  | Serve.Get key ->
+    check_key "key" key;
+    start_frame b ~corr (header_size + 2 + String.length key);
+    add_u8 b t_get;
+    add_str16 b key
+  | Serve.Remove key ->
+    check_key "key" key;
+    start_frame b ~corr (header_size + 2 + String.length key);
+    add_u8 b t_remove;
+    add_str16 b key
+  | Serve.Scan { lo; hi; limit } ->
+    check_key "scan bound" lo;
+    check_key "scan bound" hi;
+    start_frame b ~corr
+      (header_size + 2 + String.length lo + 2 + String.length hi + 4);
+    add_u8 b t_scan;
+    add_str16 b lo;
+    add_str16 b hi;
+    add_u32 b (max 0 limit)
+
+let encode_reply b ~corr (r : Serve.reply) =
+  match r with
+  | Serve.Done ->
+    start_frame b ~corr header_size;
+    add_u8 b t_done
+  | Serve.Value (Some v) ->
+    start_frame b ~corr (header_size + 4 + String.length v);
+    add_u8 b t_value_some;
+    add_str32 b v
+  | Serve.Value None ->
+    start_frame b ~corr header_size;
+    add_u8 b t_value_none
+  | Serve.Removed true ->
+    start_frame b ~corr header_size;
+    add_u8 b t_removed_true
+  | Serve.Removed false ->
+    start_frame b ~corr header_size;
+    add_u8 b t_removed_false
+  | Serve.Scanned kvs ->
+    let body =
+      List.fold_left
+        (fun a (k, v) ->
+          check_key "scan key" k;
+          a + 2 + String.length k + 4 + String.length v)
+        4 kvs
+    in
+    start_frame b ~corr (header_size + body);
+    add_u8 b t_scanned;
+    add_u32 b (List.length kvs);
+    List.iter
+      (fun (k, v) ->
+        add_str16 b k;
+        add_str32 b v)
+      kvs
+  | Serve.Failed (Serve.Op_raised msg) ->
+    (* diagnostic text: truncate rather than refuse to answer *)
+    let msg =
+      if String.length msg > max_key then String.sub msg 0 max_key else msg
+    in
+    start_frame b ~corr (header_size + 2 + String.length msg);
+    add_u8 b t_failed_raised;
+    add_str16 b msg
+  | Serve.Failed Serve.Failed_over ->
+    start_frame b ~corr header_size;
+    add_u8 b t_failed_over
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decoder = {
+  mutable dbuf : Bytes.t;
+  mutable rpos : int;   (* first unconsumed byte *)
+  mutable wpos : int;   (* first free byte *)
+}
+
+let decoder ?(initial = 4096) () =
+  { dbuf = Bytes.create (max 16 initial); rpos = 0; wpos = 0 }
+
+let buffered d = d.wpos - d.rpos
+
+let feed d src ~off ~len =
+  if len < 0 || off < 0 || off > Bytes.length src - len then
+    invalid_arg "Wire.feed: bad slice";
+  if Bytes.length d.dbuf - d.wpos < len then begin
+    let live = d.wpos - d.rpos in
+    (* compact first; grow only if the tail still doesn't fit *)
+    if d.rpos > 0 then begin
+      Bytes.blit d.dbuf d.rpos d.dbuf 0 live;
+      d.rpos <- 0;
+      d.wpos <- live
+    end;
+    if Bytes.length d.dbuf - live < len then begin
+      let need = live + len in
+      let cap = ref (Bytes.length d.dbuf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.dbuf 0 nb 0 live;
+      d.dbuf <- nb
+    end
+  end;
+  Bytes.blit src off d.dbuf d.wpos len;
+  d.wpos <- d.wpos + len
+
+let feed_string d s =
+  feed d (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+type 'a popped =
+  | Msg of int * 'a
+  | Awaiting
+  | Corrupt of string
+
+(* Bounds-checked payload cursor. [Short] aborts the parse; it is
+   translated to [Corrupt] — the frame length said the payload was
+   complete, so running out of bytes inside it is a framing violation,
+   not an incomplete read. *)
+exception Short of string
+
+type cursor = { cbuf : Bytes.t; mutable pos : int; limit : int }
+
+let need c n what = if c.limit - c.pos < n then raise (Short what)
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code (Bytes.unsafe_get c.cbuf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c what =
+  let lo = get_u8 c what in
+  let hi = get_u8 c what in
+  lo lor (hi lsl 8)
+
+let get_u32 c what =
+  let lo = get_u16 c what in
+  let hi = get_u16 c what in
+  lo lor (hi lsl 16)
+
+let get_str c n what =
+  need c n what;
+  let s = Bytes.sub_string c.cbuf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str16 c what = get_str c (get_u16 c what) what
+let get_str32 c what = get_str c (get_u32 c what) what
+
+let parse_request c : Serve.request =
+  match get_u8 c "tag" with
+  | t when t = t_put ->
+    let key = get_str16 c "key" in
+    let value = get_str32 c "value" in
+    Serve.Put { key; value }
+  | t when t = t_get -> Serve.Get (get_str16 c "key")
+  | t when t = t_remove -> Serve.Remove (get_str16 c "key")
+  | t when t = t_scan ->
+    let lo = get_str16 c "scan lo" in
+    let hi = get_str16 c "scan hi" in
+    let limit = get_u32 c "scan limit" in
+    Serve.Scan { lo; hi; limit }
+  | t -> raise (Short (Printf.sprintf "unknown request tag 0x%02x" t))
+
+let parse_reply c : Serve.reply =
+  match get_u8 c "tag" with
+  | t when t = t_done -> Serve.Done
+  | t when t = t_value_some -> Serve.Value (Some (get_str32 c "value"))
+  | t when t = t_value_none -> Serve.Value None
+  | t when t = t_removed_true -> Serve.Removed true
+  | t when t = t_removed_false -> Serve.Removed false
+  | t when t = t_scanned ->
+    let n = get_u32 c "scan count" in
+    (* every entry costs >= 6 bytes of prefixes: a count beyond the
+       remaining payload is hostile — reject before allocating *)
+    if n < 0 || n > (c.limit - c.pos) / 6 then
+      raise (Short "scan count exceeds payload");
+    let acc = ref [] in
+    for _ = 1 to n do
+      let k = get_str16 c "scan key" in
+      let v = get_str32 c "scan value" in
+      acc := (k, v) :: !acc
+    done;
+    Serve.Scanned (List.rev !acc)
+  | t when t = t_failed_raised ->
+    Serve.Failed (Serve.Op_raised (get_str16 c "failure message"))
+  | t when t = t_failed_over -> Serve.Failed Serve.Failed_over
+  | t -> raise (Short (Printf.sprintf "unknown reply tag 0x%02x" t))
+
+(* Peek the 4-byte length at [rpos] without a cursor (the frame is not
+   yet known to be complete). *)
+let peek_len d =
+  let b i = Char.code (Bytes.unsafe_get d.dbuf (d.rpos + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let next_with parse d =
+  let avail = buffered d in
+  if avail < 4 then Awaiting
+  else begin
+    let plen = peek_len d in
+    if plen < header_size || plen > max_frame then
+      Corrupt (Printf.sprintf "bad frame length %d" plen)
+    else if avail < 4 + plen then Awaiting
+    else begin
+      let c = { cbuf = d.dbuf; pos = d.rpos + 4; limit = d.rpos + 4 + plen } in
+      match
+        let corr = get_u32 c "correlation id" in
+        let v = parse c in
+        if c.pos <> c.limit then raise (Short "trailing bytes in frame");
+        (corr, v)
+      with
+      | corr, v ->
+        d.rpos <- d.rpos + 4 + plen;
+        if d.rpos = d.wpos then begin
+          d.rpos <- 0;
+          d.wpos <- 0
+        end;
+        Msg (corr, v)
+      | exception Short what -> Corrupt ("malformed frame: " ^ what)
+    end
+  end
+
+let next_request d = next_with parse_request d
+let next_reply d = next_with parse_reply d
